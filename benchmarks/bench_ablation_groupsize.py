@@ -1,0 +1,27 @@
+"""A1 — the §VI dynamic group-size heuristic.
+
+"A possible direction for future research could be design of a heuristic
+which dynamically scales the group size |g| with the current load
+factor."  We implement that heuristic analytically and check it against
+measured optima across the load axis.
+"""
+
+from conftest import record
+
+from repro.bench import run_groupsize_ablation
+
+
+def test_groupsize_heuristic(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_groupsize_ablation(
+            n=1 << 15, loads=(0.5, 0.7, 0.8, 0.9, 0.95, 0.99), seed=19
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    record("ablation_groupsize", result.format())
+
+    # the heuristic lands on (or adjacent to) the measured optimum
+    assert result.agreement() >= 0.8
+    # and never leaves the paper's optimal band
+    assert all(g in (2, 4, 8) for g in result.heuristic_best)

@@ -1,0 +1,24 @@
+"""A4 — AoS vs SoA memory layout (Fig. 1).
+
+"AOS ensures cache-friendly and fully atomic access onto key-value pairs
+up to 64 bits.  In contrast, the separated key and value arrays in the
+SOA format allow for longer keys at the cost of inferior caching."
+"""
+
+from conftest import record
+
+from repro.bench import run_layout_ablation
+
+
+def test_layout_transactions(benchmark):
+    result = benchmark.pedantic(run_layout_ablation, iterations=1, rounds=1)
+    record("ablation_layout", result.format())
+
+    # SoA costs 2x for every sub-sector window (|g| <= 4)
+    for g, aos, soa in zip(
+        result.group_sizes, result.aos_sectors_per_window, result.soa_sectors_per_window
+    ):
+        if g <= 4:
+            assert soa == 2 * aos
+        else:
+            assert soa <= aos  # wide windows amortize the split arrays

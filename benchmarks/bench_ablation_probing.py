@@ -1,0 +1,30 @@
+"""A2 — classic probing schemes (Eqs. 1-3): clustering vs cache cost.
+
+§II: linear probing is cache-efficient but clusters; quadratic and
+chaotic (double-hash) probing avoid primary clustering at the cost of
+more random transactions.  WarpDrive's hybrid windows take linear's
+coalescing *inside* a window and double hashing *between* windows.
+"""
+
+from conftest import record
+
+from repro.bench import run_probing_ablation
+
+
+def test_probing_schemes(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_probing_ablation(n=1 << 13, loads=(0.5, 0.7, 0.9, 0.95), seed=29),
+        iterations=1,
+        rounds=1,
+    )
+    record("ablation_probing", result.format())
+
+    hi = len(result.loads) - 1
+    lin_mean, lin_p99, _ = result.stats["linear"][hi]
+    dbl_mean, dbl_p99, _ = result.stats["double"][hi]
+    # primary clustering: linear's tail blows up at high load
+    assert lin_p99 > 2 * dbl_p99
+    assert lin_mean > dbl_mean
+    # quadratic sits between
+    quad_p99 = result.stats["quadratic"][hi][1]
+    assert dbl_p99 <= quad_p99 <= lin_p99 * 1.1

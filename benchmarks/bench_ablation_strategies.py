@@ -1,0 +1,42 @@
+"""A3 — the four §IV-B distribution strategies.
+
+The paper's argument for distributed multisplit transposition, measured:
+host-sided partitioning pays CPU reordering, system-wide atomics pay
+remote CAS, unstructured distribution pays m× query fan-out.
+"""
+
+from conftest import record
+
+from repro.bench import run_strategy_ablation
+from repro.utils.tables import format_table
+
+
+def test_distribution_strategies(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_strategy_ablation(n=1 << 15, seed=41),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        [name, f"{c.insert_seconds * 1e3:.3f}", f"{c.query_seconds * 1e3:.3f}",
+         f"{c.total * 1e3:.3f}", c.note]
+        for name, c in sorted(results.items(), key=lambda kv: kv[1].total)
+    ]
+    record(
+        "ablation_strategies",
+        format_table(
+            ["strategy", "insert ms", "query ms", "total ms", "basis"],
+            rows,
+            title="A3 — §IV-B distribution strategies (4 GPUs, 2^15 pairs)",
+        ),
+    )
+
+    totals = {k: v.total for k, v in results.items()}
+    assert totals["multisplit_transposition"] == min(totals.values())
+    assert results["system_wide_atomics"].insert_seconds == max(
+        v.insert_seconds for v in results.values()
+    )
+    assert (
+        results["unstructured"].query_seconds
+        > results["multisplit_transposition"].query_seconds
+    )

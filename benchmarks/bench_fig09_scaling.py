@@ -1,0 +1,29 @@
+"""Fig. 9 — strong and weak scaling over 1-4 GPUs.
+
+Device-sided insert/retrieve cascades at α = 0.95, |g| = 4, for paper
+sizes n ∈ {2^28, 2^29} (simulated at 2^14 per point, projected).
+
+Expected shape: efficiencies drop from m = 1 to m = 2 (the added
+multisplit + communication) then stay flat; 'Insert 2^29' scales better
+than 'Insert 2^28' because the m = 1 baseline suffers the >2 GB CAS
+degradation (the paper's super-linear point).
+"""
+
+from conftest import record
+
+from repro.bench import run_scaling
+
+
+def test_fig09_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_scaling(n_sim=1 << 14, paper_exponents=(28, 29), seed=17),
+        iterations=1,
+        rounds=1,
+    )
+    record("fig09_scaling", result.format())
+
+    for label, effs in result.weak.items():
+        assert effs[0] == 1.0
+        tail = effs[1:]
+        assert max(tail) - min(tail) < 0.25 * max(tail), label
+    assert result.strong["Insert 2^29"][-1] > result.strong["Insert 2^28"][-1]

@@ -1,0 +1,37 @@
+"""Fig. 10 — multi-GPU rates vs capacity, three key distributions.
+
+Insert/retrieve 2^28-2^32 pairs (simulated at 2^15 per point) on 4 GPUs
+at α = 0.95, |g| = 4, with and without the PCIe legs.
+
+Expected shape: device retrieval flat across capacities; device
+insertion drops up to ~2× past n = 2^30 (the multi-memory-interface CAS
+artifact); host-sided rates PCIe-bound with insert ≥ retrieve (the
+retrieval cascade pays a second PCIe transfer).
+"""
+
+from conftest import record
+
+from repro.bench import run_capacity_sweep
+
+
+def test_fig10_capacity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_capacity_sweep(
+            paper_exponents=(28, 29, 30, 31, 32),
+            distributions=("unique", "uniform", "zipf"),
+            n_sim=1 << 15,
+            seed=23,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    record("fig10_capacity", result.format())
+
+    for dist in ("unique", "uniform"):
+        ins = result.device_insert[dist]
+        ret = result.device_retrieve[dist]
+        assert ins[-1] < 0.85 * ins[0], dist  # the >2^30 insertion drop
+        assert max(ret) / min(ret) < 1.4, dist  # retrieval stays flat
+        host_ins = result.host_insert[dist]
+        host_ret = result.host_retrieve[dist]
+        assert host_ins[0] > 0.9 * host_ret[0]

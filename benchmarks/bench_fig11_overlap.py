@@ -1,0 +1,30 @@
+"""Fig. 11 — runtime decomposition of overlapped cascades.
+
+32 GB of pairs streamed through host-sided insertion and retrieval
+cascades in 2^24-pair batches (simulated at 2^13 per batch, 16 batches),
+scheduled with 1, 2, and 4 CPU threads.
+
+Expected shape: overlapping reduces wall time by ≈36% for insertion and
+≈45% for retrieval (the retrieval cascade's H2D and D2H legs ride
+opposite PCIe directions, so they overlap too).
+"""
+
+from conftest import record
+
+from repro.bench import run_overlap
+
+
+def test_fig11_overlap(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_overlap(num_batches=16, batch_sim=1 << 13, seed=31),
+        iterations=1,
+        rounds=1,
+    )
+    record("fig11_overlap", result.format())
+
+    red = dict(zip(result.labels, result.reductions))
+    assert 0.25 < red["Ins4"] < 0.50   # paper: 36%
+    assert 0.35 < red["Ret4"] < 0.55   # paper: 45%
+    spans = dict(zip(result.labels, result.makespans))
+    assert spans["Ins4"] <= spans["Ins2"] <= spans["Ins1"]
+    assert spans["Ret4"] <= spans["Ret2"] <= spans["Ret1"]

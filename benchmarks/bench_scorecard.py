@@ -1,0 +1,19 @@
+"""The reproduction scorecard at benchmark scale.
+
+Runs every experiment once at full bench size and grades all checkable
+paper claims — the single-command answer to "does this reproduction
+hold?".
+"""
+
+from conftest import record
+
+from repro.bench.scorecard import evaluate_claims, format_scorecard
+
+
+def test_scorecard(benchmark):
+    results = benchmark.pedantic(
+        lambda: evaluate_claims(quick=False, seed=42), iterations=1, rounds=1
+    )
+    record("scorecard", format_scorecard(results))
+    misses = [r.claim.id for r in results if not r.ok]
+    assert not misses, f"claims out of tolerance: {misses}"

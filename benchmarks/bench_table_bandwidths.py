@@ -1,0 +1,25 @@
+"""In-text bandwidth claims (§V-C / conclusion).
+
+"multisplit performs at ≈210 GB/s accumulated bandwidth on global memory
+and all-to-all transposition corresponds to ≈192 GB/s bandwidth of the
+NVLINK interconnection network"; "the peak insertion/retrieval rates
+from/to the host correspond to 84%/55% of the theoretically achievable
+PCIe bandwidth".
+"""
+
+from conftest import record
+
+from repro.bench import run_bandwidths
+
+
+def test_bandwidth_anchors(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bandwidths(n_sim=1 << 14, num_batches=16, seed=37),
+        iterations=1,
+        rounds=1,
+    )
+    record("table_bandwidths", result.format())
+
+    assert abs(result.multisplit_accumulated - 210e9) / 210e9 < 0.12
+    assert abs(result.alltoall_accumulated - 192e9) / 192e9 < 0.12
+    assert 0.55 < result.host_insert_pcie_fraction < 0.95

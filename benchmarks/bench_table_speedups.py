@@ -1,0 +1,25 @@
+"""In-text speedup claims (§V-B).
+
+"WarpDrive shows speedups over CUDPP of 1.79, 2.18, 2.84 for insertion
+and 1.3, 1.34, 1.3 for retrieval at load factors of 0.8, 0.9, 0.95."
+"""
+
+from conftest import record
+
+from repro.bench import run_speedup_table
+
+
+def test_speedup_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_speedup_table(n=1 << 16, loads=(0.80, 0.90, 0.95), seed=42),
+        iterations=1,
+        rounds=1,
+    )
+    record("table_speedups_vs_cudpp", result.format())
+
+    # insertion speedups monotone increasing and near the paper's values
+    assert result.insert_speedups == sorted(result.insert_speedups)
+    for ours, paper in zip(result.insert_speedups, result.paper_insert):
+        assert abs(ours - paper) / paper < 0.35
+    for ours in result.retrieve_speedups:
+        assert 1.0 <= ours <= 1.7

@@ -1,0 +1,20 @@
+"""Shared benchmark utilities.
+
+Every bench target prints its paper-style result block (visible with
+``pytest benchmarks/ --benchmark-only -s``) and also records it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite fresh numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a result block and persist it to benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Regenerate every figure and table of the paper's evaluation in one go.
+
+This is the human-readable counterpart of ``pytest benchmarks/``: it runs
+the same experiment harness and prints the paper-style result blocks.
+
+    python examples/paper_figures.py          # default (quick) scale
+    python examples/paper_figures.py --full   # benchmark-suite scale
+
+Equivalent to ``python -m repro figures [--full]``.
+"""
+
+import argparse
+
+from repro.bench.figures import print_all_figures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="benchmark-suite scale (slower, smoother curves)")
+    args = parser.parse_args()
+    print_all_figures(full=args.full)
+
+
+if __name__ == "__main__":
+    main()

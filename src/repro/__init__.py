@@ -1,0 +1,48 @@
+"""WarpDrive reproduction — massively parallel hashing on multi-GPU nodes.
+
+A production-quality Python reproduction of Jünger, Hundt & Schmidt,
+*WarpDrive: Massively Parallel Hashing on Multi-GPU Nodes* (IPDPS 2018),
+built on a functional SIMT simulator plus an analytic GPU performance
+model (no CUDA hardware required).
+
+Top-level convenience re-exports cover the common entry points; the
+subpackages hold the full API:
+
+* :mod:`repro.core` — the WarpDrive hash table and its probing scheme
+* :mod:`repro.multigpu` — distributed multisplit-transposition tables
+* :mod:`repro.baselines` — CUDPP-style cuckoo and other comparators
+* :mod:`repro.simt`, :mod:`repro.memory` — the simulated GPU substrate
+* :mod:`repro.perfmodel` — counts → seconds projection (P100-calibrated)
+* :mod:`repro.workloads` — key distributions from the paper's §V-A
+* :mod:`repro.pipeline` — asynchronous cascade overlap (Fig. 5 / 11)
+* :mod:`repro.bench` — experiment harness regenerating every figure
+"""
+
+from .core.adaptive import AdaptiveWarpDriveTable
+from .core.config import HashTableConfig
+from .core.counting import CountingHashTable
+from .core.multivalue import MultiValueHashTable
+from .core.partitioned import PartitionedWarpDriveTable
+from .core.table import WarpDriveHashTable
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    InsertionError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WarpDriveHashTable",
+    "AdaptiveWarpDriveTable",
+    "PartitionedWarpDriveTable",
+    "MultiValueHashTable",
+    "CountingHashTable",
+    "HashTableConfig",
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "InsertionError",
+    "__version__",
+]

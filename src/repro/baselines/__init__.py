@@ -1,0 +1,18 @@
+"""Comparator implementations: GPU cuckoo (CUDPP), Robin Hood, Stadium
+hashing, sort-and-compress stores, and the Folklore CPU map."""
+
+from .cpu_map import CACHE_LINE_BYTES, FolkloreCpuMap
+from .cudpp_cuckoo import CudppCuckooTable
+from .robinhood import MAX_AGE, RobinHoodTable
+from .sortcompress import SortCompressStore
+from .stadium import StadiumHashTable
+
+__all__ = [
+    "CudppCuckooTable",
+    "RobinHoodTable",
+    "MAX_AGE",
+    "StadiumHashTable",
+    "SortCompressStore",
+    "FolkloreCpuMap",
+    "CACHE_LINE_BYTES",
+]

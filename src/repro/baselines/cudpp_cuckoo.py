@@ -1,0 +1,345 @@
+"""CUDPP-style GPU cuckoo hash (Alcantara et al. [2], [7]).
+
+The paper's only publicly available single-GPU comparator: a fourth-degree
+cuckoo scheme where each *thread* owns one pair and inserts it with an
+unconditional 64-bit atomic exchange, bouncing evicted residents between
+four hash functions until an empty slot absorbs the chain.  A small stash
+catches chains that exceed the iteration budget; an unabsorbed chain
+invalidates the table ("restart with new hash functions").
+
+Key behavioural properties preserved for the Fig. 7 comparison:
+
+* supported load factors cap at 0.97 ("CUDPP is constrained to a maximum
+  load of 97%", §V-B) — enforced;
+* per-thread, non-cooperative probing: every access is an uncoalesced
+  single-slot transaction (one 32-byte sector for 8 useful bytes);
+* eviction chains lengthen super-linearly as the load approaches the
+  4-ary cuckoo threshold, which is what makes WarpDrive ~3× faster at
+  α ≥ 0.95;
+* duplicate keys are *not* coalesced — "CUDPP does not support key
+  collisions unless a multi-value hash table is used" (§V-B).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT
+from ..errors import ConfigurationError, CuckooEvictionError
+from ..hashing.families import HashFunction, make_hash
+from ..memory.layout import pack_pairs, unpack_pairs
+from ..core.report import KernelReport
+from ..simt.counters import TransactionCounter
+from ..utils.validation import check_keys, check_same_length, check_values
+
+__all__ = ["CudppCuckooTable"]
+
+_U64 = np.uint64
+
+
+class CudppCuckooTable:
+    """Four-function cuckoo hash table with stash, CUDPP semantics.
+
+    Parameters
+    ----------
+    capacity:
+        Main-table slot count.
+    num_hashes:
+        Cuckoo degree (CUDPP's single-pass variant uses 4).
+    stash_size:
+        Auxiliary open-addressing stash (CUDPP uses 101).
+    max_chain_factor:
+        Iteration budget multiplier: budget = factor · log2(capacity).
+        CUDPP's heuristic is ``7 lg n``; we default higher so the table
+        stays reliable right up to its 0.97 load cap without leaning on
+        rebuild luck.
+    """
+
+    #: maximum supported load factor (paper §V-B)
+    MAX_LOAD = 0.97
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        num_hashes: int = 4,
+        stash_size: int = 101,
+        max_chain_factor: float = 48.0,
+        seed: int = 0,
+        counter: TransactionCounter | None = None,
+    ):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {capacity}")
+        if num_hashes < 2:
+            raise ConfigurationError(f"num_hashes must be >= 2, got {num_hashes}")
+        self.capacity = capacity
+        self.num_hashes = num_hashes
+        self.stash_size = stash_size
+        self.max_chain = max(8, int(max_chain_factor * math.log2(max(capacity, 2))))
+        self.counter = counter if counter is not None else TransactionCounter()
+        self.seed = seed
+        self.hashes: list[HashFunction] = self._make_hashes(seed)
+        self.slots = np.full(capacity, EMPTY_SLOT, dtype=_U64)
+        self.stash = np.full(stash_size, EMPTY_SLOT, dtype=_U64)
+        self._size = 0
+        self.rebuilds = 0
+        self.last_report: KernelReport | None = None
+
+    def _make_hashes(self, seed: int) -> list[HashFunction]:
+        golden = 0x9E3779B9
+        return [
+            make_hash("fmix32", translation=(seed * 31 + i + 1) * golden & 0xFFFFFFFF)
+            for i in range(self.num_hashes)
+        ]
+
+    @classmethod
+    def for_load_factor(cls, num_pairs: int, load_factor: float, **kwargs):
+        """Capacity sizing mirroring the WarpDrive constructor."""
+        if load_factor > cls.MAX_LOAD:
+            raise ConfigurationError(
+                f"CUDPP cuckoo supports loads up to {cls.MAX_LOAD}, "
+                f"got {load_factor}"
+            )
+        if num_pairs <= 0:
+            raise ConfigurationError(f"num_pairs must be > 0, got {num_pairs}")
+        capacity = max(int(math.ceil(num_pairs / load_factor)), 1)
+        return cls(capacity, **kwargs)
+
+    # -- properties --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self.capacity
+
+    def _positions(self, keys: np.ndarray, hash_idx: np.ndarray) -> np.ndarray:
+        """Slot of each key under its current hash function index."""
+        out = np.empty(keys.shape[0], dtype=np.int64)
+        for i in range(self.num_hashes):
+            sel = hash_idx == i
+            if np.any(sel):
+                out[sel] = (self.hashes[i](keys[sel]).astype(_U64) % _U64(self.capacity)).astype(np.int64)
+        return out
+
+    def _next_hash_index(self, keys: np.ndarray, current_pos: np.ndarray) -> np.ndarray:
+        """Evicted pairs move to the hash *after* the one that put them here.
+
+        Alcantara's rule: find which h_i maps the evicted key to its
+        current position, then use h_{(i+1) mod d}.  Ambiguities (several
+        h_i agree) resolve to the first match, as in CUDPP.
+        """
+        n = keys.shape[0]
+        next_idx = np.zeros(n, dtype=np.int64)
+        undecided = np.ones(n, dtype=bool)
+        for i in range(self.num_hashes):
+            pos_i = (self.hashes[i](keys).astype(_U64) % _U64(self.capacity)).astype(np.int64)
+            hit = undecided & (pos_i == current_pos)
+            next_idx[hit] = (i + 1) % self.num_hashes
+            undecided &= ~hit
+        # keys that match no hash (cannot happen unless table was tampered
+        # with) restart at h_0
+        next_idx[undecided] = 0
+        return next_idx
+
+    # -- operations ---------------------------------------------------------
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> KernelReport:
+        """Insert pairs; raises :class:`CuckooEvictionError` past capacity.
+
+        On a failed chain the table retries with fresh hash functions (a
+        full rebuild, as CUDPP does) up to 3 times before raising.
+        """
+        k = check_keys(keys)
+        v = check_values(values)
+        check_same_length("keys", k, "values", v)
+        if self._size + k.shape[0] > self.MAX_LOAD * self.capacity + 1:
+            raise CuckooEvictionError(
+                f"insert of {k.shape[0]} pairs would exceed the {self.MAX_LOAD} "
+                f"maximum load of the cuckoo scheme"
+            )
+        report = self._try_insert(pack_pairs(k, v))
+        attempts = 0
+        while report is None:
+            attempts += 1
+            if attempts > 3:
+                raise CuckooEvictionError(
+                    "cuckoo eviction chains kept failing after 3 rebuilds"
+                )
+            self._rebuild()
+            report = self._try_insert(pack_pairs(k, v))
+        self.last_report = report
+        return report
+
+    def _try_insert(self, pairs: np.ndarray) -> KernelReport | None:
+        """One insertion pass; None signals an exhausted eviction chain.
+
+        Items are launched in waves bounding the in-flight set, mirroring
+        the resident-thread concurrency of real hardware (see
+        :func:`repro.core.bulk.default_wave_size`).
+        """
+        from ..core.bulk import default_wave_size
+
+        n = pairs.shape[0]
+        report = KernelReport(op="insert", num_ops=n, group_size=1)
+        chain_len = np.zeros(n, dtype=np.int64)
+        wave = default_wave_size(self.capacity)
+
+        # pending cuckoo items: the *pair being carried*, its hash index,
+        # and the submission item whose chain it extends (for chain stats)
+        cur_pairs = np.empty(0, dtype=_U64)
+        hash_idx = np.empty(0, dtype=np.int64)
+        owner = np.empty(0, dtype=np.int64)
+        iters = np.empty(0, dtype=np.int64)
+        cursor = 0
+
+        while cur_pairs.size or cursor < n:
+            if cursor < n and cur_pairs.size < wave:
+                take = min(wave - cur_pairs.size, n - cursor)
+                cur_pairs = np.concatenate([cur_pairs, pairs[cursor : cursor + take]])
+                hash_idx = np.concatenate(
+                    [hash_idx, np.zeros(take, dtype=np.int64)]
+                )
+                owner = np.concatenate(
+                    [owner, np.arange(cursor, cursor + take, dtype=np.int64)]
+                )
+                iters = np.concatenate([iters, np.zeros(take, dtype=np.int64)])
+                cursor += take
+            keys = (cur_pairs >> _U64(32)).astype(np.uint32)
+            pos = self._positions(keys, hash_idx)
+
+            # arbitration: one exchange per slot per round (winner = first);
+            # losers retry next round against the updated table
+            order = np.lexsort((owner, pos))
+            pos_sorted = pos[order]
+            first = np.ones(order.size, dtype=bool)
+            first[1:] = pos_sorted[1:] != pos_sorted[:-1]
+            winners = order[first]
+            losers = order[~first]
+
+            w_pos = pos[winners]
+            evicted = self.slots[w_pos].copy()
+            self.slots[w_pos] = cur_pairs[winners]
+            report.cas_attempts += winners.size
+            report.cas_successes += winners.size
+            report.load_sectors += winners.size  # exchange reads the slot
+            report.store_sectors += winners.size
+            chain_len[owner[winners]] += 1
+            iters[winners] += 1
+
+            landed = evicted == EMPTY_SLOT
+            self._size += int(landed.sum())
+
+            # evicted residents continue the chain with their next hash
+            cont = winners[~landed]
+            if cont.size:
+                ev_pairs = evicted[~landed]
+                ev_keys = (ev_pairs >> _U64(32)).astype(np.uint32)
+                nxt = self._next_hash_index(ev_keys, w_pos[~landed])
+                cur_pairs[cont] = ev_pairs
+                hash_idx[cont] = nxt
+
+            keep = np.ones(cur_pairs.shape[0], dtype=bool)
+            keep[winners[landed]] = False
+
+            # budget check: still-pending overflowing chains go to the stash
+            stash_items = np.flatnonzero(keep & (iters > self.max_chain))
+            if stash_items.size:
+                if not self._stash_put(cur_pairs[stash_items], report):
+                    return None  # stash full: whole pass fails -> rebuild
+                keep[stash_items] = False
+            cur_pairs = cur_pairs[keep]
+            hash_idx = hash_idx[keep]
+            owner = owner[keep]
+            iters = iters[keep]
+
+        report.probe_windows = chain_len
+        return report
+
+    def _stash_put(self, pairs: np.ndarray, report: KernelReport) -> bool:
+        """Linear-probe pairs into the stash; False when it overflows."""
+        for pair in pairs:
+            key = np.uint32(int(pair) >> 32)
+            h = int(self.hashes[0](np.asarray([key]))[0]) % self.stash_size
+            placed = False
+            for step in range(self.stash_size):
+                idx = (h + step) % self.stash_size
+                report.load_sectors += 1
+                if self.stash[idx] == EMPTY_SLOT:
+                    self.stash[idx] = pair
+                    report.store_sectors += 1
+                    self._size += 1
+                    placed = True
+                    break
+            if not placed:
+                return False
+        return True
+
+    def query(self, keys: np.ndarray, *, default: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Check all ``num_hashes`` positions, then the stash."""
+        k = check_keys(keys)
+        n = k.shape[0]
+        values = np.full(n, default, dtype=np.uint32)
+        found = np.zeros(n, dtype=bool)
+        report = KernelReport(op="query", num_ops=n, group_size=1)
+        probes = np.zeros(n, dtype=np.int64)
+
+        pending = np.arange(n, dtype=np.int64)
+        for i in range(self.num_hashes):
+            if pending.size == 0:
+                break
+            pos = (self.hashes[i](k[pending]).astype(_U64) % _U64(self.capacity)).astype(np.int64)
+            slot = self.slots[pos]
+            probes[pending] += 1
+            report.load_sectors += pending.size
+            skeys, svals = unpack_pairs(slot)
+            hit = (slot != EMPTY_SLOT) & (skeys == k[pending])
+            items = pending[hit]
+            values[items] = svals[hit]
+            found[items] = True
+            pending = pending[~hit]
+
+        # stash scan for unresolved keys (CUDPP checks it last)
+        if pending.size and np.any(self.stash != EMPTY_SLOT):
+            stash_keys, stash_vals = unpack_pairs(self.stash)
+            live = self.stash != EMPTY_SLOT
+            report.load_sectors += pending.size  # ticketed single pass
+            for item in pending:
+                hit = live & (stash_keys == k[item])
+                if np.any(hit):
+                    values[item] = stash_vals[np.argmax(hit)]
+                    found[item] = True
+
+        report.probe_windows = probes
+        report.failed = int(np.sum(~found))
+        self.last_report = report
+        return values, found
+
+    def _rebuild(self) -> None:
+        """Restart with distinct hash functions, re-inserting stored pairs.
+
+        A rebuild can itself hit an unlucky hash set at very high loads,
+        so it reseeds and retries a few times before giving up.
+        """
+        stored = self.slots[self.slots != EMPTY_SLOT]
+        stashed = self.stash[self.stash != EMPTY_SLOT]
+        all_pairs = np.concatenate([stored, stashed])
+        for _ in range(5):
+            self.rebuilds += 1
+            self.hashes = self._make_hashes(self.seed + self.rebuilds * 977)
+            self.slots.fill(EMPTY_SLOT)
+            self.stash.fill(EMPTY_SLOT)
+            self._size = 0
+            if all_pairs.size == 0 or self._try_insert(all_pairs) is not None:
+                return
+        raise CuckooEvictionError("rebuild failed to re-place stored pairs")
+
+    def export(self) -> tuple[np.ndarray, np.ndarray]:
+        """All stored (keys, values) including the stash."""
+        live = np.concatenate(
+            [self.slots[self.slots != EMPTY_SLOT], self.stash[self.stash != EMPTY_SLOT]]
+        )
+        return unpack_pairs(live)

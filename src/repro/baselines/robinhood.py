@@ -1,0 +1,241 @@
+"""Robin Hood GPU hashing baseline (García et al. [8]).
+
+"Their implementation uses one thread for the insertion of a key-value
+pair in a lock-free manner ... [and] equalizes probing lengths by
+augmenting each key with an additional 4-bit age indicator" (§III).
+
+Each stored pair carries its *age* — the linear-probe displacement from
+its home slot.  An inserting thread carrying a pair of age ``a`` swaps
+with any resident whose age is smaller ("rob the rich"), then continues
+carrying the evicted, older-home pair.  The 4-bit age caps displacement
+at 15, which bounds worst-case queries but limits reliable loads to
+roughly 0.9 — one reason the paper's CG scheme wins at α ≥ 0.95.
+
+Like CUDPP, every access is per-thread and uncoalesced (one sector per
+probed slot).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT
+from ..core.report import KernelReport
+from ..errors import CapacityError, ConfigurationError
+from ..hashing.families import HashFunction, make_hash
+from ..memory.layout import pack_pairs, unpack_pairs
+from ..utils.validation import check_keys, check_same_length, check_values
+
+__all__ = ["RobinHoodTable"]
+
+_U64 = np.uint64
+
+#: 4-bit age indicator => maximum displacement
+MAX_AGE = 15
+
+
+class RobinHoodTable:
+    """Robin Hood open-addressing table with 4-bit ages."""
+
+    def __init__(self, capacity: int, *, seed: int = 0):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.seed = seed
+        self.h: HashFunction = make_hash("fmix32", translation=seed * 0x9E3779B9)
+        self.slots = np.full(capacity, EMPTY_SLOT, dtype=_U64)
+        self.ages = np.zeros(capacity, dtype=np.uint8)
+        self._size = 0
+        self.rebuilds = 0
+        self.last_report: KernelReport | None = None
+
+    @classmethod
+    def for_load_factor(cls, num_pairs: int, load_factor: float, **kwargs):
+        if not 0 < load_factor <= 1:
+            raise ConfigurationError(f"load factor must be in (0, 1], got {load_factor}")
+        capacity = max(int(math.ceil(num_pairs / load_factor)), 1)
+        return cls(capacity, **kwargs)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self.capacity
+
+    def _pos(self, keys: np.ndarray, age: np.ndarray | int) -> np.ndarray:
+        """Slot of ``keys`` at a given age.
+
+        García's coherent scheme *rehashes* per age — ``H_age(k)`` is an
+        independent position, not a linear offset — which is what keeps
+        the needed ages within 4 bits at high loads.
+        """
+        age_arr = np.broadcast_to(np.asarray(age, dtype=np.uint32), keys.shape)
+        salted = keys + age_arr * np.uint32(0x9E3779B9)
+        return (self.h(salted).astype(_U64) % _U64(self.capacity)).astype(np.int64)
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> KernelReport:
+        """Insert pairs; rebuilds with a fresh hash on age overflow.
+
+        Raises :class:`CapacityError` when even rebuilds cannot keep every
+        displacement within the 4-bit age budget.
+        """
+        k = check_keys(keys)
+        v = check_values(values)
+        check_same_length("keys", k, "values", v)
+        report = self._try_insert(pack_pairs(k, v))
+        tries = 0
+        while report is None:
+            tries += 1
+            if tries > 3:
+                raise CapacityError(
+                    "robin hood ages overflowed 15 after 3 rebuilds; load too high"
+                )
+            self._rebuild()
+            report = self._try_insert(pack_pairs(k, v))
+        self.last_report = report
+        return report
+
+    def _try_insert(self, pairs: np.ndarray) -> KernelReport | None:
+        n = pairs.shape[0]
+        report = KernelReport(op="insert", num_ops=n, group_size=1)
+        probes_per_item = np.zeros(n, dtype=np.int64)
+
+        cur_pairs = pairs.copy()
+        cur_age = np.zeros(n, dtype=np.int64)
+        owner = np.arange(n, dtype=np.int64)
+
+        while cur_pairs.size:
+            keys = (cur_pairs >> _U64(32)).astype(np.uint32)
+            pos = self._pos(keys, cur_age)
+            report.load_sectors += cur_pairs.size
+            probes_per_item[owner] += 1
+
+            resident = self.slots[pos]
+            resident_age = self.ages[pos].astype(np.int64)
+            vacant = resident == EMPTY_SLOT
+            # §V-B-style update: same key at this displacement -> overwrite
+            res_keys = (resident >> _U64(32)).astype(np.uint32)
+            same_key = ~vacant & (res_keys == keys)
+            # robin hood rule: steal the slot from a "richer" resident
+            steal = ~vacant & ~same_key & (resident_age < cur_age)
+            wants_write = vacant | same_key | steal
+
+            write_sel = np.flatnonzero(wants_write)
+            done = np.zeros(cur_pairs.shape[0], dtype=bool)
+            evicted_pairs = []
+            evicted_ages = []
+            evicted_owner = []
+            if write_sel.size:
+                # one writer per slot (lowest submission index); losers retry
+                target = pos[write_sel]
+                order = np.lexsort((owner[write_sel], target))
+                t_sorted = target[order]
+                first = np.ones(order.size, dtype=bool)
+                first[1:] = t_sorted[1:] != t_sorted[:-1]
+                winners = write_sel[order[first]]
+
+                w_pos = pos[winners]
+                old_pair = self.slots[w_pos].copy()
+                old_age = self.ages[w_pos].astype(np.int64)
+                self.slots[w_pos] = cur_pairs[winners]
+                self.ages[w_pos] = cur_age[winners].astype(np.uint8)
+                report.cas_attempts += write_sel.size
+                report.cas_successes += winners.size
+                report.store_sectors += winners.size
+
+                landed = old_pair == EMPTY_SLOT
+                updated = ~landed & same_key[winners]
+                self._size += int(landed.sum())
+                done[winners[landed | updated]] = True
+
+                carries = winners[~landed & ~updated]
+                if carries.size:
+                    sel = ~landed & ~updated
+                    evicted_pairs = old_pair[sel]
+                    evicted_ages = old_age[sel]
+                    evicted_owner = owner[carries]
+                    done[carries] = True  # replaced below by the evictee
+
+            # advance: non-writers (and CAS losers) age by one...
+            advance = ~wants_write
+            cur_age[advance] += 1
+            if np.any(cur_age > MAX_AGE):
+                return None  # age overflow -> rebuild
+
+            keep = ~done
+            next_pairs = [cur_pairs[keep]]
+            next_age = [cur_age[keep]]
+            next_owner = [owner[keep]]
+            if len(evicted_pairs):
+                # the carried pair continues from the *evicted* resident,
+                # aged one past its stolen displacement
+                ev_age = evicted_ages + 1
+                if np.any(ev_age > MAX_AGE):
+                    return None
+                next_pairs.append(evicted_pairs)
+                next_age.append(ev_age)
+                next_owner.append(evicted_owner)
+            cur_pairs = np.concatenate(next_pairs)
+            cur_age = np.concatenate(next_age)
+            owner = np.concatenate(next_owner)
+
+        report.probe_windows = probes_per_item
+        return report
+
+    def query(self, keys: np.ndarray, *, default: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Probe displacements 0..15; early-out on vacancy or younger age."""
+        k = check_keys(keys)
+        n = k.shape[0]
+        values = np.full(n, default, dtype=np.uint32)
+        found = np.zeros(n, dtype=bool)
+        report = KernelReport(op="query", num_ops=n, group_size=1)
+        probes = np.zeros(n, dtype=np.int64)
+
+        pending = np.arange(n, dtype=np.int64)
+        for age in range(MAX_AGE + 1):
+            if pending.size == 0:
+                break
+            pos = self._pos(k[pending], age)
+            resident = self.slots[pos]
+            res_age = self.ages[pos].astype(np.int64)
+            probes[pending] += 1
+            report.load_sectors += pending.size
+
+            res_keys = (resident >> _U64(32)).astype(np.uint32)
+            vacant = resident == EMPTY_SLOT
+            hit = ~vacant & (res_keys == k[pending])
+            items = pending[hit]
+            values[items] = (resident[hit] & _U64(0xFFFFFFFF)).astype(np.uint32)
+            found[items] = True
+
+            # robin hood invariant: a resident younger than the probe age
+            # proves the key cannot be stored at this or a later slot
+            dead = vacant | (~hit & (res_age < age))
+            pending = pending[~hit & ~dead]
+
+        report.probe_windows = probes
+        report.failed = int(np.sum(~found))
+        self.last_report = report
+        return values, found
+
+    def _rebuild(self) -> None:
+        """Rehash everything with a fresh function; retry unlucky seeds."""
+        stored = self.slots[self.slots != EMPTY_SLOT]
+        for _ in range(5):
+            self.rebuilds += 1
+            self.h = make_hash(
+                "fmix32", translation=(self.seed + self.rebuilds * 131) * 0x9E3779B9
+            )
+            self.slots.fill(EMPTY_SLOT)
+            self.ages.fill(0)
+            self._size = 0
+            if stored.size == 0 or self._try_insert(stored) is not None:
+                return
+        raise CapacityError("robin hood rebuild overflowed ages again")
+
+    def export(self) -> tuple[np.ndarray, np.ndarray]:
+        live = self.slots[self.slots != EMPTY_SLOT]
+        return unpack_pairs(live)

@@ -1,0 +1,287 @@
+"""Ablation experiments (DESIGN.md A1–A4).
+
+These probe the design choices the paper calls out rather than its
+headline figures: the §VI group-size heuristic, the §II probing-scheme
+trade-offs, the §IV-B distribution-strategy ranking, and the Fig. 1
+AoS-vs-SoA layout argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import SECTOR_BYTES, VALID_GROUP_SIZES
+from ..core.probing import DoubleHashProbing, LinearProbing, ProbeSequence, QuadraticProbing
+from ..core.table import WarpDriveHashTable
+from ..errors import ConfigurationError
+from ..hashing.families import make_double_family, make_hash
+from ..memory.layout import SoALayout
+from ..multigpu.strategies import StrategyCost, compare_strategies
+from ..multigpu.topology import p100_nvlink_node
+from ..perfmodel.hashperf import best_group_size
+from ..perfmodel.memmodel import projected_seconds, throughput
+from ..perfmodel.specs import P100
+from ..simt.counters import sectors_for_access
+from ..utils.primes import next_prime
+from ..utils.tables import format_table
+from ..workloads.distributions import make_distribution, random_values
+
+__all__ = [
+    "GroupSizeAblation",
+    "run_groupsize_ablation",
+    "ProbingAblation",
+    "run_probing_ablation",
+    "run_strategy_ablation",
+    "LayoutAblation",
+    "run_layout_ablation",
+]
+
+
+# ---------------------------------------------------------------- A1 ----
+
+
+@dataclass
+class GroupSizeAblation:
+    """Measured-vs-heuristic optimal |g| per load (the §VI heuristic)."""
+
+    loads: tuple[float, ...]
+    measured_best: list[int]
+    heuristic_best: list[int]
+    measured_rates: list[dict[int, float]]
+
+    def agreement(self) -> float:
+        """Fraction of loads where heuristic |g| is within one legal step
+        of the measured optimum (adjacent group sizes trade within noise)."""
+        hits = 0
+        for m, h in zip(self.measured_best, self.heuristic_best):
+            mi = VALID_GROUP_SIZES.index(m)
+            hi = VALID_GROUP_SIZES.index(h)
+            hits += abs(mi - hi) <= 1
+        return hits / len(self.measured_best)
+
+    def format(self) -> str:
+        rows = []
+        for i, load in enumerate(self.loads):
+            rates = self.measured_rates[i]
+            rows.append(
+                [
+                    f"{load:.2f}",
+                    self.measured_best[i],
+                    self.heuristic_best[i],
+                    f"{rates[self.measured_best[i]] / 1e9:.2f}",
+                    f"{rates[self.heuristic_best[i]] / 1e9:.2f}",
+                ]
+            )
+        return format_table(
+            ["load", "best |g| (measured)", "best |g| (heuristic)",
+             "rate@measured", "rate@heuristic"],
+            rows,
+            title=(
+                "A1 — dynamic group-size heuristic (§VI future work), "
+                f"agreement {self.agreement() * 100:.0f}%"
+            ),
+        )
+
+
+def run_groupsize_ablation(
+    *,
+    n: int = 1 << 15,
+    loads: tuple[float, ...] = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99),
+    op: str = "insert",
+    seed: int = 19,
+) -> GroupSizeAblation:
+    """Compare the analytic heuristic against measured optima."""
+    keys = make_distribution("unique", n, seed=seed)
+    values = random_values(n, seed + 1)
+    measured_best, heuristic_best, all_rates = [], [], []
+    for load in loads:
+        capacity = max(int(math.ceil(n / load)), 1)
+        paper_bytes = int(math.ceil((1 << 27) / load)) * 8
+        rates: dict[int, float] = {}
+        for g in VALID_GROUP_SIZES:
+            table = WarpDriveHashTable(capacity, group_size=g, p_max=4096)
+            rep = table.insert(keys, values)
+            if op == "query":
+                table.query(keys)
+                rep = table.last_report
+            secs = projected_seconds(
+                rep, P100, table_bytes=paper_bytes, scale=(1 << 27) / n
+            )
+            rates[g] = throughput(1 << 27, secs)
+        measured_best.append(max(rates, key=rates.get))
+        heuristic_best.append(
+            best_group_size(load, P100, op=op if op != "retrieve" else "query",
+                            table_bytes=paper_bytes)
+        )
+        all_rates.append(rates)
+    return GroupSizeAblation(
+        loads=tuple(loads),
+        measured_best=measured_best,
+        heuristic_best=heuristic_best,
+        measured_rates=all_rates,
+    )
+
+
+# ---------------------------------------------------------------- A2 ----
+
+
+@dataclass
+class ProbingAblation:
+    """Probe-length statistics of the classic schemes (Eqs. 1-3)."""
+
+    loads: tuple[float, ...]
+    #: scheme -> (mean probes, p99 probes, est. sectors/op) per load
+    stats: dict[str, list[tuple[float, float, float]]]
+
+    def format(self) -> str:
+        headers = ["load"]
+        for scheme in self.stats:
+            headers += [f"{scheme} mean", f"{scheme} p99", f"{scheme} B/op"]
+        rows = []
+        for i, load in enumerate(self.loads):
+            row: list[object] = [f"{load:.2f}"]
+            for scheme in self.stats:
+                mean, p99, sect = self.stats[scheme][i]
+                row += [f"{mean:.2f}", f"{p99:.0f}", f"{sect * SECTOR_BYTES:.0f}"]
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title="A2 — probing schemes: insert probe lengths and bytes/op",
+        )
+
+
+def _probe_insert(
+    scheme: ProbeSequence, keys: np.ndarray, capacity: int, max_probes: int = 4096
+) -> np.ndarray:
+    """Slot-granular open-addressing insert; returns probes per key."""
+    occupied = np.zeros(capacity, dtype=bool)
+    n = keys.shape[0]
+    probes = np.zeros(n, dtype=np.int64)
+    pending = np.arange(n, dtype=np.int64)
+    attempt = np.zeros(n, dtype=np.int64)
+    while pending.size:
+        # one attempt per key per round; first claimant of a slot wins
+        pos = np.empty(pending.shape[0], dtype=np.int64)
+        for a in np.unique(attempt[pending]):
+            sel = attempt[pending] == a
+            pos[sel] = scheme.position(keys[pending][sel], int(a), capacity)
+        probes[pending] += 1
+        free = ~occupied[pos]
+        claim = np.flatnonzero(free)
+        done = np.zeros(pending.shape[0], dtype=bool)
+        if claim.size:
+            target = pos[claim]
+            order = np.argsort(target, kind="stable")
+            t_sorted = target[order]
+            first = np.ones(order.size, dtype=bool)
+            first[1:] = t_sorted[1:] != t_sorted[:-1]
+            winners = claim[order[first]]
+            occupied[pos[winners]] = True
+            done[winners] = True
+        attempt[pending[~done & ~free]] += 1
+        if np.any(attempt[pending] >= max_probes):
+            raise ConfigurationError("probing ablation exceeded its budget")
+        pending = pending[~done]
+    return probes
+
+
+def run_probing_ablation(
+    *,
+    n: int = 1 << 14,
+    loads: tuple[float, ...] = (0.5, 0.7, 0.9, 0.95),
+    seed: int = 29,
+) -> ProbingAblation:
+    """Linear vs quadratic vs double hashing: clustering in action.
+
+    Linear probing's primary clustering inflates the p99 badly at high
+    load while staying cache-friendly (≤1 sector per few probes);
+    chaotic schemes flatten the tail at one random sector per probe —
+    the §II trade-off WarpDrive's hybrid windows are built to resolve.
+    """
+    h = make_hash("fmix32")
+    schemes: dict[str, ProbeSequence] = {
+        "linear": LinearProbing(h),
+        "quadratic": QuadraticProbing(h),
+        "double": DoubleHashProbing(make_double_family()),
+    }
+    keys = make_distribution("unique", n, seed=seed)
+    stats: dict[str, list[tuple[float, float, float]]] = {k: [] for k in schemes}
+    for load in loads:
+        # prime capacity: quadratic probing only guarantees coverage for
+        # prime table sizes, and double hashing needs coprime steps
+        capacity = next_prime(max(int(math.ceil(n / load)), 2))
+        for name, scheme in schemes.items():
+            probes = _probe_insert(scheme, keys, capacity)
+            mean = float(probes.mean())
+            p99 = float(np.percentile(probes, 99))
+            if name == "linear":
+                # consecutive probes share sectors (4 slots per sector)
+                sectors = float(np.mean(1 + (probes - 1) // 4))
+            else:
+                sectors = mean  # every probe is a fresh random sector
+            stats[name].append((mean, p99, sectors))
+    return ProbingAblation(loads=tuple(loads), stats=stats)
+
+
+# ---------------------------------------------------------------- A3 ----
+
+
+def run_strategy_ablation(
+    *,
+    n: int = 1 << 15,
+    num_gpus: int = 4,
+    seed: int = 41,
+) -> dict[str, StrategyCost]:
+    """The §IV-B strategy ranking (delegates to multigpu.strategies)."""
+    node = p100_nvlink_node(num_gpus)
+    keys = make_distribution("unique", n, seed=seed)
+    values = random_values(n, seed + 1)
+    return compare_strategies(node, keys, values, load_factor=0.9)
+
+
+# ---------------------------------------------------------------- A4 ----
+
+
+@dataclass
+class LayoutAblation:
+    """AoS vs SoA query traffic (Fig. 1)."""
+
+    group_sizes: tuple[int, ...]
+    aos_sectors_per_window: list[int]
+    soa_sectors_per_window: list[int]
+
+    def format(self) -> str:
+        rows = []
+        for i, g in enumerate(self.group_sizes):
+            aos = self.aos_sectors_per_window[i]
+            soa = self.soa_sectors_per_window[i]
+            rows.append([g, aos, soa, f"{soa / aos:.2f}x"])
+        return format_table(
+            ["|g|", "AoS sectors/window", "SoA sectors/window", "SoA cost"],
+            rows,
+            title="A4 — memory layout: query transactions per probed window",
+        )
+
+
+def run_layout_ablation(
+    *, group_sizes: tuple[int, ...] = VALID_GROUP_SIZES
+) -> LayoutAblation:
+    """Quantify Fig. 1's caching argument.
+
+    AoS loads one contiguous run of packed pairs per window; SoA needs
+    two runs (key array + value array), doubling transactions for small
+    windows — "inferior caching" exactly as the paper argues.
+    """
+    aos, soa = [], []
+    for g in group_sizes:
+        aos.append(sectors_for_access(0, g * 8))
+        layout = SoALayout.empty(1024)
+        soa.append(layout.query_transactions(1, g))
+    return LayoutAblation(
+        group_sizes=tuple(group_sizes),
+        aos_sectors_per_window=aos,
+        soa_sectors_per_window=soa,
+    )

@@ -1,0 +1,77 @@
+"""One-call regeneration of every paper figure (shared by the CLI and
+``examples/paper_figures.py``)."""
+
+from __future__ import annotations
+
+import time
+
+from ..utils.tables import format_table
+from .ablations import (
+    run_groupsize_ablation,
+    run_layout_ablation,
+    run_probing_ablation,
+    run_strategy_ablation,
+)
+from .experiments_multi import run_bandwidths, run_capacity_sweep, run_overlap, run_scaling
+from .experiments_single import run_single_gpu_sweep, run_speedup_table
+
+__all__ = ["print_all_figures"]
+
+
+def _banner(title: str) -> None:
+    print(f"\n{'=' * 74}\n{title}\n{'=' * 74}")
+
+
+def print_all_figures(*, full: bool = False) -> None:
+    """Run the experiment harness and print every figure's tables.
+
+    ``full=True`` uses benchmark-suite sizes (slower, smoother curves);
+    the default quick scale finishes in well under a minute.
+    """
+    n1 = 1 << 16 if full else 1 << 13  # single-GPU experiments
+    nm = 1 << 14 if full else 1 << 12  # multi-GPU experiments
+    t0 = time.time()
+
+    _banner("Fig. 7 — single-GPU rates, unique keys")
+    loads = (0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.97, 0.99)
+    print(run_single_gpu_sweep(n=n1, loads=loads, distribution="unique").format())
+
+    _banner("Fig. 8 — single-GPU rates, Zipf keys")
+    print(run_single_gpu_sweep(n=n1, loads=loads[:-1], distribution="zipf").format())
+
+    _banner("In-text speedups over CUDPP (§V-B)")
+    print(run_speedup_table(n=n1).format())
+
+    _banner("Fig. 9 — strong/weak scaling, 1-4 GPUs")
+    print(run_scaling(n_sim=nm).format())
+
+    _banner("Fig. 10 — rates vs capacity, 4 GPUs")
+    print(run_capacity_sweep(n_sim=nm).format())
+
+    _banner("Fig. 11 — asynchronous cascade overlap")
+    print(run_overlap(num_batches=16, batch_sim=nm).format())
+
+    _banner("In-text bandwidth anchors (§V-C)")
+    print(run_bandwidths(n_sim=nm, num_batches=12).format())
+
+    _banner("Ablations A1-A4")
+    print(run_groupsize_ablation(n=nm).format())
+    print()
+    print(run_probing_ablation(n=nm // 2).format())
+    print()
+    strategies = run_strategy_ablation(n=nm)
+    rows = [
+        [name, f"{c.insert_seconds * 1e3:.3f}", f"{c.query_seconds * 1e3:.3f}"]
+        for name, c in sorted(strategies.items(), key=lambda kv: kv[1].total)
+    ]
+    print(
+        format_table(
+            ["strategy", "insert ms", "query ms"],
+            rows,
+            title="A3 — §IV-B distribution strategies",
+        )
+    )
+    print()
+    print(run_layout_ablation().format())
+
+    print(f"\nall experiments regenerated in {time.time() - t0:.0f}s")

@@ -1,0 +1,217 @@
+"""The reproduction scorecard: every quantitative paper claim, checked.
+
+Runs the experiment harness once and grades each of the paper's
+checkable claims against its measured value.  This is EXPERIMENTS.md as
+executable code — ``python -m repro scorecard`` prints the table.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..utils.tables import format_table
+from .experiments_multi import run_bandwidths, run_capacity_sweep, run_overlap, run_scaling
+from .experiments_single import run_single_gpu_sweep, run_speedup_table
+
+__all__ = ["Claim", "ClaimResult", "evaluate_claims", "format_scorecard", "PAPER_CLAIMS"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable quantitative statement from the paper."""
+
+    id: str
+    source: str  # where the paper states it
+    statement: str
+    paper_value: float
+    tolerance: float  # relative tolerance for a PASS
+    extract: Callable[[dict], float]  # measured value from the context
+
+    def grade(self, context: dict) -> "ClaimResult":
+        measured = self.extract(context)
+        if self.paper_value == 0:
+            ok = measured == 0
+            deviation = math.inf if measured else 0.0
+        else:
+            deviation = abs(measured - self.paper_value) / abs(self.paper_value)
+            ok = deviation <= self.tolerance
+        return ClaimResult(claim=self, measured=measured, deviation=deviation, ok=ok)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    measured: float
+    deviation: float
+    ok: bool
+
+
+def _build_context(*, quick: bool = True, seed: int = 42) -> dict:
+    """Run the experiments once and collect every result object."""
+    n1 = 1 << 13 if quick else 1 << 16
+    nm = 1 << 12 if quick else 1 << 14
+    ctx: dict = {}
+    ctx["fig7"] = run_single_gpu_sweep(
+        n=n1, loads=(0.5, 0.8, 0.9, 0.95), distribution="unique", seed=seed
+    )
+    ctx["speedups"] = run_speedup_table(n=n1, seed=seed)
+    ctx["scaling"] = run_scaling(n_sim=nm, paper_exponents=(28, 29))
+    ctx["capacity"] = run_capacity_sweep(
+        n_sim=nm, paper_exponents=(28, 30, 32), distributions=("unique",)
+    )
+    ctx["overlap"] = run_overlap(num_batches=12, batch_sim=nm)
+    ctx["bandwidths"] = run_bandwidths(n_sim=nm, num_batches=12)
+    return ctx
+
+
+def _best_insert(sweep, load: float) -> float:
+    i = sweep.loads.index(load)
+    return max(
+        v[i] for k, v in sweep.insert_rates.items() if k.startswith("WD")
+    )
+
+
+PAPER_CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        id="headline-insert",
+        source="abstract",
+        statement="1.4 G insertions/s single-GPU at load 0.95",
+        paper_value=1.4e9,
+        tolerance=0.20,
+        extract=lambda c: _best_insert(c["fig7"], 0.95),
+    ),
+    Claim(
+        id="speedup-ins-0.95",
+        source="§V-B",
+        statement="2.84x insertion speedup over CUDPP at load 0.95",
+        paper_value=2.84,
+        tolerance=0.20,
+        extract=lambda c: c["speedups"].insert_speedups[2],
+    ),
+    Claim(
+        id="speedup-ins-0.9",
+        source="§V-B",
+        statement="2.18x insertion speedup over CUDPP at load 0.9",
+        paper_value=2.18,
+        tolerance=0.20,
+        extract=lambda c: c["speedups"].insert_speedups[1],
+    ),
+    Claim(
+        id="speedup-ins-0.8",
+        source="§V-B",
+        statement="1.79x insertion speedup over CUDPP at load 0.8",
+        paper_value=1.79,
+        tolerance=0.20,
+        extract=lambda c: c["speedups"].insert_speedups[0],
+    ),
+    Claim(
+        id="speedup-ret-0.9",
+        source="§V-B",
+        statement="1.34x retrieval speedup over CUDPP at load 0.9",
+        paper_value=1.34,
+        tolerance=0.25,
+        extract=lambda c: c["speedups"].retrieve_speedups[1],
+    ),
+    Claim(
+        id="overlap-insert",
+        source="§V-C",
+        statement="36% wall-time reduction for overlapped insertion",
+        paper_value=0.36,
+        tolerance=0.25,
+        extract=lambda c: dict(
+            zip(c["overlap"].labels, c["overlap"].reductions)
+        )["Ins4"],
+    ),
+    Claim(
+        id="overlap-retrieve",
+        source="§V-C",
+        statement="45% wall-time reduction for overlapped retrieval",
+        paper_value=0.45,
+        tolerance=0.25,
+        extract=lambda c: dict(
+            zip(c["overlap"].labels, c["overlap"].reductions)
+        )["Ret4"],
+    ),
+    Claim(
+        id="multisplit-bandwidth",
+        source="§V-C",
+        statement="multisplit ~210 GB/s accumulated",
+        paper_value=210e9,
+        tolerance=0.15,
+        extract=lambda c: c["bandwidths"].multisplit_accumulated,
+    ),
+    Claim(
+        id="alltoall-bandwidth",
+        source="§V-C",
+        statement="all-to-all transposition ~192 GB/s",
+        paper_value=192e9,
+        tolerance=0.15,
+        extract=lambda c: c["bandwidths"].alltoall_accumulated,
+    ),
+    Claim(
+        id="weak-scaling-flat",
+        source="§V-C",
+        statement="weak efficiency constant for m >= 2 (max/min over tail)",
+        paper_value=1.0,
+        tolerance=0.25,
+        extract=lambda c: (
+            max(c["scaling"].weak["Insert 2^28"][1:])
+            / min(c["scaling"].weak["Insert 2^28"][1:])
+        ),
+    ),
+    Claim(
+        id="retrieval-flat-vs-capacity",
+        source="§V-C",
+        statement="device retrieval constant across capacities (max/min)",
+        paper_value=1.0,
+        tolerance=0.30,
+        extract=lambda c: (
+            max(c["capacity"].device_retrieve["unique"])
+            / min(c["capacity"].device_retrieve["unique"])
+        ),
+    ),
+    Claim(
+        id="insert-drop-past-2-30",
+        source="§V-C",
+        statement="device insertion drops for n > 2^30 (rate ratio last/first)",
+        paper_value=0.55,
+        tolerance=0.45,
+        extract=lambda c: (
+            c["capacity"].device_insert["unique"][-1]
+            / c["capacity"].device_insert["unique"][0]
+        ),
+    ),
+)
+
+
+def evaluate_claims(*, quick: bool = True, seed: int = 42) -> list[ClaimResult]:
+    """Run the experiments and grade every claim."""
+    context = _build_context(quick=quick, seed=seed)
+    return [claim.grade(context) for claim in PAPER_CLAIMS]
+
+
+def format_scorecard(results: list[ClaimResult]) -> str:
+    rows = []
+    for r in results:
+        paper = r.claim.paper_value
+        fmt = (
+            (lambda v: f"{v / 1e9:.2f}G") if paper > 1e6 else (lambda v: f"{v:.2f}")
+        )
+        rows.append(
+            [
+                "PASS" if r.ok else "MISS",
+                r.claim.id,
+                r.claim.source,
+                fmt(paper),
+                fmt(r.measured),
+                f"{r.deviation * 100:.0f}%",
+            ]
+        )
+    passed = sum(r.ok for r in results)
+    return format_table(
+        ["", "claim", "where", "paper", "ours", "dev"],
+        rows,
+        title=f"Reproduction scorecard — {passed}/{len(results)} claims within tolerance",
+    )

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info
+    Library, model-calibration, and simulated-hardware summary.
+demo
+    A 30-second single-GPU + multi-GPU functional demo.
+rates
+    Modelled single-GPU insert/retrieve rates for chosen loads and |g|.
+figures
+    Regenerate paper figures (delegates to the experiment harness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.perfmodel import P100, calibration as cal
+    from repro.utils.tables import format_kv
+
+    print(f"repro {repro.__version__} — WarpDrive reproduction (IPDPS 2018)")
+    print()
+    print(
+        format_kv(
+            {
+                "simulated GPU": P100.name,
+                "VRAM": f"{P100.vram_gib:.0f} GiB",
+                "peak bandwidth": f"{P100.mem_bandwidth / 1e9:.0f} GB/s",
+                "random-access efficiency": cal.RANDOM_ACCESS_EFFICIENCY,
+                "atomic CAS rate": f"{cal.ATOMIC_CAS_RATE / 1e9:.1f} G/s",
+                "CAS degradation knee": f"{cal.CAS_DEGRADE_KNEE_BYTES >> 30} GiB",
+                "NVLink efficiency": cal.NVLINK_EFFICIENCY,
+                "PCIe efficiency": cal.PCIE_EFFICIENCY,
+            },
+            title="calibration (repro/perfmodel/calibration.py)",
+        )
+    )
+    print()
+    print("subsystems: core simt memory hashing primitives multigpu "
+          "pipeline baselines perfmodel workloads bench")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import WarpDriveHashTable
+    from repro.multigpu import DistributedHashTable, p100_nvlink_node
+    from repro.perfmodel import kernel_seconds, P100, throughput, time_cascade
+    from repro.workloads import random_values, unique_keys
+
+    n = args.n
+    keys = unique_keys(n, seed=1)
+    values = random_values(n, seed=2)
+
+    table = WarpDriveHashTable.for_load_factor(n, 0.95, group_size=4)
+    rep = table.insert(keys, values)
+    got, found = table.query(keys)
+    assert bool(found.all()) and bool((got == values).all())
+    secs = kernel_seconds(rep, P100, table_bytes=table.table_bytes)
+    print(
+        f"single GPU : {n} pairs at load {table.load_factor:.2f}, "
+        f"mean probe windows {rep.mean_windows:.2f}, "
+        f"modelled {throughput(n, secs) / 1e9:.2f} G inserts/s"
+    )
+
+    node = p100_nvlink_node(4)
+    dist = DistributedHashTable.for_workload(node, keys, 0.95, group_size=4)
+    drep = dist.insert(keys, values, source="host")
+    timing = time_cascade(drep, dist, node)
+    got, found, _ = dist.query(keys[: n // 4], source="device")
+    assert bool(found.all())
+    print(
+        f"4x P100    : imbalance {drep.load_imbalance:.3f}, "
+        f"modelled {throughput(n, timing.total) / 1e9:.2f} G inserts/s "
+        f"host-sided ({throughput(n, timing.device_only) / 1e9:.2f} device-sided)"
+    )
+    print("demo OK")
+    return 0
+
+
+def _cmd_rates(args: argparse.Namespace) -> int:
+    from repro.bench import run_single_gpu_sweep
+
+    sweep = run_single_gpu_sweep(
+        n=args.n,
+        loads=tuple(args.loads),
+        group_sizes=tuple(args.groups),
+        distribution=args.distribution,
+    )
+    print(sweep.format())
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.bench import evaluate_claims, format_scorecard
+
+    results = evaluate_claims(quick=not args.full)
+    print(format_scorecard(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench.figures import print_all_figures
+
+    print_all_figures(full=args.full)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WarpDrive reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and calibration summary").set_defaults(
+        fn=_cmd_info
+    )
+
+    demo = sub.add_parser("demo", help="functional single+multi GPU demo")
+    demo.add_argument("--n", type=int, default=100_000, help="pairs to insert")
+    demo.set_defaults(fn=_cmd_demo)
+
+    rates = sub.add_parser("rates", help="modelled single-GPU rate table")
+    rates.add_argument("--n", type=int, default=1 << 14)
+    rates.add_argument(
+        "--loads", type=float, nargs="+", default=[0.5, 0.8, 0.95]
+    )
+    rates.add_argument(
+        "--groups", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32]
+    )
+    rates.add_argument(
+        "--distribution", choices=("unique", "uniform", "zipf"), default="unique"
+    )
+    rates.set_defaults(fn=_cmd_rates)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--full", action="store_true")
+    figures.set_defaults(fn=_cmd_figures)
+
+    score = sub.add_parser(
+        "scorecard", help="grade every checkable paper claim"
+    )
+    score.add_argument("--full", action="store_true")
+    score.set_defaults(fn=_cmd_scorecard)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Library-wide constants.
+
+These mirror the fixed quantities of the CUDA execution model and the
+paper's experimental setup.  Anything tunable lives in the relevant
+``config`` objects instead; only true invariants belong here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of threads in a full CUDA warp.
+WARP_SIZE: int = 32
+
+#: Legal coalesced-group sizes |g| (divisors of the warp size, paper §IV-A).
+VALID_GROUP_SIZES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: Size in bytes of one packed (key, value) pair (4-byte key + 4-byte value,
+#: AoS layout, paper §II / Fig. 1).
+PAIR_BYTES: int = 8
+
+#: Width of a GPU global-memory transaction sector in bytes.  Coalesced
+#: accesses are charged in units of this sector (32-byte L2 sectors on
+#: Pascal-class hardware).
+SECTOR_BYTES: int = 32
+
+#: Sentinel slot contents marking a never-used slot.  The paper packs
+#: key and value into 64 bits; the all-ones bit pattern is reserved.
+EMPTY_SLOT: np.uint64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Sentinel slot contents marking a deleted slot (tombstone).
+TOMBSTONE_SLOT: np.uint64 = np.uint64(0xFFFFFFFFFFFFFFFE)
+
+#: Largest key storable in the packed 64-bit AoS layout.  The two largest
+#: 32-bit keys are reserved so that no packed pair can collide with the
+#: EMPTY/TOMBSTONE sentinels.
+MAX_KEY: int = 0xFFFFFFFF - 1
+
+#: Largest storable 32-bit value.
+MAX_VALUE: int = 0xFFFFFFFF
+
+#: Default maximum number of chaotic (outer) probing attempts before an
+#: insertion error is raised (``p_max`` in Fig. 3).
+DEFAULT_P_MAX: int = 1024
+
+#: Number of bits in the key/value halves of a packed pair.
+KEY_BITS: int = 32
+VALUE_BITS: int = 32
+
+#: 2**32, the size of the 4-byte key space; used by workload samplers.
+KEY_SPACE: int = 1 << 32

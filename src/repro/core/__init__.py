@@ -1,0 +1,68 @@
+"""WarpDrive core: the sub-warp-probed open-addressing hash table."""
+
+from .bulk import STATUS, bulk_erase, bulk_insert, bulk_query
+from .config import HashTableConfig
+from .kernels_ref import erase_task, insert_task, query_task
+from .probing import (
+    DoubleHashProbing,
+    LinearProbing,
+    ProbeSequence,
+    QuadraticProbing,
+    WindowRef,
+    WindowSequence,
+)
+from .report import KernelReport
+from .slots import (
+    is_empty,
+    is_live,
+    is_tombstone,
+    is_vacant,
+    matches_key,
+    slot_keys,
+    slot_values,
+)
+from .stats import (
+    expected_insert_windows,
+    expected_query_windows,
+    probe_histogram_fractions,
+    probe_summary,
+)
+from .adaptive import AdaptiveWarpDriveTable
+from .counting import CountingHashTable
+from .multivalue import MultiValueHashTable
+from .partitioned import PartitionedWarpDriveTable
+from .table import WarpDriveHashTable
+
+__all__ = [
+    "WarpDriveHashTable",
+    "AdaptiveWarpDriveTable",
+    "PartitionedWarpDriveTable",
+    "MultiValueHashTable",
+    "CountingHashTable",
+    "HashTableConfig",
+    "KernelReport",
+    "WindowSequence",
+    "WindowRef",
+    "ProbeSequence",
+    "LinearProbing",
+    "QuadraticProbing",
+    "DoubleHashProbing",
+    "bulk_insert",
+    "bulk_query",
+    "bulk_erase",
+    "STATUS",
+    "insert_task",
+    "query_task",
+    "erase_task",
+    "is_empty",
+    "is_tombstone",
+    "is_vacant",
+    "is_live",
+    "slot_keys",
+    "slot_values",
+    "matches_key",
+    "expected_insert_windows",
+    "expected_query_windows",
+    "probe_summary",
+    "probe_histogram_fractions",
+]

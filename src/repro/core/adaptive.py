@@ -1,0 +1,76 @@
+"""Adaptive group-size table (the paper's §VI future-work heuristic).
+
+"A possible direction for future research could be design of a heuristic
+which dynamically scales the group size |g| with the current load
+factor."  This table does exactly that: before every bulk operation it
+re-evaluates the analytic optimum |g| for the *current* load
+(:func:`repro.perfmodel.hashperf.best_group_size`) and switches the
+window sequence.
+
+Switching is safe because of the design invariant the paper built into
+Fig. 3's inner loop — the slots visited during one outer attempt are the
+same 32, in the same order of preference, for every |g| ("the inner
+probing loop ensures a consistent probing scheme in case that the size
+of g is varied over time").  A pair inserted at |g| = 8 is found by a
+|g| = 2 query; the property tests in ``tests/core/test_adaptive.py``
+exercise every such combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perfmodel.hashperf import best_group_size
+from ..perfmodel.specs import P100
+from ..simt.device import GPUSpec
+from .probing import WindowSequence
+from .report import KernelReport
+from .table import WarpDriveHashTable
+
+__all__ = ["AdaptiveWarpDriveTable"]
+
+
+class AdaptiveWarpDriveTable(WarpDriveHashTable):
+    """WarpDrive table that re-tunes |g| to the current load factor.
+
+    Parameters are those of :class:`WarpDriveHashTable` plus ``spec`` —
+    the GPU the heuristic optimizes for (default: the paper's P100).
+    The initial ``group_size`` is only a starting point.
+    """
+
+    def __init__(self, *args, spec: GPUSpec = P100, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.spec = spec
+        #: history of (load_factor, chosen |g|) — one entry per retune
+        self.tuning_history: list[tuple[float, int]] = []
+
+    def _retune(self, op: str, extra_items: int = 0) -> None:
+        """Swap the window sequence for the heuristic-optimal |g|.
+
+        For inserts the relevant load is the one *after* the batch
+        lands — tuning for where the probe lengths will be, not where
+        they were.
+        """
+        projected = min((len(self) + extra_items) / self.capacity, 0.99)
+        g = best_group_size(
+            projected, self.spec, op=op, table_bytes=self.table_bytes
+        )
+        if g != self.seq.group_size:
+            self.seq = WindowSequence(self.config.family, g, self.config.p_max)
+            self.tuning_history.append((projected, g))
+
+    @property
+    def current_group_size(self) -> int:
+        return self.seq.group_size
+
+    def insert(self, keys: np.ndarray, values: np.ndarray, **kwargs) -> KernelReport:
+        self._retune("insert", extra_items=np.asarray(keys).shape[0])
+        return super().insert(keys, values, **kwargs)
+
+    def query(self, keys: np.ndarray, **kwargs):
+        self._retune("query")
+        return super().query(keys, **kwargs)
+
+    def erase(self, keys: np.ndarray, **kwargs):
+        self._retune("query")  # erase probes like a query
+        return super().erase(keys, **kwargs)

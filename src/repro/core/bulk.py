@@ -1,0 +1,392 @@
+"""Vectorized bulk executors for insert / query / erase.
+
+Functionally equivalent to the reference kernels of
+:mod:`repro.core.kernels_ref` (their final table *contents* match under a
+serialized schedule; property tests enforce this) but vectorized over all
+pending keys with NumPy, so paper-scale-ish workloads run in seconds.
+
+Round structure
+---------------
+Each round, every pending key examines its current probing window (the
+same window walk as Fig. 3): a snapshot load, a key-match scan (§V-B
+update path), then a vacant-slot scan.  Conflicting slot claims inside a
+round are arbitrated exactly like serialized CAS traffic would be:
+
+* distinct keys claiming the same vacant slot — the lowest submission
+  index wins, losers re-examine the *same* window next round (they would
+  have lost the CAS and re-ballotted);
+* several updates of the same live slot (duplicate keys) — all succeed in
+  submission order, so the *highest* index's value survives, matching
+  last-writer-wins on the paper's "event horizon".
+
+Work accounting matches what the real kernel would do: one coalesced
+window load per examined window, one CAS per claim attempt (failed for
+losers), one 8-byte store per successful insert/update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import TOMBSTONE_SLOT
+from ..memory.layout import pack_pairs
+from ..simt.counters import TransactionCounter, sectors_for_access
+from ..utils.validation import check_keys, check_same_length, check_values
+from .probing import WindowSequence
+from .report import KernelReport
+from .slots import is_empty, is_vacant, slot_keys, slot_values
+
+__all__ = ["bulk_insert", "bulk_query", "bulk_erase", "STATUS"]
+
+_U64 = np.uint64
+
+#: status codes shared by the bulk executors
+STATUS = {
+    "pending": 0,
+    "inserted": 1,
+    "updated": 2,
+    "failed": 3,
+    "found": 4,
+    "absent": 5,
+    "erased": 6,
+}
+
+
+def _window_rows(
+    seq: WindowSequence, keys: np.ndarray, flat: np.ndarray, capacity: int
+) -> np.ndarray:
+    """Slot indices of each key's current window, shape (m, |g|).
+
+    ``flat`` is the per-key flat window counter; outer attempt
+    ``p = flat // inner`` re-hashes, inner slide ``q = flat % inner``
+    shifts by ``q·|g|`` (Fig. 3 line 7, vectorized over keys with
+    *different* (p, q) positions).
+
+    All hash arithmetic wraps at 32 bits, exactly like the scalar
+    :meth:`WindowSequence.window_hash` path and the paper's ``uint32``
+    kernels — the two executors must visit identical windows.
+    """
+    inner = seq.inner_count
+    p = flat // inner
+    q = flat % inner
+    with np.errstate(over="ignore"):
+        h1 = seq.family.primary(keys)
+        step = seq.family.step(keys)
+        h = h1 + (p & 0xFFFFFFFF).astype(np.uint32) * step
+        start = (h + (q * seq.group_size).astype(np.uint32)).astype(_U64) % _U64(
+            capacity
+        )
+    ranks = np.arange(seq.group_size, dtype=np.int64)
+    return (start.astype(np.int64)[:, None] + ranks[None, :]) % capacity
+
+
+def _sectors_per_window(group_size: int) -> int:
+    """Sectors per aligned coalesced window load of |g| 8-byte slots."""
+    return sectors_for_access(0, group_size * 8)
+
+
+def default_wave_size(capacity: int) -> int:
+    """Concurrency window of the bulk executor.
+
+    A real GPU keeps only ~10^5 threads resident, so at any instant the
+    in-flight keys are a small fraction of the table; racing *all* n keys
+    at once would wildly overstate CAS contention at high loads.  Waves
+    bound the in-flight set to a few percent of the capacity (floor 2048
+    to keep the vectorized rounds wide).
+    """
+    return max(2048, capacity // 32)
+
+
+def bulk_insert(
+    slots: np.ndarray,
+    seq: WindowSequence,
+    keys: np.ndarray,
+    values: np.ndarray,
+    counter: TransactionCounter | None = None,
+    *,
+    wave_size: int | None = None,
+) -> tuple[KernelReport, np.ndarray]:
+    """Insert all pairs; returns (report, per-item status codes).
+
+    Per-item status is ``STATUS['inserted']``, ``['updated']``, or
+    ``['failed']``.  The caller (the table) decides how to react to
+    failures — transparently rebuild, or raise.  ``wave_size`` bounds the
+    number of concurrently racing keys (see :func:`default_wave_size`).
+    """
+    k = check_keys(keys)
+    v = check_values(values)
+    check_same_length("keys", k, "values", v)
+    n = k.shape[0]
+    capacity = slots.shape[0]
+    g = seq.group_size
+    wave = default_wave_size(capacity) if wave_size is None else max(int(wave_size), 1)
+
+    pairs = pack_pairs(k, v)
+    status = np.zeros(n, dtype=np.uint8)
+    win_idx = np.zeros(n, dtype=np.int64)
+    probes = np.zeros(n, dtype=np.int64)
+    # first vacant slot seen along each item's walk (-1 = none yet).
+    # Tombstones force a two-phase insert: the walk must reach an EMPTY
+    # slot (proving the key is not stored further along) before the
+    # remembered first-vacant slot may be claimed — otherwise an insert
+    # after deletions could shadow an existing copy of the key.
+    first_vac = np.full(n, -1, dtype=np.int64)
+
+    report = KernelReport(op="insert", num_ops=n, group_size=g)
+    sectors_per_window = _sectors_per_window(g)
+    max_windows = seq.max_windows
+
+    cursor = 0  # next unlaunched item; items enter as wave slots free up
+    pending = np.empty(0, dtype=np.int64)
+    while pending.size or cursor < n:
+        if cursor < n and pending.size < wave:
+            take = min(wave - pending.size, n - cursor)
+            pending = np.concatenate(
+                [pending, np.arange(cursor, cursor + take, dtype=np.int64)]
+            )
+            cursor += take
+        cur_keys = k[pending]
+        rows = _window_rows(seq, cur_keys, win_idx[pending], capacity)
+        window = slots[rows]  # snapshot (m, g)
+        m = pending.shape[0]
+        probes[pending] += 1
+        report.load_sectors += m * sectors_per_window
+
+        wkeys = slot_keys(window)
+        live = ~is_vacant(window)
+        match = live & (wkeys == cur_keys[:, None])
+        has_match = match.any(axis=1)
+        vac = is_vacant(window)
+        empty_here = is_empty(window).any(axis=1)
+
+        # ---- update path: key already stored in this window ----------
+        upd = np.flatnonzero(has_match)
+        if upd.size:
+            lanes = np.argmax(match[upd], axis=1)
+            target = rows[upd, lanes]
+            items = pending[upd]
+            # serialize same-slot updates in submission order: sort by
+            # (slot, item); the last of each slot group is the survivor
+            order = np.lexsort((items, target))
+            t_sorted = target[order]
+            i_sorted = items[order]
+            last_of_group = np.ones(order.size, dtype=bool)
+            last_of_group[:-1] = t_sorted[1:] != t_sorted[:-1]
+            slots[t_sorted[last_of_group]] = pairs[i_sorted[last_of_group]]
+            report.cas_attempts += upd.size
+            report.cas_successes += upd.size
+            report.store_sectors += int(last_of_group.sum())
+            status[items] = STATUS["updated"]
+
+        # ---- scan path: remember the walk's first vacant slot ---------
+        first_lane = np.argmax(vac, axis=1)
+        window_vac_slot = rows[np.arange(m), first_lane]
+        record = (first_vac[pending] < 0) & vac.any(axis=1) & ~has_match
+        first_vac[pending[record]] = window_vac_slot[record]
+
+        # ---- claim path: EMPTY reached (or budget exhausted) ----------
+        at_end = ~has_match & empty_here
+        exhausted_now = ~has_match & ~empty_here & (
+            win_idx[pending] + 1 >= max_windows
+        )
+        resolved_this_round = at_end | exhausted_now
+        resolve = np.flatnonzero(resolved_this_round)
+        if resolve.size:
+            items = pending[resolve]
+            targets = first_vac[items]
+            cant = targets < 0  # exhausted the budget with no vacancy
+            status[items[cant]] = STATUS["failed"]
+            claim_items = items[~cant]
+            claim_slots = targets[~cant]
+            if claim_items.size:
+                # winner per distinct slot = lowest submission index
+                order = np.lexsort((claim_items, claim_slots))
+                t_sorted = claim_slots[order]
+                i_sorted = claim_items[order]
+                first_of_group = np.ones(order.size, dtype=bool)
+                first_of_group[1:] = t_sorted[1:] != t_sorted[:-1]
+                # a slot may have been taken by an earlier wave's winner
+                # after this item recorded it: those CAS attempts fail too
+                still_vacant = is_vacant(slots[t_sorted])
+                commit = first_of_group & still_vacant
+                winners = i_sorted[commit]
+                slots[t_sorted[commit]] = pairs[winners]
+                status[winners] = STATUS["inserted"]
+                report.cas_attempts += claim_items.size
+                report.cas_successes += winners.size
+                report.store_sectors += winners.size
+                # losers restart their walk against the updated table
+                losers = i_sorted[~commit]
+                first_vac[losers] = -1
+                win_idx[losers] = 0
+                report.load_sectors += losers.size * sectors_per_window
+
+        # ---- bookkeeping: advance the still-scanning items -------------
+        # (resolved items — done, failed, or restarted losers — skip the
+        # advance; losers restart their walk at window 0)
+        advance = pending[~has_match & ~resolved_this_round]
+        win_idx[advance] += 1
+
+        report.warp_collectives += 2 * m  # match ballot + vacancy ballot
+
+        still = status[pending] == STATUS["pending"]
+        pending = pending[still]
+
+    report.probe_windows = probes
+    report.failed = int(np.sum(status == STATUS["failed"]))
+    _merge_counter(counter, report)
+    return report, status
+
+
+def _merge_counter(counter: TransactionCounter | None, report: KernelReport) -> None:
+    if counter is None:
+        return
+    counter.load_sectors += report.load_sectors
+    counter.store_sectors += report.store_sectors
+    counter.cas_attempts += report.cas_attempts
+    counter.cas_successes += report.cas_successes
+    counter.warp_collectives += report.warp_collectives
+    counter.window_probes += report.total_windows
+    counter.kernel_launches += 1
+
+
+def bulk_query(
+    slots: np.ndarray,
+    seq: WindowSequence,
+    keys: np.ndarray,
+    counter: TransactionCounter | None = None,
+    default: int = 0,
+) -> tuple[KernelReport, np.ndarray, np.ndarray]:
+    """Retrieve all keys; returns (report, values, found-mask).
+
+    Missing keys yield ``default`` and ``found == False``; the report's
+    ``failed`` field counts them.
+    """
+    k = check_keys(keys)
+    n = k.shape[0]
+    capacity = slots.shape[0]
+    g = seq.group_size
+
+    out_values = np.full(n, default, dtype=np.uint32)
+    found = np.zeros(n, dtype=bool)
+    done = np.zeros(n, dtype=bool)
+    win_idx = np.zeros(n, dtype=np.int64)
+    probes = np.zeros(n, dtype=np.int64)
+    pending = np.arange(n, dtype=np.int64)
+
+    report = KernelReport(op="query", num_ops=n, group_size=g)
+    sectors_per_window = _sectors_per_window(g)
+    max_windows = seq.max_windows
+
+    while pending.size:
+        cur_keys = k[pending]
+        rows = _window_rows(seq, cur_keys, win_idx[pending], capacity)
+        window = slots[rows]
+        m = pending.shape[0]
+        probes[pending] += 1
+        report.load_sectors += m * sectors_per_window
+        report.warp_collectives += 2 * m
+
+        wkeys = slot_keys(window)
+        live = ~is_vacant(window)
+        match = live & (wkeys == cur_keys[:, None])
+        has_match = match.any(axis=1)
+        empty_in_window = is_empty(window).any(axis=1)
+
+        hit = np.flatnonzero(has_match)
+        if hit.size:
+            lanes = np.argmax(match[hit], axis=1)
+            items = pending[hit]
+            out_values[items] = slot_values(window[hit, lanes])
+            found[items] = True
+            done[items] = True
+
+        miss = pending[~has_match & empty_in_window]
+        done[miss] = True
+
+        advance = pending[~has_match & ~empty_in_window]
+        win_idx[advance] += 1
+        done[advance[win_idx[advance] >= max_windows]] = True
+
+        pending = pending[~done[pending]]
+
+    report.probe_windows = probes
+    report.failed = int(np.sum(~found))
+    _merge_counter(counter, report)
+    return report, out_values, found
+
+
+def bulk_erase(
+    slots: np.ndarray,
+    seq: WindowSequence,
+    keys: np.ndarray,
+    counter: TransactionCounter | None = None,
+) -> tuple[KernelReport, np.ndarray]:
+    """Tombstone all present keys; returns (report, erased-mask).
+
+    The paper allows deletions only between global barriers; this bulk
+    call *is* such a barrier-delimited phase.
+
+    The probe does **not** stop at the first match: an insert that
+    claimed an early tombstone can shadow an older copy of the same key
+    further along the walk, and stopping early would let the shadowed
+    copy *resurrect* after the erase.  Erase therefore walks until an
+    EMPTY window proves no further copy can exist, tombstoning every
+    match it passes.
+    """
+    k = check_keys(keys)
+    n = k.shape[0]
+    capacity = slots.shape[0]
+    g = seq.group_size
+
+    erased = np.zeros(n, dtype=bool)
+    done = np.zeros(n, dtype=bool)
+    win_idx = np.zeros(n, dtype=np.int64)
+    probes = np.zeros(n, dtype=np.int64)
+    pending = np.arange(n, dtype=np.int64)
+
+    report = KernelReport(op="erase", num_ops=n, group_size=g)
+    sectors_per_window = _sectors_per_window(g)
+    max_windows = seq.max_windows
+
+    while pending.size:
+        cur_keys = k[pending]
+        rows = _window_rows(seq, cur_keys, win_idx[pending], capacity)
+        window = slots[rows]
+        m = pending.shape[0]
+        probes[pending] += 1
+        report.load_sectors += m * sectors_per_window
+        report.warp_collectives += 2 * m
+
+        wkeys = slot_keys(window)
+        live = ~is_vacant(window)
+        match = live & (wkeys == cur_keys[:, None])
+        has_match = match.any(axis=1)
+        empty_in_window = is_empty(window).any(axis=1)
+
+        hit = np.flatnonzero(has_match)
+        if hit.size:
+            # tombstone every matching lane in the window (duplicate
+            # copies of a key can share one window after shadowing)
+            targets = np.unique(rows[hit][match[hit]])
+            slots[targets] = TOMBSTONE_SLOT
+            report.cas_attempts += hit.size
+            report.cas_successes += hit.size
+            report.store_sectors += int(targets.size)
+            erased[pending[hit]] = True
+
+        # only an EMPTY slot (or budget exhaustion) ends the walk — a
+        # match does not, because further shadowed copies may follow
+        finished = pending[empty_in_window]
+        done[finished] = True
+
+        advance = pending[~empty_in_window]
+        win_idx[advance] += 1
+        done[advance[win_idx[advance] >= max_windows]] = True
+
+        pending = pending[~done[pending]]
+
+    report.probe_windows = probes
+    report.failed = int(np.sum(~erased))
+    _merge_counter(counter, report)
+    return report, erased

@@ -1,0 +1,78 @@
+"""Hash-table configuration."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..constants import DEFAULT_P_MAX
+from ..errors import ConfigurationError
+from ..hashing.families import DoubleHashFamily, make_double_family
+from ..utils.validation import check_group_size, check_load_factor, check_positive
+
+__all__ = ["HashTableConfig"]
+
+
+@dataclass(frozen=True)
+class HashTableConfig:
+    """Static parameters of a :class:`~repro.core.table.WarpDriveHashTable`.
+
+    Attributes
+    ----------
+    capacity:
+        Number of slots ``c``; fixed for the table's lifetime (paper §II:
+        no on-demand resizing in the parallel setting — a full table is
+        rebuilt instead).
+    group_size:
+        Coalesced-group width ``|g| ∈ {1,2,4,8,16,32}``.
+    p_max:
+        Maximum chaotic (outer) probing attempts before
+        :class:`~repro.errors.InsertionError`.
+    family:
+        The (h, g) hash pair driving the window sequence.
+    rebuild_on_failure:
+        When True the table transparently invalidates and reinserts with a
+        translated hash family after an insertion failure (§II).
+    max_rebuilds:
+        Upper bound on transparent rebuild attempts.
+    """
+
+    capacity: int
+    group_size: int = 4
+    p_max: int = DEFAULT_P_MAX
+    family: DoubleHashFamily = field(default_factory=make_double_family)
+    rebuild_on_failure: bool = True
+    max_rebuilds: int = 4
+
+    def __post_init__(self):
+        check_positive("capacity", self.capacity)
+        check_group_size(self.group_size)
+        check_positive("p_max", self.p_max)
+        if self.max_rebuilds < 0:
+            raise ConfigurationError(
+                f"max_rebuilds must be >= 0, got {self.max_rebuilds}"
+            )
+
+    @classmethod
+    def for_load_factor(
+        cls, num_pairs: int, load_factor: float, **kwargs
+    ) -> "HashTableConfig":
+        """Size the table so inserting ``num_pairs`` reaches ``load_factor``.
+
+        This mirrors the experiments' "target load factor": the capacity is
+        ``ceil(n / α)`` — for unique keys the target coincides with the
+        true occupancy (§V-A).
+        """
+        check_positive("num_pairs", num_pairs)
+        check_load_factor(load_factor)
+        capacity = max(int(math.ceil(num_pairs / load_factor)), 1)
+        return cls(capacity=capacity, **kwargs)
+
+    @property
+    def table_bytes(self) -> int:
+        """VRAM footprint of the slot array (8 bytes per slot)."""
+        return self.capacity * 8
+
+    def rebuilt(self, salt: int) -> "HashTableConfig":
+        """Config for the reconstruction attempt after an insert failure."""
+        return replace(self, family=self.family.rebuilt(salt))

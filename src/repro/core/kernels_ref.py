@@ -1,0 +1,216 @@
+"""Reference CG kernels — a faithful transcription of the paper's Fig. 3.
+
+These run one coalesced group per key-value pair as a Python generator
+that yields at every global-memory observation point, so a
+:class:`~repro.simt.scheduler.Scheduler` can interleave groups and create
+genuine CAS races.  They are the semantic ground truth the vectorized
+bulk executors (:mod:`repro.core.bulk`) are tested against — and they are
+slow on purpose: clarity over speed, smallish inputs only.
+
+Beyond Fig. 3 the insert kernel carries the paper's §V-B extension:
+"our implementation resolves such collisions by updating an already
+written value for a colliding key" — a window is first scanned for a
+matching key (update path), then for vacant slots (insert path).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..constants import TOMBSTONE_SLOT
+from ..memory.layout import pack_scalar
+from ..simt.atomics import atomic_cas
+from ..simt.counters import TransactionCounter
+from ..simt.warp import CoalescedGroup
+from .probing import WindowSequence
+from .slots import is_empty, is_vacant, matches_key, slot_values
+
+__all__ = ["insert_task", "query_task", "erase_task"]
+
+
+def _load_window(
+    slots: np.ndarray,
+    rows: np.ndarray,
+    counter: TransactionCounter | None,
+) -> np.ndarray:
+    """Coalesced load of one |g|-slot window into 'registers'."""
+    if counter is not None:
+        counter.charge_coalesced_load(rows * 8, 8)
+        counter.window_probes += 1
+        counter.slot_comparisons += rows.size
+    return slots[rows].copy()
+
+
+def insert_task(
+    slots: np.ndarray,
+    seq: WindowSequence,
+    group: CoalescedGroup,
+    key: int,
+    value: int,
+    counter: TransactionCounter | None = None,
+) -> Iterator[None]:
+    """Insert one pair with a coalesced group; returns (status, windows).
+
+    Status is ``"inserted"``, ``"updated"`` (existing key), or
+    ``"failed"`` (``p_max`` exhausted).  Yields after every window load
+    and every CAS so schedulers can interleave concurrent groups.
+
+    Two-phase structure: the group *scans* the walk — remembering the
+    first vacant slot — until it either finds the key (update in place,
+    §V-B) or reaches an EMPTY slot proving the key is absent, and only
+    then CAS-claims the remembered slot.  Without deletions the first
+    vacant slot *is* the first EMPTY slot and this collapses to Fig. 3's
+    single pass; with tombstones the extra scan prevents an insert from
+    shadowing an existing copy of the key.
+    """
+    capacity = slots.shape[0]
+    pair = pack_scalar(key, value)
+    key_arr = np.asarray([key], dtype=np.uint32)
+    windows = 0
+
+    while True:  # restart wrapper: a lost claim rescans the walk
+        claim_row = -1
+        claim_expected = np.uint64(0)
+        finished_scan = False
+
+        for p in range(seq.p_max):  # outer probing loop (Fig. 3 line 4)
+            for q in range(seq.inner_count):  # inner probing loop (line 6)
+                rows = seq.window_slots(key_arr, p, q, capacity)[0]
+                d_t = _load_window(slots, rows, counter)
+                windows += 1
+                yield
+
+                while True:
+                    # §V-B update path: key already lives in this window
+                    match_mask = group.ballot(matches_key(d_t, key))
+                    if match_mask:
+                        leader = group.elect_leader(match_mask)
+                        old = atomic_cas(
+                            slots, int(rows[leader]), d_t[leader], pair, counter
+                        )
+                        yield
+                        if old == d_t[leader]:
+                            return ("updated", windows)
+                        # lost a race (concurrent update); reload, retry
+                        d_t = _load_window(slots, rows, counter)
+                        yield
+                        continue
+                    break
+
+                # remember the walk's first vacant slot (Fig. 3 line 11
+                # leader election, deferred to the claim phase)
+                mask = group.ballot(is_vacant(d_t))
+                if claim_row < 0 and mask:
+                    leader = group.elect_leader(mask)
+                    claim_row = int(rows[leader])
+                    claim_expected = d_t[leader]
+                # an EMPTY slot ends the scan: no copy can lie beyond it
+                if group.any(is_empty(d_t)):
+                    finished_scan = True
+                    break
+            if finished_scan:
+                break
+
+        if claim_row < 0:
+            # p_max exhausted without a single vacancy (line 26)
+            return ("failed", windows)
+
+        old = atomic_cas(slots, claim_row, claim_expected, pair, counter)
+        yield
+        if old == claim_expected:
+            return ("inserted", windows)
+        # the remembered slot changed under us: rescan from the top
+        # against the updated table (lines 19-22's reload, generalized)
+
+
+def query_task(
+    slots: np.ndarray,
+    seq: WindowSequence,
+    group: CoalescedGroup,
+    key: int,
+    counter: TransactionCounter | None = None,
+) -> Iterator[None]:
+    """Retrieve one key; returns (status, value, windows).
+
+    "Queries are performed in a similar way whereby the atomic swap is
+    not required" (§IV-A).  An EMPTY slot inside a window proves the key
+    absent (an insert would have claimed it); a tombstone does not.
+    """
+    capacity = slots.shape[0]
+    key_arr = np.asarray([key], dtype=np.uint32)
+    windows = 0
+
+    for p in range(seq.p_max):
+        for q in range(seq.inner_count):
+            rows = seq.window_slots(key_arr, p, q, capacity)[0]
+            d_t = _load_window(slots, rows, counter)
+            windows += 1
+            yield
+
+            match_mask = group.ballot(matches_key(d_t, key))
+            if match_mask:
+                leader = group.elect_leader(match_mask)
+                value = int(slot_values(d_t)[leader])
+                return ("found", value, windows)
+            if group.any(is_empty(d_t)):
+                return ("absent", 0, windows)
+
+    return ("absent", 0, windows)
+
+
+def erase_task(
+    slots: np.ndarray,
+    seq: WindowSequence,
+    group: CoalescedGroup,
+    key: int,
+    counter: TransactionCounter | None = None,
+) -> Iterator[None]:
+    """Delete one key by writing tombstones; returns (status, windows).
+
+    The paper notes deletions must not interleave with inserts/queries
+    without a global barrier; the table enforces that at the API level,
+    but the kernel still CAS-guards the tombstone writes for safety under
+    concurrent *erase* traffic.
+
+    Like the bulk executor, the walk continues past a match until an
+    EMPTY slot proves no shadowed duplicate copy can follow, tombstoning
+    every copy it encounters (no resurrection after erase).
+    """
+    capacity = slots.shape[0]
+    key_arr = np.asarray([key], dtype=np.uint32)
+    windows = 0
+    erased_any = False
+
+    for p in range(seq.p_max):
+        for q in range(seq.inner_count):
+            rows = seq.window_slots(key_arr, p, q, capacity)[0]
+            d_t = _load_window(slots, rows, counter)
+            windows += 1
+            yield
+
+            while True:
+                match_mask = group.ballot(matches_key(d_t, key))
+                if match_mask:
+                    leader = group.elect_leader(match_mask)
+                    old = atomic_cas(
+                        slots,
+                        int(rows[leader]),
+                        d_t[leader],
+                        TOMBSTONE_SLOT,
+                        counter,
+                    )
+                    yield
+                    if old == d_t[leader]:
+                        erased_any = True
+                    # reload: clear this match from the ballot and catch
+                    # further copies (or races) in the same window
+                    d_t = _load_window(slots, rows, counter)
+                    yield
+                    continue
+                if group.any(is_empty(d_t)):
+                    return ("erased" if erased_any else "absent", windows)
+                break
+
+    return ("erased" if erased_any else "absent", windows)

@@ -1,0 +1,164 @@
+"""Partitioned high-capacity table (the paper's §VI workaround).
+
+§V-C observes that single-GPU insertion degrades for capacities over
+2 GB ("atomic CAS might degrade if lock-free instructions are issued
+across several memory interfaces") and §VI proposes the fix: "the
+partitioning of high capacity hash maps into several smaller hash maps
+each of size ≤ 2 GB."
+
+:class:`PartitionedWarpDriveTable` implements that: keys route to one of
+``k`` sub-tables by a partition hash, each sub-table small enough that
+its CAS traffic stays on one memory-interface neighbourhood.  The
+functional behaviour is identical to a monolithic table; the win shows
+up in the performance model (bench ``bench_ablation_partitioned.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hashing.partition import PartitionHash, hashed_partition
+from ..perfmodel import calibration as cal
+from ..simt.device import Device
+from ..utils.validation import check_keys, check_same_length, check_values
+from .report import KernelReport
+from .table import WarpDriveHashTable
+
+__all__ = ["PartitionedWarpDriveTable"]
+
+
+class PartitionedWarpDriveTable:
+    """A big hash map split into ≤ ``max_partition_bytes`` sub-tables.
+
+    Parameters
+    ----------
+    capacity:
+        Total slot count across sub-tables.
+    max_partition_bytes:
+        Upper bound per sub-table footprint; defaults to the CAS
+        degradation knee (2 GB).
+    group_size, p_max, device:
+        Forwarded to each sub-table.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        max_partition_bytes: int | None = None,
+        group_size: int = 4,
+        p_max: int | None = None,
+        device: Device | None = None,
+        partition: PartitionHash | None = None,
+    ):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {capacity}")
+        limit = (
+            max_partition_bytes
+            if max_partition_bytes is not None
+            else cal.CAS_DEGRADE_KNEE_BYTES
+        )
+        if limit < 8:
+            raise ConfigurationError("max_partition_bytes must fit at least one slot")
+        self.num_partitions = max(1, math.ceil(capacity * 8 / limit))
+        if partition is None:
+            partition = hashed_partition(self.num_partitions)
+        elif partition.num_parts != self.num_partitions:
+            raise ConfigurationError(
+                f"partition has {partition.num_parts} parts; "
+                f"{self.num_partitions} sub-tables required"
+            )
+        self.partition = partition
+        sub_capacity = -(-capacity // self.num_partitions)
+        kwargs = {"group_size": group_size}
+        if p_max is not None:
+            kwargs["p_max"] = p_max
+        self.subtables = [
+            WarpDriveHashTable(sub_capacity, device=device, **kwargs)
+            for _ in range(self.num_partitions)
+        ]
+        self.last_report: KernelReport | None = None
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return sum(t.capacity for t in self.subtables)
+
+    @property
+    def subtable_bytes(self) -> int:
+        """Per-sub-table footprint — what the CAS degradation sees."""
+        return max(t.table_bytes for t in self.subtables)
+
+    @property
+    def table_bytes(self) -> int:
+        return sum(t.table_bytes for t in self.subtables)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.subtables)
+
+    @property
+    def load_factor(self) -> float:
+        return len(self) / self.capacity
+
+    # -- operations ----------------------------------------------------------
+
+    def _route(self, keys: np.ndarray) -> list[np.ndarray]:
+        parts = self.partition(keys)
+        return [np.flatnonzero(parts == p) for p in range(self.num_partitions)]
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> KernelReport:
+        k = check_keys(keys)
+        v = check_values(values)
+        check_same_length("keys", k, "values", v)
+        merged: KernelReport | None = None
+        for p, idx in enumerate(self._route(k)):
+            if idx.size == 0:
+                continue
+            rep = self.subtables[p].insert(k[idx], v[idx])
+            merged = rep if merged is None else merged.merge(rep)
+        report = merged if merged is not None else KernelReport(op="insert")
+        self.last_report = report
+        return report
+
+    def query(
+        self, keys: np.ndarray, *, default: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        k = check_keys(keys)
+        values = np.full(k.shape[0], default, dtype=np.uint32)
+        found = np.zeros(k.shape[0], dtype=bool)
+        merged: KernelReport | None = None
+        for p, idx in enumerate(self._route(k)):
+            if idx.size == 0:
+                continue
+            vals, hits = self.subtables[p].query(k[idx], default=default)
+            values[idx] = vals
+            found[idx] = hits
+            rep = self.subtables[p].last_report
+            merged = rep if merged is None else merged.merge(rep)
+        self.last_report = merged
+        return values, found
+
+    def erase(self, keys: np.ndarray) -> np.ndarray:
+        k = check_keys(keys)
+        erased = np.zeros(k.shape[0], dtype=bool)
+        for p, idx in enumerate(self._route(k)):
+            if idx.size == 0:
+                continue
+            erased[idx] = self.subtables[p].erase(k[idx])
+        return erased
+
+    def export(self) -> tuple[np.ndarray, np.ndarray]:
+        ks, vs = [], []
+        for t in self.subtables:
+            a, b = t.export()
+            ks.append(a)
+            vs.append(b)
+        return np.concatenate(ks), np.concatenate(vs)
+
+    def free(self) -> None:
+        for t in self.subtables:
+            t.free()

@@ -1,0 +1,191 @@
+"""Probing sequences (paper §II and §IV-A).
+
+Two layers:
+
+* **Classic slot-granular schemes** — linear, quadratic, double-hash
+  (Eqs. 1–3) — provided for the probing ablation (bench A2) and for
+  the theory-facing property tests (full-cycle coverage, clustering).
+
+* **The WarpDrive window sequence** — the hybrid scheme of Fig. 3:
+  chaotic (double-hash) probing *of windows*, with simultaneous linear
+  probing of ``|g|`` consecutive slots inside each window.  An outer
+  attempt ``p`` re-hashes via ``hash(d, p)``; the inner loop
+  ``q ∈ [0, 32/|g|)`` slides the |g|-wide window across a 32-slot span so
+  the visited slot set is *independent of the group size* — "the inner
+  probing loop ensures a consistent probing scheme in case that the size
+  of g is varied over time".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import WARP_SIZE
+from ..errors import ConfigurationError
+from ..hashing.families import DoubleHashFamily, HashFunction
+from ..utils.validation import check_group_size, check_positive
+
+__all__ = [
+    "ProbeSequence",
+    "LinearProbing",
+    "QuadraticProbing",
+    "DoubleHashProbing",
+    "WindowSequence",
+    "WindowRef",
+]
+
+_U64 = np.uint64
+
+
+class ProbeSequence(ABC):
+    """Slot-granular probing: ``s(k, l)`` for attempt ``l``."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def position(self, keys: np.ndarray, attempt: int, capacity: int) -> np.ndarray:
+        """Slot index probed at the ``attempt``-th step for each key."""
+
+    def sequence(self, key, capacity: int, length: int) -> np.ndarray:
+        """First ``length`` probe positions of a single key (test helper)."""
+        key_arr = np.asarray([key], dtype=np.uint32)
+        return np.array(
+            [int(self.position(key_arr, l, capacity)[0]) for l in range(length)],
+            dtype=np.int64,
+        )
+
+
+@dataclass(frozen=True)
+class LinearProbing(ProbeSequence):
+    """``s(k, l) = (h(k) + l) mod c`` (Eq. 1) — cache friendly, clusters."""
+
+    h: HashFunction
+    name: str = "linear"
+
+    def position(self, keys: np.ndarray, attempt: int, capacity: int) -> np.ndarray:
+        base = self.h(keys).astype(_U64)
+        return ((base + _U64(attempt)) % _U64(capacity)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class QuadraticProbing(ProbeSequence):
+    """``s(k, l) = (h(k) + l^2) mod c`` (Eq. 2) — escapes primary clusters."""
+
+    h: HashFunction
+    name: str = "quadratic"
+
+    def position(self, keys: np.ndarray, attempt: int, capacity: int) -> np.ndarray:
+        base = self.h(keys).astype(_U64)
+        return ((base + _U64(attempt) * _U64(attempt)) % _U64(capacity)).astype(
+            np.int64
+        )
+
+
+@dataclass(frozen=True)
+class DoubleHashProbing(ProbeSequence):
+    """``s(k, l) = (h(k) + l·g(k)) mod c`` (Eq. 3) — chaotic but reproducible."""
+
+    family: DoubleHashFamily
+    name: str = "double"
+
+    def position(self, keys: np.ndarray, attempt: int, capacity: int) -> np.ndarray:
+        base = self.family.primary(keys).astype(_U64)
+        # reduce the step into [1, capacity) so it can never be a multiple
+        # of the capacity (which would freeze the sequence); full-cycle
+        # coverage additionally needs gcd(step, capacity) == 1 — use prime
+        # or power-of-two capacities for that guarantee
+        step = self.family.step(keys).astype(_U64) % _U64(capacity)
+        step = np.maximum(step, _U64(1))
+        return ((base + _U64(attempt) * step) % _U64(capacity)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class WindowRef:
+    """Identity of one probing window: outer attempt ``p``, inner slide ``q``."""
+
+    outer: int
+    inner: int
+
+
+class WindowSequence:
+    """The WarpDrive hybrid window walk of Fig. 3.
+
+    Parameters
+    ----------
+    family:
+        The (h, g) double-hash pair; outer attempt ``p`` uses
+        ``window_hash(k, p) = h(k) + p·g(k)``.
+    group_size:
+        ``|g|`` — slots probed simultaneously per window.
+    p_max:
+        Maximum outer attempts before the insert raises.
+    """
+
+    def __init__(self, family: DoubleHashFamily, group_size: int, p_max: int):
+        self.family = family
+        self.group_size = check_group_size(group_size)
+        self.p_max = int(check_positive("p_max", p_max))
+        self.inner_count = WARP_SIZE // self.group_size
+
+    @property
+    def max_windows(self) -> int:
+        """Total number of windows the walk may visit."""
+        return self.p_max * self.inner_count
+
+    def window_ref(self, flat_index: int) -> WindowRef:
+        """Decompose a flat window counter into (outer p, inner q)."""
+        if flat_index < 0:
+            raise ConfigurationError(f"flat_index must be >= 0, got {flat_index}")
+        return WindowRef(flat_index // self.inner_count, flat_index % self.inner_count)
+
+    def window_start(
+        self, keys: np.ndarray, outer: int, inner: int, capacity: int
+    ) -> np.ndarray:
+        """Start slot of window (p=outer, q=inner) per key.
+
+        Fig. 3 line 7 with rank factored out:
+        ``i = (hash(d, p) + q·|g| + rank) mod |t|``.
+        """
+        if not 0 <= inner < self.inner_count:
+            raise ConfigurationError(
+                f"inner must be in [0, {self.inner_count}), got {inner}"
+            )
+        # all hash arithmetic wraps at 32 bits (uint32 kernels, Fig. 3)
+        with np.errstate(over="ignore"):
+            h = self.family.window_hash(keys, outer) + np.uint32(
+                inner * self.group_size
+            )
+        return (h.astype(_U64) % _U64(capacity)).astype(np.int64)
+
+    def window_slots(
+        self, keys: np.ndarray, outer: int, inner: int, capacity: int
+    ) -> np.ndarray:
+        """All ``|g|`` slot indices of the window, shape (len(keys), |g|)."""
+        start = self.window_start(keys, outer, inner, capacity)
+        ranks = np.arange(self.group_size, dtype=np.int64)
+        return (start[:, None] + ranks[None, :]) % capacity
+
+    def walk(self, key, capacity: int) -> Iterator[tuple[WindowRef, np.ndarray]]:
+        """Iterate windows of a single key in probe order (reference path)."""
+        key_arr = np.asarray([key], dtype=np.uint32)
+        for flat in range(self.max_windows):
+            ref = self.window_ref(flat)
+            yield ref, self.window_slots(key_arr, ref.outer, ref.inner, capacity)[0]
+
+    def visited_slots(self, key, capacity: int, num_windows: int) -> np.ndarray:
+        """Flattened slot indices of the first ``num_windows`` windows.
+
+        Used by the consistency property test: for a fixed key and
+        capacity, the first 32·p slots visited are identical for every
+        group size (the inner loop exists precisely to guarantee this).
+        """
+        out = []
+        for flat in range(num_windows):
+            ref = self.window_ref(flat)
+            key_arr = np.asarray([key], dtype=np.uint32)
+            out.append(self.window_slots(key_arr, ref.outer, ref.inner, capacity)[0])
+        return np.concatenate(out) if out else np.empty(0, dtype=np.int64)

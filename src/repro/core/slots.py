@@ -1,0 +1,66 @@
+"""Slot-content predicates shared by all kernels.
+
+A slot is one packed 64-bit AoS word.  Two bit patterns are reserved:
+``EMPTY_SLOT`` (never occupied) and ``TOMBSTONE_SLOT`` (deleted).  A slot
+is *vacant* — insertable — when it holds either sentinel, but only an
+EMPTY slot terminates a query probe: a tombstone means the key may still
+live further along the probe sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT, KEY_BITS, TOMBSTONE_SLOT
+
+__all__ = [
+    "is_empty",
+    "is_tombstone",
+    "is_vacant",
+    "is_live",
+    "slot_keys",
+    "slot_values",
+    "matches_key",
+]
+
+_U64 = np.uint64
+
+
+def is_empty(slots: np.ndarray) -> np.ndarray:
+    """True where the slot was never occupied."""
+    return np.asarray(slots, dtype=_U64) == EMPTY_SLOT
+
+
+def is_tombstone(slots: np.ndarray) -> np.ndarray:
+    """True where the slot held a pair that was deleted."""
+    return np.asarray(slots, dtype=_U64) == TOMBSTONE_SLOT
+
+
+def is_vacant(slots: np.ndarray) -> np.ndarray:
+    """True where an insert may claim the slot (empty or tombstone)."""
+    arr = np.asarray(slots, dtype=_U64)
+    return (arr == EMPTY_SLOT) | (arr == TOMBSTONE_SLOT)
+
+
+def is_live(slots: np.ndarray) -> np.ndarray:
+    """True where the slot holds a stored pair."""
+    return ~is_vacant(slots)
+
+
+def slot_keys(slots: np.ndarray) -> np.ndarray:
+    """Key halves of packed slots (sentinels decode to reserved keys)."""
+    return (np.asarray(slots, dtype=_U64) >> _U64(KEY_BITS)).astype(np.uint32)
+
+
+def slot_values(slots: np.ndarray) -> np.ndarray:
+    """Value halves of packed slots."""
+    return (np.asarray(slots, dtype=_U64) & _U64(0xFFFFFFFF)).astype(np.uint32)
+
+
+def matches_key(slots: np.ndarray, key) -> np.ndarray:
+    """True where a *live* slot stores ``key``.
+
+    Sentinels can never match because legal keys exclude the two reserved
+    top values (see :data:`repro.constants.MAX_KEY`).
+    """
+    return is_live(slots) & (slot_keys(slots) == np.uint32(key))

@@ -1,0 +1,80 @@
+"""Probe-length statistics and theoretical expectations.
+
+The group-size trade-off of Fig. 7 has a clean analytic core: under an
+ideal hash at true load α, a window of ``|g|`` slots is fully occupied
+with probability ~``α^|g|``, so the expected number of windows an insert
+examines is ``1 / (1 - α^|g|)`` (geometric).  These helpers expose both
+the measured distribution (from :class:`~repro.core.report.KernelReport`)
+and the theory, so tests can check the executors against the math and the
+perf model can be derived from first principles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.stats import Summary, summarize
+from .report import KernelReport
+
+__all__ = [
+    "expected_insert_windows",
+    "expected_query_windows",
+    "probe_summary",
+    "probe_histogram_fractions",
+]
+
+
+def expected_insert_windows(load_factor: float, group_size: int) -> float:
+    """E[windows probed per insert] ≈ 1 / (1 - α^|g|).
+
+    Uses the *final* load as a pessimistic bound; inserting into an
+    initially empty table averages over loads 0..α, so measured means sit
+    below this value — tests assert the ordering, benches use the measured
+    numbers.
+    """
+    if not 0 <= load_factor < 1:
+        raise ConfigurationError(
+            f"load_factor must be in [0, 1) for the expectation, got {load_factor}"
+        )
+    if group_size < 1:
+        raise ConfigurationError(f"group_size must be >= 1, got {group_size}")
+    blocked = load_factor**group_size
+    return 1.0 / (1.0 - blocked)
+
+
+def expected_query_windows(
+    load_factor: float, group_size: int, hit_rate: float = 1.0
+) -> float:
+    """E[windows probed per query].
+
+    A *hit* ends, on average, where the insert that placed the key ended —
+    averaged over the table's fill history: ``(1/α)·∫₀^α 1/(1-x^g) dx``
+    (approximated numerically).  A *miss* ends at the first window
+    containing an empty slot, i.e. the same geometric as an insert at the
+    current load.
+    """
+    if not 0 <= load_factor < 1:
+        raise ConfigurationError(
+            f"load_factor must be in [0, 1) for the expectation, got {load_factor}"
+        )
+    if not 0 <= hit_rate <= 1:
+        raise ConfigurationError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    if load_factor == 0:
+        return 1.0
+    xs = np.linspace(0.0, load_factor, 256)
+    hit_expectation = float(np.mean(1.0 / (1.0 - xs**group_size)))
+    miss_expectation = expected_insert_windows(load_factor, group_size)
+    return hit_rate * hit_expectation + (1 - hit_rate) * miss_expectation
+
+
+def probe_summary(report: KernelReport) -> Summary:
+    """Five-number summary of the windows-probed distribution."""
+    return summarize(report.probe_windows)
+
+
+def probe_histogram_fractions(report: KernelReport) -> np.ndarray:
+    """Fraction of operations by windows probed (index = window count)."""
+    hist = report.window_histogram().astype(np.float64)
+    total = hist.sum()
+    return hist / total if total else hist

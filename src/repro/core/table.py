@@ -1,0 +1,357 @@
+"""The WarpDrive hash table — single-GPU public API.
+
+This is the user-facing object implementing the paper's core
+contribution: an open-addressing hash map probed by coalesced groups of
+``|g|`` threads with the hybrid linear-window/chaotic-hop scheme of
+Fig. 3.  Bulk operations run on the vectorized executor by default; the
+``executor="ref"`` path runs the faithful generator kernels under a
+chosen interleaving scheduler (slow; for verification).
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.core import WarpDriveHashTable
+>>> table = WarpDriveHashTable.for_load_factor(1000, 0.9, group_size=4)
+>>> keys = np.arange(1000, dtype=np.uint32)
+>>> report = table.insert(keys, keys * 2)
+>>> values, found = table.query(keys)
+>>> bool(found.all()), int(values[21])
+(True, 42)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT
+from ..errors import ConfigurationError, InsertionError
+from ..memory.buffer import DeviceBuffer
+from ..memory.layout import unpack_pairs
+from ..simt.counters import TransactionCounter
+from ..simt.device import Device
+from ..simt.kernel import launch
+from ..simt.scheduler import Scheduler, SequentialScheduler
+from ..simt.warp import CoalescedGroup
+from ..utils.validation import check_keys, check_same_length, check_values
+from .bulk import STATUS, bulk_erase, bulk_insert, bulk_query
+from .config import HashTableConfig
+from .kernels_ref import erase_task, insert_task, query_task
+from .probing import WindowSequence
+from .report import KernelReport
+from .slots import is_vacant
+
+__all__ = ["WarpDriveHashTable"]
+
+
+class WarpDriveHashTable:
+    """Fixed-capacity concurrent hash map with sub-warp probing.
+
+    Parameters
+    ----------
+    capacity:
+        Slot count ``c``.  Either pass this or a full ``config``.
+    group_size:
+        Coalesced-group width ``|g|``; the paper finds ``{2, 4, 8}``
+        optimal at high load (Fig. 7).
+    device:
+        Optional simulated :class:`~repro.simt.device.Device`; when given,
+        the slot array is allocated as VRAM (counted against the 16 GB of
+        a P100) and all work is charged to the device's counter.
+    config:
+        Full :class:`~repro.core.config.HashTableConfig`; overrides the
+        keyword shortcuts.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        *,
+        group_size: int = 4,
+        p_max: int | None = None,
+        config: HashTableConfig | None = None,
+        device: Device | None = None,
+    ):
+        if config is None:
+            if capacity is None:
+                raise ConfigurationError("pass either capacity or config")
+            kwargs = {"capacity": capacity, "group_size": group_size}
+            if p_max is not None:
+                kwargs["p_max"] = p_max
+            config = HashTableConfig(**kwargs)
+        elif capacity is not None and capacity != config.capacity:
+            raise ConfigurationError(
+                "capacity argument conflicts with config.capacity"
+            )
+        self.config = config
+        self.device = device
+        self.counter = device.counter if device is not None else TransactionCounter()
+
+        if device is not None:
+            self._buffer: DeviceBuffer | None = DeviceBuffer.full(
+                device, config.capacity, EMPTY_SLOT, dtype=np.uint64
+            )
+            self.slots = self._buffer.array
+        else:
+            self._buffer = None
+            self.slots = np.full(config.capacity, EMPTY_SLOT, dtype=np.uint64)
+
+        self.seq = WindowSequence(config.family, config.group_size, config.p_max)
+        self._size = 0
+        self.rebuilds = 0
+        self.last_report: KernelReport | None = None
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def for_load_factor(
+        cls,
+        num_pairs: int,
+        load_factor: float,
+        *,
+        device: Device | None = None,
+        **config_kwargs,
+    ) -> "WarpDriveHashTable":
+        """Size a table so ``num_pairs`` inserts reach ``load_factor``."""
+        config = HashTableConfig.for_load_factor(
+            num_pairs, load_factor, **config_kwargs
+        )
+        return cls(config=config, device=device)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.config.capacity
+
+    def __len__(self) -> int:
+        """Number of live pairs currently stored."""
+        return self._size
+
+    @property
+    def load_factor(self) -> float:
+        """True load α = n/c."""
+        return self._size / self.capacity
+
+    def occupancy(self) -> float:
+        """Measured fraction of non-vacant slots (cross-check for tests)."""
+        return float(np.mean(~is_vacant(self.slots)))
+
+    @property
+    def table_bytes(self) -> int:
+        return self.config.table_bytes
+
+    # -- bulk operations --------------------------------------------------
+
+    def insert(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        executor: str = "fast",
+        scheduler: Scheduler | None = None,
+        wave_size: int | None = None,
+    ) -> KernelReport:
+        """Insert (or update) key-value pairs.
+
+        Raises :class:`~repro.errors.InsertionError` if the probing scheme
+        exhausts ``p_max`` windows and ``rebuild_on_failure`` is off (or
+        rebuild attempts run out); otherwise transparently rebuilds with a
+        translated hash family, as §II prescribes.
+        """
+        k = check_keys(keys)
+        v = check_values(values)
+        check_same_length("keys", k, "values", v)
+
+        if executor == "fast":
+            report, status = bulk_insert(
+                self.slots, self.seq, k, v, self.counter, wave_size=wave_size
+            )
+        elif executor == "ref":
+            report, status = self._insert_ref(k, v, scheduler)
+        else:
+            raise ConfigurationError(f"unknown executor {executor!r}")
+
+        self._size += int(np.sum(status == STATUS["inserted"]))
+        self.last_report = report
+
+        if report.failed:
+            if (
+                not self.config.rebuild_on_failure
+                or self.rebuilds >= self.config.max_rebuilds
+            ):
+                raise InsertionError(
+                    f"{report.failed} pairs could not be placed after "
+                    f"p_max={self.config.p_max} chaotic probes "
+                    f"(load={self.load_factor:.3f}); rebuild budget exhausted"
+                )
+            failed_mask = status == STATUS["failed"]
+            self._rebuild_with(k[failed_mask], v[failed_mask], executor=executor)
+        return report
+
+    def _insert_ref(
+        self, k: np.ndarray, v: np.ndarray, scheduler: Scheduler | None
+    ) -> tuple[KernelReport, np.ndarray]:
+        group = CoalescedGroup(self.config.group_size, self.counter)
+        sched = scheduler or SequentialScheduler()
+
+        def kernel(i: int):
+            return insert_task(
+                self.slots, self.seq, group, int(k[i]), int(v[i]), self.counter
+            )
+
+        results = launch(kernel, k.shape[0], scheduler=sched, counter=self.counter)
+        status = np.array(
+            [STATUS[s] for s, _ in results], dtype=np.uint8
+        )
+        probes = np.array([w for _, w in results], dtype=np.int64)
+        report = KernelReport(
+            op="insert",
+            num_ops=k.shape[0],
+            probe_windows=probes,
+            group_size=self.config.group_size,
+            failed=int(np.sum(status == STATUS["failed"])),
+        )
+        return report, status
+
+    def query(
+        self,
+        keys: np.ndarray,
+        *,
+        default: int = 0,
+        executor: str = "fast",
+        scheduler: Scheduler | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Retrieve values; returns (values, found-mask).
+
+        Keys not present yield ``default`` with ``found == False``.
+        """
+        k = check_keys(keys)
+        if executor == "fast":
+            report, values, found = bulk_query(
+                self.slots, self.seq, k, self.counter, default=default
+            )
+        elif executor == "ref":
+            group = CoalescedGroup(self.config.group_size, self.counter)
+            sched = scheduler or SequentialScheduler()
+
+            def kernel(i: int):
+                return query_task(
+                    self.slots, self.seq, group, int(k[i]), self.counter
+                )
+
+            results = launch(kernel, k.shape[0], scheduler=sched, counter=self.counter)
+            values = np.full(k.shape[0], default, dtype=np.uint32)
+            found = np.zeros(k.shape[0], dtype=bool)
+            probes = np.zeros(k.shape[0], dtype=np.int64)
+            for i, (s, val, w) in enumerate(results):
+                probes[i] = w
+                if s == "found":
+                    values[i] = val
+                    found[i] = True
+            report = KernelReport(
+                op="query",
+                num_ops=k.shape[0],
+                probe_windows=probes,
+                group_size=self.config.group_size,
+                failed=int(np.sum(~found)),
+            )
+        else:
+            raise ConfigurationError(f"unknown executor {executor!r}")
+        self.last_report = report
+        return values, found
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership mask."""
+        _, found = self.query(keys)
+        return found
+
+    def get(self, key: int, default: int | None = None) -> int | None:
+        """Scalar lookup convenience."""
+        values, found = self.query(np.asarray([key], dtype=np.uint32))
+        if not found[0]:
+            return default
+        return int(values[0])
+
+    def erase(
+        self,
+        keys: np.ndarray,
+        *,
+        executor: str = "fast",
+        scheduler: Scheduler | None = None,
+    ) -> np.ndarray:
+        """Delete keys (tombstones); returns an erased-mask.
+
+        Deletions form their own barrier-delimited phase, per §IV-A: "the
+        described pattern ... cannot be used in combination with
+        deletions.  Nevertheless, insertions and deletions can be safely
+        interleaved using global barriers."
+        """
+        k = check_keys(keys)
+        if executor == "fast":
+            report, erased = bulk_erase(self.slots, self.seq, k, self.counter)
+            # every tombstone write is one store sector in the erase report
+            self._size -= report.store_sectors
+        elif executor == "ref":
+            group = CoalescedGroup(self.config.group_size, self.counter)
+            sched = scheduler or SequentialScheduler()
+
+            def kernel(i: int):
+                return erase_task(self.slots, self.seq, group, int(k[i]), self.counter)
+
+            cas_before = self.counter.cas_successes
+            results = launch(kernel, k.shape[0], scheduler=sched, counter=self.counter)
+            erased = np.array([s == "erased" for s, _ in results], dtype=bool)
+            report = KernelReport(
+                op="erase",
+                num_ops=k.shape[0],
+                probe_windows=np.array([w for _, w in results], dtype=np.int64),
+                group_size=self.config.group_size,
+                failed=int(np.sum(~erased)),
+            )
+            # each successful tombstone CAS removed one live slot
+            self._size -= self.counter.cas_successes - cas_before
+        else:
+            raise ConfigurationError(f"unknown executor {executor!r}")
+        self.last_report = report
+        return erased
+
+    # -- maintenance -------------------------------------------------------
+
+    def export(self) -> tuple[np.ndarray, np.ndarray]:
+        """All stored (keys, values), in unspecified order."""
+        live = self.slots[~is_vacant(self.slots)]
+        return unpack_pairs(live)
+
+    def clear(self) -> None:
+        self.slots.fill(EMPTY_SLOT)
+        self._size = 0
+
+    def _rebuild_with(
+        self, extra_keys: np.ndarray, extra_values: np.ndarray, *, executor: str
+    ) -> None:
+        """Invalidate and reconstruct with a distinct hash function (§II)."""
+        self.rebuilds += 1
+        stored_k, stored_v = self.export()
+        self.config = self.config.rebuilt(self.rebuilds)
+        self.seq = WindowSequence(
+            self.config.family, self.config.group_size, self.config.p_max
+        )
+        self.slots.fill(EMPTY_SLOT)
+        self._size = 0
+        all_k = np.concatenate([stored_k, extra_keys])
+        all_v = np.concatenate([stored_v, extra_values])
+        if all_k.size:
+            self.insert(all_k, all_v, executor=executor)
+
+    def free(self) -> None:
+        """Release simulated VRAM (no-op for host-backed tables)."""
+        if self._buffer is not None:
+            self._buffer.free()
+            self.slots = np.empty(0, dtype=np.uint64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WarpDriveHashTable(capacity={self.capacity}, "
+            f"group_size={self.config.group_size}, size={self._size}, "
+            f"load={self.load_factor:.3f})"
+        )

@@ -1,0 +1,43 @@
+"""Hash functions: mixers, translated families, tabulation, partitioning."""
+
+from .avalanche import AvalancheReport, avalanche_matrix, avalanche_report, chi2_uniformity
+from .families import DoubleHashFamily, HashFunction, make_double_family, make_hash
+from .mixers import (
+    MIXERS,
+    fmix32,
+    fmix32_inverse,
+    fmix64,
+    identity32,
+    mueller,
+    mueller_inverse,
+)
+from .partition import (
+    PartitionHash,
+    fastrange_partition,
+    hashed_partition,
+    modulo_partition,
+)
+from .tabulation import TabulationHash
+
+__all__ = [
+    "fmix32",
+    "fmix32_inverse",
+    "mueller",
+    "mueller_inverse",
+    "fmix64",
+    "identity32",
+    "MIXERS",
+    "HashFunction",
+    "DoubleHashFamily",
+    "make_hash",
+    "make_double_family",
+    "TabulationHash",
+    "AvalancheReport",
+    "avalanche_matrix",
+    "avalanche_report",
+    "chi2_uniformity",
+    "PartitionHash",
+    "modulo_partition",
+    "hashed_partition",
+    "fastrange_partition",
+]

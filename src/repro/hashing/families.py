@@ -1,0 +1,132 @@
+"""Hash-function families: translated variants and double-hashing pairs.
+
+The paper (§V-A) notes that because ``fmix32`` and ``mueller`` are
+bijections on 4-byte integers, the *translated* variants
+``h_y(x) = h(x + y)`` retain their mathematical properties.  The table uses
+one translated hash per (re)build attempt, so an insertion failure can be
+healed by rebuilding with a fresh translation (§II).
+
+Double ("chaotic") hashing additionally needs a second hash ``g(k)`` whose
+value is made odd so it is coprime with power-of-two capacities and the
+probe sequence visits every window.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .mixers import MIXERS, fmix32, mueller
+
+__all__ = ["HashFunction", "DoubleHashFamily", "make_hash", "make_double_family"]
+
+_U32 = np.uint32
+
+
+@dataclass(frozen=True)
+class HashFunction:
+    """A translated 32-bit hash ``h_y(x) = mixer(x + y)``.
+
+    Parameters
+    ----------
+    mixer:
+        The base bijective finalizer.
+    translation:
+        The additive constant ``y`` (mod 2**32).  Distinct translations
+        give distinct, equally well-mixed functions.
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    mixer: Callable[[np.ndarray], np.ndarray]
+    translation: int = 0
+    name: str = "fmix32"
+
+    def __call__(self, keys) -> np.ndarray:
+        x = np.asarray(keys, dtype=np.uint32)
+        if self.translation:
+            x = x + _U32(self.translation & 0xFFFFFFFF)
+        return self.mixer(x)
+
+    def translated(self, delta: int) -> "HashFunction":
+        """A fresh family member shifted by ``delta`` (rebuild path)."""
+        return HashFunction(
+            mixer=self.mixer,
+            translation=(self.translation + delta) & 0xFFFFFFFF,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class DoubleHashFamily:
+    """A pair (h, g) driving the chaotic window sequence of Fig. 3.
+
+    ``window_hash(k, p)`` yields the start position hash of the ``p``-th
+    probing window: ``h(k) + p * g(k)`` with ``g(k)`` forced odd so every
+    residue class modulo a power-of-two window count is eventually visited.
+    """
+
+    h: HashFunction
+    g: HashFunction = field(default_factory=lambda: HashFunction(mueller, 0, "mueller"))
+
+    def primary(self, keys) -> np.ndarray:
+        return self.h(keys)
+
+    def step(self, keys) -> np.ndarray:
+        """Secondary hash, forced odd (never zero) to guarantee full cycles."""
+        return self.g(keys) | _U32(1)
+
+    def window_hash(self, keys, attempt: int) -> np.ndarray:
+        """Hash value of the ``attempt``-th chaotic probing window.
+
+        ``attempt == 0`` reduces to the primary hash, matching
+        ``s(k, 0) = h(k)`` in §II.
+        """
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        base = self.primary(keys)
+        if attempt == 0:
+            return base
+        return base + _U32(attempt & 0xFFFFFFFF) * self.step(keys)
+
+    def rebuilt(self, salt: int) -> "DoubleHashFamily":
+        """A distinct family for table reconstruction after insert failure."""
+        return DoubleHashFamily(
+            h=self.h.translated(0x9E3779B9 * (salt + 1)),
+            g=self.g.translated(0x85EBCA77 * (salt + 1)),
+        )
+
+
+def make_hash(name: str = "fmix32", translation: int = 0) -> HashFunction:
+    """Build a named translated hash (``fmix32``, ``mueller``, ``identity``)."""
+    try:
+        mixer = MIXERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mixer {name!r}; choose from {sorted(MIXERS)}"
+        ) from None
+    return HashFunction(mixer=mixer, translation=translation, name=name)
+
+
+def make_double_family(
+    primary: str = "fmix32",
+    secondary: str = "mueller",
+    *,
+    translation: int = 0,
+) -> DoubleHashFamily:
+    """Build the default (h, g) pair used by WarpDrive tables."""
+    if primary == secondary and translation == 0:
+        # identical h and g would degrade double hashing to linear stepping
+        return DoubleHashFamily(
+            h=make_hash(primary, 0), g=make_hash(secondary, 0x9E3779B9)
+        )
+    return DoubleHashFamily(
+        h=make_hash(primary, translation), g=make_hash(secondary, translation)
+    )
+
+
+# Keep a convenient module-level default mirroring the paper's choice.
+DEFAULT_FAMILY = DoubleHashFamily(h=HashFunction(fmix32, 0, "fmix32"))

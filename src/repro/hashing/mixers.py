@@ -1,0 +1,150 @@
+"""Integer finalizer ("mixer") hash functions from the paper (§V-A).
+
+The paper employs two 4-byte hash functions: the integer finalizer of
+Appleby's MurmurHash3 (``fmix32``) and Mueller's hash.  Both are bijections
+("act as isomorphism on the space of 4-byte integers") with strong
+avalanche behaviour, which is why translated variants
+``h_y(x) = h(x + y)`` preserve their quality.
+
+All functions here are vectorized: they accept scalars or ``uint32``
+arrays and return the same shape.  Exact bit-for-bit parity with the C
+reference implementations is covered by golden-vector unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fmix32",
+    "fmix32_inverse",
+    "mueller",
+    "mueller_inverse",
+    "fmix64",
+    "identity32",
+    "MIXERS",
+]
+
+_U32 = np.uint32
+_U64 = np.uint64
+_MASK32 = np.uint32(0xFFFFFFFF)
+
+
+def _modular(fn):
+    """Silence NumPy's overflow warning — wraparound *is* the arithmetic.
+
+    All mixers compute modulo 2^32/2^64 by design; NumPy only warns for
+    0-d (scalar) operands, so without this a scalar call would be noisy
+    while the vectorized call is silent.
+    """
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with np.errstate(over="ignore"):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def _as_u32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.uint32)
+
+
+@_modular
+def fmix32(x) -> np.ndarray:
+    """MurmurHash3 32-bit integer finalizer (Appleby).
+
+    Mirrors the exact shift/multiply cascade quoted in the paper::
+
+        x ^= x >> 16; x *= 0x85ebca6b; x ^= x >> 13;
+        x *= 0xc2b2ae35; x ^= x >> 16;
+    """
+    x = _as_u32(x).copy()
+    x ^= x >> _U32(16)
+    x *= _U32(0x85EBCA6B)
+    x ^= x >> _U32(13)
+    x *= _U32(0xC2B2AE35)
+    x ^= x >> _U32(16)
+    return x
+
+
+def _unxorshift(x: np.ndarray, shift: int) -> np.ndarray:
+    """Invert ``x ^= x >> shift`` for 32-bit lanes."""
+    out = x.copy()
+    s = shift
+    while s < 32:
+        out = x ^ (out >> _U32(shift))
+        s += shift
+    return out
+
+
+# Modular inverses of the fmix32/mueller multipliers modulo 2**32.
+_INV_85EBCA6B = _U32(pow(0x85EBCA6B, -1, 1 << 32))
+_INV_C2B2AE35 = _U32(pow(0xC2B2AE35, -1, 1 << 32))
+_INV_45D9F3B = _U32(pow(0x45D9F3B, -1, 1 << 32))
+
+
+@_modular
+def fmix32_inverse(x) -> np.ndarray:
+    """Exact inverse of :func:`fmix32` (used to verify bijectivity)."""
+    x = _as_u32(x).copy()
+    x = _unxorshift(x, 16)
+    x *= _INV_C2B2AE35
+    x = _unxorshift(x, 13)
+    x *= _INV_85EBCA6B
+    x = _unxorshift(x, 16)
+    return x
+
+
+@_modular
+def mueller(x) -> np.ndarray:
+    """Mueller's 32-bit hash, as quoted in the paper::
+
+        x ^= x >> 16; x *= 0x45d9f3b; x ^= x >> 16;
+        x *= 0x45d9f3b; x ^= x >> 16;
+    """
+    x = _as_u32(x).copy()
+    x ^= x >> _U32(16)
+    x *= _U32(0x45D9F3B)
+    x ^= x >> _U32(16)
+    x *= _U32(0x45D9F3B)
+    x ^= x >> _U32(16)
+    return x
+
+
+@_modular
+def mueller_inverse(x) -> np.ndarray:
+    """Exact inverse of :func:`mueller`."""
+    x = _as_u32(x).copy()
+    x = _unxorshift(x, 16)
+    x *= _INV_45D9F3B
+    x = _unxorshift(x, 16)
+    x *= _INV_45D9F3B
+    x = _unxorshift(x, 16)
+    return x
+
+
+@_modular
+def fmix64(x) -> np.ndarray:
+    """MurmurHash3 64-bit finalizer (used for packed-pair hashing)."""
+    x = np.asarray(x, dtype=np.uint64).copy()
+    x ^= x >> _U64(33)
+    x *= _U64(0xFF51AFD7ED558CCD)
+    x ^= x >> _U64(33)
+    x *= _U64(0xC4CEB9FE1A85EC53)
+    x ^= x >> _U64(33)
+    return x
+
+
+def identity32(x) -> np.ndarray:
+    """Identity "hash" — deliberately terrible; used by clustering tests."""
+    return _as_u32(x).copy()
+
+
+#: Registry of named mixers for config-driven selection.
+MIXERS = {
+    "fmix32": fmix32,
+    "mueller": mueller,
+    "identity": identity32,
+}

@@ -1,0 +1,82 @@
+"""Partition (GPU-assignment) hash functions ``p(k) ∈ {0..m-1}``.
+
+§IV-B introduces the partition hash that assigns each key a unique GPU
+identifier.  Fig. 4's worked example uses the trivial ``p(k) = k mod m``;
+production use hashes first so that structured key sets still balance.
+Both are provided, plus a multiply-shift "fastrange" variant that avoids
+the modulo on power-of-two-hostile ``m``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .families import HashFunction, make_hash
+
+__all__ = ["PartitionHash", "modulo_partition", "hashed_partition", "fastrange_partition"]
+
+
+@dataclass(frozen=True)
+class PartitionHash:
+    """Maps keys to GPU identifiers in ``{0, ..., num_parts - 1}``."""
+
+    num_parts: int
+    fn: Callable[[np.ndarray], np.ndarray]
+    name: str = "partition"
+
+    def __post_init__(self):
+        if self.num_parts < 1:
+            raise ConfigurationError(
+                f"num_parts must be >= 1, got {self.num_parts}"
+            )
+
+    def __call__(self, keys) -> np.ndarray:
+        parts = np.asarray(self.fn(np.asarray(keys, dtype=np.uint32)))
+        return parts.astype(np.int64, copy=False)
+
+    def balance(self, keys) -> np.ndarray:
+        """Fraction of keys landing on each partition (diagnostics)."""
+        counts = np.bincount(self(keys), minlength=self.num_parts)
+        total = max(int(counts.sum()), 1)
+        return counts / total
+
+
+def modulo_partition(num_parts: int) -> PartitionHash:
+    """The paper's Fig. 4 example partitioner: ``p(k) = k mod m``."""
+    m = np.uint32(num_parts)
+
+    def fn(keys: np.ndarray) -> np.ndarray:
+        return keys % m
+
+    return PartitionHash(num_parts, fn, name=f"mod{num_parts}")
+
+
+def hashed_partition(
+    num_parts: int, hash_fn: HashFunction | None = None
+) -> PartitionHash:
+    """Hash then reduce: balances structured key sets across GPUs."""
+    h = hash_fn if hash_fn is not None else make_hash("mueller", translation=0x5BD1E995)
+    m = np.uint32(num_parts)
+
+    def fn(keys: np.ndarray) -> np.ndarray:
+        return h(keys) % m
+
+    return PartitionHash(num_parts, fn, name=f"hashed{num_parts}")
+
+
+def fastrange_partition(
+    num_parts: int, hash_fn: HashFunction | None = None
+) -> PartitionHash:
+    """Lemire fastrange reduction: ``(h(k) * m) >> 32`` — no modulo."""
+    h = hash_fn if hash_fn is not None else make_hash("fmix32", translation=0x27D4EB2F)
+    m = np.uint64(num_parts)
+
+    def fn(keys: np.ndarray) -> np.ndarray:
+        wide = h(keys).astype(np.uint64) * m
+        return (wide >> np.uint64(32)).astype(np.uint32)
+
+    return PartitionHash(num_parts, fn, name=f"fastrange{num_parts}")

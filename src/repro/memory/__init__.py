@@ -1,0 +1,27 @@
+"""Simulated memory system: layouts, buffers, transfers."""
+
+from .buffer import DeviceBuffer, HostBuffer
+from .layout import (
+    AoSLayout,
+    SoALayout,
+    pack_pairs,
+    pack_scalar,
+    unpack_pairs,
+    unpack_scalar,
+)
+from .transfer import MemcpyKind, TransferLog, TransferRecord, memcpy
+
+__all__ = [
+    "HostBuffer",
+    "DeviceBuffer",
+    "AoSLayout",
+    "SoALayout",
+    "pack_pairs",
+    "unpack_pairs",
+    "pack_scalar",
+    "unpack_scalar",
+    "MemcpyKind",
+    "TransferLog",
+    "TransferRecord",
+    "memcpy",
+]

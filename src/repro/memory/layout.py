@@ -1,0 +1,162 @@
+"""Key-value memory layouts (paper §II, Fig. 1).
+
+*AoS* packs each (key, value) pair into one 64-bit word — "cache-friendly
+and fully atomic access onto key-value pairs up to 64 bits".  *SoA* keeps
+separate key and value arrays, allowing longer keys "at the cost of
+inferior caching and potential priority inversion during updates".
+
+WarpDrive's table uses AoS; the SoA class exists for the layout ablation
+(bench A4) and to model the priority-inversion hazard in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT, KEY_BITS, MAX_KEY, PAIR_BYTES, TOMBSTONE_SLOT
+from ..errors import ConfigurationError
+from ..utils.validation import check_keys, check_same_length, check_values
+
+__all__ = ["pack_pairs", "unpack_pairs", "pack_scalar", "unpack_scalar", "AoSLayout", "SoALayout"]
+
+_U64 = np.uint64
+_U32 = np.uint32
+
+
+def pack_pairs(keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Pack 32-bit keys and values into 64-bit AoS words (key in high bits).
+
+    Placing the key in the high half means the reserved top key values map
+    to the largest packed words, so no legal pair collides with the
+    ``EMPTY_SLOT`` / ``TOMBSTONE_SLOT`` sentinels.
+    """
+    k = check_keys(keys)
+    v = check_values(values)
+    check_same_length("keys", k, "values", v)
+    return (k.astype(_U64) << _U64(KEY_BITS)) | v.astype(_U64)
+
+
+def unpack_pairs(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split packed AoS words back into (keys, values)."""
+    arr = np.asarray(packed, dtype=_U64)
+    keys = (arr >> _U64(KEY_BITS)).astype(_U32)
+    values = (arr & _U64(0xFFFFFFFF)).astype(_U32)
+    return keys, values
+
+
+def pack_scalar(key: int, value: int) -> np.uint64:
+    """Pack one pair; scalar convenience for the reference kernels."""
+    if not 0 <= key <= MAX_KEY:
+        raise ConfigurationError(f"key must be in [0, {MAX_KEY}], got {key}")
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ConfigurationError(f"value must be a 32-bit unsigned int, got {value}")
+    return _U64((key << KEY_BITS) | value)
+
+
+def unpack_scalar(packed: np.uint64) -> tuple[int, int]:
+    """Unpack one 64-bit word into (key, value)."""
+    p = int(packed)
+    return p >> KEY_BITS, p & 0xFFFFFFFF
+
+
+@dataclass
+class AoSLayout:
+    """Array-of-structs slot storage: one uint64 per slot.
+
+    A probe of a window of ``|g|`` consecutive slots reads ``|g| * 8``
+    contiguous bytes — a single coalesced transaction group.
+    """
+
+    slots: np.ndarray
+
+    @classmethod
+    def empty(cls, capacity: int) -> "AoSLayout":
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {capacity}")
+        return cls(np.full(capacity, EMPTY_SLOT, dtype=_U64))
+
+    @property
+    def capacity(self) -> int:
+        return int(self.slots.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return self.capacity * PAIR_BYTES
+
+    def is_vacant(self) -> np.ndarray:
+        """Boolean mask of empty-or-tombstone slots (insertable)."""
+        return (self.slots == EMPTY_SLOT) | (self.slots == TOMBSTONE_SLOT)
+
+    def is_empty(self) -> np.ndarray:
+        return self.slots == EMPTY_SLOT
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding live pairs (the true load factor α)."""
+        return float(np.mean(~self.is_vacant()))
+
+    def stored_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All live (key, value) pairs, in slot order."""
+        live = self.slots[~self.is_vacant()]
+        return unpack_pairs(live)
+
+    def clear(self) -> None:
+        self.slots.fill(EMPTY_SLOT)
+
+
+@dataclass
+class SoALayout:
+    """Struct-of-arrays storage: separate key and value arrays.
+
+    Value writes are *relaxed* (not covered by the key CAS), which is the
+    priority-inversion hazard the paper describes: two concurrent updates
+    of the same key may commit key and value from different writers.
+    Provided for the layout ablation; WarpDrive proper uses AoS.
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+
+    #: reserved key marking an empty SoA slot
+    EMPTY_KEY = _U32(0xFFFFFFFF)
+    #: reserved key marking a deleted SoA slot
+    TOMBSTONE_KEY = _U32(0xFFFFFFFE)
+
+    @classmethod
+    def empty(cls, capacity: int) -> "SoALayout":
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0, got {capacity}")
+        return cls(
+            keys=np.full(capacity, cls.EMPTY_KEY, dtype=_U32),
+            values=np.zeros(capacity, dtype=_U32),
+        )
+
+    @property
+    def capacity(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return self.capacity * PAIR_BYTES  # same total footprint as AoS
+
+    def is_vacant(self) -> np.ndarray:
+        return (self.keys == self.EMPTY_KEY) | (self.keys == self.TOMBSTONE_KEY)
+
+    def occupancy(self) -> float:
+        return float(np.mean(~self.is_vacant()))
+
+    def query_transactions(self, num_queries: int, group_size: int) -> int:
+        """Sector loads for ``num_queries`` probes under SoA vs AoS.
+
+        SoA needs *two* transactions per window (key array + value array)
+        where AoS needs one — the Fig. 1 caching argument, quantified for
+        bench A4.
+        """
+        from ..simt.counters import sectors_for_access
+
+        window_bytes = group_size * 4  # 4-byte keys
+        per_window = sectors_for_access(0, window_bytes) + sectors_for_access(
+            0, window_bytes
+        )
+        return num_queries * per_window

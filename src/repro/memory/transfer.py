@@ -1,0 +1,134 @@
+"""Host↔device and device↔device copies with byte accounting.
+
+Every copy is recorded in a :class:`TransferLog` with its kind and
+endpoints; :mod:`repro.perfmodel` later prices the log against the node's
+link bandwidths (PCIe for H2D/D2H, NVLink for P2P).  The copies
+themselves move real data so functional results stay exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .buffer import DeviceBuffer, HostBuffer
+
+__all__ = ["MemcpyKind", "TransferRecord", "TransferLog", "memcpy"]
+
+
+class MemcpyKind(enum.Enum):
+    """Direction of a copy, CUDA-style."""
+
+    H2D = "host_to_device"
+    D2H = "device_to_host"
+    D2D = "device_to_device"  # same GPU
+    P2P = "peer_to_peer"      # across GPUs (NVLink)
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed copy."""
+
+    kind: MemcpyKind
+    nbytes: int
+    src_device: int | None  # None = host
+    dst_device: int | None  # None = host
+    tag: str = ""
+
+
+@dataclass
+class TransferLog:
+    """Append-only record of copies for a node or experiment phase."""
+
+    records: list[TransferRecord] = field(default_factory=list)
+
+    def add(self, record: TransferRecord) -> None:
+        self.records.append(record)
+
+    def bytes_by_kind(self) -> dict[MemcpyKind, int]:
+        out: dict[MemcpyKind, int] = {}
+        for rec in self.records:
+            out[rec.kind] = out.get(rec.kind, 0) + rec.nbytes
+        return out
+
+    def total_bytes(self, kind: MemcpyKind | None = None) -> int:
+        if kind is None:
+            return sum(rec.nbytes for rec in self.records)
+        return sum(rec.nbytes for rec in self.records if rec.kind == kind)
+
+    def p2p_matrix(self, num_devices: int) -> np.ndarray:
+        """Bytes sent between each (src, dst) GPU pair — the all-to-all load."""
+        mat = np.zeros((num_devices, num_devices), dtype=np.int64)
+        for rec in self.records:
+            if rec.kind is MemcpyKind.P2P:
+                mat[rec.src_device, rec.dst_device] += rec.nbytes
+        return mat
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _endpoint_device(buf: HostBuffer | DeviceBuffer) -> int | None:
+    return buf.device.device_id if isinstance(buf, DeviceBuffer) else None
+
+
+def memcpy(
+    dst: HostBuffer | DeviceBuffer,
+    src: HostBuffer | DeviceBuffer,
+    *,
+    log: TransferLog | None = None,
+    tag: str = "",
+    count: int | None = None,
+    dst_offset: int = 0,
+    src_offset: int = 0,
+) -> TransferRecord:
+    """Copy ``count`` elements from ``src`` to ``dst`` and log the bytes.
+
+    Mirrors ``cudaMemcpy``: the kind is inferred from the endpoint types
+    and device ids.  Raises on dtype mismatch or out-of-range windows.
+    """
+    if isinstance(src, DeviceBuffer):
+        src.require_live()
+    if isinstance(dst, DeviceBuffer):
+        dst.require_live()
+    if dst.array.dtype != src.array.dtype:
+        raise ConfigurationError(
+            f"memcpy dtype mismatch: {dst.array.dtype} != {src.array.dtype}"
+        )
+    n = len(src) - src_offset if count is None else count
+    if n < 0 or src_offset + n > len(src) or dst_offset + n > len(dst):
+        raise ConfigurationError(
+            f"memcpy window out of range: count={n}, src_offset={src_offset} "
+            f"(len {len(src)}), dst_offset={dst_offset} (len {len(dst)})"
+        )
+
+    src_dev = _endpoint_device(src)
+    dst_dev = _endpoint_device(dst)
+    if src_dev is None and dst_dev is None:
+        raise ConfigurationError("host-to-host copies are not modelled; use NumPy")
+    if src_dev is None:
+        kind = MemcpyKind.H2D
+    elif dst_dev is None:
+        kind = MemcpyKind.D2H
+    elif src_dev == dst_dev:
+        kind = MemcpyKind.D2D
+    else:
+        kind = MemcpyKind.P2P
+
+    dst.array[dst_offset : dst_offset + n] = src.array[src_offset : src_offset + n]
+    record = TransferRecord(
+        kind=kind,
+        nbytes=int(n * src.array.dtype.itemsize),
+        src_device=src_dev,
+        dst_device=dst_dev,
+        tag=tag,
+    )
+    if log is not None:
+        log.add(record)
+    return record

@@ -1,0 +1,26 @@
+"""Multi-GPU distribution: topology, multisplit, all-to-all, sharded table."""
+
+from .alltoall import AllToAllResult, reverse_exchange, transpose_exchange
+from .distributed_table import CascadeReport, DistributedHashTable
+from .strategies import StrategyCost, compare_strategies
+from .multisplit import MultisplitResult, multisplit
+from .partition_table import PartitionTable, TransferPlanEntry
+from .topology import NodeTopology, dgx1v_node, p100_nvlink_node, pcie_only_node
+
+__all__ = [
+    "NodeTopology",
+    "p100_nvlink_node",
+    "dgx1v_node",
+    "pcie_only_node",
+    "MultisplitResult",
+    "multisplit",
+    "PartitionTable",
+    "TransferPlanEntry",
+    "AllToAllResult",
+    "transpose_exchange",
+    "reverse_exchange",
+    "DistributedHashTable",
+    "StrategyCost",
+    "compare_strategies",
+    "CascadeReport",
+]

@@ -1,0 +1,165 @@
+"""All-to-all transposition of partitioned key-value chunks (§IV-B).
+
+Takes each GPU's multisplit result and delivers, to every GPU ``i``, the
+concatenation of all partition-``i`` blocks (its own block plus ``m − 1``
+received ones).  "Note that matrix transposition is an isomorphism and
+thus all-to-all communication is reversible as well" — the reverse
+operation routes per-element results (query answers) back to the GPU and
+position each key came from, which is what the retrieval cascade needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..memory.transfer import MemcpyKind, TransferLog, TransferRecord
+from .partition_table import PartitionTable
+from .topology import NodeTopology
+
+__all__ = ["AllToAllResult", "transpose_exchange", "reverse_exchange"]
+
+
+@dataclass
+class AllToAllResult:
+    """Per-GPU received buffers plus provenance for the reverse path."""
+
+    #: received[i]: all pairs with p(k) == i, concatenated by source GPU
+    received: list[np.ndarray]
+    #: provenance[i]: (src_gpu, src_position) per received element —
+    #: src_position indexes the *source GPU's multisplit output*
+    provenance: list[np.ndarray]
+    #: the transposed partition table T^t
+    table: PartitionTable
+    #: seconds the exchange occupies the NVLink network (model time)
+    network_seconds: float
+
+
+def transpose_exchange(
+    split_pairs: list[np.ndarray],
+    split_offsets: list[np.ndarray],
+    counts: PartitionTable,
+    topology: NodeTopology,
+    *,
+    log: TransferLog | None = None,
+) -> AllToAllResult:
+    """Execute the m×m transposition.
+
+    Parameters
+    ----------
+    split_pairs:
+        ``split_pairs[gpu]`` — the GPU's multisplit-ordered pair buffer.
+    split_offsets:
+        ``split_offsets[gpu][part]`` — start of each class in that buffer.
+    counts:
+        The partition table ``T[gpu, part]``.
+    topology:
+        Prices the off-diagonal traffic and receives the transfer log.
+    """
+    m = counts.num_gpus
+    if len(split_pairs) != m or len(split_offsets) != m:
+        raise ConfigurationError(
+            f"expected {m} per-GPU buffers, got {len(split_pairs)}"
+        )
+    if topology.num_devices < m:
+        raise ConfigurationError(
+            f"topology has {topology.num_devices} devices but table needs {m}"
+        )
+
+    received: list[np.ndarray] = []
+    provenance: list[np.ndarray] = []
+    for part in range(m):
+        chunks = []
+        prov = []
+        for src in range(m):
+            start = int(split_offsets[src][part])
+            count = int(counts.counts[src, part])
+            chunk = split_pairs[src][start : start + count]
+            chunks.append(chunk)
+            prov.append(
+                np.stack(
+                    [
+                        np.full(count, src, dtype=np.int64),
+                        np.arange(start, start + count, dtype=np.int64),
+                    ],
+                    axis=1,
+                )
+            )
+            if src != part and count > 0 and log is not None:
+                log.add(
+                    TransferRecord(
+                        kind=MemcpyKind.P2P,
+                        nbytes=chunk.nbytes,
+                        src_device=src,
+                        dst_device=part,
+                        tag=f"transpose part={part}",
+                    )
+                )
+        received.append(
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint64)
+        )
+        provenance.append(
+            np.concatenate(prov) if prov else np.empty((0, 2), dtype=np.int64)
+        )
+
+    network_seconds = topology.alltoall_time(counts.traffic_matrix())
+    return AllToAllResult(
+        received=received,
+        provenance=provenance,
+        table=counts.transposed(),
+        network_seconds=network_seconds,
+    )
+
+
+def reverse_exchange(
+    results_per_part: list[np.ndarray],
+    provenance: list[np.ndarray],
+    chunk_sizes: list[int],
+    topology: NodeTopology,
+    *,
+    log: TransferLog | None = None,
+) -> tuple[list[np.ndarray], float]:
+    """Route per-element results back to their source GPUs (query path).
+
+    ``results_per_part[i][j]`` is the answer for the j-th element GPU i
+    received during :func:`transpose_exchange`; ``provenance[i][j]`` says
+    where that element came from.  Returns per-source-GPU result arrays
+    aligned with each GPU's multisplit output, plus the network seconds.
+    """
+    m = len(results_per_part)
+    if len(provenance) != m:
+        raise ConfigurationError("provenance/results length mismatch")
+    outputs = [
+        np.zeros(size, dtype=results_per_part[0].dtype if results_per_part else np.uint64)
+        for size in chunk_sizes
+    ]
+    traffic = np.zeros((m, m), dtype=np.int64)
+    for part in range(m):
+        res = results_per_part[part]
+        prov = provenance[part]
+        if res.shape[0] != prov.shape[0]:
+            raise ConfigurationError(
+                f"partition {part}: {res.shape[0]} results for "
+                f"{prov.shape[0]} provenance rows"
+            )
+        for src in range(m):
+            sel = prov[:, 0] == src
+            if not np.any(sel):
+                continue
+            outputs[src][prov[sel, 1]] = res[sel]
+            nbytes = int(res[sel].nbytes)
+            if src != part:
+                traffic[part, src] += nbytes
+                if log is not None:
+                    log.add(
+                        TransferRecord(
+                            kind=MemcpyKind.P2P,
+                            nbytes=nbytes,
+                            src_device=part,
+                            dst_device=src,
+                            tag=f"reverse part={part}",
+                        )
+                    )
+    return outputs, topology.alltoall_time(traffic)

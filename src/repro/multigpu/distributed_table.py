@@ -1,0 +1,533 @@
+"""The distributed multi-GPU hash table (paper §IV-B).
+
+Implements the *distributed multisplit transposition* design the paper
+selects: key-value pairs land on the ``m`` GPUs in arbitrary equal-size
+chunks (unstructured), each GPU multisplits its chunk by the partition
+hash ``p(k)``, the m×m partition table is transposed with all-to-all
+NVLink traffic, and every GPU then owns exactly the keys hashed to it.
+
+* insertion cascade:  (H2D →) multisplit → transpose → insert
+* retrieval cascade:  (H2D →) multisplit → transpose → query →
+  reverse-transpose (→ D2H)
+
+Every phase produces work/byte accounting in a :class:`CascadeReport`
+that :mod:`repro.perfmodel` prices into seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import PAIR_BYTES
+from ..core.report import KernelReport
+from ..core.table import WarpDriveHashTable
+from ..errors import ConfigurationError
+from ..hashing.partition import PartitionHash, hashed_partition
+from ..memory.buffer import DeviceBuffer
+from ..memory.layout import pack_pairs, unpack_pairs
+from ..memory.transfer import MemcpyKind, TransferLog, TransferRecord
+from ..utils.validation import check_keys, check_same_length, check_values
+from .alltoall import reverse_exchange, transpose_exchange
+from .multisplit import MultisplitResult, multisplit
+from .partition_table import PartitionTable
+from .topology import NodeTopology
+
+__all__ = ["CascadeReport", "DistributedHashTable"]
+
+
+@dataclass
+class CascadeReport:
+    """Accounting for one distributed insert/query cascade."""
+
+    op: str
+    num_ops: int
+    #: host↔device traffic (bytes, summed over GPUs)
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    #: per-GPU multisplit work
+    multisplit_reports: list[KernelReport] = field(default_factory=list)
+    #: the m×m partition table of this cascade
+    partition_table: PartitionTable | None = None
+    #: all-to-all traffic and modelled network occupancy
+    alltoall_bytes: int = 0
+    alltoall_seconds: float = 0.0
+    reverse_bytes: int = 0
+    reverse_seconds: float = 0.0
+    #: per-GPU hash-kernel work (insert or query)
+    kernel_reports: list[KernelReport] = field(default_factory=list)
+    #: per-GPU H2D/D2H byte loads (for PCIe-switch pricing)
+    h2d_per_gpu: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    d2h_per_gpu: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    @property
+    def load_imbalance(self) -> float:
+        if self.partition_table is None:
+            return 1.0
+        return self.partition_table.imbalance()
+
+    def merged_kernel_report(self) -> KernelReport:
+        """Roll per-GPU kernel reports into one (for whole-node stats)."""
+        if not self.kernel_reports:
+            return KernelReport(op=self.op)
+        out = self.kernel_reports[0]
+        for rep in self.kernel_reports[1:]:
+            out = out.merge(rep)
+        return out
+
+
+class DistributedHashTable:
+    """A WarpDrive hash map sharded over the GPUs of one node.
+
+    Parameters
+    ----------
+    topology:
+        The node (devices + interconnect).  Shards allocate their slot
+        arrays as VRAM on the corresponding simulated device.
+    total_capacity:
+        Aggregate slot count; each GPU gets ``ceil(total / m)``.
+    group_size, p_max:
+        Forwarded to each single-GPU shard.
+    partition:
+        GPU-assignment hash; defaults to a hashed partition so structured
+        key sets still balance (Fig. 4's ``k mod m`` is available via
+        :func:`repro.hashing.modulo_partition`).
+    """
+
+    def __init__(
+        self,
+        topology: NodeTopology,
+        total_capacity: int,
+        *,
+        group_size: int = 4,
+        p_max: int | None = None,
+        partition: PartitionHash | None = None,
+    ):
+        if total_capacity < topology.num_devices:
+            raise ConfigurationError(
+                "total_capacity must be at least one slot per GPU"
+            )
+        self.topology = topology
+        self.num_gpus = topology.num_devices
+        if partition is None:
+            partition = hashed_partition(self.num_gpus)
+        elif partition.num_parts != self.num_gpus:
+            raise ConfigurationError(
+                f"partition has {partition.num_parts} parts for "
+                f"{self.num_gpus} GPUs"
+            )
+        self.partition = partition
+        shard_capacity = -(-total_capacity // self.num_gpus)  # ceil div
+        kwargs = {"group_size": group_size}
+        if p_max is not None:
+            kwargs["p_max"] = p_max
+        self.shards = [
+            WarpDriveHashTable(shard_capacity, device=dev, **kwargs)
+            for dev in topology.devices
+        ]
+        self.transfer_log = TransferLog()
+
+    @classmethod
+    def for_load_factor(
+        cls,
+        topology: NodeTopology,
+        num_pairs: int,
+        load_factor: float,
+        **kwargs,
+    ) -> "DistributedHashTable":
+        if not 0 < load_factor <= 1:
+            raise ConfigurationError(
+                f"load factor must be in (0, 1], got {load_factor}"
+            )
+        total = max(int(np.ceil(num_pairs / load_factor)), topology.num_devices)
+        return cls(topology, total, **kwargs)
+
+    @classmethod
+    def for_workload(
+        cls,
+        topology: NodeTopology,
+        keys: np.ndarray,
+        load_factor: float,
+        *,
+        partition: PartitionHash | None = None,
+        **kwargs,
+    ) -> "DistributedHashTable":
+        """Size shards so the *busiest* shard hits exactly ``load_factor``.
+
+        At paper scale the partition hash balances to a fraction of a
+        percent and :meth:`for_load_factor` suffices; at scaled-down
+        experiment sizes the binomial imbalance (~sqrt(m/n)) would push
+        one shard over its capacity.  This constructor pre-splits the
+        unique keys of the known workload and sizes every shard for the
+        largest partition, keeping the target per-shard load exact.
+        """
+        if not 0 < load_factor <= 1:
+            raise ConfigurationError(
+                f"load factor must be in (0, 1], got {load_factor}"
+            )
+        m = topology.num_devices
+        if partition is None:
+            partition = hashed_partition(m)
+        uniq = np.unique(check_keys(keys))
+        counts = np.bincount(partition(uniq), minlength=m)
+        busiest = max(int(counts.max()), 1)
+        shard_capacity = max(int(np.ceil(busiest / load_factor)), 1)
+        return cls(
+            topology, shard_capacity * m, partition=partition, **kwargs
+        )
+
+    # -- properties ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(shard.capacity for shard in self.shards)
+
+    @property
+    def load_factor(self) -> float:
+        return len(self) / self.total_capacity
+
+    def shard_sizes(self) -> np.ndarray:
+        return np.array([len(s) for s in self.shards], dtype=np.int64)
+
+    # -- cascades -------------------------------------------------------------
+
+    def _chunk(self, n: int) -> list[slice]:
+        """Unstructured distribution: m equal contiguous chunks."""
+        m = self.num_gpus
+        bounds = np.linspace(0, n, m + 1).astype(np.int64)
+        return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(m)]
+
+    def _split_phase(
+        self, packed_chunks: list[np.ndarray]
+    ) -> tuple[list[MultisplitResult], PartitionTable]:
+        splits = [
+            multisplit(
+                chunk,
+                self.partition,
+                counter=self.topology.devices[gpu].counter,
+            )
+            for gpu, chunk in enumerate(packed_chunks)
+        ]
+        counts = np.stack([ms.counts for ms in splits])
+        return splits, PartitionTable(counts)
+
+    def _reserve_batch_buffers(
+        self, packed_chunks: list[np.ndarray]
+    ) -> list[DeviceBuffer]:
+        """Reserve the per-GPU staging memory one cascade needs.
+
+        Fig. 4: "all operations are issued out-of-place using one double
+        buffer per GPU of sufficient size" — the arriving chunk plus its
+        multisplit/transpose target.  Registering the footprint makes
+        oversized batches fail against the 16 GB budget exactly like the
+        real node.
+        """
+        buffers = []
+        for gpu, chunk in enumerate(packed_chunks):
+            if chunk.size:
+                buffers.append(
+                    DeviceBuffer.empty(
+                        self.topology.devices[gpu], 2 * chunk.size, dtype=np.uint64
+                    )
+                )
+        return buffers
+
+    @staticmethod
+    def _release_batch_buffers(buffers: list[DeviceBuffer]) -> None:
+        for buf in buffers:
+            buf.free()
+
+    def insert(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        source: str = "host",
+    ) -> CascadeReport:
+        """Distributed insertion cascade.
+
+        ``source="host"`` charges the initial PCIe transfer; ``"device"``
+        models data already resident on (or generated on) the GPUs, the
+        bypass §IV-B describes for k-mer-style on-device generation.
+        """
+        if source not in ("host", "device"):
+            raise ConfigurationError(f"source must be 'host' or 'device', got {source!r}")
+        k = check_keys(keys)
+        v = check_values(values)
+        check_same_length("keys", k, "values", v)
+        n = k.shape[0]
+        report = CascadeReport(op="insert", num_ops=n)
+
+        chunks = self._chunk(n)
+        packed = [pack_pairs(k[sl], v[sl]) for sl in chunks]
+        report.h2d_per_gpu = np.array(
+            [p.nbytes if source == "host" else 0 for p in packed], dtype=np.int64
+        )
+        report.h2d_bytes = int(report.h2d_per_gpu.sum())
+        if source == "host":
+            for gpu, p in enumerate(packed):
+                self.transfer_log.add(
+                    TransferRecord(
+                        kind=MemcpyKind.H2D,
+                        nbytes=int(p.nbytes),
+                        src_device=None,
+                        dst_device=gpu,
+                        tag="insert chunk",
+                    )
+                )
+
+        staging = self._reserve_batch_buffers(packed)
+        try:
+            splits, table = self._split_phase(packed)
+            report.multisplit_reports = [ms.report for ms in splits]
+            report.partition_table = table
+
+            exchange = transpose_exchange(
+                [ms.pairs for ms in splits],
+                [ms.offsets for ms in splits],
+                table,
+                self.topology,
+                log=self.transfer_log,
+            )
+            report.alltoall_bytes = table.offdiagonal_bytes()
+            report.alltoall_seconds = exchange.network_seconds
+
+            for gpu in range(self.num_gpus):
+                pairs_here = exchange.received[gpu]
+                gk, gv = unpack_pairs(pairs_here)
+                if gk.size:
+                    rep = self.shards[gpu].insert(gk, gv)
+                else:
+                    rep = KernelReport(op="insert", num_ops=0, group_size=self.shards[gpu].config.group_size)
+                report.kernel_reports.append(rep)
+        finally:
+            self._release_batch_buffers(staging)
+        return report
+
+    def query(
+        self,
+        keys: np.ndarray,
+        *,
+        default: int = 0,
+        source: str = "host",
+    ) -> tuple[np.ndarray, np.ndarray, CascadeReport]:
+        """Distributed retrieval cascade; returns (values, found, report).
+
+        The reverse transposition routes each answer back to the GPU and
+        offset its key arrived from, so results line up with the input
+        order exactly.
+        """
+        if source not in ("host", "device"):
+            raise ConfigurationError(f"source must be 'host' or 'device', got {source!r}")
+        k = check_keys(keys)
+        n = k.shape[0]
+        report = CascadeReport(op="query", num_ops=n)
+
+        chunks = self._chunk(n)
+        # queries ship keys only (4 B/key up, 8 B/key down, cf. Fig. 10)
+        packed = [
+            pack_pairs(k[sl], np.zeros((sl.stop - sl.start), dtype=np.uint32))
+            for sl in chunks
+        ]
+        key_bytes = np.array(
+            [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
+        )
+        report.h2d_per_gpu = key_bytes if source == "host" else np.zeros_like(key_bytes)
+        report.h2d_bytes = int(report.h2d_per_gpu.sum())
+        if source == "host":
+            for gpu, nbytes in enumerate(key_bytes):
+                self.transfer_log.add(
+                    TransferRecord(
+                        kind=MemcpyKind.H2D,
+                        nbytes=int(nbytes),
+                        src_device=None,
+                        dst_device=gpu,
+                        tag="query keys",
+                    )
+                )
+
+        staging = self._reserve_batch_buffers(packed)
+        splits, table = self._split_phase(packed)
+        report.multisplit_reports = [ms.report for ms in splits]
+        report.partition_table = table
+
+        exchange = transpose_exchange(
+            [ms.pairs for ms in splits],
+            [ms.offsets for ms in splits],
+            table,
+            self.topology,
+            log=self.transfer_log,
+        )
+        report.alltoall_bytes = table.offdiagonal_bytes()
+        report.alltoall_seconds = exchange.network_seconds
+
+        # per-shard queries; answers packed as (found << 32) | value so the
+        # reverse exchange moves one word per key
+        results = []
+        for gpu in range(self.num_gpus):
+            gk, _ = unpack_pairs(exchange.received[gpu])
+            if gk.size:
+                vals, found = self.shards[gpu].query(gk, default=default)
+                report.kernel_reports.append(self.shards[gpu].last_report)
+            else:
+                vals = np.empty(0, dtype=np.uint32)
+                found = np.empty(0, dtype=bool)
+                report.kernel_reports.append(
+                    KernelReport(op="query", num_ops=0, group_size=self.shards[gpu].config.group_size)
+                )
+            results.append(
+                vals.astype(np.uint64) | (found.astype(np.uint64) << np.uint64(32))
+            )
+
+        chunk_sizes = [int(p.shape[0]) for p in packed]
+        routed, reverse_seconds = reverse_exchange(
+            results,
+            exchange.provenance,
+            chunk_sizes,
+            self.topology,
+            log=self.transfer_log,
+        )
+        report.reverse_seconds = reverse_seconds
+        report.reverse_bytes = sum(int(r.nbytes) for r in results) - sum(
+            int(results[i][exchange.provenance[i][:, 0] == i].nbytes)
+            for i in range(self.num_gpus)
+        )
+
+        values = np.full(n, default, dtype=np.uint32)
+        found_out = np.zeros(n, dtype=bool)
+        for gpu, sl in enumerate(chunks):
+            # undo the multisplit permutation inside the chunk
+            split_result = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
+            split_result[:] = routed[gpu]
+            chunk_vals = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
+            chunk_vals[splits[gpu].source_index] = split_result
+            values[sl] = (chunk_vals & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+            found_out[sl] = (chunk_vals >> np.uint64(32)).astype(bool)
+
+        report.d2h_per_gpu = np.array(
+            [
+                chunk_sizes[gpu] * PAIR_BYTES if source == "host" else 0
+                for gpu in range(self.num_gpus)
+            ],
+            dtype=np.int64,
+        )
+        report.d2h_bytes = int(report.d2h_per_gpu.sum())
+        if source == "host":
+            for gpu in range(self.num_gpus):
+                if chunk_sizes[gpu]:
+                    self.transfer_log.add(
+                        TransferRecord(
+                            kind=MemcpyKind.D2H,
+                            nbytes=chunk_sizes[gpu] * PAIR_BYTES,
+                            src_device=gpu,
+                            dst_device=None,
+                            tag="query results",
+                        )
+                    )
+        # defaults for missing keys
+        values[~found_out] = default
+        self._release_batch_buffers(staging)
+        return values, found_out, report
+
+    def erase(
+        self,
+        keys: np.ndarray,
+        *,
+        source: str = "device",
+    ) -> tuple[np.ndarray, CascadeReport]:
+        """Distributed deletion cascade; returns (erased-mask, report).
+
+        Deletion is a barrier-delimited phase exactly as on a single GPU
+        (§IV-A); the cascade shape matches retrieval — multisplit →
+        transpose → erase → reverse — with tombstone writes instead of
+        value reads.
+        """
+        if source not in ("host", "device"):
+            raise ConfigurationError(f"source must be 'host' or 'device', got {source!r}")
+        k = check_keys(keys)
+        n = k.shape[0]
+        report = CascadeReport(op="erase", num_ops=n)
+
+        chunks = self._chunk(n)
+        packed = [
+            pack_pairs(k[sl], np.zeros(sl.stop - sl.start, dtype=np.uint32))
+            for sl in chunks
+        ]
+        key_bytes = np.array(
+            [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
+        )
+        report.h2d_per_gpu = key_bytes if source == "host" else np.zeros_like(key_bytes)
+        report.h2d_bytes = int(report.h2d_per_gpu.sum())
+
+        staging = self._reserve_batch_buffers(packed)
+        splits, table = self._split_phase(packed)
+        report.multisplit_reports = [ms.report for ms in splits]
+        report.partition_table = table
+
+        exchange = transpose_exchange(
+            [ms.pairs for ms in splits],
+            [ms.offsets for ms in splits],
+            table,
+            self.topology,
+            log=self.transfer_log,
+        )
+        report.alltoall_bytes = table.offdiagonal_bytes()
+        report.alltoall_seconds = exchange.network_seconds
+
+        results = []
+        for gpu in range(self.num_gpus):
+            gk, _ = unpack_pairs(exchange.received[gpu])
+            if gk.size:
+                erased = self.shards[gpu].erase(gk)
+                report.kernel_reports.append(self.shards[gpu].last_report)
+            else:
+                erased = np.empty(0, dtype=bool)
+                report.kernel_reports.append(
+                    KernelReport(
+                        op="erase",
+                        num_ops=0,
+                        group_size=self.shards[gpu].config.group_size,
+                    )
+                )
+            results.append(erased.astype(np.uint64))
+
+        chunk_sizes = [int(p.shape[0]) for p in packed]
+        routed, reverse_seconds = reverse_exchange(
+            results,
+            exchange.provenance,
+            chunk_sizes,
+            self.topology,
+            log=self.transfer_log,
+        )
+        report.reverse_seconds = reverse_seconds
+
+        erased_out = np.zeros(n, dtype=bool)
+        for gpu, sl in enumerate(chunks):
+            chunk_flags = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
+            chunk_flags[splits[gpu].source_index] = routed[gpu]
+            erased_out[sl] = chunk_flags.astype(bool)
+        self._release_batch_buffers(staging)
+        return erased_out, report
+
+    def export(self) -> tuple[np.ndarray, np.ndarray]:
+        """All stored pairs across shards."""
+        ks, vs = [], []
+        for shard in self.shards:
+            sk, sv = shard.export()
+            ks.append(sk)
+            vs.append(sv)
+        return np.concatenate(ks), np.concatenate(vs)
+
+    def free(self) -> None:
+        for shard in self.shards:
+            shard.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistributedHashTable(gpus={self.num_gpus}, "
+            f"capacity={self.total_capacity}, size={len(self)})"
+        )

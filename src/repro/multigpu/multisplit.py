@@ -1,0 +1,119 @@
+"""Single-GPU multisplit (paper §IV-B).
+
+Separates a device-resident chunk of key-value pairs into ``m`` classes
+by the partition hash ``p(k)``.  The paper deliberately uses a simple
+scheme instead of Ashkiani's full GPU multisplit [22]: "our approach ...
+consecutively computes m binary splits (one class versus the rest) of
+keys in global memory ... using a warp-aggregated atomic counter" [23],
+accepting a small slowdown because multisplit "only accounts for a minor
+portion of the overall runtime".
+
+The functional result here is exact (a stable partition-grouped
+reordering); the work accounting mirrors the m-binary-split algorithm:
+``m`` read sweeps over the chunk, one compacting write per element, and
+one warp-aggregated atomic per coalesced group per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..primitives.compact import compact_fast
+from ..core.report import KernelReport
+from ..errors import ConfigurationError
+from ..hashing.partition import PartitionHash
+from ..simt.counters import TransactionCounter
+
+__all__ = ["MultisplitResult", "multisplit"]
+
+
+@dataclass
+class MultisplitResult:
+    """Partition-grouped pairs plus the bookkeeping the transpose needs."""
+
+    #: pairs reordered so class 0 comes first, then class 1, ...
+    pairs: np.ndarray
+    #: original positions of each reordered element (for stability checks
+    #: and for routing query results back)
+    source_index: np.ndarray
+    #: per-class element counts, shape (m,)
+    counts: np.ndarray
+    #: exclusive prefix of counts — class p occupies
+    #: ``pairs[offsets[p] : offsets[p] + counts[p]]``
+    offsets: np.ndarray
+    #: work accounting
+    report: KernelReport
+
+    @property
+    def num_parts(self) -> int:
+        return int(self.counts.shape[0])
+
+    def part(self, p: int) -> np.ndarray:
+        """View of class ``p``'s pairs."""
+        start = int(self.offsets[p])
+        return self.pairs[start : start + int(self.counts[p])]
+
+    def part_sources(self, p: int) -> np.ndarray:
+        """Original indices of class ``p``'s pairs."""
+        start = int(self.offsets[p])
+        return self.source_index[start : start + int(self.counts[p])]
+
+
+def multisplit(
+    pairs: np.ndarray,
+    partition: PartitionHash,
+    *,
+    counter: TransactionCounter | None = None,
+    group_size: int = 32,
+) -> MultisplitResult:
+    """Split packed pairs into ``partition.num_parts`` classes.
+
+    Executes the paper's algorithm for real: one warp-aggregated
+    compaction pass per class ("one class versus the rest"), each pass
+    re-reading the input in global memory.  The reorder is therefore
+    *stable within each class* and the atomic counts are measured, not
+    estimated.
+    """
+    arr = np.asarray(pairs, dtype=np.uint64)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"pairs must be 1-D, got shape {arr.shape}")
+    m = partition.num_parts
+    n = arr.shape[0]
+
+    keys = (arr >> np.uint64(32)).astype(np.uint32)
+    parts = partition(keys)
+
+    local = TransactionCounter()
+    chunks: list[np.ndarray] = []
+    sources: list[np.ndarray] = []
+    counts = np.zeros(m, dtype=np.int64)
+    for p in range(m):
+        result = compact_fast(arr, parts == p, counter=local, group_size=group_size)
+        chunks.append(result.values)
+        sources.append(result.source_index)
+        counts[p] = result.values.shape[0]
+        local.kernel_launches += 1
+
+    out = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint64)
+    source = (
+        np.concatenate(sources) if sources else np.empty(0, dtype=np.int64)
+    )
+    offsets = np.zeros(m, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+
+    report = KernelReport(op="multisplit", num_ops=n, group_size=group_size)
+    report.load_sectors = local.load_sectors
+    report.store_sectors = local.store_sectors
+    report.warp_collectives = local.warp_collectives
+    report.probe_windows = np.full(n, m, dtype=np.int64)
+    if counter is not None:
+        counter.merge(local)
+    return MultisplitResult(
+        pairs=out,
+        source_index=source,
+        counts=counts,
+        offsets=offsets,
+        report=report,
+    )

@@ -1,0 +1,104 @@
+"""The m×m partition table T[gpu, part] and its transposition plan.
+
+After each GPU multisplits its chunk, ``T[gpu, part]`` holds the count
+(and, implicitly, pointer) of partition ``part`` residing on GPU
+``gpu``.  Transposing T sends the ``m² − m`` off-diagonal entries to
+their target devices so GPU ``i`` ends up with exactly the keys where
+``p(k) = i``.  "Offsets are computed using row-wise exclusive prefix
+scans over T for the senders and column-wise scans for the receivers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import PAIR_BYTES
+from ..errors import ConfigurationError
+
+__all__ = ["PartitionTable", "TransferPlanEntry"]
+
+
+@dataclass(frozen=True)
+class TransferPlanEntry:
+    """One all-to-all message: partition ``part`` from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    count: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * PAIR_BYTES
+
+
+@dataclass
+class PartitionTable:
+    """Counts matrix with the scans and plan the transposition needs."""
+
+    counts: np.ndarray  # shape (m, m): T[gpu, part]
+
+    def __post_init__(self):
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.counts.ndim != 2 or self.counts.shape[0] != self.counts.shape[1]:
+            raise ConfigurationError(
+                f"partition table must be square, got {self.counts.shape}"
+            )
+        if np.any(self.counts < 0):
+            raise ConfigurationError("partition counts must be non-negative")
+
+    @property
+    def num_gpus(self) -> int:
+        return int(self.counts.shape[0])
+
+    def send_offsets(self) -> np.ndarray:
+        """Row-wise exclusive prefix scan: where each partition starts in
+        the sender's multisplit-ordered buffer."""
+        out = np.zeros_like(self.counts)
+        out[:, 1:] = np.cumsum(self.counts[:, :-1], axis=1)
+        return out
+
+    def recv_offsets(self) -> np.ndarray:
+        """Column-wise exclusive prefix scan: where each sender's block
+        lands in the receiver's concatenated partition buffer."""
+        out = np.zeros_like(self.counts)
+        out[1:, :] = np.cumsum(self.counts[:-1, :], axis=0)
+        return out
+
+    def recv_counts(self) -> np.ndarray:
+        """Total elements each GPU receives: column sums of T."""
+        return self.counts.sum(axis=0)
+
+    def transposed(self) -> "PartitionTable":
+        """The post-all-to-all table T^t[part, gpu]."""
+        return PartitionTable(self.counts.T.copy())
+
+    def traffic_matrix(self) -> np.ndarray:
+        """Bytes moved between each (src, dst) pair; diagonal is local."""
+        bytes_matrix = self.counts * PAIR_BYTES
+        out = bytes_matrix.copy()
+        np.fill_diagonal(out, 0)
+        return out
+
+    def offdiagonal_bytes(self) -> int:
+        """Total bytes crossing the interconnect (the m² − m messages)."""
+        return int(self.traffic_matrix().sum())
+
+    def plan(self) -> list[TransferPlanEntry]:
+        """All-to-all message list, diagonal (local copies) excluded."""
+        entries = []
+        m = self.num_gpus
+        for src in range(m):
+            for dst in range(m):
+                if src != dst and self.counts[src, dst] > 0:
+                    entries.append(
+                        TransferPlanEntry(src=src, dst=dst, count=int(self.counts[src, dst]))
+                    )
+        return entries
+
+    def imbalance(self) -> float:
+        """max/mean ratio of per-GPU receive counts (1.0 = perfectly balanced)."""
+        recv = self.recv_counts().astype(np.float64)
+        mean = recv.mean()
+        return float(recv.max() / mean) if mean > 0 else 1.0

@@ -1,0 +1,181 @@
+"""The four distribution strategies of §IV-B (ablation A3).
+
+The paper enumerates four ways to spread a hash map over m GPUs and
+argues for *distributed multisplit transposition*:
+
+1. **host-sided partitioning** — "can be ruled out from the very
+   beginning since linear time reordering of elements in host RAM is
+   almost as expensive as CPU-based hash map construction";
+2. **system-wide lock-free insertion** — unified memory + system-wide
+   atomics, "unreasonably slow in our preliminary experiments";
+3. **unstructured distribution** — fastest insertion (no communication)
+   but "querying is cumbersome ... we have no a priori information about
+   the location of a certain key": every query fans out to all m GPUs;
+4. **distributed multisplit transposition** — the design WarpDrive uses.
+
+:func:`compare_strategies` measures strategies 3 and 4 by running the
+real simulators and prices strategies 1 and 2 with documented models, so
+the bench can reproduce the paper's qualitative ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import PAIR_BYTES
+from ..core.table import WarpDriveHashTable
+from ..errors import ConfigurationError
+from ..perfmodel import calibration as cal
+from ..perfmodel.cascade import time_cascade
+from ..perfmodel.memmodel import kernel_seconds
+from ..perfmodel.specs import XEON_E5_2680V4_NODE
+from .distributed_table import DistributedHashTable
+from .topology import NodeTopology
+
+__all__ = ["StrategyCost", "compare_strategies"]
+
+#: sustained system-wide (cross-device, unified-memory) atomic rate per
+#: GPU.  NVLink-remote atomics run at a few tens of millions per second —
+#: two orders below local CAS — which is what made the paper discard the
+#: approach after "preliminary experiments".
+SYSTEM_WIDE_CAS_RATE = 4.0e7
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Modelled insert and query seconds for one strategy."""
+
+    name: str
+    insert_seconds: float
+    query_seconds: float
+    note: str = ""
+
+    @property
+    def total(self) -> float:
+        return self.insert_seconds + self.query_seconds
+
+
+def compare_strategies(
+    topology: NodeTopology,
+    keys: np.ndarray,
+    values: np.ndarray,
+    *,
+    load_factor: float = 0.9,
+    group_size: int = 4,
+) -> dict[str, StrategyCost]:
+    """Price insert+query of the given workload under all four strategies."""
+    n = keys.shape[0]
+    m = topology.num_devices
+    if n < m:
+        raise ConfigurationError("need at least one key per GPU")
+
+    results: dict[str, StrategyCost] = {}
+
+    # --- 4: distributed multisplit transposition (the real cascade) -----
+    table = DistributedHashTable.for_load_factor(
+        topology, n, load_factor, group_size=group_size
+    )
+    ins_rep = table.insert(keys, values, source="host")
+    ins_t = time_cascade(ins_rep, table, topology).total
+    _, _, qry_rep = table.query(keys, source="host")
+    qry_t = time_cascade(qry_rep, table, topology).total
+    results["multisplit_transposition"] = StrategyCost(
+        "multisplit_transposition", ins_t, qry_t, "measured cascade"
+    )
+    table.free()
+
+    # --- 3: unstructured distribution ------------------------------------
+    # insertion: chunks go straight into per-GPU tables (no communication);
+    # querying: no location info -> every GPU probes every key.
+    for dev in topology.devices:
+        dev.reset_counters()
+    shard_tables = [
+        WarpDriveHashTable.for_load_factor(
+            max(n // m, 1), load_factor, group_size=group_size, device=dev
+        )
+        for dev in topology.devices
+    ]
+    bounds = np.linspace(0, n, m + 1).astype(np.int64)
+    ins_kernel = 0.0
+    h2d_per_gpu = np.zeros(m, dtype=np.int64)
+    for gpu in range(m):
+        sl = slice(int(bounds[gpu]), int(bounds[gpu + 1]))
+        rep = shard_tables[gpu].insert(keys[sl], values[sl])
+        ins_kernel = max(
+            ins_kernel,
+            kernel_seconds(
+                rep,
+                topology.devices[gpu].spec,
+                table_bytes=shard_tables[gpu].table_bytes,
+            ),
+        )
+        h2d_per_gpu[gpu] = (sl.stop - sl.start) * PAIR_BYTES
+    ins_t = topology.host_transfer_time(h2d_per_gpu / cal.PCIE_EFFICIENCY) + ins_kernel
+
+    # query: broadcast all n keys to every GPU (m×H2D), all shards probe
+    qry_kernel = 0.0
+    for gpu in range(m):
+        vals, found = shard_tables[gpu].query(keys)
+        rep = shard_tables[gpu].last_report
+        qry_kernel = max(
+            qry_kernel,
+            kernel_seconds(
+                rep,
+                topology.devices[gpu].spec,
+                table_bytes=shard_tables[gpu].table_bytes,
+            ),
+        )
+    broadcast_bytes = np.full(m, n * 4, dtype=np.int64)
+    result_bytes = np.full(m, n * PAIR_BYTES // m, dtype=np.int64)
+    qry_t = (
+        topology.host_transfer_time(broadcast_bytes / cal.PCIE_EFFICIENCY)
+        + qry_kernel
+        + topology.host_transfer_time(result_bytes / cal.PCIE_EFFICIENCY)
+    )
+    results["unstructured"] = StrategyCost(
+        "unstructured",
+        ins_t,
+        qry_t,
+        "measured; queries fan out to all GPUs",
+    )
+    for t in shard_tables:
+        t.free()
+
+    # --- 1: host-sided partitioning ---------------------------------------
+    # CPU reorders all pairs in RAM before the transfers.  The paper:
+    # "linear time reordering of elements in host RAM is almost as
+    # expensive as CPU-based hash map construction" — so we price it like
+    # one pass of the Folklore CPU map: hash + scattered write per pair,
+    # bounded by the node's random-access DDR4 bandwidth and per-pair
+    # bookkeeping (~400 M pairs/s).
+    cpu = XEON_E5_2680V4_NODE
+    reorder = max(
+        2 * n * PAIR_BYTES / cpu.effective_random_bandwidth,
+        n / 4.0e8,
+    )
+    results["host_sided"] = StrategyCost(
+        "host_sided",
+        reorder + topology.host_transfer_time(h2d_per_gpu / cal.PCIE_EFFICIENCY) + ins_kernel,
+        qry_kernel
+        + topology.host_transfer_time((np.full(m, n * 4 // m)) / cal.PCIE_EFFICIENCY)
+        + topology.host_transfer_time((np.full(m, n * PAIR_BYTES // m)) / cal.PCIE_EFFICIENCY),
+        "modelled: CPU-side reorder before transfers",
+    )
+
+    # --- 2: system-wide lock-free insertion -------------------------------
+    # every CAS crosses the unified-memory fabric at remote-atomic rates
+    ins_t2 = n / (SYSTEM_WIDE_CAS_RATE * m) + topology.host_transfer_time(
+        h2d_per_gpu / cal.PCIE_EFFICIENCY
+    )
+    qry_t2 = n / (SYSTEM_WIDE_CAS_RATE * m * 2) + topology.host_transfer_time(
+        (np.full(m, n * 4 // m)) / cal.PCIE_EFFICIENCY
+    )
+    results["system_wide_atomics"] = StrategyCost(
+        "system_wide_atomics",
+        ins_t2,
+        qry_t2,
+        "modelled: remote atomics over unified memory",
+    )
+    return results

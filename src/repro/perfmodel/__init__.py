@@ -1,0 +1,53 @@
+"""Performance model: converts measured simulator work into seconds.
+
+Calibration constants and their provenance live in
+:mod:`repro.perfmodel.calibration`; hardware descriptions in
+:mod:`repro.perfmodel.specs`.
+"""
+
+from . import calibration
+from .cascade import CascadeTiming, time_cascade
+from .cpu import cpu_kernel_seconds
+from .hashperf import best_group_size, predicted_op_seconds, predicted_rate
+from .memmodel import (
+    cas_degradation,
+    divergence_adjusted_transactions,
+    kernel_seconds,
+    multisplit_seconds,
+    projected_seconds,
+    throughput,
+)
+from .scaling import (
+    ScalingPoint,
+    scaling_series,
+    speedup,
+    strong_efficiency,
+    weak_efficiency,
+)
+from .specs import GTX470, P100, V100, CpuSpec, XEON_E5_2680V4_NODE
+
+__all__ = [
+    "calibration",
+    "P100",
+    "GTX470",
+    "V100",
+    "CpuSpec",
+    "XEON_E5_2680V4_NODE",
+    "kernel_seconds",
+    "multisplit_seconds",
+    "projected_seconds",
+    "cas_degradation",
+    "divergence_adjusted_transactions",
+    "throughput",
+    "CascadeTiming",
+    "time_cascade",
+    "cpu_kernel_seconds",
+    "predicted_op_seconds",
+    "predicted_rate",
+    "best_group_size",
+    "strong_efficiency",
+    "weak_efficiency",
+    "speedup",
+    "ScalingPoint",
+    "scaling_series",
+]

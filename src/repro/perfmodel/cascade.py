@@ -1,0 +1,141 @@
+"""Timing of distributed cascades (multi-GPU insert/query).
+
+Converts a :class:`~repro.multigpu.distributed_table.CascadeReport` into
+per-phase seconds on a given topology.  Phases inside one cascade are
+sequential (the paper: "the whole traversal of the insertion cascade
+relies on global barriers"); batch-level overlap is the
+:mod:`repro.pipeline` package's job and builds on these phase times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from typing import TYPE_CHECKING
+
+from . import calibration as cal
+from .memmodel import kernel_seconds, multisplit_seconds
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
+    from ..multigpu.distributed_table import CascadeReport, DistributedHashTable
+    from ..multigpu.topology import NodeTopology
+
+__all__ = ["CascadeTiming", "time_cascade"]
+
+
+@dataclass(frozen=True)
+class CascadeTiming:
+    """Seconds per phase of one distributed cascade."""
+
+    h2d: float
+    multisplit: float
+    alltoall: float
+    kernel: float  # insert or query, max over GPUs (they run in parallel)
+    reverse: float  # reverse transposition (query cascades only)
+    d2h: float
+
+    @property
+    def total(self) -> float:
+        """Sequential (non-overlapped) cascade wall time."""
+        return (
+            self.h2d + self.multisplit + self.alltoall + self.kernel
+            + self.reverse + self.d2h
+        )
+
+    @property
+    def device_only(self) -> float:
+        """Wall time excluding PCIe phases (device-sided cascades)."""
+        return self.multisplit + self.alltoall + self.kernel + self.reverse
+
+    def scaled(self, factor: float) -> "CascadeTiming":
+        """Linear projection of every phase to ``factor×`` the batch size.
+
+        Phase times are byte/count-proportional; per-launch constants are
+        a sub-percent correction at projected scales and are scaled along.
+        """
+        return CascadeTiming(
+            h2d=self.h2d * factor,
+            multisplit=self.multisplit * factor,
+            alltoall=self.alltoall * factor,
+            kernel=self.kernel * factor,
+            reverse=self.reverse * factor,
+            d2h=self.d2h * factor,
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Phase shares of the total (for Fig. 11-style decompositions)."""
+        total = self.total
+        if total == 0:
+            return {k: 0.0 for k in ("h2d", "multisplit", "alltoall", "kernel", "reverse", "d2h")}
+        return {
+            "h2d": self.h2d / total,
+            "multisplit": self.multisplit / total,
+            "alltoall": self.alltoall / total,
+            "kernel": self.kernel / total,
+            "reverse": self.reverse / total,
+            "d2h": self.d2h / total,
+        }
+
+
+def time_cascade(
+    report: CascadeReport,
+    table: DistributedHashTable | None,
+    topology: NodeTopology,
+    *,
+    shard_table_bytes: int | None = None,
+    scale: float = 1.0,
+) -> CascadeTiming:
+    """Price one cascade's phases.
+
+    ``table`` supplies per-shard footprints for the CAS degradation; pass
+    None to price a cascade against an unknown table (no degradation).
+    ``shard_table_bytes`` overrides the footprint — used when a scaled-
+    down simulation stands in for a paper-scale table, so the >2 GB
+    degradation applies as it would at full size.  ``scale`` projects the
+    cascade to ``scale×`` the simulated batch size: count-proportional
+    phase components scale linearly while per-launch constants do not
+    (the distinction matters when a 2^14-pair simulation stands in for a
+    2^24-pair paper batch).
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    launch = cal.KERNEL_LAUNCH_SECONDS
+
+    h2d = (
+        topology.host_transfer_time(report.h2d_per_gpu / cal.PCIE_EFFICIENCY) * scale
+        if report.h2d_bytes
+        else 0.0
+    )
+    d2h = (
+        topology.host_transfer_time(report.d2h_per_gpu / cal.PCIE_EFFICIENCY) * scale
+        if report.d2h_bytes
+        else 0.0
+    )
+
+    ms = 0.0
+    for gpu, rep in enumerate(report.multisplit_reports):
+        base = multisplit_seconds(rep, topology.devices[gpu].spec)
+        if base > 0:
+            base = (base - launch) * scale + launch
+        ms = max(ms, base)
+
+    alltoall = report.alltoall_seconds / cal.NVLINK_EFFICIENCY * scale
+    reverse = report.reverse_seconds / cal.NVLINK_EFFICIENCY * scale
+
+    kern = 0.0
+    for gpu, rep in enumerate(report.kernel_reports):
+        if shard_table_bytes is not None:
+            tbytes: int | None = shard_table_bytes
+        elif table is not None:
+            tbytes = table.shards[gpu].table_bytes
+        else:
+            tbytes = None
+        base = kernel_seconds(rep, topology.devices[gpu].spec, table_bytes=tbytes)
+        if rep.num_ops > 0:
+            base = (base - launch) * scale + launch
+        kern = max(kern, base)
+
+    return CascadeTiming(
+        h2d=h2d, multisplit=ms, alltoall=alltoall, kernel=kern, reverse=reverse, d2h=d2h
+    )

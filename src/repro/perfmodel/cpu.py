@@ -1,0 +1,29 @@
+"""Timing model for the Folklore CPU baseline.
+
+The CPU map's reports carry *cache-line* counts in the sector fields
+(see :mod:`repro.baselines.cpu_map`); this module prices them against
+DDR4 bandwidth and the node's aggregate CAS rate.
+"""
+
+from __future__ import annotations
+
+from ..baselines.cpu_map import CACHE_LINE_BYTES
+from ..core.report import KernelReport
+from . import calibration as cal
+from .specs import CpuSpec, XEON_E5_2680V4_NODE
+
+__all__ = ["cpu_kernel_seconds"]
+
+
+def cpu_kernel_seconds(
+    report: KernelReport, spec: CpuSpec = XEON_E5_2680V4_NODE
+) -> float:
+    """Model time of a bulk CPU hash-map operation."""
+    if report.num_ops == 0:
+        return 0.0
+    lines = report.load_sectors + report.store_sectors
+    bw_time = lines * CACHE_LINE_BYTES / spec.effective_random_bandwidth
+    atomic_time = report.cas_attempts / spec.atomic_cas_rate
+    # per-op bookkeeping: hashing + branchy probe loop on a CPU core
+    overhead = report.num_ops * 2.0 * cal.PER_OP_OVERHEAD_SECONDS
+    return max(bw_time, atomic_time) + overhead

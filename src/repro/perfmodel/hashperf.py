@@ -1,0 +1,105 @@
+"""Closed-form throughput model and the group-size heuristic (ablation A1).
+
+§VI suggests as future work "a heuristic which dynamically scales the
+group size |g| with the current load factor".  With the geometric
+window-probing expectation and the same three bounds as
+:mod:`repro.perfmodel.memmodel`, the optimum is computable in closed
+form; :func:`best_group_size` is that heuristic, and the A1 bench checks
+it against measured sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import SECTOR_BYTES, VALID_GROUP_SIZES, WARP_SIZE
+from ..core.stats import expected_insert_windows, expected_query_windows
+from ..errors import ConfigurationError
+from ..simt.device import GPUSpec
+from ..simt.counters import sectors_for_access
+from . import calibration as cal
+from .memmodel import cas_degradation
+
+__all__ = ["predicted_op_seconds", "predicted_rate", "best_group_size"]
+
+
+def _expected_max_geometric(mean_windows: float, samples: int) -> float:
+    """E[max of `samples` draws] for a geometric-ish window distribution.
+
+    For a geometric with mean μ = 1/p, E[max of k] ≈ μ · H_k where H_k is
+    the harmonic number — the standard order-statistics approximation the
+    divergence bound needs without access to a measured distribution.
+    """
+    if samples < 1:
+        raise ConfigurationError(f"samples must be >= 1, got {samples}")
+    harmonic = float(np.sum(1.0 / np.arange(1, samples + 1)))
+    # interpolate: a point mass (μ = 1) has no divergence penalty
+    return 1.0 + (mean_windows - 1.0) * harmonic if mean_windows > 1 else mean_windows
+
+
+def predicted_op_seconds(
+    load_factor: float,
+    group_size: int,
+    spec: GPUSpec,
+    *,
+    op: str = "insert",
+    table_bytes: int | None = None,
+) -> float:
+    """Analytic per-op seconds for WarpDrive at a given load and |g|."""
+    if group_size not in VALID_GROUP_SIZES:
+        raise ConfigurationError(f"invalid group size {group_size}")
+    if op not in ("insert", "query"):
+        raise ConfigurationError(f"op must be 'insert' or 'query', got {op!r}")
+
+    if op == "insert":
+        windows = expected_insert_windows(load_factor, group_size)
+    else:
+        windows = expected_query_windows(load_factor, group_size)
+
+    sectors_per_window = sectors_for_access(0, group_size * 8)
+    bw_time = (
+        windows
+        * sectors_per_window
+        * SECTOR_BYTES
+        / (spec.mem_bandwidth * spec.random_access_efficiency)
+    )
+
+    groups_per_warp = WARP_SIZE // group_size
+    warp_iters = _expected_max_geometric(windows, groups_per_warp)
+    issue_time = warp_iters / cal.TRANSACTION_ISSUE_RATE
+
+    atomic_time = 0.0
+    if op == "insert":
+        # ~1 successful CAS per op plus a small contention retry margin
+        atomic_time = 1.05 / (spec.atomic_cas_rate * cas_degradation(table_bytes))
+
+    return max(bw_time, issue_time) + atomic_time + cal.PER_OP_OVERHEAD_SECONDS
+
+
+def predicted_rate(
+    load_factor: float,
+    group_size: int,
+    spec: GPUSpec,
+    *,
+    op: str = "insert",
+    table_bytes: int | None = None,
+) -> float:
+    """Analytic ops/second (reciprocal of :func:`predicted_op_seconds`)."""
+    return 1.0 / predicted_op_seconds(
+        load_factor, group_size, spec, op=op, table_bytes=table_bytes
+    )
+
+
+def best_group_size(
+    load_factor: float,
+    spec: GPUSpec,
+    *,
+    op: str = "insert",
+    table_bytes: int | None = None,
+) -> int:
+    """The §VI heuristic: argmax of the analytic rate over legal |g|."""
+    rates = {
+        g: predicted_rate(load_factor, g, spec, op=op, table_bytes=table_bytes)
+        for g in VALID_GROUP_SIZES
+    }
+    return max(rates, key=rates.get)

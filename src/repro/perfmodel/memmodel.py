@@ -1,0 +1,162 @@
+"""Counts → seconds: the single-GPU kernel timing model.
+
+Three simultaneous bounds govern a hashing kernel on a real GPU; the
+model takes their maximum (roofline style) and adds the serial atomic and
+fixed-overhead components:
+
+* **bandwidth bound** — 32-byte sectors over the random-access-effective
+  HBM2 bandwidth;
+* **issue/divergence bound** — a warp executes until its *slowest*
+  coalesced group finishes, so effective transaction slots are
+  ``Σ_warps max(windows among its 32/|g| groups) × (32/|g|)``.  This is
+  measured from the actual per-item probe counts, and is precisely why
+  one-thread-per-key baselines (|g| = 1 ⇒ 32 groups/warp, heavy max)
+  lose at high load;
+* **atomic bound** — CAS attempts over the sustainable CAS rate, with
+  the >2 GB multi-memory-interface degradation of §V-C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import SECTOR_BYTES, WARP_SIZE
+from ..core.report import KernelReport
+from ..errors import ConfigurationError
+from ..simt.device import GPUSpec
+from . import calibration as cal
+
+__all__ = [
+    "cas_degradation",
+    "divergence_adjusted_transactions",
+    "kernel_seconds",
+    "multisplit_seconds",
+    "throughput",
+]
+
+
+def cas_degradation(table_bytes: int | None) -> float:
+    """CAS throughput factor for a table of the given footprint.
+
+    1.0 up to the 2 GB knee, then a log-linear ramp down to the observed
+    factor-of-two floor over three octaves (2 → 16 GB), mirroring the
+    Fig. 10 insertion drop and, through it, the super-linear strong
+    scaling point of Fig. 9.
+    """
+    if table_bytes is None or table_bytes <= cal.CAS_DEGRADE_KNEE_BYTES:
+        return 1.0
+    octaves = np.log2(table_bytes / cal.CAS_DEGRADE_KNEE_BYTES)
+    ramp = min(1.0, octaves / cal.CAS_DEGRADE_OCTAVES)
+    return 1.0 - (1.0 - cal.CAS_DEGRADE_FLOOR) * ramp
+
+
+def divergence_adjusted_transactions(
+    probe_windows: np.ndarray, group_size: int
+) -> float:
+    """Effective transaction slots after SIMT divergence.
+
+    Work items are packed into warps in submission order; each warp runs
+    for ``max`` windows among its groups, occupying one slot per group
+    per iteration.  Equals ``Σ probe_windows`` exactly when |g| = 32
+    (one group per warp ⇒ no divergence).
+    """
+    if group_size not in (1, 2, 4, 8, 16, 32):
+        raise ConfigurationError(f"invalid group size {group_size}")
+    windows = np.asarray(probe_windows, dtype=np.float64)
+    if windows.size == 0:
+        return 0.0
+    groups_per_warp = WARP_SIZE // group_size
+    pad = (-windows.size) % groups_per_warp
+    if pad:
+        windows = np.concatenate([windows, np.zeros(pad)])
+    per_warp_max = windows.reshape(-1, groups_per_warp).max(axis=1)
+    return float(per_warp_max.sum() * groups_per_warp)
+
+
+def kernel_seconds(
+    report: KernelReport,
+    spec: GPUSpec,
+    *,
+    table_bytes: int | None = None,
+    pcie_bandwidth: float | None = None,
+) -> float:
+    """Model time of one bulk hash kernel on one GPU.
+
+    ``table_bytes`` activates the CAS capacity degradation;
+    ``pcie_bandwidth`` prices any out-of-core (host-resident) sectors the
+    report carries.
+    """
+    if report.num_ops == 0:
+        return 0.0
+
+    bw_time = (
+        report.total_sectors
+        * SECTOR_BYTES
+        / (spec.mem_bandwidth * spec.random_access_efficiency)
+    )
+
+    if report.probe_windows.size:
+        eff_transactions = divergence_adjusted_transactions(
+            report.probe_windows, max(report.group_size, 1)
+        )
+    else:
+        eff_transactions = float(report.total_sectors)
+    issue_time = eff_transactions / cal.TRANSACTION_ISSUE_RATE
+
+    atomic_time = report.cas_attempts / (
+        spec.atomic_cas_rate * cas_degradation(table_bytes)
+    )
+
+    host_time = 0.0
+    host_sectors = report.host_load_sectors + report.host_store_sectors
+    if host_sectors:
+        bw = pcie_bandwidth if pcie_bandwidth is not None else 11.0e9
+        host_time = host_sectors * SECTOR_BYTES / (bw * cal.PCIE_EFFICIENCY)
+
+    overhead = (
+        report.num_ops * cal.PER_OP_OVERHEAD_SECONDS + cal.KERNEL_LAUNCH_SECONDS
+    )
+    return max(bw_time, issue_time) + atomic_time + host_time + overhead
+
+
+def multisplit_seconds(report: KernelReport, spec: GPUSpec) -> float:
+    """Model time of one single-GPU multisplit pass.
+
+    Uses the calibrated effective pair-processing rate (§V-C: multisplit
+    contributes 2-4% of cascade time at ≈ 210 GB/s accumulated).
+    """
+    if report.num_ops == 0:
+        return 0.0
+    pair_bytes = report.num_ops * 16  # read + write every 8-byte pair
+    return pair_bytes / cal.MULTISPLIT_PAIR_BYTES_PER_SECOND + cal.KERNEL_LAUNCH_SECONDS
+
+
+def throughput(num_ops: int, seconds: float) -> float:
+    """Operations per second (0 when no time elapsed)."""
+    return num_ops / seconds if seconds > 0 else 0.0
+
+
+def projected_seconds(
+    report: KernelReport,
+    spec: GPUSpec,
+    *,
+    table_bytes: int | None = None,
+    scale: float = 1.0,
+    pcie_bandwidth: float | None = None,
+) -> float:
+    """Kernel time projected to ``scale×`` the simulated problem size.
+
+    Per-operation work at a fixed load factor is size-invariant (probe
+    counts depend on α and |g| only), so all count-proportional terms
+    scale linearly; the kernel-launch constant does not.  ``table_bytes``
+    should be the *paper-scale* footprint so the >2 GB CAS degradation
+    applies as it would on real hardware.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    base = kernel_seconds(
+        report, spec, table_bytes=table_bytes, pcie_bandwidth=pcie_bandwidth
+    )
+    if report.num_ops == 0:
+        return base * scale
+    return (base - cal.KERNEL_LAUNCH_SECONDS) * scale + cal.KERNEL_LAUNCH_SECONDS

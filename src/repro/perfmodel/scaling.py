@@ -1,0 +1,89 @@
+"""Strong and weak scaling metrics (paper Eq. 4).
+
+``E_s(n, m) = τ(n, 1) / (m · τ(n, m))`` and
+``E_w(n, m) = τ(n, 1) / τ(m·n, m)`` where τ is the modelled cascade wall
+time.  The runners build actual distributed tables, execute the real
+cascades, and price them with :mod:`repro.perfmodel.cascade`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "strong_efficiency",
+    "weak_efficiency",
+    "speedup",
+    "ScalingPoint",
+    "scaling_series",
+]
+
+
+def strong_efficiency(tau_1: float, tau_m: float, m: int) -> float:
+    """E_s = τ(n,1) / (m · τ(n,m))."""
+    if m < 1 or tau_m <= 0 or tau_1 <= 0:
+        raise ConfigurationError("scaling efficiency needs positive times, m >= 1")
+    return tau_1 / (m * tau_m)
+
+
+def weak_efficiency(tau_1: float, tau_mn: float) -> float:
+    """E_w = τ(n,1) / τ(m·n, m)."""
+    if tau_mn <= 0 or tau_1 <= 0:
+        raise ConfigurationError("scaling efficiency needs positive times")
+    return tau_1 / tau_mn
+
+
+def speedup(tau_1: float, tau_m: float) -> float:
+    """Plain speedup τ(n,1)/τ(n,m)."""
+    if tau_m <= 0 or tau_1 <= 0:
+        raise ConfigurationError("speedup needs positive times")
+    return tau_1 / tau_m
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (m, time) sample of a scaling sweep."""
+
+    num_gpus: int
+    seconds: float
+    num_ops: int
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.num_ops / self.seconds if self.seconds > 0 else 0.0
+
+
+def scaling_series(
+    run: Callable[[int, int], float],
+    n: int,
+    gpu_counts: tuple[int, ...] = (1, 2, 3, 4),
+    *,
+    mode: str = "strong",
+) -> tuple[list[ScalingPoint], list[float]]:
+    """Sweep GPU counts and compute efficiencies.
+
+    ``run(n_items, m)`` must return the modelled cascade seconds for
+    processing ``n_items`` on ``m`` GPUs.  Strong mode keeps the total
+    item count fixed; weak mode scales it with m.
+    """
+    if mode not in ("strong", "weak"):
+        raise ConfigurationError(f"mode must be 'strong' or 'weak', got {mode!r}")
+    points: list[ScalingPoint] = []
+    for m in gpu_counts:
+        total = n if mode == "strong" else n * m
+        seconds = run(total, m)
+        points.append(ScalingPoint(num_gpus=m, seconds=seconds, num_ops=total))
+    tau_1 = points[0].seconds if points and points[0].num_gpus == 1 else None
+    if tau_1 is None:
+        raise ConfigurationError("gpu_counts must start at 1 for efficiencies")
+    effs = []
+    for p in points:
+        if mode == "strong":
+            effs.append(strong_efficiency(tau_1, p.seconds, p.num_gpus))
+        else:
+            effs.append(weak_efficiency(tau_1, p.seconds))
+    return points, effs

@@ -1,0 +1,86 @@
+"""Named hardware configurations.
+
+The paper's testbed (§V-A) is a Mogon II node: dual Xeon E5-2680 v4,
+256 GB DDR4, four Tesla P100s (16 GB HBM2 @ 720 GB/s) on an augmented
+fully connected NVLink mesh behind two PCIe switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simt.device import GPUSpec
+from . import calibration as cal
+
+__all__ = ["P100", "V100", "GTX470", "CpuSpec", "XEON_E5_2680V4_NODE"]
+
+_GIB = 1 << 30
+_GB = 1e9
+
+#: NVIDIA Tesla P100 (SXM2): 16 GB HBM2, 720 GB/s, 56 SMs @ 1.48 GHz,
+#: 8 memory interfaces (the CAS-degradation suspect of §V-C).
+P100 = GPUSpec(
+    name="Tesla P100",
+    vram_bytes=16 * _GIB,
+    mem_bandwidth=720.0 * _GB,
+    random_access_efficiency=cal.RANDOM_ACCESS_EFFICIENCY,
+    atomic_cas_rate=cal.ATOMIC_CAS_RATE,
+    num_mem_interfaces=8,
+    sm_count=56,
+    clock_hz=1.48e9,
+)
+
+#: NVIDIA Tesla V100 (SXM2) — the Volta successor, for the beyond-the-
+#: paper DGX-1V extension bench: 16 GB HBM2 @ 900 GB/s, 80 SMs,
+#: six NVLink2 ports.
+V100 = GPUSpec(
+    name="Tesla V100",
+    vram_bytes=16 * _GIB,
+    mem_bandwidth=900.0 * _GB,
+    random_access_efficiency=cal.RANDOM_ACCESS_EFFICIENCY,
+    atomic_cas_rate=cal.ATOMIC_CAS_RATE * 1.25,
+    num_mem_interfaces=8,
+    sm_count=80,
+    clock_hz=1.53e9,
+)
+
+#: GTX 470 — the Fermi card of Alcantara's original cuckoo experiments
+#: (≈ 250 M inserts/s era); used by historical-context benches.
+GTX470 = GPUSpec(
+    name="GeForce GTX 470",
+    vram_bytes=1280 * (1 << 20),
+    mem_bandwidth=133.9 * _GB,
+    random_access_efficiency=0.35,
+    atomic_cas_rate=0.6e9,
+    num_mem_interfaces=5,
+    sm_count=14,
+    clock_hz=1.215e9,
+)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU description for the Folklore baseline."""
+
+    name: str
+    mem_bandwidth: float
+    random_access_efficiency: float
+    atomic_cas_rate: float
+    cores: int
+    threads: int
+
+    @property
+    def effective_random_bandwidth(self) -> float:
+        return self.mem_bandwidth * self.random_access_efficiency
+
+
+#: Dual-socket Xeon E5-2680 v4 (2 × 14 cores, 48 threads w/ HT as used
+#: in Maier et al.'s Folklore numbers).
+XEON_E5_2680V4_NODE = CpuSpec(
+    name="2x Xeon E5-2680 v4",
+    mem_bandwidth=cal.CPU_MEM_BANDWIDTH,
+    random_access_efficiency=cal.CPU_RANDOM_ACCESS_EFFICIENCY,
+    atomic_cas_rate=cal.CPU_ATOMIC_CAS_RATE,
+    cores=28,
+    threads=56,
+)

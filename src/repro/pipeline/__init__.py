@@ -1,0 +1,19 @@
+"""Asynchronous batch-cascade overlap (Fig. 5 / Fig. 11)."""
+
+from .driver import AsyncCascadeDriver, StreamResult
+from .schedule import overlap_improvement, schedule_batches
+from .stages import RESOURCES, Stage, insert_stages, query_stages
+from .timeline import Span, Timeline
+
+__all__ = [
+    "Stage",
+    "AsyncCascadeDriver",
+    "StreamResult",
+    "RESOURCES",
+    "insert_stages",
+    "query_stages",
+    "schedule_batches",
+    "overlap_improvement",
+    "Span",
+    "Timeline",
+]

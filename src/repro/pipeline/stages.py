@@ -1,0 +1,72 @@
+"""Pipeline stages and the hardware resources they occupy (Fig. 5).
+
+"Each block within a batch utilizes different hardware resources of a
+multi-GPU node (H2D: PCIe bus, MST: mainly NVLINK interconnection
+network, INS: video memory)" — so cascades of *different* batches can
+overlap as long as no two stages contend for the same resource.
+PCIe is full duplex: host-to-device and device-to-host traffic ride
+separate lanes, so the H2D of one batch overlaps the D2H of another —
+which is what lets the paper's retrieval cascade reach a 45% reduction
+despite carrying two PCIe legs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..perfmodel.cascade import CascadeTiming
+
+__all__ = ["Stage", "insert_stages", "query_stages", "RESOURCES"]
+
+#: the contended node resources (PCIe is full duplex: one lane each way)
+RESOURCES = ("pcie_up", "pcie_down", "nvlink", "vram")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One block of a batch cascade."""
+
+    name: str
+    resource: str
+    seconds: float
+
+    def __post_init__(self):
+        if self.resource not in RESOURCES:
+            raise ConfigurationError(
+                f"resource must be one of {RESOURCES}, got {self.resource!r}"
+            )
+        if self.seconds < 0:
+            raise ConfigurationError(f"stage seconds must be >= 0, got {self.seconds}")
+
+
+def insert_stages(timing: CascadeTiming, *, include_pcie: bool = True) -> list[Stage]:
+    """The H2D → MST → INS cascade of one insert batch.
+
+    MST bundles multisplit + transposition, as in Fig. 5/11 ("the
+    fractions of multisplit and transposition range between 2% and 4%").
+    """
+    stages = []
+    if include_pcie and timing.h2d > 0:
+        stages.append(Stage("H2D", "pcie_up", timing.h2d))
+    stages.append(Stage("MST", "nvlink", timing.multisplit + timing.alltoall))
+    stages.append(Stage("INS", "vram", timing.kernel))
+    return stages
+
+
+def query_stages(timing: CascadeTiming, *, include_pcie: bool = True) -> list[Stage]:
+    """The H2D → MST → RET → (reverse) → D2H cascade of one query batch.
+
+    The reverse transposition rides NVLink again; the result copy-back is
+    the extra PCIe leg that makes host-sided retrieval slower than
+    insertion (§V-C).
+    """
+    stages = []
+    if include_pcie and timing.h2d > 0:
+        stages.append(Stage("H2D", "pcie_up", timing.h2d))
+    stages.append(Stage("MST", "nvlink", timing.multisplit + timing.alltoall))
+    stages.append(Stage("RET", "vram", timing.kernel))
+    stages.append(Stage("REV", "nvlink", timing.reverse))
+    if include_pcie and timing.d2h > 0:
+        stages.append(Stage("D2H", "pcie_down", timing.d2h))
+    return stages

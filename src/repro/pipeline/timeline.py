@@ -1,0 +1,114 @@
+"""Schedule timelines: spans, utilization, and ASCII rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+from .stages import RESOURCES
+
+__all__ = ["Span", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One executed stage instance."""
+
+    batch: int
+    stage: str
+    resource: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """A completed schedule."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def add(self, span: Span) -> None:
+        if span.end < span.start:
+            raise ScheduleError(f"span ends before it starts: {span}")
+        self.spans.append(span)
+
+    @property
+    def makespan(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        return sum(s.duration for s in self.spans if s.resource == resource)
+
+    def utilization(self, resource: str) -> float:
+        span = self.makespan
+        return self.busy_time(resource) / span if span > 0 else 0.0
+
+    def utilizations(self) -> dict[str, float]:
+        return {r: self.utilization(r) for r in RESOURCES}
+
+    def batch_span(self, batch: int) -> tuple[float, float]:
+        spans = [s for s in self.spans if s.batch == batch]
+        if not spans:
+            raise ScheduleError(f"no spans recorded for batch {batch}")
+        return min(s.start for s in spans), max(s.end for s in spans)
+
+    def stage_totals(self) -> dict[str, float]:
+        """Accumulated seconds per stage name (Fig. 11 decomposition)."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.stage] = out.get(s.stage, 0.0) + s.duration
+        return out
+
+    def verify_no_overlap(self) -> None:
+        """Invariant check: each resource runs at most one stage at a time."""
+        for resource in RESOURCES:
+            spans = sorted(
+                (s for s in self.spans if s.resource == resource),
+                key=lambda s: s.start,
+            )
+            for a, b in zip(spans, spans[1:]):
+                if b.start < a.end - 1e-12:
+                    raise ScheduleError(
+                        f"{resource}: spans overlap — {a} and {b}"
+                    )
+
+    def verify_batch_order(self, num_stages: dict[int, int] | None = None) -> None:
+        """Invariant: stages within a batch never overlap or reorder."""
+        batches: dict[int, list[Span]] = {}
+        for s in self.spans:
+            batches.setdefault(s.batch, []).append(s)
+        for batch, spans in batches.items():
+            for a, b in zip(spans, spans[1:]):
+                if b.start < a.end - 1e-12:
+                    raise ScheduleError(
+                        f"batch {batch}: stage {b.stage} started before "
+                        f"{a.stage} finished"
+                    )
+            if num_stages is not None and len(spans) != num_stages.get(batch, len(spans)):
+                raise ScheduleError(
+                    f"batch {batch}: expected {num_stages[batch]} stages, "
+                    f"got {len(spans)}"
+                )
+
+    def render(self, *, width: int = 72) -> str:
+        """ASCII Gantt chart, one row per resource (Fig. 5 style)."""
+        span = self.makespan
+        if span == 0:
+            return "(empty timeline)"
+        lines = []
+        for resource in RESOURCES:
+            row = [" "] * width
+            for s in self.spans:
+                if s.resource != resource:
+                    continue
+                lo = int(s.start / span * (width - 1))
+                hi = max(lo + 1, int(s.end / span * (width - 1)))
+                label = str(s.batch % 10)
+                for i in range(lo, min(hi, width)):
+                    row[i] = label
+            lines.append(f"{resource:>7} |{''.join(row)}|")
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Device primitives (CUB stand-ins): scans, radix sort, compaction."""
+
+from .compact import CompactResult, compact, histogram
+from .radix_sort import DIGIT_BITS, RADIX, RadixSortResult, radix_sort, radix_sort_pairs
+from .scan import ScanResult, exclusive_scan, inclusive_scan, segmented_reduce
+
+__all__ = [
+    "ScanResult",
+    "exclusive_scan",
+    "inclusive_scan",
+    "segmented_reduce",
+    "RadixSortResult",
+    "radix_sort",
+    "radix_sort_pairs",
+    "DIGIT_BITS",
+    "RADIX",
+    "CompactResult",
+    "compact",
+    "histogram",
+]

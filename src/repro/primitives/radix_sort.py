@@ -1,0 +1,122 @@
+"""LSD radix sort (CUB's ``DeviceRadixSort`` stand-in).
+
+"The keys are sorted together with their associated values using an
+efficient sorting algorithm such as CUDA Unbound's radix sort primitive"
+(§II).  This is a real least-significant-digit radix sort — per-pass
+histogram, exclusive scan of the digit counts, stable scatter — not a
+call to ``np.sort``, so the pass structure, the O(n) double buffer, and
+the per-pass work accounting all mirror the GPU algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import SECTOR_BYTES
+from ..errors import ConfigurationError
+from ..simt.counters import TransactionCounter
+from .scan import exclusive_scan
+
+__all__ = ["RadixSortResult", "radix_sort", "radix_sort_pairs"]
+
+#: digit width per pass (CUB uses 4-8 bits; 8 keeps passes minimal)
+DIGIT_BITS = 8
+RADIX = 1 << DIGIT_BITS
+
+
+@dataclass(frozen=True)
+class RadixSortResult:
+    """Sorted data plus pass-level accounting."""
+
+    keys: np.ndarray
+    values: np.ndarray | None
+    #: original index of each output element (the stable permutation)
+    permutation: np.ndarray
+    passes: int
+    #: auxiliary ping-pong buffer bytes the sort needed
+    aux_bytes: int
+
+
+def _num_passes(key_bits: int) -> int:
+    return math.ceil(key_bits / DIGIT_BITS)
+
+
+def radix_sort(
+    keys: np.ndarray,
+    *,
+    key_bits: int | None = None,
+    counter: TransactionCounter | None = None,
+) -> RadixSortResult:
+    """Stable LSD radix sort of unsigned integer keys."""
+    return radix_sort_pairs(keys, None, key_bits=key_bits, counter=counter)
+
+
+def radix_sort_pairs(
+    keys: np.ndarray,
+    values: np.ndarray | None,
+    *,
+    key_bits: int | None = None,
+    counter: TransactionCounter | None = None,
+) -> RadixSortResult:
+    """Sort (key, value) pairs by key, stably, digit by digit."""
+    k = np.asarray(keys)
+    if k.ndim != 1:
+        raise ConfigurationError(f"keys must be 1-D, got shape {k.shape}")
+    if not np.issubdtype(k.dtype, np.unsignedinteger):
+        raise ConfigurationError(f"radix sort needs unsigned keys, got {k.dtype}")
+    v = None
+    if values is not None:
+        v = np.asarray(values)
+        if v.shape[0] != k.shape[0]:
+            raise ConfigurationError("keys and values must have equal length")
+
+    if key_bits is None:
+        key_bits = k.dtype.itemsize * 8
+    if not 1 <= key_bits <= k.dtype.itemsize * 8:
+        raise ConfigurationError(f"key_bits out of range: {key_bits}")
+    passes = _num_passes(key_bits)
+    n = k.shape[0]
+
+    cur_keys = k.copy()
+    cur_vals = v.copy() if v is not None else None
+    perm = np.arange(n, dtype=np.int64)
+
+    item_bytes = k.dtype.itemsize + (v.dtype.itemsize if v is not None else 0)
+    sweep_sectors = math.ceil(max(n * item_bytes, 1) / SECTOR_BYTES)
+
+    for p in range(passes):
+        shift = k.dtype.type(p * DIGIT_BITS)
+        digits = (cur_keys >> shift) & k.dtype.type(RADIX - 1)
+        digits_i = digits.astype(np.int64)
+        # per-pass histogram + exclusive scan of the digit counts
+        hist = np.bincount(digits_i, minlength=RADIX)
+        offsets = exclusive_scan(hist, counter=counter).values
+        # stable counting scatter: position = digit base + rank in digit
+        order = np.argsort(digits_i, kind="stable")
+        ranks = np.empty(n, dtype=np.int64)
+        ranks[order] = np.arange(n, dtype=np.int64) - np.repeat(offsets, hist)
+        positions = offsets[digits_i] + ranks
+        nxt_keys = np.empty_like(cur_keys)
+        nxt_keys[positions] = cur_keys
+        nxt_perm = np.empty_like(perm)
+        nxt_perm[positions] = perm
+        cur_keys, perm = nxt_keys, nxt_perm
+        if cur_vals is not None:
+            nxt_vals = np.empty_like(cur_vals)
+            nxt_vals[positions] = cur_vals
+            cur_vals = nxt_vals
+        if counter is not None:
+            counter.charge_load(sweep_sectors)   # read pass input
+            counter.charge_store(sweep_sectors)  # scatter to the buffer
+            counter.atomic_adds += max(1, n // 32)  # block-level histogram
+
+    return RadixSortResult(
+        keys=cur_keys,
+        values=cur_vals,
+        permutation=perm,
+        passes=passes,
+        aux_bytes=n * item_bytes,
+    )

@@ -1,0 +1,34 @@
+"""SIMT execution substrate: devices, warps, atomics, schedulers, counters."""
+
+from .atomics import atomic_add, atomic_cas, atomic_exch, warp_aggregated_add
+from .counters import TransactionCounter, sectors_for_access, sectors_for_lanes
+from .device import Device, GPUSpec
+from .kernel import LaunchConfig, launch
+from .scheduler import (
+    ALL_SCHEDULERS,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SequentialScheduler,
+)
+from .warp import CoalescedGroup
+
+__all__ = [
+    "TransactionCounter",
+    "sectors_for_access",
+    "sectors_for_lanes",
+    "Device",
+    "GPUSpec",
+    "CoalescedGroup",
+    "atomic_cas",
+    "atomic_exch",
+    "atomic_add",
+    "warp_aggregated_add",
+    "Scheduler",
+    "SequentialScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "ALL_SCHEDULERS",
+    "LaunchConfig",
+    "launch",
+]

@@ -1,0 +1,122 @@
+"""Simulated GPU devices.
+
+A :class:`GPUSpec` captures the hardware constants the performance model
+needs (the paper's testbed is the Tesla P100; see
+:mod:`repro.perfmodel.specs` for named configurations).  A :class:`Device`
+is the runtime object kernels run against: it owns a transaction counter
+and tracks VRAM usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError, ConfigurationError
+from .counters import TransactionCounter
+
+__all__ = ["GPUSpec", "Device"]
+
+_GIB = 1 << 30
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Tesla P100"``.
+    vram_bytes:
+        Global memory capacity.
+    mem_bandwidth:
+        Peak global-memory bandwidth in bytes/second (P100 HBM2: 720 GB/s).
+    random_access_efficiency:
+        Fraction of peak bandwidth attainable under hash-random sector
+        traffic (§IV-B: "we can only saturate a fraction of the overall
+        bandwidth due to the random nature of hashing").
+    atomic_cas_rate:
+        Sustainable CAS operations/second across the chip.
+    num_mem_interfaces:
+        HBM2 stacks/interfaces; drives the >2 GB CAS degradation artifact
+        observed in Fig. 10.
+    sm_count, clock_hz:
+        Streaming-multiprocessor count and boost clock; used by the
+        occupancy/latency model.
+    """
+
+    name: str
+    vram_bytes: int
+    mem_bandwidth: float
+    random_access_efficiency: float = 0.45
+    atomic_cas_rate: float = 2.2e9
+    num_mem_interfaces: int = 8
+    sm_count: int = 56
+    clock_hz: float = 1.48e9
+
+    def __post_init__(self):
+        if self.vram_bytes <= 0:
+            raise ConfigurationError("vram_bytes must be > 0")
+        if self.mem_bandwidth <= 0:
+            raise ConfigurationError("mem_bandwidth must be > 0")
+        if not 0 < self.random_access_efficiency <= 1:
+            raise ConfigurationError("random_access_efficiency must be in (0, 1]")
+
+    @property
+    def vram_gib(self) -> float:
+        return self.vram_bytes / _GIB
+
+    @property
+    def effective_random_bandwidth(self) -> float:
+        """Bytes/second sustainable for hash-random traffic."""
+        return self.mem_bandwidth * self.random_access_efficiency
+
+
+class Device:
+    """A runtime GPU: identity + counters + VRAM bookkeeping.
+
+    Buffers register their footprint through :meth:`allocate` /
+    :meth:`free`; kernels charge work to :attr:`counter`.
+    """
+
+    def __init__(self, device_id: int, spec: GPUSpec):
+        if device_id < 0:
+            raise ConfigurationError(f"device_id must be >= 0, got {device_id}")
+        self.device_id = device_id
+        self.spec = spec
+        self.counter = TransactionCounter()
+        self.allocated_bytes = 0
+        self.peak_allocated_bytes = 0
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve VRAM; raises :class:`AllocationError` when exhausted."""
+        if nbytes < 0:
+            raise ConfigurationError(f"allocation size must be >= 0, got {nbytes}")
+        if self.allocated_bytes + nbytes > self.spec.vram_bytes:
+            raise AllocationError(
+                f"device {self.device_id} ({self.spec.name}): requested "
+                f"{nbytes} B with {self.allocated_bytes} B in use exceeds "
+                f"{self.spec.vram_bytes} B VRAM"
+            )
+        self.allocated_bytes += nbytes
+        self.peak_allocated_bytes = max(self.peak_allocated_bytes, self.allocated_bytes)
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.allocated_bytes:
+            raise ConfigurationError(
+                f"free({nbytes}) invalid with {self.allocated_bytes} B allocated"
+            )
+        self.allocated_bytes -= nbytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.vram_bytes - self.allocated_bytes
+
+    def reset_counters(self) -> None:
+        self.counter.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Device(id={self.device_id}, spec={self.spec.name!r}, "
+            f"allocated={self.allocated_bytes}/{self.spec.vram_bytes})"
+        )

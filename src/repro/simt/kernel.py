@@ -1,0 +1,75 @@
+"""Kernel launch abstraction.
+
+A "kernel" in the reference path is a factory producing one generator per
+coalesced group (see :mod:`repro.simt.scheduler`).  :func:`launch` wires
+the grid together: it builds one task per work item, hands them to the
+chosen scheduler, bumps the launch counter, and returns per-item results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..constants import WARP_SIZE
+from ..errors import ConfigurationError
+from .counters import TransactionCounter
+from .scheduler import GroupTask, Scheduler, SequentialScheduler
+
+__all__ = ["LaunchConfig", "launch"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry for occupancy accounting.
+
+    The simulator does not time-slice blocks, but the perf model needs
+    the geometry: a group size of ``|g|`` packs ``32/|g|`` groups per warp,
+    which is the occupancy lever behind Fig. 7's group-size trade-off.
+    """
+
+    group_size: int
+    block_threads: int = 256
+
+    def __post_init__(self):
+        if self.block_threads % WARP_SIZE != 0:
+            raise ConfigurationError(
+                f"block_threads must be a multiple of {WARP_SIZE}, "
+                f"got {self.block_threads}"
+            )
+        if self.group_size > self.block_threads:
+            raise ConfigurationError("group_size cannot exceed block_threads")
+
+    @property
+    def groups_per_block(self) -> int:
+        return self.block_threads // self.group_size
+
+    @property
+    def groups_per_warp(self) -> int:
+        return WARP_SIZE // self.group_size
+
+    def blocks_for(self, num_items: int) -> int:
+        """Number of thread blocks covering ``num_items`` work items."""
+        per_block = self.groups_per_block
+        return (num_items + per_block - 1) // per_block
+
+
+def launch(
+    kernel: Callable[[int], GroupTask],
+    num_items: int,
+    *,
+    scheduler: Scheduler | None = None,
+    counter: TransactionCounter | None = None,
+) -> Sequence[object]:
+    """Launch ``num_items`` group-tasks of ``kernel`` under a scheduler.
+
+    ``kernel(item_index)`` must return a generator that yields at memory
+    observation points and returns the item's result.
+    """
+    if num_items < 0:
+        raise ConfigurationError(f"num_items must be >= 0, got {num_items}")
+    sched = scheduler if scheduler is not None else SequentialScheduler()
+    if counter is not None:
+        counter.kernel_launches += 1
+    tasks = [kernel(i) for i in range(num_items)]
+    return sched.run(tasks)

@@ -1,0 +1,109 @@
+"""Streaming-multiprocessor occupancy model.
+
+§V-B explains the group-size trade-off partly through occupancy: "small
+groups may probe multiple windows at a higher group occupancy rate on
+the Streaming Multiprocessors."  This module is a faithful CUDA
+occupancy calculator for Pascal-class SMs: resident blocks per SM are
+limited by threads, registers, shared memory, and the block-slot cap;
+the winner determines how many warps (and hence coalesced groups) are in
+flight to hide memory latency.
+
+The perf model's ``TRANSACTION_ISSUE_RATE`` is a chip-level summary of
+this machinery; the calculator exposes the underlying arithmetic so the
+calibration is auditable (see ``tests/simt/test_occupancy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import WARP_SIZE
+from ..errors import ConfigurationError
+
+__all__ = ["SMResources", "KernelResources", "OccupancyResult", "occupancy", "PASCAL_SM"]
+
+
+@dataclass(frozen=True)
+class SMResources:
+    """Per-SM hardware limits."""
+
+    max_threads: int = 2048
+    max_blocks: int = 32
+    max_warps: int = 64
+    registers: int = 65536
+    shared_memory: int = 65536  # bytes
+    register_allocation_unit: int = 256
+    shared_allocation_unit: int = 256
+
+
+#: GP100 (Tesla P100) streaming multiprocessor
+PASCAL_SM = SMResources()
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """What one thread block of a kernel consumes."""
+
+    block_threads: int = 256
+    registers_per_thread: int = 32
+    shared_per_block: int = 0
+
+    def __post_init__(self):
+        if self.block_threads < 1 or self.block_threads % WARP_SIZE:
+            raise ConfigurationError(
+                f"block_threads must be a positive multiple of {WARP_SIZE}"
+            )
+        if self.registers_per_thread < 1:
+            raise ConfigurationError("registers_per_thread must be >= 1")
+        if self.shared_per_block < 0:
+            raise ConfigurationError("shared_per_block must be >= 0")
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident blocks/warps per SM and what limited them."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiter: str  # "threads" | "blocks" | "registers" | "shared_memory"
+    occupancy: float  # resident warps / max warps
+
+    def resident_groups(self, group_size: int) -> int:
+        """Concurrent coalesced groups per SM at a given |g|."""
+        if group_size < 1:
+            raise ConfigurationError("group_size must be >= 1")
+        return self.warps_per_sm * (WARP_SIZE // group_size)
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+def occupancy(kernel: KernelResources, sm: SMResources = PASCAL_SM) -> OccupancyResult:
+    """Resident blocks per SM for a kernel, CUDA-calculator style."""
+    limits: dict[str, int] = {}
+    limits["threads"] = sm.max_threads // kernel.block_threads
+    limits["blocks"] = sm.max_blocks
+
+    regs_per_block = _round_up(
+        kernel.registers_per_thread * kernel.block_threads,
+        sm.register_allocation_unit,
+    )
+    limits["registers"] = sm.registers // regs_per_block if regs_per_block else sm.max_blocks
+
+    if kernel.shared_per_block:
+        shared = _round_up(kernel.shared_per_block, sm.shared_allocation_unit)
+        limits["shared_memory"] = sm.shared_memory // shared
+    else:
+        limits["shared_memory"] = sm.max_blocks
+
+    blocks = min(limits.values())
+    # report the binding constraint (ties resolve in a fixed order)
+    limiter = min(limits, key=lambda k: (limits[k], k))
+    warps = min(blocks * kernel.block_threads // WARP_SIZE, sm.max_warps)
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        limiter=limiter,
+        occupancy=warps / sm.max_warps,
+    )

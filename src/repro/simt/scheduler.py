@@ -1,0 +1,132 @@
+"""Cross-group interleaving schedulers.
+
+§IV-A: "with the introduction of the Volta generation and CUDA 9,
+consecutive threads within a warp can be scheduled independently".  Races
+in the insert kernel happen *between* coalesced groups: two groups may
+load overlapping windows, both see an empty slot, and only one CAS wins.
+
+The reference kernels are written as Python generators that ``yield`` at
+every global-memory observation point (window load, CAS attempt).  A
+scheduler drains a set of such group-tasks in some order:
+
+* :class:`SequentialScheduler` — each group runs to completion (the
+  contention-free baseline ordering).
+* :class:`RoundRobinScheduler` — lock-step rotation, maximizing window
+  staleness ("the copies of the keys in registers might have already been
+  deprecated").
+* :class:`RandomScheduler` — seeded adversarial interleaving, the moral
+  equivalent of independent thread scheduling.
+
+Correctness tests assert the table invariants hold under *all* schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Generator, Iterable
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Scheduler",
+    "SequentialScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "ALL_SCHEDULERS",
+]
+
+GroupTask = Generator[None, None, object]
+
+
+class Scheduler(ABC):
+    """Drains a collection of group-task generators to completion."""
+
+    #: safety valve: one task may not yield more than this many times
+    MAX_STEPS_PER_TASK = 1_000_000
+
+    @abstractmethod
+    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
+        """Drive all tasks; returns their return values in input order."""
+
+    @staticmethod
+    def _finish(task: GroupTask) -> object:
+        """Run a generator to completion, returning its StopIteration value."""
+        steps = 0
+        while True:
+            try:
+                next(task)
+            except StopIteration as stop:
+                return stop.value
+            steps += 1
+            if steps > Scheduler.MAX_STEPS_PER_TASK:
+                raise ConfigurationError(
+                    "group task exceeded step budget; kernel likely stuck"
+                )
+
+
+class SequentialScheduler(Scheduler):
+    """Each group runs to completion before the next starts."""
+
+    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
+        return [self._finish(task) for task in tasks]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Advance each live task by one step in rotation."""
+
+    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
+        live: list[tuple[int, GroupTask]] = list(enumerate(tasks))
+        results: dict[int, object] = {}
+        steps = 0
+        while live:
+            still_live: list[tuple[int, GroupTask]] = []
+            for idx, task in live:
+                try:
+                    next(task)
+                    still_live.append((idx, task))
+                except StopIteration as stop:
+                    results[idx] = stop.value
+            live = still_live
+            steps += 1
+            if steps > self.MAX_STEPS_PER_TASK:
+                raise ConfigurationError(
+                    "round-robin schedule exceeded step budget; kernel likely stuck"
+                )
+        return [results[i] for i in range(len(results))]
+
+
+class RandomScheduler(Scheduler):
+    """Advance a uniformly random live task each step (seeded)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
+        live: list[tuple[int, GroupTask]] = list(enumerate(tasks))
+        results: dict[int, object] = {}
+        total = len(live)
+        steps = 0
+        while live:
+            pick = self._rng.randrange(len(live))
+            idx, task = live[pick]
+            try:
+                next(task)
+            except StopIteration as stop:
+                results[idx] = stop.value
+                live.pop(pick)
+            steps += 1
+            if steps > self.MAX_STEPS_PER_TASK * max(total, 1):
+                raise ConfigurationError(
+                    "random schedule exceeded step budget; kernel likely stuck"
+                )
+        return [results[i] for i in range(total)]
+
+
+#: Factories for parametrized correctness tests across all schedules.
+ALL_SCHEDULERS = {
+    "sequential": SequentialScheduler,
+    "round_robin": RoundRobinScheduler,
+    "random": lambda: RandomScheduler(seed=1234),
+}

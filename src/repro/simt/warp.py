@@ -1,0 +1,120 @@
+"""Coalesced-group collectives (§IV-A).
+
+The paper targets both pre-Volta lock-step warps and (post-)Volta
+independent thread scheduling, and restricts itself to collectives that
+synchronize the group implicitly: ``ballot``, ``any``, plus ``__ffs`` for
+leader election and ``shfl`` for broadcast.  This module implements a
+:class:`CoalescedGroup` whose lanes are vectors of NumPy values; every
+collective charges :attr:`TransactionCounter.warp_collectives` on the
+owning device so the perf model can account instruction overhead.
+
+Lanes inside one group execute in lock-step here (collectives are the
+only cross-lane communication, exactly as in the paper's kernel), while
+*cross-group* interleaving — where real races live — is handled by
+:mod:`repro.simt.scheduler`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import VALID_GROUP_SIZES, WARP_SIZE
+from ..errors import ConfigurationError
+from ..utils.bitops import ffs, mask_from_bools
+from .counters import TransactionCounter
+
+__all__ = ["CoalescedGroup"]
+
+
+class CoalescedGroup:
+    """|g| consecutive threads cooperating on one key-value pair.
+
+    Parameters
+    ----------
+    size:
+        Group size ``|g| ∈ {1, 2, 4, 8, 16, 32}``.
+    counter:
+        Device counter charged for each collective; optional so the group
+        can be used standalone in tests.
+    """
+
+    def __init__(self, size: int, counter: TransactionCounter | None = None):
+        if size not in VALID_GROUP_SIZES:
+            raise ConfigurationError(
+                f"group size must be one of {VALID_GROUP_SIZES}, got {size}"
+            )
+        self.size = size
+        self.counter = counter
+
+    @property
+    def thread_rank(self) -> np.ndarray:
+        """Per-lane rank 0..|g|-1 (``g.thread_rank`` in Fig. 3)."""
+        return np.arange(self.size, dtype=np.int64)
+
+    @property
+    def groups_per_warp(self) -> int:
+        """How many such groups tile one 32-thread warp."""
+        return WARP_SIZE // self.size
+
+    def _charge(self) -> None:
+        if self.counter is not None:
+            self.counter.warp_collectives += 1
+
+    def ballot(self, predicate: np.ndarray) -> int:
+        """Packed |g|-bit mask of per-lane predicates (implicitly syncs).
+
+        Lane ``i``'s predicate becomes bit ``i`` — the mask the insert
+        kernel scans with ``__ffs`` (Fig. 3, lines 9-11).
+        """
+        pred = np.asarray(predicate, dtype=bool)
+        if pred.shape != (self.size,):
+            raise ConfigurationError(
+                f"predicate must have shape ({self.size},), got {pred.shape}"
+            )
+        self._charge()
+        return mask_from_bools(pred)
+
+    def any(self, predicate: np.ndarray) -> bool:
+        """True when any lane's predicate holds (implicitly syncs)."""
+        pred = np.asarray(predicate, dtype=bool)
+        if pred.shape != (self.size,):
+            raise ConfigurationError(
+                f"predicate must have shape ({self.size},), got {pred.shape}"
+            )
+        self._charge()
+        return bool(pred.any())
+
+    def all(self, predicate: np.ndarray) -> bool:
+        """True when every lane's predicate holds (implicitly syncs)."""
+        pred = np.asarray(predicate, dtype=bool)
+        if pred.shape != (self.size,):
+            raise ConfigurationError(
+                f"predicate must have shape ({self.size},), got {pred.shape}"
+            )
+        self._charge()
+        return bool(pred.all())
+
+    def shfl(self, values: np.ndarray, src_lane: int) -> np.ndarray:
+        """Broadcast lane ``src_lane``'s value to all lanes."""
+        vals = np.asarray(values)
+        if vals.shape[0] != self.size:
+            raise ConfigurationError(
+                f"values must have {self.size} lanes, got {vals.shape}"
+            )
+        if not 0 <= src_lane < self.size:
+            raise ConfigurationError(
+                f"src_lane must be in [0, {self.size}), got {src_lane}"
+            )
+        self._charge()
+        return np.broadcast_to(vals[src_lane], vals.shape).copy()
+
+    def elect_leader(self, mask: int) -> int:
+        """Leftmost active lane of a ballot mask, or -1 when mask == 0.
+
+        ``leader ← __ffs(mask)`` in Fig. 3 line 11 (converted to 0-based).
+        """
+        pos = ffs(mask)
+        return pos - 1 if pos else -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoalescedGroup(size={self.size})"

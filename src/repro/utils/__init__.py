@@ -1,0 +1,54 @@
+"""Shared utilities: bit intrinsics, validation, statistics, reporting."""
+
+from .bitops import (
+    bools_from_mask,
+    clear_lowest_bit,
+    ffs,
+    ffs_array,
+    is_power_of_two,
+    mask_from_bools,
+    next_power_of_two,
+    popcount,
+    popcount_array,
+)
+from .stats import Summary, cdf_points, geometric_mean, harmonic_mean, summarize
+from .tables import format_kv, format_series, format_table, sparkline
+from .validation import (
+    check_group_size,
+    check_in_range,
+    check_keys,
+    check_load_factor,
+    check_non_negative,
+    check_positive,
+    check_same_length,
+    check_values,
+)
+
+__all__ = [
+    "ffs",
+    "popcount",
+    "ffs_array",
+    "popcount_array",
+    "mask_from_bools",
+    "bools_from_mask",
+    "clear_lowest_bit",
+    "is_power_of_two",
+    "next_power_of_two",
+    "Summary",
+    "summarize",
+    "geometric_mean",
+    "harmonic_mean",
+    "cdf_points",
+    "format_table",
+    "format_series",
+    "format_kv",
+    "sparkline",
+    "check_group_size",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_load_factor",
+    "check_keys",
+    "check_values",
+    "check_same_length",
+]

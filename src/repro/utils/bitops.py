@@ -1,0 +1,99 @@
+"""Bit-level helpers shared across the SIMT simulator and the hash core.
+
+These provide the handful of hardware intrinsics the paper's kernel relies
+on (``__ffs``, ``__popc``, ballots as packed integers) in both scalar and
+vectorized (NumPy) forms.  All operate on Python ints or ``uint64`` arrays;
+masks are plain non-negative integers with bit ``i`` describing lane ``i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ffs",
+    "popcount",
+    "ffs_array",
+    "popcount_array",
+    "mask_from_bools",
+    "bools_from_mask",
+    "clear_lowest_bit",
+    "is_power_of_two",
+    "next_power_of_two",
+    "bit_length",
+]
+
+
+def ffs(mask: int) -> int:
+    """Find-first-set: 1-based index of the least significant set bit.
+
+    Matches CUDA ``__ffs``: returns 0 when ``mask`` is 0.  The paper's
+    kernel (Fig. 3, line 11) elects the CG leader as ``__ffs(mask)``.
+    """
+    if mask == 0:
+        return 0
+    return (mask & -mask).bit_length()
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (CUDA ``__popc``)."""
+    return int(mask).bit_count()
+
+
+def ffs_array(masks: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`ffs` over an integer array (0 where mask == 0)."""
+    m = masks.astype(np.uint64, copy=False)
+    isolated = m & (np.uint64(0) - m)  # two's complement trick: m & -m
+    out = np.zeros(m.shape, dtype=np.int64)
+    nz = isolated != 0
+    # bit_length of an isolated bit == log2 + 1
+    out[nz] = np.log2(isolated[nz].astype(np.float64)).astype(np.int64) + 1
+    return out
+
+
+def popcount_array(masks: np.ndarray) -> np.ndarray:
+    """Vectorized popcount over an unsigned integer array."""
+    return np.bitwise_count(masks.astype(np.uint64, copy=False)).astype(np.int64)
+
+
+def mask_from_bools(flags: np.ndarray) -> int:
+    """Pack a boolean lane-predicate vector into a ballot mask.
+
+    Lane ``i``'s flag becomes bit ``i`` — the packed ``|g|``-bit integer the
+    paper broadcasts with ``__ballot`` (Fig. 3, line 9).
+    """
+    flags = np.asarray(flags, dtype=bool)
+    if flags.size > 64:
+        raise ValueError(f"ballot masks support at most 64 lanes, got {flags.size}")
+    weights = np.uint64(1) << np.arange(flags.size, dtype=np.uint64)
+    return int(np.sum(weights[flags], dtype=np.uint64))
+
+
+def bools_from_mask(mask: int, width: int) -> np.ndarray:
+    """Unpack a ballot mask into a boolean vector of ``width`` lanes."""
+    if width < 0 or width > 64:
+        raise ValueError(f"width must be in [0, 64], got {width}")
+    bits = (np.uint64(mask) >> np.arange(width, dtype=np.uint64)) & np.uint64(1)
+    return bits.astype(bool)
+
+
+def clear_lowest_bit(mask: int) -> int:
+    """Clear the least significant set bit (advance the ballot scan)."""
+    return mask & (mask - 1)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (n >= 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def bit_length(n: int) -> int:
+    """Number of bits needed to represent ``n`` (0 -> 0)."""
+    return int(n).bit_length()

@@ -1,0 +1,54 @@
+"""Prime capacity helpers.
+
+Double-hashing probe sequences only visit all slots when the step size is
+coprime with the capacity.  Forcing the step odd suffices for power-of-two
+capacities; arbitrary capacities (Stadium hashing, classic textbook double
+hashing) instead round up to a prime so *every* nonzero step generates a
+full cycle.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["is_prime", "next_prime"]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin, exact for all 64-bit integers."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # these witnesses are exact for n < 3.3e24
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n."""
+    if n < 2:
+        return 2
+    if n > (1 << 62):
+        raise ConfigurationError(f"next_prime argument too large: {n}")
+    candidate = n if n % 2 else n + 1
+    if n == 2:
+        return 2
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate

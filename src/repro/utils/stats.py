@@ -1,0 +1,82 @@
+"""Small statistics helpers for probe-length and throughput summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "geometric_mean", "harmonic_mean", "cdf_points"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample used in reports and tests."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(sample: np.ndarray) -> Summary:
+    """Summarize a 1-D numeric sample (empty samples yield all-zero stats)."""
+    arr = np.asarray(sample, dtype=np.float64).ravel()
+    if arr.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        maximum=float(arr.max()),
+    )
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: np.ndarray) -> float:
+    """Harmonic mean of positive values (rate aggregation)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def cdf_points(sample: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative fractions)."""
+    arr = np.sort(np.asarray(sample, dtype=np.float64).ravel())
+    if arr.size == 0:
+        return arr, arr
+    fractions = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, fractions

@@ -1,0 +1,95 @@
+"""ASCII table and series rendering for the benchmark harness.
+
+The paper reports results as figures (rate-vs-load curves, scaling
+efficiency curves, runtime decompositions).  The bench targets print the
+same information as aligned text tables and simple series blocks so the
+reproduction can be inspected without plotting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt_cell(value: object, ndigits: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    ndigits: int = 3,
+) -> str:
+    """Render rows as a fixed-width, right-aligned ASCII table."""
+    str_rows = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    ndigits: int = 3,
+) -> str:
+    """Render one named (x, y) series with a sparkline, figure-style."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: len(xs)={len(xs)} != len(ys)={len(ys)}")
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    table = format_table([x_label, y_label], rows, ndigits=ndigits)
+    return f"{name}  {sparkline(ys)}\n{table}"
+
+
+def format_kv(pairs: dict[str, object], *, title: str | None = None, ndigits: int = 3) -> str:
+    """Render key/value pairs one per line, aligned on the colon."""
+    if not pairs:
+        return title or ""
+    width = max(len(k) for k in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_fmt_cell(value, ndigits)}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a numeric series (empty string for no data)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)

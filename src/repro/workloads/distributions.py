@@ -1,0 +1,124 @@
+"""Key distributions of the paper's evaluation (§V-A).
+
+Three 4-byte key distributions with arbitrary 4-byte values:
+
+* **unique** — sampling without replacement from the 2^32 key space,
+  "equivalent to a Fisher-Yates shuffle of an ascending integer
+  sequence";
+* **uniform** — sampling with replacement; the number of unique keys
+  follows the bootstrap ratio ``1 − e^(−n/2^32)``;
+* **Zipf** — power-law multiplicities: the key of rank k appears
+  ``∝ k^(−s)`` times, ``s > 1`` (the paper uses ``s = 1 + 10^{-6}``).
+
+All samplers avoid the two reserved top key values (EMPTY/TOMBSTONE
+sentinels) and take explicit seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import KEY_SPACE, MAX_KEY
+from ..errors import ConfigurationError
+
+__all__ = [
+    "unique_keys",
+    "uniform_keys",
+    "zipf_keys",
+    "random_values",
+    "expected_unique_fraction",
+    "make_distribution",
+]
+
+
+def _check_n(n: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"n must be > 0, got {n}")
+
+
+def unique_keys(n: int, seed: int = 0) -> np.ndarray:
+    """``n`` distinct keys, uniformly from the legal 4-byte key space.
+
+    A full 2^32 Fisher-Yates shuffle would need 16 GB of scratch; instead
+    we sample without replacement via random 64-bit draws + dedup top-up,
+    which yields the same distribution restricted to n draws.
+    """
+    _check_n(n)
+    if n > MAX_KEY + 1:
+        raise ConfigurationError(
+            f"cannot draw {n} unique keys from a space of {MAX_KEY + 1}"
+        )
+    rng = np.random.default_rng(seed)
+    have = np.empty(0, dtype=np.uint32)
+    want = n
+    while want > 0:
+        draw = rng.integers(0, MAX_KEY + 1, size=int(want * 1.05) + 16, dtype=np.int64)
+        have = np.unique(np.concatenate([have, draw.astype(np.uint32)]))
+        want = n - have.shape[0]
+    # unique() sorted the keys; shuffle to restore a random insertion order
+    rng.shuffle(have)
+    return have[:n]
+
+
+def uniform_keys(n: int, seed: int = 0) -> np.ndarray:
+    """``n`` keys drawn with replacement from the legal key space."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, MAX_KEY + 1, size=n, dtype=np.int64).astype(np.uint32)
+
+
+def expected_unique_fraction(n: int) -> float:
+    """Bootstrap ratio: E[#unique]/n for uniform sampling (§V-A)."""
+    _check_n(n)
+    return (1.0 - np.exp(-n / KEY_SPACE)) * KEY_SPACE / n
+
+
+def zipf_keys(n: int, s: float = 1.0 + 1e-6, *, universe: int | None = None, seed: int = 0) -> np.ndarray:
+    """``n`` keys with Zipf(s) multiplicities over a shuffled rank space.
+
+    The multiplicity of the rank-k key is smaller than the most common
+    key's by a factor ``k^(−s)`` [24].  Ranks are mapped to random key
+    values so the *hash* distribution stays uniform — only multiplicities
+    are skewed, exactly as in the paper's experiment.
+    """
+    _check_n(n)
+    if s <= 1.0:
+        raise ConfigurationError(f"Zipf exponent must be > 1, got {s}")
+    rng = np.random.default_rng(seed)
+    if universe is None:
+        universe = n
+    if universe <= 0 or universe > MAX_KEY + 1:
+        raise ConfigurationError(f"universe must be in [1, {MAX_KEY + 1}]")
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    weights /= weights.sum()
+    drawn_ranks = rng.choice(universe, size=n, p=weights)
+    # map ranks to random distinct key values
+    rank_to_key = unique_keys(universe, seed=seed ^ 0x5EED)
+    return rank_to_key[drawn_ranks]
+
+
+def random_values(n: int, seed: int = 0) -> np.ndarray:
+    """Arbitrary 4-byte values."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << 32, size=n, dtype=np.int64).astype(np.uint32)
+
+
+#: registry used by the bench harness
+_DISTRIBUTIONS = {
+    "unique": unique_keys,
+    "uniform": uniform_keys,
+    "zipf": zipf_keys,
+}
+
+
+def make_distribution(name: str, n: int, seed: int = 0, **kwargs) -> np.ndarray:
+    """Draw ``n`` keys from a named distribution."""
+    try:
+        fn = _DISTRIBUTIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown distribution {name!r}; choose from {sorted(_DISTRIBUTIONS)}"
+        ) from None
+    return fn(n, seed=seed, **kwargs)

@@ -1,0 +1,80 @@
+"""Bag-of-words workload (the paper's NLP motivation [1]).
+
+Sparse text features hash naturally: token → 32-bit key via the library's
+own mixers, multiplicities follow a Zipf-like law — the workload the
+Fig. 8 experiment models synthetically.  Used by the word-count example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hashing.mixers import fmix32
+
+__all__ = ["tokenize", "token_keys", "synthetic_corpus", "bag_of_words"]
+
+# a compact wordlist for synthetic corpora (no file I/O dependencies)
+_STEMS = (
+    "data map hash key value gpu warp probe slot table node link host "
+    "device memory batch split merge query insert load store factor "
+    "graph core thread block grid sync atomic race time rate scale"
+).split()
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case alphanumeric tokens."""
+    out = []
+    word = []
+    for ch in text.lower():
+        if ch.isalnum():
+            word.append(ch)
+        elif word:
+            out.append("".join(word))
+            word = []
+    if word:
+        out.append("".join(word))
+    return out
+
+
+def token_keys(tokens: list[str]) -> np.ndarray:
+    """Hash tokens to 32-bit table keys (FNV-1a folded through fmix32)."""
+    keys = np.empty(len(tokens), dtype=np.uint32)
+    for i, tok in enumerate(tokens):
+        h = np.uint32(2166136261)
+        for byte in tok.encode("utf-8"):
+            h = np.uint32((int(h) ^ byte) * 16777619 & 0xFFFFFFFF)
+        keys[i] = h
+    # final avalanche so short tokens spread over the key space; clamp
+    # into the legal range (top two values are reserved sentinels)
+    mixed = fmix32(keys)
+    return np.minimum(mixed, np.uint32(0xFFFFFFFD))
+
+
+def synthetic_corpus(num_tokens: int, *, zipf_s: float = 1.2, seed: int = 0) -> list[str]:
+    """A Zipf-distributed token stream over a compound-word vocabulary."""
+    if num_tokens <= 0:
+        raise ConfigurationError(f"num_tokens must be > 0, got {num_tokens}")
+    if zipf_s <= 1.0:
+        raise ConfigurationError(f"zipf_s must be > 1, got {zipf_s}")
+    rng = np.random.default_rng(seed)
+    vocab = [a + b for a in _STEMS for b in _STEMS]
+    ranks = np.arange(1, len(vocab) + 1, dtype=np.float64)
+    weights = ranks ** (-zipf_s)
+    weights /= weights.sum()
+    draws = rng.choice(len(vocab), size=num_tokens, p=weights)
+    return [vocab[i] for i in draws]
+
+
+def bag_of_words(tokens: list[str]) -> tuple[np.ndarray, np.ndarray, dict[int, str]]:
+    """Token stream → (keys, counts, key→token legend).
+
+    Keys are the hashed tokens; counts are per-key multiplicities —
+    ready for a multi-value or counting hash-table build.
+    """
+    keys = token_keys(tokens)
+    uniq, counts = np.unique(keys, return_counts=True)
+    legend: dict[int, str] = {}
+    for tok, key in zip(tokens, keys):
+        legend.setdefault(int(key), tok)
+    return uniq, counts.astype(np.uint32), legend

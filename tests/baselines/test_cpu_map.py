@@ -1,0 +1,76 @@
+"""Tests for the Folklore-style CPU baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu_map import CACHE_LINE_BYTES, FolkloreCpuMap
+from repro.errors import CapacityError, ConfigurationError
+from repro.workloads.distributions import random_values, unique_keys
+
+
+class TestBasics:
+    @pytest.mark.parametrize("load", [0.5, 0.9])
+    def test_roundtrip(self, load):
+        n = 1 << 12
+        t = FolkloreCpuMap.for_load_factor(n, load, seed=1)
+        keys = unique_keys(n, seed=2)
+        values = random_values(n, seed=3)
+        t.insert(keys, values)
+        got, found = t.query(keys)
+        assert found.all() and (got == values).all()
+        assert len(t) == n
+
+    def test_update(self):
+        t = FolkloreCpuMap(128, seed=4)
+        k = np.array([7, 8], dtype=np.uint32)
+        t.insert(k, np.array([1, 2], dtype=np.uint32))
+        t.insert(k, np.array([3, 4], dtype=np.uint32))
+        got, _ = t.query(k)
+        assert got.tolist() == [3, 4]
+        assert len(t) == 2
+
+    def test_absent(self):
+        t = FolkloreCpuMap(128, seed=5)
+        keys = unique_keys(64, seed=6)
+        t.insert(keys, keys)
+        _, found = t.query(np.array([0xFFFFFF00], dtype=np.uint32))
+        assert not found.any()
+
+    def test_duplicate_keys_in_one_batch_last_wins(self):
+        t = FolkloreCpuMap(64, seed=7)
+        keys = np.array([5, 5, 5], dtype=np.uint32)
+        t.insert(keys, np.array([1, 2, 3], dtype=np.uint32))
+        got, _ = t.query(np.array([5], dtype=np.uint32))
+        assert got[0] == 3
+        assert len(t) == 1
+
+    def test_full_table_raises(self):
+        t = FolkloreCpuMap(32, seed=8, max_probes=64)
+        keys = unique_keys(64, seed=9)
+        with pytest.raises(CapacityError):
+            t.insert(keys, keys)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FolkloreCpuMap(0)
+
+
+class TestCacheLineAccounting:
+    def test_line_charges_reward_linear_probing(self):
+        """§II: linear probing is cache-efficient — probing l consecutive
+        slots costs ~1 + l/8 cache lines, far less than l random sectors."""
+        n = 1 << 12
+        t = FolkloreCpuMap.for_load_factor(n, 0.9, seed=10)
+        keys = unique_keys(n, seed=11)
+        rep = t.insert(keys, keys)
+        assert rep.load_sectors < rep.total_windows  # lines << probes
+        assert rep.load_sectors >= n  # at least one line per op
+
+    def test_line_math(self):
+        home = np.zeros(3, dtype=np.int64)
+        probes = np.array([1, 8, 9], dtype=np.int64)
+        # 1 probe -> 1 line; 8 probes -> 2 lines; 9 -> 2 lines
+        assert FolkloreCpuMap._line_charges(home, probes) == 1 + 2 + 2
+
+    def test_cache_line_constant(self):
+        assert CACHE_LINE_BYTES == 64

@@ -1,0 +1,116 @@
+"""Tests for the CUDPP-style cuckoo baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cudpp_cuckoo import CudppCuckooTable
+from repro.errors import ConfigurationError, CuckooEvictionError
+from repro.workloads.distributions import random_values, unique_keys
+
+
+class TestConstruction:
+    def test_load_cap_enforced(self):
+        """§V-B: 'CUDPP is constrained to a maximum load of 97%'."""
+        with pytest.raises(ConfigurationError):
+            CudppCuckooTable.for_load_factor(100, 0.98)
+        t = CudppCuckooTable.for_load_factor(100, 0.97)
+        assert t.capacity >= 103
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CudppCuckooTable(0)
+        with pytest.raises(ConfigurationError):
+            CudppCuckooTable(10, num_hashes=1)
+
+    def test_four_hash_functions_by_default(self):
+        assert len(CudppCuckooTable(100).hashes) == 4
+
+
+class TestInsertQuery:
+    @pytest.mark.parametrize("load", [0.5, 0.8, 0.95])
+    def test_roundtrip(self, load):
+        n = 1 << 12
+        t = CudppCuckooTable.for_load_factor(n, load, seed=1)
+        keys = unique_keys(n, seed=2)
+        values = random_values(n, seed=3)
+        t.insert(keys, values)
+        got, found = t.query(keys)
+        assert found.all() and (got == values).all()
+        assert len(t) == n
+
+    def test_absent_keys(self):
+        n = 1 << 10
+        t = CudppCuckooTable.for_load_factor(n, 0.8, seed=4)
+        keys = unique_keys(n, seed=5)
+        t.insert(keys, keys)
+        pool = unique_keys(2 * n, seed=6)
+        absent = pool[~np.isin(pool, keys)][:100]
+        got, found = t.query(absent, default=9)
+        assert not found.any() and (got == 9).all()
+
+    def test_every_key_at_one_of_its_hash_positions_or_stash(self):
+        """Cuckoo invariant: a stored key sits at h_i(k) for some i."""
+        n = 1 << 10
+        t = CudppCuckooTable.for_load_factor(n, 0.9, seed=7)
+        keys = unique_keys(n, seed=8)
+        t.insert(keys, keys)
+        from repro.constants import EMPTY_SLOT
+
+        live_idx = np.flatnonzero(t.slots != EMPTY_SLOT)
+        live_keys = (t.slots[live_idx] >> np.uint64(32)).astype(np.uint32)
+        for idx, key in zip(live_idx[:200], live_keys[:200]):
+            positions = [
+                int(h(np.array([key], dtype=np.uint32))[0]) % t.capacity
+                for h in t.hashes
+            ]
+            assert idx in positions
+
+    def test_chain_lengths_grow_with_load(self):
+        n = 1 << 12
+        keys = unique_keys(n, seed=9)
+        means = []
+        for load in (0.5, 0.95):
+            t = CudppCuckooTable.for_load_factor(n, load, seed=10)
+            rep = t.insert(keys, keys)
+            means.append(rep.mean_windows)
+        assert means[1] > means[0]
+
+    def test_over_capacity_rejected(self):
+        t = CudppCuckooTable(100, seed=11)
+        keys = unique_keys(99, seed=12)
+        with pytest.raises(CuckooEvictionError):
+            t.insert(keys, keys)
+
+    def test_empty_insert(self):
+        t = CudppCuckooTable(16)
+        rep = t.insert(np.array([], dtype=np.uint32), np.array([], dtype=np.uint32))
+        assert rep.num_ops == 0
+
+    def test_export(self):
+        n = 256
+        t = CudppCuckooTable.for_load_factor(n, 0.8, seed=13)
+        keys = unique_keys(n, seed=14)
+        t.insert(keys, keys * 0 + 5)
+        k, v = t.export()
+        assert np.sort(k).tolist() == np.sort(keys).tolist()
+        assert (v == 5).all()
+
+
+class TestCosts:
+    def test_per_thread_uncoalesced_accounting(self):
+        """Every cuckoo access is a single-slot (1-sector) transaction;
+        insert chains pay one exchange (load+store) per step."""
+        n = 1 << 10
+        t = CudppCuckooTable.for_load_factor(n, 0.8, seed=15)
+        keys = unique_keys(n, seed=16)
+        rep = t.insert(keys, keys)
+        assert rep.load_sectors >= rep.total_windows
+        assert rep.cas_attempts == rep.total_windows
+
+    def test_query_probes_bounded_by_num_hashes(self):
+        n = 1 << 10
+        t = CudppCuckooTable.for_load_factor(n, 0.9, seed=17)
+        keys = unique_keys(n, seed=18)
+        t.insert(keys, keys)
+        t.query(keys)
+        assert t.last_report.max_windows <= t.num_hashes

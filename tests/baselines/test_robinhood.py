@@ -1,0 +1,95 @@
+"""Tests for the Robin Hood (García et al.) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.robinhood import MAX_AGE, RobinHoodTable
+from repro.constants import EMPTY_SLOT
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import random_values, unique_keys
+
+
+class TestBasics:
+    @pytest.mark.parametrize("load", [0.5, 0.8, 0.9, 0.95])
+    def test_roundtrip(self, load):
+        n = 1 << 12
+        t = RobinHoodTable.for_load_factor(n, load, seed=1)
+        keys = unique_keys(n, seed=2)
+        values = random_values(n, seed=3)
+        t.insert(keys, values)
+        got, found = t.query(keys)
+        assert found.all() and (got == values).all()
+
+    def test_absent(self):
+        n = 1 << 10
+        t = RobinHoodTable.for_load_factor(n, 0.8, seed=4)
+        keys = unique_keys(n, seed=5)
+        t.insert(keys, keys)
+        pool = unique_keys(2 * n, seed=6)
+        absent = pool[~np.isin(pool, keys)][:200]
+        _, found = t.query(absent)
+        assert not found.any()
+
+    def test_update_semantics(self):
+        t = RobinHoodTable.for_load_factor(1 << 10, 0.7, seed=7)
+        keys = unique_keys(1 << 10, seed=8)
+        t.insert(keys, keys)
+        t.insert(keys[:32], (keys[:32] + 1).astype(np.uint32))
+        got, _ = t.query(keys[:32])
+        assert (got == keys[:32] + 1).all()
+        assert len(t) == 1 << 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RobinHoodTable(0)
+
+
+class TestAgeInvariants:
+    def test_ages_fit_four_bits(self):
+        """García's 4-bit age indicator caps displacement at 15."""
+        n = 1 << 12
+        t = RobinHoodTable.for_load_factor(n, 0.95, seed=9)
+        keys = unique_keys(n, seed=10)
+        t.insert(keys, keys)
+        live = t.slots != EMPTY_SLOT
+        assert int(t.ages[live].max()) <= MAX_AGE
+
+    def test_stored_age_matches_position(self):
+        """Invariant: a pair with age a sits at H_a(key)."""
+        n = 1 << 10
+        t = RobinHoodTable.for_load_factor(n, 0.9, seed=11)
+        keys = unique_keys(n, seed=12)
+        t.insert(keys, keys)
+        live_idx = np.flatnonzero(t.slots != EMPTY_SLOT)[:300]
+        for idx in live_idx:
+            key = np.uint32(int(t.slots[idx]) >> 32)
+            age = int(t.ages[idx])
+            pos = int(t._pos(np.array([key], dtype=np.uint32), age)[0])
+            assert pos == idx
+
+    def test_mean_age_grows_with_load(self):
+        n = 1 << 12
+        keys = unique_keys(n, seed=13)
+        means = []
+        for load in (0.5, 0.9):
+            t = RobinHoodTable.for_load_factor(n, load, seed=14)
+            rep = t.insert(keys, keys)
+            live = t.slots != EMPTY_SLOT
+            means.append(float(t.ages[live].mean()))
+        assert means[1] > means[0]
+
+    def test_query_probe_bounded_by_max_age(self):
+        n = 1 << 11
+        t = RobinHoodTable.for_load_factor(n, 0.9, seed=15)
+        keys = unique_keys(n, seed=16)
+        t.insert(keys, keys)
+        t.query(keys)
+        assert t.last_report.max_windows <= MAX_AGE + 1
+
+    def test_export(self):
+        n = 512
+        t = RobinHoodTable.for_load_factor(n, 0.7, seed=17)
+        keys = unique_keys(n, seed=18)
+        t.insert(keys, keys)
+        k, _ = t.export()
+        assert np.sort(k).tolist() == np.sort(keys).tolist()

@@ -1,0 +1,89 @@
+"""Tests for the sort-and-compress store."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sortcompress import SortCompressStore
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import random_values, unique_keys, zipf_keys
+
+
+class TestBuild:
+    def test_sorted_invariant(self):
+        keys = unique_keys(1000, seed=1)
+        store = SortCompressStore(keys, keys)
+        assert (np.diff(store.sorted_keys.astype(np.int64)) >= 0).all()
+        assert (np.diff(store.unique_keys.astype(np.int64)) > 0).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SortCompressStore(np.array([], dtype=np.uint32), np.array([], dtype=np.uint32))
+
+    def test_aux_memory_drawback(self):
+        """§II: sorting needs O(n) auxiliary memory — half the capacity."""
+        keys = unique_keys(1000, seed=2)
+        store = SortCompressStore(keys, keys)
+        assert store.aux_bytes == store.table_bytes
+
+    def test_build_report_radix_passes(self):
+        keys = unique_keys(1024, seed=3)
+        store = SortCompressStore(keys, keys)
+        # 4 radix passes (32-bit keys, 8-bit digits) + 1 compression
+        # sweep, load and store each, plus the small per-pass digit scans
+        sweep = int(np.ceil(1024 * 8 / 32))
+        assert 5 * sweep <= store.build_report.load_sectors <= 7 * sweep
+        assert 5 * sweep <= store.build_report.store_sectors <= 7 * sweep
+        assert (store.build_report.probe_windows == 4).all()
+
+
+class TestQuery:
+    def test_roundtrip(self):
+        keys = unique_keys(2000, seed=4)
+        values = random_values(2000, seed=5)
+        store = SortCompressStore(keys, values)
+        got, found = store.query(keys)
+        assert found.all() and (got == values).all()
+
+    def test_absent(self):
+        keys = unique_keys(100, seed=6)
+        store = SortCompressStore(keys, keys)
+        pool = unique_keys(400, seed=7)
+        absent = pool[~np.isin(pool, keys)][:50]
+        got, found = store.query(absent, default=3)
+        assert not found.any() and (got == 3).all()
+
+    def test_logarithmic_probe_count(self):
+        keys = unique_keys(1 << 12, seed=8)
+        store = SortCompressStore(keys, keys)
+        store.query(keys[:10])
+        assert store.last_report.mean_windows == pytest.approx(12, abs=1)
+
+    def test_query_extremes(self):
+        keys = np.array([10, 20, 30], dtype=np.uint32)
+        store = SortCompressStore(keys, keys)
+        got, found = store.query(np.array([5, 10, 30, 35], dtype=np.uint32))
+        assert found.tolist() == [False, True, True, False]
+
+
+class TestMultiValue:
+    def test_multiplicity_and_values(self):
+        keys = np.array([5, 5, 5, 9], dtype=np.uint32)
+        values = np.array([1, 2, 3, 4], dtype=np.uint32)
+        store = SortCompressStore(keys, values)
+        assert store.multiplicity(5) == 3
+        assert sorted(store.query_multi(5).tolist()) == [1, 2, 3]
+        assert store.query_multi(9).tolist() == [4]
+        assert store.multiplicity(7) == 0
+
+    def test_last_key_run(self):
+        """The run ending at the array's end must be handled."""
+        keys = np.array([1, 2, 2], dtype=np.uint32)
+        store = SortCompressStore(keys, np.array([9, 8, 7], dtype=np.uint32))
+        assert store.multiplicity(2) == 2
+
+    def test_zipf_stream(self):
+        keys = zipf_keys(5000, s=1.5, universe=100, seed=9)
+        store = SortCompressStore(keys, np.arange(5000, dtype=np.uint32))
+        assert len(store) == np.unique(keys).size
+        total = sum(store.multiplicity(int(k)) for k in store.unique_keys)
+        assert total == 5000

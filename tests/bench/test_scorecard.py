@@ -1,0 +1,62 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.bench.scorecard import (
+    PAPER_CLAIMS,
+    Claim,
+    evaluate_claims,
+    format_scorecard,
+)
+
+
+class TestClaimStructure:
+    def test_claims_have_unique_ids(self):
+        ids = [c.id for c in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_claim_cites_the_paper(self):
+        for c in PAPER_CLAIMS:
+            assert c.source.startswith("§") or c.source == "abstract"
+
+    def test_tolerances_reasonable(self):
+        for c in PAPER_CLAIMS:
+            assert 0 < c.tolerance <= 0.5
+
+    def test_grade_pass_and_miss(self):
+        claim = Claim(
+            id="x", source="§X", statement="s", paper_value=10.0,
+            tolerance=0.1, extract=lambda ctx: ctx["v"],
+        )
+        assert claim.grade({"v": 10.5}).ok
+        assert not claim.grade({"v": 12.0}).ok
+        assert claim.grade({"v": 12.0}).deviation == pytest.approx(0.2)
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return evaluate_claims(quick=True, seed=42)
+
+    def test_all_claims_graded(self, results):
+        assert len(results) == len(PAPER_CLAIMS)
+
+    def test_strong_majority_pass_at_quick_scale(self, results):
+        """Quick scale adds noise; at least 10/12 must still pass, and
+        every §V-C bandwidth/overlap anchor must."""
+        assert sum(r.ok for r in results) >= len(results) - 2
+        must_pass = {
+            "multisplit-bandwidth",
+            "alltoall-bandwidth",
+            "overlap-insert",
+            "overlap-retrieve",
+        }
+        for r in results:
+            if r.claim.id in must_pass:
+                assert r.ok, r.claim.id
+
+    def test_format_scorecard(self, results):
+        out = format_scorecard(results)
+        assert "scorecard" in out
+        for r in results:
+            assert r.claim.id in out

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.specs import P100
+from repro.simt.device import Device
+from repro.workloads.distributions import random_values, unique_keys
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_keys() -> np.ndarray:
+    """1024 distinct keys in a deterministic shuffled order."""
+    return unique_keys(1024, seed=7)
+
+
+@pytest.fixture
+def small_values(small_keys) -> np.ndarray:
+    return random_values(small_keys.shape[0], seed=8)
+
+
+@pytest.fixture
+def medium_keys() -> np.ndarray:
+    """16384 distinct keys."""
+    return unique_keys(1 << 14, seed=9)
+
+
+@pytest.fixture
+def medium_values(medium_keys) -> np.ndarray:
+    return random_values(medium_keys.shape[0], seed=10)
+
+
+@pytest.fixture
+def p100_device() -> Device:
+    return Device(0, P100)

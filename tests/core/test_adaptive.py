@@ -1,0 +1,97 @@
+"""Tests for the adaptive group-size table (§VI heuristic)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VALID_GROUP_SIZES
+from repro.core.adaptive import AdaptiveWarpDriveTable
+from repro.core.table import WarpDriveHashTable
+from repro.workloads.distributions import random_values, unique_keys
+
+
+class TestGroupSwitchingSafety:
+    """The design invariant that makes switching legal: the slot walk is
+    |g|-independent, so pairs written at one group size are found at any
+    other."""
+
+    @pytest.mark.parametrize("g_insert", [1, 4, 32])
+    @pytest.mark.parametrize("g_query", [2, 8, 16])
+    def test_cross_group_size_retrieval(self, g_insert, g_query):
+        n = 2000
+        keys = unique_keys(n, seed=1)
+        values = random_values(n, seed=2)
+        table = WarpDriveHashTable.for_load_factor(n, 0.9, group_size=g_insert)
+        table.insert(keys, values)
+        # swap the sequence to a different group size, same family
+        from repro.core.probing import WindowSequence
+
+        table.seq = WindowSequence(table.config.family, g_query, table.config.p_max)
+        got, found = table.query(keys)
+        assert found.all() and (got == values).all()
+
+    def test_cross_group_size_update(self):
+        keys = unique_keys(500, seed=3)
+        table = WarpDriveHashTable.for_load_factor(500, 0.8, group_size=32)
+        table.insert(keys, keys)
+        from repro.core.probing import WindowSequence
+
+        table.seq = WindowSequence(table.config.family, 2, table.config.p_max)
+        table.insert(keys[:100], (keys[:100] + 1).astype(np.uint32))
+        assert len(table) == 500  # updates, not duplicates
+        got, _ = table.query(keys[:100])
+        assert (got == keys[:100] + 1).all()
+
+
+class TestAdaptiveTable:
+    def test_functional_roundtrip_across_retunes(self):
+        n = 8000
+        keys = unique_keys(n, seed=4)
+        values = random_values(n, seed=5)
+        table = AdaptiveWarpDriveTable(int(n / 0.95) + 1, group_size=32)
+        # four batches drive the load from 0 to 0.95
+        for i in range(4):
+            sl = slice(i * n // 4, (i + 1) * n // 4)
+            table.insert(keys[sl], values[sl])
+        got, found = table.query(keys)
+        assert found.all() and (got == values).all()
+
+    def test_group_size_grows_with_load(self):
+        """'With increasing load larger group sizes get more favorable.'"""
+        n = 8000
+        keys = unique_keys(n, seed=6)
+        table = AdaptiveWarpDriveTable(int(n / 0.99) + 1, group_size=1)
+        chosen = []
+        for i in range(4):
+            sl = slice(i * n // 4, (i + 1) * n // 4)
+            table.insert(keys[sl], keys[sl])
+            chosen.append(table.current_group_size)
+        assert all(g in VALID_GROUP_SIZES for g in chosen)
+        assert chosen[-1] >= chosen[0]
+
+    def test_tuning_history_recorded(self):
+        table = AdaptiveWarpDriveTable(1000, group_size=32)
+        table.insert(unique_keys(100, seed=7), np.zeros(100, dtype=np.uint32))
+        assert table.tuning_history  # switched away from 32 immediately
+        load, g = table.tuning_history[0]
+        assert 0 <= load <= 0.99 and g in VALID_GROUP_SIZES
+
+    def test_erase_works_after_retunes(self):
+        keys = unique_keys(1000, seed=8)
+        table = AdaptiveWarpDriveTable(2000, group_size=16)
+        table.insert(keys, keys)
+        erased = table.erase(keys[:50])
+        assert erased.all()
+        assert len(table) == 950
+
+    def test_adaptive_never_slower_probing_than_worst_fixed(self):
+        """The heuristic's probe counts stay within the best/worst fixed
+        |g| envelope at the final load."""
+        n = 4000
+        keys = unique_keys(n, seed=9)
+        adaptive = AdaptiveWarpDriveTable(int(n / 0.95) + 1, group_size=1)
+        rep_a = adaptive.insert(keys, keys)
+        fixed_means = []
+        for g in VALID_GROUP_SIZES:
+            t = WarpDriveHashTable(int(n / 0.95) + 1, group_size=g)
+            fixed_means.append(t.insert(keys, keys).mean_windows)
+        assert rep_a.mean_windows <= max(fixed_means) + 0.01

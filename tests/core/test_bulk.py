@@ -1,0 +1,228 @@
+"""Tests for the vectorized bulk executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import EMPTY_SLOT, TOMBSTONE_SLOT, VALID_GROUP_SIZES
+from repro.core.bulk import STATUS, bulk_erase, bulk_insert, bulk_query, default_wave_size
+from repro.core.probing import WindowSequence
+from repro.hashing.families import make_double_family
+from repro.memory.layout import unpack_pairs
+from repro.workloads.distributions import random_values, unique_keys
+
+
+def make_table(capacity, g=4, p_max=256):
+    slots = np.full(capacity, EMPTY_SLOT, dtype=np.uint64)
+    seq = WindowSequence(make_double_family(), g, p_max)
+    return slots, seq
+
+
+class TestBulkInsert:
+    @pytest.mark.parametrize("g", VALID_GROUP_SIZES)
+    def test_all_group_sizes_roundtrip(self, g):
+        n = 2000
+        slots, seq = make_table(int(n / 0.9) + 1, g)
+        keys = unique_keys(n, seed=1)
+        values = random_values(n, seed=2)
+        report, status = bulk_insert(slots, seq, keys, values)
+        assert report.failed == 0
+        assert (status == STATUS["inserted"]).all()
+        _, got, found = bulk_query(slots, seq, keys)
+        assert found.all() and (got == values).all()
+
+    def test_table_contents_match_input_exactly(self):
+        slots, seq = make_table(1500)
+        keys = unique_keys(1000, seed=3)
+        values = random_values(1000, seed=4)
+        bulk_insert(slots, seq, keys, values)
+        live = slots[slots != EMPTY_SLOT]
+        k, v = unpack_pairs(live)
+        order = np.argsort(k)
+        in_order = np.argsort(keys)
+        assert (k[order] == keys[in_order]).all()
+        assert (v[order] == values[in_order]).all()
+
+    def test_duplicate_keys_last_writer_wins(self):
+        slots, seq = make_table(100)
+        keys = np.array([5, 5, 5, 9, 5], dtype=np.uint32)
+        values = np.array([1, 2, 3, 4, 5], dtype=np.uint32)
+        report, status = bulk_insert(slots, seq, keys, values)
+        assert int(np.sum(status == STATUS["inserted"])) == 2
+        assert int(np.sum(status == STATUS["updated"])) == 3
+        _, got, found = bulk_query(slots, seq, np.array([5, 9], dtype=np.uint32))
+        assert got.tolist() == [5, 4]
+
+    def test_update_existing_key_across_calls(self):
+        slots, seq = make_table(100)
+        bulk_insert(slots, seq, np.array([7], dtype=np.uint32), np.array([1], dtype=np.uint32))
+        report, status = bulk_insert(
+            slots, seq, np.array([7], dtype=np.uint32), np.array([2], dtype=np.uint32)
+        )
+        assert status[0] == STATUS["updated"]
+        _, got, _ = bulk_query(slots, seq, np.array([7], dtype=np.uint32))
+        assert got[0] == 2
+        # exactly one live slot
+        assert int(np.sum(slots != EMPTY_SLOT)) == 1
+
+    def test_full_table_reports_failures(self):
+        slots, seq = make_table(32, g=4, p_max=8)
+        keys = unique_keys(64, seed=5)
+        report, status = bulk_insert(slots, seq, keys, np.zeros(64, dtype=np.uint32))
+        assert report.failed == int(np.sum(status == STATUS["failed"]))
+        assert report.failed >= 32  # at most 32 can fit
+        assert int(np.sum(status == STATUS["inserted"])) == 32
+
+    def test_insert_into_tombstones(self):
+        slots, seq = make_table(64)
+        keys = unique_keys(32, seed=6)
+        bulk_insert(slots, seq, keys, np.zeros(32, dtype=np.uint32))
+        bulk_erase(slots, seq, keys[:16])
+        assert int(np.sum(slots == TOMBSTONE_SLOT)) == 16
+        fresh = unique_keys(40, seed=99)[:16]
+        report, status = bulk_insert(slots, seq, fresh, np.ones(16, dtype=np.uint32))
+        assert report.failed == 0
+
+    def test_empty_input(self):
+        slots, seq = make_table(16)
+        report, status = bulk_insert(
+            slots, seq, np.array([], dtype=np.uint32), np.array([], dtype=np.uint32)
+        )
+        assert report.num_ops == 0 and status.size == 0
+
+    def test_probe_windows_recorded_per_item(self):
+        slots, seq = make_table(1024)
+        keys = unique_keys(512, seed=7)
+        report, _ = bulk_insert(slots, seq, keys, np.zeros(512, dtype=np.uint32))
+        assert report.probe_windows.shape == (512,)
+        assert (report.probe_windows >= 1).all()
+
+    def test_cas_successes_equal_inserts_plus_updates(self):
+        slots, seq = make_table(600)
+        keys = np.concatenate([unique_keys(400, seed=8)] * 2)
+        report, status = bulk_insert(slots, seq, keys, np.arange(800, dtype=np.uint32))
+        assert report.cas_successes >= 800  # every op commits once
+
+    def test_wave_size_one_matches_sequential_content(self):
+        """wave_size=1 is fully serialized insertion."""
+        keys = unique_keys(200, seed=9)
+        values = random_values(200, seed=10)
+        slots1, seq1 = make_table(256)
+        bulk_insert(slots1, seq1, keys, values, wave_size=1)
+        slots2, seq2 = make_table(256)
+        bulk_insert(slots2, seq2, keys, values, wave_size=64)
+        # identical final contents as a set of pairs
+        a = np.sort(slots1[slots1 != EMPTY_SLOT])
+        b = np.sort(slots2[slots2 != EMPTY_SLOT])
+        assert (a == b).all()
+
+    def test_default_wave_size_floor(self):
+        assert default_wave_size(10) == 2048
+        assert default_wave_size(1 << 20) == (1 << 20) // 32
+
+
+class TestBulkQuery:
+    def test_absent_keys_get_default(self):
+        slots, seq = make_table(64)
+        keys = unique_keys(32, seed=11)
+        bulk_insert(slots, seq, keys, np.zeros(32, dtype=np.uint32))
+        absent = np.array([0xFFFFFFF0], dtype=np.uint32)
+        report, got, found = bulk_query(slots, seq, absent, default=77)
+        assert not found[0] and got[0] == 77
+        assert report.failed == 1
+
+    def test_query_empty_table(self):
+        slots, seq = make_table(64)
+        report, got, found = bulk_query(slots, seq, np.array([5], dtype=np.uint32))
+        assert not found.any()
+        assert report.mean_windows == 1.0  # first window has empties
+
+    def test_query_does_not_modify_table(self):
+        slots, seq = make_table(128)
+        keys = unique_keys(64, seed=12)
+        bulk_insert(slots, seq, keys, np.zeros(64, dtype=np.uint32))
+        before = slots.copy()
+        bulk_query(slots, seq, keys)
+        assert (slots == before).all()
+
+    def test_tombstone_does_not_stop_probe(self):
+        """A tombstone must not terminate the search; an EMPTY must."""
+        slots, seq = make_table(64, g=4)
+        keys = unique_keys(40, seed=13)
+        bulk_insert(slots, seq, keys, np.arange(40, dtype=np.uint32))
+        # erase half, then all remaining keys must still be findable
+        bulk_erase(slots, seq, keys[::2])
+        _, got, found = bulk_query(slots, seq, keys[1::2])
+        assert found.all()
+        assert (got == np.arange(40, dtype=np.uint32)[1::2]).all()
+
+    def test_query_mixed_present_absent(self):
+        slots, seq = make_table(256)
+        keys = unique_keys(100, seed=14)
+        bulk_insert(slots, seq, keys, keys)
+        probe = np.concatenate([keys[:50], np.array([0xFFFFFF00], dtype=np.uint32)])
+        _, got, found = bulk_query(slots, seq, probe)
+        assert found[:50].all() and not found[50]
+
+
+class TestBulkErase:
+    def test_erase_marks_tombstones(self):
+        slots, seq = make_table(64)
+        keys = unique_keys(20, seed=15)
+        bulk_insert(slots, seq, keys, np.zeros(20, dtype=np.uint32))
+        report, erased = bulk_erase(slots, seq, keys[:5])
+        assert erased.all()
+        assert int(np.sum(slots == TOMBSTONE_SLOT)) == 5
+        _, _, found = bulk_query(slots, seq, keys[:5])
+        assert not found.any()
+
+    def test_erase_absent_reports_false(self):
+        slots, seq = make_table(64)
+        report, erased = bulk_erase(slots, seq, np.array([9], dtype=np.uint32))
+        assert not erased[0]
+        assert report.failed == 1
+
+    def test_erase_duplicates_in_batch(self):
+        slots, seq = make_table(64)
+        bulk_insert(slots, seq, np.array([3], dtype=np.uint32), np.array([1], dtype=np.uint32))
+        _, erased = bulk_erase(slots, seq, np.array([3, 3], dtype=np.uint32))
+        assert erased.all()  # both requests succeed on the same slot
+        assert int(np.sum(slots == TOMBSTONE_SLOT)) == 1
+
+    def test_erase_then_reinsert_same_key(self):
+        slots, seq = make_table(64)
+        k = np.array([42], dtype=np.uint32)
+        bulk_insert(slots, seq, k, np.array([1], dtype=np.uint32))
+        bulk_erase(slots, seq, k)
+        report, status = bulk_insert(slots, seq, k, np.array([2], dtype=np.uint32))
+        assert status[0] == STATUS["inserted"]
+        _, got, found = bulk_query(slots, seq, k)
+        assert found[0] and got[0] == 2
+
+
+class TestRandomizedRoundtrips:
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_insert_query_roundtrip_property(self, n, seed):
+        slots, seq = make_table(2 * n + 8, g=2)
+        keys = unique_keys(n, seed=seed)
+        values = random_values(n, seed=seed + 1)
+        report, status = bulk_insert(slots, seq, keys, values)
+        assert report.failed == 0
+        _, got, found = bulk_query(slots, seq, keys)
+        assert found.all()
+        assert (got == values).all()
+
+    @given(st.integers(min_value=2, max_value=200), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_erase_subset_property(self, n, seed):
+        slots, seq = make_table(2 * n, g=4)
+        keys = unique_keys(n, seed=seed)
+        bulk_insert(slots, seq, keys, keys)
+        half = keys[: n // 2]
+        _, erased = bulk_erase(slots, seq, half)
+        assert erased.all()
+        _, _, found = bulk_query(slots, seq, keys)
+        assert not found[: n // 2].any()
+        assert found[n // 2 :].all()

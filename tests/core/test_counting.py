@@ -1,0 +1,95 @@
+"""Tests for the counting hash table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import MAX_VALUE
+from repro.core.counting import CountingHashTable
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import zipf_keys
+
+
+class TestBasics:
+    def test_add_and_count(self):
+        t = CountingHashTable(64)
+        t.add(np.array([5, 5, 7], dtype=np.uint32))
+        assert t.count(np.array([5, 7, 9], dtype=np.uint32)).tolist() == [2, 1, 0]
+        assert len(t) == 2
+        assert t.total() == 3
+
+    def test_incremental_batches(self):
+        t = CountingHashTable(64)
+        for _ in range(5):
+            t.add(np.array([3], dtype=np.uint32))
+        assert t.count(np.array([3], dtype=np.uint32))[0] == 5
+
+    def test_weighted_amounts(self):
+        t = CountingHashTable(64)
+        t.add(np.array([1, 1, 2], dtype=np.uint32),
+              np.array([10, 5, 7], dtype=np.uint32))
+        assert t.count(np.array([1, 2], dtype=np.uint32)).tolist() == [15, 7]
+
+    def test_saturation_not_wraparound(self):
+        t = CountingHashTable(16)
+        k = np.array([9], dtype=np.uint32)
+        t.add(k, MAX_VALUE - 1)
+        t.add(k, 10)
+        assert t.count(k)[0] == MAX_VALUE
+
+    def test_most_common(self):
+        t = CountingHashTable(64)
+        t.add(np.array([1] * 5 + [2] * 3 + [3], dtype=np.uint32))
+        top = t.most_common(2)
+        assert top[0] == (1, 5) and top[1] == (2, 3)
+
+    def test_remove(self):
+        t = CountingHashTable(64)
+        t.add(np.array([4, 4, 5], dtype=np.uint32))
+        removed = t.remove(np.array([4], dtype=np.uint32))
+        assert removed.all()
+        assert t.count(np.array([4], dtype=np.uint32))[0] == 0
+        assert len(t) == 1
+
+    def test_validation(self):
+        t = CountingHashTable(16)
+        with pytest.raises(ConfigurationError):
+            t.add(np.array([1], dtype=np.uint32), np.array([1, 2], dtype=np.uint32))
+        with pytest.raises(ConfigurationError):
+            t.add(np.array([1], dtype=np.uint32), -1)
+        with pytest.raises(ConfigurationError):
+            CountingHashTable.for_load_factor(10, 0.0)
+
+
+class TestHotKeys:
+    def test_hot_key_costs_constant_table_traffic(self):
+        """The A8 fix: a batch with one key repeated M times performs one
+        table update, not M slot claims."""
+        t = CountingHashTable(1024)
+        hot = np.full(10_000, 42, dtype=np.uint32)
+        report = t.add(hot)
+        assert report.num_ops == 1  # pre-aggregated to one distinct key
+        assert t.count(np.array([42], dtype=np.uint32))[0] == 10_000
+
+    def test_zipf_counter_matches_numpy(self):
+        keys = zipf_keys(20_000, s=1.4, universe=500, seed=1)
+        t = CountingHashTable.for_load_factor(600, 0.9)
+        # stream in 4 batches
+        for part in np.array_split(keys, 4):
+            t.add(part)
+        uniq, counts = np.unique(keys, return_counts=True)
+        assert (t.count(uniq) == counts).all()
+        assert t.total() == 20_000
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_counter_property(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(1, 40, size=200).astype(np.uint32)
+        t = CountingHashTable(128)
+        for part in np.array_split(keys, 3):
+            if part.size:
+                t.add(part)
+        uniq, counts = np.unique(keys, return_counts=True)
+        assert (t.count(uniq) == counts).all()

@@ -1,0 +1,158 @@
+"""Tests for probing sequences — including the paper's group-size
+consistency property of the inner loop (§IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import VALID_GROUP_SIZES, WARP_SIZE
+from repro.core.probing import (
+    DoubleHashProbing,
+    LinearProbing,
+    QuadraticProbing,
+    WindowSequence,
+)
+from repro.errors import ConfigurationError
+from repro.hashing.families import make_double_family, make_hash
+
+
+class TestClassicSchemes:
+    def test_linear_steps_by_one(self):
+        p = LinearProbing(make_hash("fmix32"))
+        seq = p.sequence(123, 1000, 5)
+        diffs = np.diff(seq) % 1000
+        assert (diffs == 1).all()
+
+    def test_quadratic_steps(self):
+        p = QuadraticProbing(make_hash("fmix32"))
+        seq = p.sequence(123, 100000, 4)
+        base = seq[0]
+        assert seq[1] == (base + 1) % 100000
+        assert seq[2] == (base + 4) % 100000
+        assert seq[3] == (base + 9) % 100000
+
+    def test_double_hash_step_constant_per_key(self):
+        p = DoubleHashProbing(make_double_family())
+        seq = p.sequence(77, 1 << 20, 6)
+        diffs = np.diff(seq) % (1 << 20)
+        assert np.unique(diffs).size == 1
+
+    def test_double_hash_steps_differ_across_keys(self):
+        p = DoubleHashProbing(make_double_family())
+        s1 = np.diff(p.sequence(1, 1 << 20, 3))[0]
+        s2 = np.diff(p.sequence(2, 1 << 20, 3))[0]
+        assert s1 != s2
+
+    def test_attempt_zero_is_hash_position(self):
+        """s(k, 0) = h(k) for every scheme (§II)."""
+        h = make_hash("fmix32")
+        keys = np.arange(100, dtype=np.uint32)
+        expected = (h(keys).astype(np.uint64) % np.uint64(997)).astype(np.int64)
+        for scheme in (
+            LinearProbing(h),
+            QuadraticProbing(h),
+            DoubleHashProbing(make_double_family()),
+        ):
+            if isinstance(scheme, DoubleHashProbing):
+                expected_s = (
+                    scheme.family.primary(keys).astype(np.uint64) % np.uint64(997)
+                ).astype(np.int64)
+                assert (scheme.position(keys, 0, 997) == expected_s).all()
+            else:
+                assert (scheme.position(keys, 0, 997) == expected).all()
+
+    def test_positions_in_range(self):
+        for scheme in (
+            LinearProbing(make_hash("fmix32")),
+            QuadraticProbing(make_hash("mueller")),
+            DoubleHashProbing(make_double_family()),
+        ):
+            pos = scheme.position(np.arange(1000, dtype=np.uint32), 3, 101)
+            assert (0 <= pos).all() and (pos < 101).all()
+
+
+class TestWindowSequence:
+    def test_inner_count(self):
+        for g in VALID_GROUP_SIZES:
+            seq = WindowSequence(make_double_family(), g, 16)
+            assert seq.inner_count == WARP_SIZE // g
+            assert seq.max_windows == 16 * seq.inner_count
+
+    def test_window_ref_decomposition(self):
+        seq = WindowSequence(make_double_family(), 8, 4)
+        ref = seq.window_ref(5)  # inner_count = 4
+        assert (ref.outer, ref.inner) == (1, 1)
+        with pytest.raises(ConfigurationError):
+            seq.window_ref(-1)
+
+    def test_window_slots_are_consecutive(self):
+        seq = WindowSequence(make_double_family(), 8, 4)
+        rows = seq.window_slots(np.array([42], dtype=np.uint32), 0, 0, 1000)[0]
+        diffs = np.diff(rows) % 1000
+        assert (diffs == 1).all()
+
+    def test_window_slots_wrap_capacity(self):
+        seq = WindowSequence(make_double_family(), 4, 4)
+        # find a key whose window wraps
+        for key in range(500):
+            rows = seq.window_slots(np.array([key], dtype=np.uint32), 0, 0, 37)[0]
+            assert (rows < 37).all() and (rows >= 0).all()
+
+    def test_inner_loop_slides_by_group_size(self):
+        seq = WindowSequence(make_double_family(), 4, 4)
+        key = np.array([9], dtype=np.uint32)
+        w0 = seq.window_slots(key, 0, 0, 1 << 20)[0]
+        w1 = seq.window_slots(key, 0, 1, 1 << 20)[0]
+        assert (w1[0] - w0[0]) % (1 << 20) == 4
+
+    @pytest.mark.parametrize("key", [0, 1, 123456, 0xFFFFFFFD])
+    def test_group_size_consistency(self, key):
+        """The paper's design invariant: 'the inner probing loop ensures a
+        consistent probing scheme in case that the size of g is varied
+        over time' — the slots visited over one outer attempt (32 slots)
+        are identical for every |g|."""
+        family = make_double_family()
+        capacity = 1 << 16
+        reference = None
+        for g in VALID_GROUP_SIZES:
+            seq = WindowSequence(family, g, 8)
+            visited = seq.visited_slots(key, capacity, seq.inner_count)  # one outer attempt
+            if reference is None:
+                reference = visited
+            else:
+                assert (visited == reference).all(), f"|g|={g} diverged"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFD))
+    @settings(max_examples=25, deadline=None)
+    def test_group_size_consistency_property(self, key):
+        family = make_double_family()
+        seqs = [WindowSequence(family, g, 2) for g in (1, 4, 32)]
+        slots = [s.visited_slots(key, 4099, s.inner_count * 2) for s in seqs]
+        assert (slots[0] == slots[1]).all()
+        assert (slots[1] == slots[2]).all()
+
+    def test_walk_yields_all_windows(self):
+        seq = WindowSequence(make_double_family(), 16, 3)
+        windows = list(seq.walk(5, 1024))
+        assert len(windows) == seq.max_windows
+        ref, rows = windows[0]
+        assert (ref.outer, ref.inner) == (0, 0)
+        assert rows.shape == (16,)
+
+    def test_outer_attempts_rehash(self):
+        """Chaotic probing: distinct outer attempts start at unrelated
+        positions (double-hash stride)."""
+        seq = WindowSequence(make_double_family(), 32, 4)
+        key = np.array([123], dtype=np.uint32)
+        starts = [
+            int(seq.window_start(key, p, 0, 1 << 24)[0]) for p in range(4)
+        ]
+        gaps = np.diff(starts) % (1 << 24)
+        assert np.unique(gaps).size == 1  # constant stride = g(k)
+        assert gaps[0] != 32  # not just the next window
+
+    def test_invalid_inner_rejected(self):
+        seq = WindowSequence(make_double_family(), 8, 2)
+        with pytest.raises(ConfigurationError):
+            seq.window_start(np.array([1], dtype=np.uint32), 0, 4, 100)

@@ -1,0 +1,141 @@
+"""Tests for the faithful Fig. 3 reference kernels under interleaving.
+
+These are the concurrency ground truth: the generator kernels yield at
+memory observation points, and every scheduler (sequential, round-robin,
+seeded-random "independent thread scheduling") must preserve the table
+invariants — no lost keys, no duplicate slots, CAS-guarded writes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import EMPTY_SLOT
+from repro.core.kernels_ref import erase_task, insert_task, query_task
+from repro.core.probing import WindowSequence
+from repro.core.slots import is_vacant, slot_keys
+from repro.hashing.families import make_double_family
+from repro.simt.scheduler import ALL_SCHEDULERS
+from repro.simt.warp import CoalescedGroup
+from repro.workloads.distributions import random_values, unique_keys
+
+
+def run_inserts(slots, seq, group, keys, values, scheduler):
+    tasks = [
+        insert_task(slots, seq, group, int(k), int(v))
+        for k, v in zip(keys, values)
+    ]
+    return scheduler.run(tasks)
+
+
+def run_queries(slots, seq, group, keys, scheduler):
+    tasks = [query_task(slots, seq, group, int(k)) for k in keys]
+    return scheduler.run(tasks)
+
+
+@pytest.fixture(params=list(ALL_SCHEDULERS))
+def scheduler(request):
+    return ALL_SCHEDULERS[request.param]()
+
+
+@pytest.fixture(params=[1, 4, 32])
+def group(request):
+    return CoalescedGroup(request.param)
+
+
+class TestInsertUnderAllSchedules:
+    def test_all_keys_stored_exactly_once(self, scheduler, group):
+        n = 96
+        slots = np.full(160, EMPTY_SLOT, dtype=np.uint64)
+        seq = WindowSequence(make_double_family(), group.size, 64)
+        keys = unique_keys(n, seed=3)
+        values = random_values(n, seed=4)
+        results = run_inserts(slots, seq, group, keys, values, scheduler)
+        assert all(status == "inserted" for status, _ in results)
+        live = slots[~is_vacant(slots)]
+        assert live.size == n
+        stored_keys = np.sort(slot_keys(live))
+        assert (stored_keys == np.sort(keys)).all()
+
+    def test_concurrent_duplicate_inserts_store_single_copy(self, scheduler, group):
+        """Two racing inserts of the same key: one inserts, the other must
+        observe it and update — never two live copies."""
+        slots = np.full(64, EMPTY_SLOT, dtype=np.uint64)
+        seq = WindowSequence(make_double_family(), group.size, 32)
+        keys = np.full(8, 1234, dtype=np.uint32)
+        values = np.arange(8, dtype=np.uint32)
+        results = run_inserts(slots, seq, group, keys, values, scheduler)
+        statuses = [s for s, _ in results]
+        assert statuses.count("inserted") == 1
+        assert statuses.count("updated") == 7
+        live = slots[~is_vacant(slots)]
+        assert live.size == 1
+
+    def test_insert_failure_after_p_max(self, scheduler):
+        group = CoalescedGroup(4)
+        slots = np.full(8, EMPTY_SLOT, dtype=np.uint64)
+        seq = WindowSequence(make_double_family(), 4, 2)
+        keys = unique_keys(16, seed=5)
+        results = run_inserts(
+            slots, seq, group, keys, np.zeros(16, dtype=np.uint32), scheduler
+        )
+        statuses = [s for s, _ in results]
+        assert statuses.count("inserted") == 8  # table is full
+        assert statuses.count("failed") == 8
+
+
+class TestQueryRef:
+    def test_found_and_absent(self, scheduler, group):
+        slots = np.full(96, EMPTY_SLOT, dtype=np.uint64)
+        seq = WindowSequence(make_double_family(), group.size, 32)
+        keys = unique_keys(48, seed=6)
+        values = random_values(48, seed=7)
+        run_inserts(slots, seq, group, keys, values, ALL_SCHEDULERS["sequential"]())
+        results = run_queries(slots, seq, group, keys, scheduler)
+        for (status, value, _), expected in zip(results, values):
+            assert status == "found" and value == int(expected)
+        absent = run_queries(
+            slots, seq, group, np.array([0xFFFFFF00], dtype=np.uint32), scheduler
+        )
+        assert absent[0][0] == "absent"
+
+    def test_concurrent_insert_and_query_event_horizon(self):
+        """§II: a key queried while being inserted may be seen or not,
+        but the result must be one of the two legal outcomes."""
+        from repro.simt.scheduler import RandomScheduler
+
+        slots = np.full(32, EMPTY_SLOT, dtype=np.uint64)
+        seq = WindowSequence(make_double_family(), 4, 16)
+        group = CoalescedGroup(4)
+        tasks = [
+            insert_task(slots, seq, group, 42, 99),
+            query_task(slots, seq, group, 42),
+        ]
+        results = RandomScheduler(seed=7).run(tasks)
+        ins_status, _ = results[0]
+        qry_status, qry_value, _ = results[1]
+        assert ins_status == "inserted"
+        assert (qry_status, qry_value) in (("found", 99), ("absent", 0))
+
+
+class TestEraseRef:
+    def test_erase_then_absent(self, group):
+        slots = np.full(64, EMPTY_SLOT, dtype=np.uint64)
+        seq = WindowSequence(make_double_family(), group.size, 32)
+        seqsched = ALL_SCHEDULERS["sequential"]()
+        keys = unique_keys(24, seed=8)
+        run_inserts(slots, seq, group, keys, keys, seqsched)
+        results = seqsched.run(
+            [erase_task(slots, seq, group, int(k)) for k in keys[:6]]
+        )
+        assert all(s == "erased" for s, _ in results)
+        queries = run_queries(slots, seq, group, keys, seqsched)
+        assert [s for s, _, _ in queries[:6]] == ["absent"] * 6
+        assert all(s == "found" for s, _, _ in queries[6:])
+
+    def test_erase_absent_key(self, group):
+        slots = np.full(16, EMPTY_SLOT, dtype=np.uint64)
+        seq = WindowSequence(make_double_family(), group.size, 8)
+        results = ALL_SCHEDULERS["sequential"]().run(
+            [erase_task(slots, seq, group, 7)]
+        )
+        assert results[0][0] == "absent"

@@ -1,0 +1,109 @@
+"""Tests for table snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import FORMAT_VERSION, load_table, save_table
+from repro.core.table import WarpDriveHashTable
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import random_values, unique_keys
+
+
+@pytest.fixture
+def table():
+    t = WarpDriveHashTable.for_load_factor(2000, 0.9, group_size=8)
+    keys = unique_keys(2000, seed=1)
+    t.insert(keys, random_values(2000, seed=2))
+    return t, keys
+
+
+class TestRoundtrip:
+    def test_byte_identical_slots(self, table, tmp_path):
+        t, keys = table
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        loaded = load_table(path)
+        assert (loaded.slots == t.slots).all()
+        assert len(loaded) == len(t)
+        assert loaded.capacity == t.capacity
+
+    def test_queries_work_after_load(self, table, tmp_path):
+        t, keys = table
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        loaded = load_table(path)
+        got_a, found_a = t.query(keys)
+        got_b, found_b = loaded.query(keys)
+        assert (found_a == found_b).all() and (got_a == got_b).all()
+
+    def test_inserts_continue_after_load(self, table, tmp_path):
+        t, keys = table
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        loaded = load_table(path)
+        fresh = unique_keys(4000, seed=9)
+        fresh = fresh[~np.isin(fresh, keys)][:100]
+        loaded.insert(fresh, fresh)
+        _, found = loaded.query(fresh)
+        assert found.all()
+
+    def test_rebuilt_family_survives(self, tmp_path):
+        """A table that rebuilt with a translated hash must reload with
+        the *translated* family, or every probe walk breaks."""
+        t = WarpDriveHashTable.for_load_factor(100, 0.9, group_size=4)
+        keys = unique_keys(90, seed=3)
+        t.insert(keys, keys)
+        t.config = t.config.rebuilt(3)  # simulate a prior rebuild
+        from repro.core.probing import WindowSequence
+
+        t.seq = WindowSequence(t.config.family, 4, t.config.p_max)
+        t.clear()
+        t.insert(keys, keys)
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        loaded = load_table(path)
+        _, found = loaded.query(keys)
+        assert found.all()
+
+    def test_group_size_and_pmax_preserved(self, table, tmp_path):
+        t, _ = table
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        loaded = load_table(path)
+        assert loaded.config.group_size == 8
+        assert loaded.config.p_max == t.config.p_max
+
+
+class TestValidation:
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_table(path)
+
+    def test_version_check(self, table, tmp_path):
+        import json
+
+        t, _ = table
+        path = tmp_path / "snap.npz"
+        header = {"format_version": FORMAT_VERSION + 1, "capacity": t.capacity}
+        np.savez(
+            path,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+            slots=t.slots,
+        )
+        with pytest.raises(ConfigurationError):
+            load_table(path)
+
+    def test_capacity_mismatch_detected(self, table, tmp_path):
+        import json
+
+        t, _ = table
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        # corrupt: truncate slots
+        with np.load(path) as a:
+            header = a["header"]
+        np.savez(path, header=header, slots=t.slots[:-1])
+        with pytest.raises(ConfigurationError):
+            load_table(path)

@@ -1,0 +1,66 @@
+"""Tests for slot predicates."""
+
+import numpy as np
+
+from repro.constants import EMPTY_SLOT, MAX_KEY, TOMBSTONE_SLOT
+from repro.core.slots import (
+    is_empty,
+    is_live,
+    is_tombstone,
+    is_vacant,
+    matches_key,
+    slot_keys,
+    slot_values,
+)
+from repro.memory.layout import pack_scalar
+
+
+def make_slots():
+    return np.array(
+        [EMPTY_SLOT, TOMBSTONE_SLOT, pack_scalar(7, 42), pack_scalar(0, 0)],
+        dtype=np.uint64,
+    )
+
+
+class TestPredicates:
+    def test_is_empty(self):
+        assert is_empty(make_slots()).tolist() == [True, False, False, False]
+
+    def test_is_tombstone(self):
+        assert is_tombstone(make_slots()).tolist() == [False, True, False, False]
+
+    def test_is_vacant_includes_both_sentinels(self):
+        assert is_vacant(make_slots()).tolist() == [True, True, False, False]
+
+    def test_is_live_complements_vacant(self):
+        slots = make_slots()
+        assert (is_live(slots) == ~is_vacant(slots)).all()
+
+    def test_scalar_inputs(self):
+        assert bool(is_empty(EMPTY_SLOT))
+        assert not bool(is_empty(pack_scalar(1, 1)))
+
+
+class TestKeyExtraction:
+    def test_slot_keys_values(self):
+        slots = make_slots()
+        assert slot_keys(slots)[2] == 7
+        assert slot_values(slots)[2] == 42
+
+    def test_matches_key(self):
+        slots = make_slots()
+        assert matches_key(slots, 7).tolist() == [False, False, True, False]
+        assert matches_key(slots, 0).tolist() == [False, False, False, True]
+
+    def test_sentinels_never_match(self):
+        """EMPTY decodes to key 0xFFFFFFFF, TOMBSTONE to 0xFFFFFFFE —
+        both above MAX_KEY, so no legal key can alias them."""
+        slots = np.array([EMPTY_SLOT, TOMBSTONE_SLOT], dtype=np.uint64)
+        assert not matches_key(slots, MAX_KEY).any()
+        decoded = slot_keys(slots)
+        assert (decoded > MAX_KEY).all()
+
+    def test_zero_value_pair_is_live(self):
+        """Packed (0, 0) is a legal live slot, not a sentinel."""
+        slots = np.array([pack_scalar(0, 0)], dtype=np.uint64)
+        assert is_live(slots).all()

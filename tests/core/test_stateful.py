@@ -1,0 +1,79 @@
+"""Model-based stateful testing: the table against a dict oracle.
+
+Hypothesis drives random interleaved insert/update/erase/query sequences
+and cross-checks every observable behaviour against a plain Python dict
+with the same semantics (last-writer-wins updates, tombstone deletion).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.table import WarpDriveHashTable
+
+KEYS = st.integers(min_value=1, max_value=200)
+VALUES = st.integers(min_value=0, max_value=10_000)
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        # capacity far above the key universe: inserts never fail, so the
+        # oracle semantics stay exact
+        self.table = WarpDriveHashTable(1024, group_size=4)
+        self.model: dict[int, int] = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        self.table.insert(
+            np.array([key], dtype=np.uint32), np.array([value], dtype=np.uint32)
+        )
+        self.model[key] = value
+
+    @rule(keys=st.lists(KEYS, min_size=1, max_size=8), value=VALUES)
+    def bulk_insert(self, keys, value):
+        arr = np.array(keys, dtype=np.uint32)
+        vals = (np.arange(len(keys)) + value).astype(np.uint32)
+        self.table.insert(arr, vals)
+        for k, v in zip(keys, vals):
+            self.model[k] = int(v)
+
+    @rule(key=KEYS)
+    def erase(self, key):
+        erased = self.table.erase(np.array([key], dtype=np.uint32))
+        assert bool(erased[0]) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def query_one(self, key):
+        got, found = self.table.query(np.array([key], dtype=np.uint32))
+        if key in self.model:
+            assert found[0] and int(got[0]) == self.model[key]
+        else:
+            assert not found[0]
+
+    @rule()
+    def query_everything(self):
+        if not self.model:
+            return
+        keys = np.array(sorted(self.model), dtype=np.uint32)
+        got, found = self.table.query(keys)
+        assert found.all()
+        assert got.tolist() == [self.model[int(k)] for k in keys]
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def export_matches_model(self):
+        k, v = self.table.export()
+        exported = dict(zip(k.tolist(), v.tolist()))
+        assert exported == self.model
+
+
+TestTableAgainstDict = TableMachine.TestCase
+TestTableAgainstDict.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,78 @@
+"""Tests for probe-length theory helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import KernelReport
+from repro.core.stats import (
+    expected_insert_windows,
+    expected_query_windows,
+    probe_histogram_fractions,
+    probe_summary,
+)
+from repro.core.table import WarpDriveHashTable
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import unique_keys
+
+
+class TestExpectedWindows:
+    def test_empty_table_one_window(self):
+        assert expected_insert_windows(0.0, 4) == 1.0
+
+    def test_monotone_in_load(self):
+        vals = [expected_insert_windows(a, 4) for a in (0.1, 0.5, 0.9, 0.99)]
+        assert vals == sorted(vals)
+
+    def test_monotone_decreasing_in_group_size(self):
+        vals = [expected_insert_windows(0.95, g) for g in (1, 2, 4, 8, 16, 32)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_known_values(self):
+        assert expected_insert_windows(0.95, 1) == pytest.approx(20.0)
+        assert expected_insert_windows(0.5, 1) == pytest.approx(2.0)
+
+    def test_load_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_insert_windows(1.0, 4)
+
+    def test_query_hit_cheaper_than_insert(self):
+        """Hits average over the fill history, so they probe less than a
+        fresh insert at the final load."""
+        for g in (1, 4, 16):
+            assert expected_query_windows(0.9, g) < expected_insert_windows(0.9, g)
+
+    def test_query_miss_equals_insert_expectation(self):
+        assert expected_query_windows(0.9, 4, hit_rate=0.0) == pytest.approx(
+            expected_insert_windows(0.9, 4)
+        )
+
+    def test_theory_brackets_measurement(self):
+        """Measured mean insert windows lie between the hit average and
+        the final-load bound for small groups (clustering breaks the
+        geometric approximation for large windows)."""
+        n, load, g = 1 << 14, 0.9, 4
+        t = WarpDriveHashTable.for_load_factor(n, load, group_size=g)
+        rep = t.insert(unique_keys(n, seed=40), np.zeros(n, dtype=np.uint32))
+        upper = expected_insert_windows(load, g)
+        lower = 1.0
+        assert lower <= rep.mean_windows <= upper * 1.2
+
+
+class TestReportHelpers:
+    def test_probe_summary(self):
+        rep = KernelReport(op="insert", num_ops=4,
+                           probe_windows=np.array([1, 1, 2, 4]))
+        s = probe_summary(rep)
+        assert s.count == 4 and s.mean == 2.0 and s.maximum == 4
+
+    def test_histogram_fractions_sum_to_one(self):
+        rep = KernelReport(op="insert", num_ops=4,
+                           probe_windows=np.array([1, 1, 2, 4]))
+        frac = probe_histogram_fractions(rep)
+        assert frac.sum() == pytest.approx(1.0)
+        assert frac[1] == pytest.approx(0.5)
+
+    def test_empty_report(self):
+        rep = KernelReport(op="insert")
+        assert probe_summary(rep).count == 0
+        assert probe_histogram_fractions(rep).sum() == 0

@@ -1,0 +1,73 @@
+"""Tests for GPU partition hashes (§IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing.partition import (
+    PartitionHash,
+    fastrange_partition,
+    hashed_partition,
+    modulo_partition,
+)
+
+
+class TestModuloPartition:
+    def test_fig4_example(self):
+        """Fig. 4 uses p(k) = k mod 4."""
+        p = modulo_partition(4)
+        keys = np.array([0, 1, 2, 3, 4, 5, 6, 7], dtype=np.uint32)
+        assert p(keys).tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_structured_keys_imbalance(self):
+        """Sequential stride-m keys all land on one GPU — the weakness
+        hashed partitioning fixes."""
+        p = modulo_partition(4)
+        keys = np.arange(0, 4000, 4, dtype=np.uint32)
+        balance = p.balance(keys)
+        assert balance[0] == 1.0
+
+
+class TestHashedPartition:
+    @pytest.mark.parametrize("factory", [hashed_partition, fastrange_partition])
+    def test_range(self, factory):
+        p = factory(4)
+        keys = np.arange(10000, dtype=np.uint32)
+        parts = p(keys)
+        assert parts.min() >= 0 and parts.max() < 4
+
+    @pytest.mark.parametrize("factory", [hashed_partition, fastrange_partition])
+    def test_balances_structured_keys(self, factory):
+        p = factory(4)
+        keys = np.arange(0, 40000, 4, dtype=np.uint32)
+        balance = p.balance(keys)
+        assert balance.min() > 0.20 and balance.max() < 0.30
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 7, 8])
+    def test_all_parts_used(self, m):
+        p = hashed_partition(m)
+        keys = np.arange(m * 2000, dtype=np.uint32)
+        assert np.unique(p(keys)).size == m
+
+    def test_deterministic(self):
+        keys = np.arange(1000, dtype=np.uint32)
+        assert (hashed_partition(4)(keys) == hashed_partition(4)(keys)).all()
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_single_part_maps_everything_to_zero(self, m):
+        p = hashed_partition(1)
+        keys = np.arange(100, dtype=np.uint32)
+        assert (p(keys) == 0).all()
+
+
+class TestValidation:
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionHash(0, lambda k: k)
+
+    def test_balance_of_empty(self):
+        p = hashed_partition(4)
+        b = p.balance(np.array([], dtype=np.uint32))
+        assert b.shape == (4,)

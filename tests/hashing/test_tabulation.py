@@ -1,0 +1,69 @@
+"""Tests for tabulation hashing (§II's 5-independence route)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.tabulation import TabulationHash
+
+
+class TestTabulationHash:
+    def test_deterministic_per_seed(self):
+        xs = np.arange(1000, dtype=np.uint32)
+        a, b = TabulationHash(3), TabulationHash(3)
+        assert (a(xs) == b(xs)).all()
+
+    def test_different_seeds_differ(self):
+        xs = np.arange(1000, dtype=np.uint32)
+        assert not (TabulationHash(1)(xs) == TabulationHash(2)(xs)).all()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TabulationHash(-1)
+
+    def test_xor_structure(self):
+        """h(x) is the XOR of the four per-byte table entries."""
+        h = TabulationHash(0)
+        x = np.uint32(0xAABBCCDD)
+        expected = (
+            int(h.tables[0][0xDD])
+            ^ int(h.tables[1][0xCC])
+            ^ int(h.tables[2][0xBB])
+            ^ int(h.tables[3][0xAA])
+        )
+        assert int(h(x)) == expected
+
+    def test_3_wise_independence_proxy(self):
+        """Pairwise XOR of hashes of distinct keys is well mixed."""
+        h = TabulationHash(5)
+        xs = np.arange(1 << 12, dtype=np.uint32)
+        hs = h(xs)
+        diff = hs[:-1] ^ hs[1:]
+        # each output bit flips about half the time between neighbours
+        for bit in range(32):
+            frac = np.mean((diff >> np.uint32(bit)) & 1)
+            assert 0.40 < frac < 0.60
+
+    def test_bucket_uniformity(self):
+        h = TabulationHash(9)
+        xs = np.arange(1 << 14, dtype=np.uint32)
+        buckets = h(xs) % np.uint32(64)
+        counts = np.bincount(buckets.astype(np.int64), minlength=64)
+        expected = xs.size / 64
+        assert counts.min() > expected * 0.8
+        assert counts.max() < expected * 1.2
+
+    def test_translated_gives_independent_member(self):
+        h = TabulationHash(0)
+        t = h.translated(10)
+        xs = np.arange(1000, dtype=np.uint32)
+        assert not (h(xs) == t(xs)).all()
+        assert t.seed != h.seed
+
+    def test_usable_as_probe_primary(self):
+        """Tabulation hash plugs into the table's probing layer."""
+        from repro.core.probing import LinearProbing
+
+        probing = LinearProbing(TabulationHash(2))
+        pos = probing.position(np.arange(100, dtype=np.uint32), 0, 997)
+        assert (0 <= pos).all() and (pos < 997).all()

@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "kmer_index.py", "multi_gpu_scaling.py", "zipf_wordcount.py", "extensions_tour.py"],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example narrates what it does
+
+
+def test_paper_figures_quick():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "paper_figures.py")],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    out = result.stdout
+    for marker in ("Fig. 7", "Fig. 9", "Fig. 10", "Fig. 11", "A1", "A4"):
+        assert marker in out, f"missing {marker} in paper_figures output"

@@ -1,0 +1,110 @@
+"""Tests for AoS/SoA layouts and pair packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constants import EMPTY_SLOT, MAX_KEY, TOMBSTONE_SLOT
+from repro.errors import ConfigurationError
+from repro.memory.layout import (
+    AoSLayout,
+    SoALayout,
+    pack_pairs,
+    pack_scalar,
+    unpack_pairs,
+    unpack_scalar,
+)
+
+keys_st = st.integers(min_value=0, max_value=MAX_KEY)
+vals_st = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestPacking:
+    @given(keys_st, vals_st)
+    def test_scalar_roundtrip(self, k, v):
+        assert unpack_scalar(pack_scalar(k, v)) == (k, v)
+
+    def test_key_in_high_bits(self):
+        assert int(pack_scalar(1, 0)) == 1 << 32
+
+    def test_vector_roundtrip(self):
+        k = np.array([0, 5, MAX_KEY], dtype=np.uint32)
+        v = np.array([1, 2, 3], dtype=np.uint32)
+        kk, vv = unpack_pairs(pack_pairs(k, v))
+        assert (kk == k).all() and (vv == v).all()
+
+    def test_no_pair_collides_with_sentinels(self):
+        """The reserved top keys guarantee this by construction."""
+        worst = pack_scalar(MAX_KEY, 0xFFFFFFFF)
+        assert worst != EMPTY_SLOT and worst != TOMBSTONE_SLOT
+        assert int(worst) < int(TOMBSTONE_SLOT)
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pack_scalar(MAX_KEY + 1, 0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            pack_pairs(np.array([1], dtype=np.uint32), np.array([1, 2], dtype=np.uint32))
+
+    def test_empty_arrays(self):
+        out = pack_pairs(np.array([], dtype=np.uint32), np.array([], dtype=np.uint32))
+        assert out.size == 0
+
+
+class TestAoSLayout:
+    def test_empty_starts_all_vacant(self):
+        layout = AoSLayout.empty(64)
+        assert layout.capacity == 64
+        assert layout.is_vacant().all()
+        assert layout.occupancy() == 0.0
+        assert layout.nbytes == 64 * 8
+
+    def test_vacancy_distinguishes_tombstones(self):
+        layout = AoSLayout.empty(4)
+        layout.slots[1] = TOMBSTONE_SLOT
+        layout.slots[2] = pack_scalar(7, 8)
+        assert layout.is_vacant().tolist() == [True, True, False, True]
+        assert layout.is_empty().tolist() == [True, False, False, True]
+
+    def test_stored_pairs(self):
+        layout = AoSLayout.empty(4)
+        layout.slots[2] = pack_scalar(7, 8)
+        k, v = layout.stored_pairs()
+        assert k.tolist() == [7] and v.tolist() == [8]
+
+    def test_clear(self):
+        layout = AoSLayout.empty(4)
+        layout.slots[0] = pack_scalar(1, 1)
+        layout.clear()
+        assert layout.occupancy() == 0.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AoSLayout.empty(0)
+
+
+class TestSoALayout:
+    def test_same_footprint_as_aos(self):
+        assert SoALayout.empty(100).nbytes == AoSLayout.empty(100).nbytes
+
+    def test_vacancy(self):
+        layout = SoALayout.empty(4)
+        layout.keys[0] = 7
+        layout.keys[1] = SoALayout.TOMBSTONE_KEY
+        assert layout.is_vacant().tolist() == [False, True, True, True]
+        assert layout.occupancy() == 0.25
+
+    def test_query_transactions_double_for_small_windows(self):
+        """Fig. 1: separated key/value arrays cost two transactions where
+        AoS needs one."""
+        layout = SoALayout.empty(16)
+        from repro.simt.counters import sectors_for_access
+
+        for g in (1, 2, 4):
+            assert layout.query_transactions(1, g) == 2 * sectors_for_access(0, g * 8)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoALayout.empty(0)

@@ -1,0 +1,133 @@
+"""Tests for the all-to-all transposition exchange."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.partition import hashed_partition
+from repro.memory.layout import pack_pairs, unpack_pairs
+from repro.memory.transfer import MemcpyKind, TransferLog
+from repro.multigpu.alltoall import reverse_exchange, transpose_exchange
+from repro.multigpu.multisplit import multisplit
+from repro.multigpu.partition_table import PartitionTable
+from repro.multigpu.topology import p100_nvlink_node
+from repro.workloads.distributions import random_values, unique_keys
+
+
+def setup_exchange(m=4, per_gpu=200, seed=0):
+    node = p100_nvlink_node(m)
+    part = hashed_partition(m)
+    splits = []
+    all_pairs = []
+    for gpu in range(m):
+        keys = unique_keys(per_gpu, seed=seed + gpu * 13 + 1)
+        pairs = pack_pairs(keys, random_values(per_gpu, seed=seed + gpu))
+        all_pairs.append(pairs)
+        splits.append(multisplit(pairs, part))
+    table = PartitionTable(np.stack([ms.counts for ms in splits]))
+    return node, part, splits, table, all_pairs
+
+
+class TestTransposeExchange:
+    def test_every_gpu_gets_exactly_its_partition(self):
+        node, part, splits, table, _ = setup_exchange()
+        result = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        for gpu in range(4):
+            keys, _ = unpack_pairs(result.received[gpu])
+            assert (part(keys) == gpu).all()
+
+    def test_nothing_lost_or_duplicated(self):
+        node, _, splits, table, all_pairs = setup_exchange()
+        result = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        received = np.concatenate(result.received)
+        original = np.concatenate(all_pairs)
+        assert np.sort(received).tolist() == np.sort(original).tolist()
+
+    def test_transposed_table_returned(self):
+        node, _, splits, table, _ = setup_exchange()
+        result = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        assert (result.table.counts == table.counts.T).all()
+
+    def test_transfer_log_matches_offdiagonal(self):
+        node, _, splits, table, _ = setup_exchange()
+        log = TransferLog()
+        transpose_exchange(
+            [ms.pairs for ms in splits],
+            [ms.offsets for ms in splits],
+            table,
+            node,
+            log=log,
+        )
+        assert log.total_bytes(MemcpyKind.P2P) == table.offdiagonal_bytes()
+
+    def test_network_seconds_positive(self):
+        node, _, splits, table, _ = setup_exchange()
+        result = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        assert result.network_seconds > 0
+
+    def test_provenance_shapes(self):
+        node, _, splits, table, _ = setup_exchange()
+        result = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        for gpu in range(4):
+            assert result.provenance[gpu].shape == (result.received[gpu].size, 2)
+
+
+class TestReverseExchange:
+    def test_results_routed_back_to_split_positions(self):
+        """The full query loop: ship keys out, answer = f(key), route the
+        answers back; every split position must receive f of its key."""
+        node, part, splits, table, _ = setup_exchange(seed=5)
+        exchange = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        # "answer" = low 32 bits of key + 1
+        answers = []
+        for gpu in range(4):
+            keys, _ = unpack_pairs(exchange.received[gpu])
+            answers.append((keys.astype(np.uint64) + np.uint64(1)))
+        routed, seconds = reverse_exchange(
+            answers,
+            exchange.provenance,
+            [ms.pairs.size for ms in splits],
+            node,
+        )
+        assert seconds >= 0
+        for gpu in range(4):
+            keys, _ = unpack_pairs(splits[gpu].pairs)
+            assert (routed[gpu] == keys.astype(np.uint64) + np.uint64(1)).all()
+
+    def test_reverse_is_isomorphism(self):
+        """Sending the received pairs straight back reconstructs each
+        GPU's multisplit buffer (§IV-B: transposition is reversible)."""
+        node, _, splits, table, _ = setup_exchange(seed=6)
+        exchange = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        routed, _ = reverse_exchange(
+            exchange.received,
+            exchange.provenance,
+            [ms.pairs.size for ms in splits],
+            node,
+        )
+        for gpu in range(4):
+            assert (routed[gpu] == splits[gpu].pairs).all()
+
+    def test_length_mismatch_rejected(self):
+        node, _, splits, table, _ = setup_exchange()
+        exchange = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        bad = [r[:-1] for r in exchange.received]
+        with pytest.raises(Exception):
+            reverse_exchange(
+                bad, exchange.provenance, [ms.pairs.size for ms in splits], node
+            )

@@ -1,0 +1,95 @@
+"""Tests for the m×m partition table and its transposition plan."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PAIR_BYTES
+from repro.errors import ConfigurationError
+from repro.multigpu.partition_table import PartitionTable
+
+
+def make_table():
+    # Fig. 4's example: 4 GPUs × 7 keys each
+    counts = np.array(
+        [
+            [2, 2, 2, 1],
+            [1, 3, 1, 2],
+            [3, 1, 2, 1],
+            [1, 1, 2, 3],
+        ],
+        dtype=np.int64,
+    )
+    return PartitionTable(counts)
+
+
+class TestScans:
+    def test_send_offsets_rowwise(self):
+        t = make_table()
+        off = t.send_offsets()
+        assert off[0].tolist() == [0, 2, 4, 6]
+        assert off[1].tolist() == [0, 1, 4, 5]
+
+    def test_recv_offsets_columnwise(self):
+        t = make_table()
+        off = t.recv_offsets()
+        assert off[:, 0].tolist() == [0, 2, 3, 6]
+        assert off[:, 1].tolist() == [0, 2, 5, 6]
+
+    def test_recv_counts(self):
+        t = make_table()
+        assert t.recv_counts().tolist() == [7, 7, 7, 7]
+
+    def test_transpose(self):
+        t = make_table()
+        tt = t.transposed()
+        assert (tt.counts == t.counts.T).all()
+        # transposition is an involution (§IV-B: "reversible")
+        assert (tt.transposed().counts == t.counts).all()
+
+
+class TestTraffic:
+    def test_diagonal_stays_local(self):
+        t = make_table()
+        mat = t.traffic_matrix()
+        assert (np.diag(mat) == 0).all()
+        assert mat[0, 1] == 2 * PAIR_BYTES
+
+    def test_offdiagonal_bytes(self):
+        t = make_table()
+        total = t.counts.sum() - np.trace(t.counts)
+        assert t.offdiagonal_bytes() == total * PAIR_BYTES
+
+    def test_plan_covers_offdiagonal(self):
+        t = make_table()
+        plan = t.plan()
+        assert len(plan) == 12  # m^2 - m messages, all counts > 0 here
+        assert sum(e.nbytes for e in plan) == t.offdiagonal_bytes()
+        for e in plan:
+            assert e.src != e.dst
+            assert e.count == t.counts[e.src, e.dst]
+
+    def test_plan_skips_empty_messages(self):
+        counts = np.zeros((3, 3), dtype=np.int64)
+        counts[0, 1] = 5
+        plan = PartitionTable(counts).plan()
+        assert len(plan) == 1
+
+
+class TestValidation:
+    def test_square_required(self):
+        with pytest.raises(ConfigurationError):
+            PartitionTable(np.zeros((2, 3), dtype=np.int64))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionTable(np.array([[-1, 0], [0, 0]]))
+
+    def test_imbalance_uniform(self):
+        assert make_table().imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        counts = np.array([[4, 0], [4, 0]], dtype=np.int64)
+        assert PartitionTable(counts).imbalance() == pytest.approx(2.0)
+
+    def test_imbalance_empty(self):
+        assert PartitionTable(np.zeros((2, 2), dtype=np.int64)).imbalance() == 1.0

@@ -1,0 +1,66 @@
+"""Tests for the §IV-B distribution-strategy comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multigpu.strategies import compare_strategies
+from repro.multigpu.topology import p100_nvlink_node
+from repro.workloads.distributions import random_values, unique_keys
+
+
+@pytest.fixture(scope="module")
+def results():
+    node = p100_nvlink_node(4)
+    keys = unique_keys(1 << 14, seed=1)
+    values = random_values(1 << 14, seed=2)
+    return compare_strategies(node, keys, values, load_factor=0.9)
+
+
+class TestStrategyRanking:
+    def test_all_four_strategies_present(self, results):
+        assert set(results) == {
+            "multisplit_transposition",
+            "unstructured",
+            "host_sided",
+            "system_wide_atomics",
+        }
+
+    def test_unstructured_has_fastest_insert(self, results):
+        """No communication on the way in — but the paper rejects it for
+        its querying cost."""
+        ins = {k: v.insert_seconds for k, v in results.items()}
+        assert ins["unstructured"] == min(ins.values())
+
+    def test_unstructured_query_worse_than_multisplit(self, results):
+        assert (
+            results["unstructured"].query_seconds
+            > results["multisplit_transposition"].query_seconds
+        )
+
+    def test_system_wide_atomics_slowest_insert(self, results):
+        """'unreasonably slow in our preliminary experiments' (§IV-B)."""
+        ins = {k: v.insert_seconds for k, v in results.items()}
+        assert ins["system_wide_atomics"] == max(ins.values())
+
+    def test_host_sided_insert_slower_than_multisplit(self, results):
+        """Host RAM reordering costs more than on-device multisplit."""
+        assert (
+            results["host_sided"].insert_seconds
+            > results["multisplit_transposition"].insert_seconds
+        )
+
+    def test_multisplit_wins_overall(self, results):
+        """The paper's chosen design has the best insert+query total."""
+        totals = {k: v.total for k, v in results.items()}
+        assert totals["multisplit_transposition"] == min(totals.values())
+
+    def test_too_few_keys_rejected(self):
+        import numpy as np
+
+        node = p100_nvlink_node(4)
+        with pytest.raises(ConfigurationError):
+            compare_strategies(
+                node,
+                np.array([1], dtype=np.uint32),
+                np.array([1], dtype=np.uint32),
+            )

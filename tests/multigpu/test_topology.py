@@ -1,0 +1,114 @@
+"""Tests for the node topology model (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.multigpu.topology import p100_nvlink_node, pcie_only_node
+
+
+class TestP100Node:
+    def test_fully_connected(self):
+        node = p100_nvlink_node(4)
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert node.link_bandwidth(a, b) > 0
+
+    def test_eight_links_total(self):
+        """Fig. 6: '4×4 bidirectional links' — 6 pairs + 2 augmented."""
+        node = p100_nvlink_node(4)
+        assert node.nvlink.number_of_edges() == 8
+
+    def test_augmented_pairs_doubled(self):
+        node = p100_nvlink_node(4)
+        assert node.link_bandwidth(0, 1) == pytest.approx(40e9)
+        assert node.link_bandwidth(2, 3) == pytest.approx(40e9)
+        assert node.link_bandwidth(0, 2) == pytest.approx(20e9)
+        assert node.link_bandwidth(1, 2) == pytest.approx(20e9)
+
+    def test_two_pcie_switches(self):
+        node = p100_nvlink_node(4)
+        assert node.num_switches == 2
+        assert node.pcie_switch_of[0] == node.pcie_switch_of[1]
+        assert node.pcie_switch_of[2] == node.pcie_switch_of[3]
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            p100_nvlink_node(4).link_bandwidth(1, 1)
+
+    def test_bisection_bandwidth_positive(self):
+        node = p100_nvlink_node(4)
+        # worst split {0,1}|{2,3}: four single links cross = 80 GB/s
+        assert node.bisection_bandwidth() == pytest.approx(80e9)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_smaller_nodes(self, m):
+        node = p100_nvlink_node(m)
+        assert node.num_devices == m
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ConfigurationError):
+            p100_nvlink_node(0)
+        with pytest.raises(ConfigurationError):
+            p100_nvlink_node(9)
+
+
+class TestAllToAllTime:
+    def test_uniform_traffic(self):
+        node = p100_nvlink_node(4)
+        traffic = np.full((4, 4), 20e9, dtype=np.float64)
+        np.fill_diagonal(traffic, 0)
+        t = node.alltoall_time(traffic)
+        # slowest link is a single 20 GB/s edge carrying 20 GB -> 1 s
+        assert t == pytest.approx(1.0)
+
+    def test_augmented_pairs_faster(self):
+        node = p100_nvlink_node(4)
+        traffic = np.zeros((4, 4))
+        traffic[0, 1] = 40e9
+        assert node.alltoall_time(traffic) == pytest.approx(1.0)
+        traffic2 = np.zeros((4, 4))
+        traffic2[0, 2] = 40e9
+        assert node.alltoall_time(traffic2) == pytest.approx(2.0)
+
+    def test_bad_shape_rejected(self):
+        node = p100_nvlink_node(2)
+        with pytest.raises(TopologyError):
+            node.alltoall_time(np.zeros((4, 4)))
+
+    def test_zero_traffic(self):
+        node = p100_nvlink_node(4)
+        assert node.alltoall_time(np.zeros((4, 4))) == 0.0
+
+
+class TestHostTransfers:
+    def test_switch_contention(self):
+        node = p100_nvlink_node(4)
+        # all bytes through switch 0 (GPUs 0 and 1)
+        t_contended = node.host_transfer_time(np.array([11e9, 11e9, 0, 0]))
+        # spread across both switches
+        t_spread = node.host_transfer_time(np.array([11e9, 0, 11e9, 0]))
+        assert t_contended == pytest.approx(2.0)
+        assert t_spread == pytest.approx(1.0)
+
+    def test_aggregate_bandwidth_matches_paper(self):
+        """'accumulated theoretical peak ... ≈ 22 GB/s in experiments'."""
+        node = p100_nvlink_node(4)
+        total = node.num_switches * node.pcie_switch_bandwidth
+        assert total == pytest.approx(22e9)
+
+
+class TestPcieOnlyNode:
+    def test_uniform_links(self):
+        node = pcie_only_node(4)
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert node.link_bandwidth(a, b) == pytest.approx(10e9)
+
+    def test_slower_than_nvlink(self):
+        traffic = np.full((4, 4), 1e9)
+        np.fill_diagonal(traffic, 0)
+        t_nv = p100_nvlink_node(4).alltoall_time(traffic)
+        t_pcie = pcie_only_node(4).alltoall_time(traffic)
+        assert t_pcie > t_nv

@@ -1,0 +1,66 @@
+"""Tests for the analytic throughput model and §VI heuristic."""
+
+import pytest
+
+from repro.constants import VALID_GROUP_SIZES
+from repro.errors import ConfigurationError
+from repro.perfmodel.hashperf import best_group_size, predicted_op_seconds, predicted_rate
+from repro.perfmodel.specs import P100
+
+
+class TestPredictedRate:
+    def test_rates_positive_everywhere(self):
+        for load in (0.1, 0.5, 0.9, 0.99):
+            for g in VALID_GROUP_SIZES:
+                assert predicted_rate(load, g, P100, op="insert") > 0
+                assert predicted_rate(load, g, P100, op="query") > 0
+
+    def test_rate_decreases_with_load(self):
+        for g in (1, 4, 32):
+            r_low = predicted_rate(0.4, g, P100)
+            r_high = predicted_rate(0.97, g, P100)
+            assert r_high < r_low
+
+    def test_query_faster_than_insert(self):
+        """No CAS on retrieval."""
+        for g in (2, 4, 8):
+            assert predicted_rate(0.9, g, P100, op="query") > predicted_rate(
+                0.9, g, P100, op="insert"
+            )
+
+    def test_headline_anchor(self):
+        """~1.4 G inserts/s at α = 0.95 with a mid-size group."""
+        best = max(predicted_rate(0.95, g, P100) for g in VALID_GROUP_SIZES)
+        assert 1.0e9 < best < 2.2e9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            predicted_rate(0.9, 3, P100)
+        with pytest.raises(ConfigurationError):
+            predicted_op_seconds(0.9, 4, P100, op="erase")
+
+
+class TestHeuristic:
+    def test_optimum_in_paper_range(self):
+        """Fig. 7: 'optimal performance is achieved with |g| ∈ {2,4,8}'."""
+        for load in (0.5, 0.8, 0.95):
+            for op in ("insert", "query"):
+                assert best_group_size(load, P100, op=op) in (2, 4, 8)
+
+    def test_larger_groups_favored_as_load_rises(self):
+        """'With increasing load larger group sizes get more favorable'."""
+        low = best_group_size(0.3, P100, op="query")
+        high = best_group_size(0.99, P100, op="query")
+        assert high >= low
+
+    def test_g1_never_optimal_at_high_load(self):
+        assert best_group_size(0.95, P100) != 1
+
+    def test_g32_never_optimal(self):
+        for load in (0.3, 0.6, 0.9, 0.99):
+            assert best_group_size(load, P100) != 32
+
+    def test_degradation_threading(self):
+        r_small = predicted_rate(0.9, 4, P100, table_bytes=1 << 30)
+        r_large = predicted_rate(0.9, 4, P100, table_bytes=12 << 30)
+        assert r_large < r_small

@@ -1,0 +1,146 @@
+"""Tests for the counts→seconds kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import KernelReport
+from repro.errors import ConfigurationError
+from repro.perfmodel import calibration as cal
+from repro.perfmodel.memmodel import (
+    cas_degradation,
+    divergence_adjusted_transactions,
+    kernel_seconds,
+    multisplit_seconds,
+    projected_seconds,
+    throughput,
+)
+from repro.perfmodel.specs import P100
+
+
+def report(n=1000, windows=2.0, g=4, cas=1, host=0):
+    return KernelReport(
+        op="insert",
+        num_ops=n,
+        probe_windows=np.full(n, windows, dtype=np.int64),
+        load_sectors=int(n * windows),
+        store_sectors=n,
+        cas_attempts=n * cas,
+        cas_successes=n,
+        group_size=g,
+        host_load_sectors=host,
+    )
+
+
+class TestCasDegradation:
+    def test_no_degradation_below_knee(self):
+        assert cas_degradation(1 << 30) == 1.0
+        assert cas_degradation(2 << 30) == 1.0
+        assert cas_degradation(None) == 1.0
+
+    def test_ramp_monotone(self):
+        sizes = [2 << 30, 3 << 30, 4 << 30, 8 << 30, 16 << 30]
+        factors = [cas_degradation(s) for s in sizes]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_floor_respected(self):
+        assert cas_degradation(1 << 40) == pytest.approx(cal.CAS_DEGRADE_FLOOR)
+
+    def test_paper_observation(self):
+        """§V-C: insertion drops for > 2 GB; retrieval (no CAS) does not."""
+        assert cas_degradation(int(2.3 * (1 << 30))) < 1.0
+
+
+class TestDivergence:
+    def test_no_divergence_for_full_warp_group(self):
+        probes = np.array([1, 5, 2, 7], dtype=np.int64)
+        assert divergence_adjusted_transactions(probes, 32) == probes.sum()
+
+    def test_warp_runs_at_its_slowest_group(self):
+        # |g|=16 -> 2 groups per warp; warp of (1, 9) runs 9 iterations
+        probes = np.array([1, 9], dtype=np.int64)
+        assert divergence_adjusted_transactions(probes, 16) == 18
+
+    def test_uniform_probes_have_no_penalty(self):
+        probes = np.full(64, 3, dtype=np.int64)
+        assert divergence_adjusted_transactions(probes, 1) == 64 * 3
+
+    def test_skew_punished_more_for_smaller_groups(self):
+        rng = np.random.default_rng(3)
+        probes = rng.geometric(0.3, size=1 << 10).astype(np.int64)
+        eff_g1 = divergence_adjusted_transactions(probes, 1)
+        eff_g32 = divergence_adjusted_transactions(probes, 32)
+        assert eff_g1 > eff_g32  # g=32 has one group per warp: no idle slots
+
+    def test_empty(self):
+        assert divergence_adjusted_transactions(np.empty(0), 4) == 0.0
+
+    def test_partial_warp_padded(self):
+        probes = np.array([5], dtype=np.int64)
+        # one group in a warp of 8 groups: 8 slots for 5 iterations
+        assert divergence_adjusted_transactions(probes, 4) == 40
+
+    def test_invalid_group(self):
+        with pytest.raises(ConfigurationError):
+            divergence_adjusted_transactions(np.array([1]), 3)
+
+
+class TestKernelSeconds:
+    def test_zero_ops_is_free(self):
+        assert kernel_seconds(KernelReport(op="insert"), P100) == 0.0
+
+    def test_monotone_in_sectors(self):
+        fast = kernel_seconds(report(windows=1.5), P100)
+        slow = kernel_seconds(report(windows=8.0), P100)
+        assert slow > fast
+
+    def test_cas_degradation_slows_inserts(self):
+        small = kernel_seconds(report(), P100, table_bytes=1 << 30)
+        large = kernel_seconds(report(), P100, table_bytes=10 << 30)
+        assert large > small
+
+    def test_out_of_core_dominates(self):
+        """Stadium's host-resident table: PCIe sectors swamp VRAM work
+        (§III: 'the performance drops to around 100 million inserts').
+        One PCIe sector (~3.2 ns) costs several times a VRAM-resident
+        insert (~0.7 ns)."""
+        n = 100_000
+        in_core = kernel_seconds(report(n=n, host=0), P100)
+        out_core = kernel_seconds(report(n=n, host=n), P100)
+        assert out_core > 3 * in_core
+
+    def test_throughput_helper(self):
+        assert throughput(100, 2.0) == 50.0
+        assert throughput(100, 0.0) == 0.0
+
+
+class TestProjection:
+    def test_scale_one_is_identity(self):
+        rep = report()
+        assert projected_seconds(rep, P100, scale=1.0) == pytest.approx(
+            kernel_seconds(rep, P100)
+        )
+
+    def test_linear_terms_scale(self):
+        rep = report()
+        base = kernel_seconds(rep, P100) - cal.KERNEL_LAUNCH_SECONDS
+        proj = projected_seconds(rep, P100, scale=100.0)
+        assert proj == pytest.approx(base * 100 + cal.KERNEL_LAUNCH_SECONDS)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            projected_seconds(report(), P100, scale=0.0)
+
+
+class TestMultisplitSeconds:
+    def test_rate_anchor(self):
+        """The calibrated per-GPU pair-processing rate (≈ 52.5 GB/s of
+        in+out traffic) reproduces the paper's 210 GB/s accumulated over
+        four GPUs."""
+        rep = KernelReport(op="multisplit", num_ops=1 << 20)
+        secs = multisplit_seconds(rep, P100) - cal.KERNEL_LAUNCH_SECONDS
+        rate = (1 << 20) * 16 / secs
+        assert rate == pytest.approx(cal.MULTISPLIT_PAIR_BYTES_PER_SECOND, rel=0.01)
+        assert 4 * rate == pytest.approx(210e9, rel=0.01)
+
+    def test_empty_is_free(self):
+        assert multisplit_seconds(KernelReport(op="multisplit"), P100) == 0.0

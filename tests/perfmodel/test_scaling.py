@@ -1,0 +1,66 @@
+"""Tests for scaling-efficiency metrics (Eq. 4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.scaling import (
+    ScalingPoint,
+    scaling_series,
+    speedup,
+    strong_efficiency,
+    weak_efficiency,
+)
+
+
+class TestFormulas:
+    def test_perfect_strong_scaling(self):
+        assert strong_efficiency(4.0, 1.0, 4) == pytest.approx(1.0)
+
+    def test_half_efficiency(self):
+        assert strong_efficiency(4.0, 2.0, 4) == pytest.approx(0.5)
+
+    def test_superlinear_exceeds_one(self):
+        """The Fig. 9 'Insert 2^29' phenomenon: τ(n,m) < τ(n,1)/m."""
+        assert strong_efficiency(10.0, 2.0, 4) > 1.0
+
+    def test_weak_efficiency(self):
+        assert weak_efficiency(2.0, 2.0) == pytest.approx(1.0)
+        assert weak_efficiency(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_invalid_times(self):
+        with pytest.raises(ConfigurationError):
+            strong_efficiency(0.0, 1.0, 2)
+        with pytest.raises(ConfigurationError):
+            weak_efficiency(1.0, 0.0)
+
+
+class TestSeries:
+    def test_strong_series(self):
+        # a run with perfect scaling: time = n / m
+        points, effs = scaling_series(
+            lambda n, m: n / m / 1000, 1000, (1, 2, 4), mode="strong"
+        )
+        assert effs == pytest.approx([1.0, 1.0, 1.0])
+        assert points[2].num_ops == 1000
+
+    def test_weak_series(self):
+        points, effs = scaling_series(
+            lambda n, m: n / m / 1000, 1000, (1, 2, 4), mode="weak"
+        )
+        assert effs == pytest.approx([1.0, 1.0, 1.0])
+        assert points[2].num_ops == 4000
+
+    def test_must_start_at_one(self):
+        with pytest.raises(ConfigurationError):
+            scaling_series(lambda n, m: 1.0, 10, (2, 4))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            scaling_series(lambda n, m: 1.0, 10, (1, 2), mode="diagonal")
+
+    def test_ops_per_second(self):
+        p = ScalingPoint(num_gpus=2, seconds=2.0, num_ops=100)
+        assert p.ops_per_second == 50.0

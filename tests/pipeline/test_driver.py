@@ -1,0 +1,69 @@
+"""Tests for the asynchronous streaming driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multigpu import DistributedHashTable, p100_nvlink_node
+from repro.pipeline.driver import AsyncCascadeDriver
+from repro.workloads import BatchStream
+
+
+@pytest.fixture(scope="module")
+def setup():
+    node = p100_nvlink_node(4)
+    stream = BatchStream(total=8000, batch_size=1000, seed=5)
+    pool = np.concatenate([b.keys for b in stream])
+    table = DistributedHashTable.for_workload(node, pool, 0.9)
+    return node, stream, table
+
+
+class TestInsertStream:
+    def test_all_batches_land(self, setup):
+        node, stream, table = setup
+        driver = AsyncCascadeDriver(table, num_threads=4)
+        res = driver.insert_stream((b.keys, b.values) for b in stream)
+        assert len(table) == 8000
+        assert res.num_ops == 8000
+        assert res.makespan > 0
+        res.timeline.verify_no_overlap()
+
+    def test_overlap_reduces_wall_time(self, setup):
+        node, stream, table = setup
+        driver = AsyncCascadeDriver(table, num_threads=4)
+        res = driver.query_stream([b.keys for b in stream])
+        assert 0.0 < res.reduction < 0.8
+        assert res.makespan <= res.sequential.makespan
+
+    def test_query_results_ordered(self, setup):
+        node, stream, table = setup
+        driver = AsyncCascadeDriver(table, num_threads=2)
+        res = driver.query_stream([b.keys for b in stream])
+        expected = np.concatenate([b.values for b in stream])
+        assert res.found.all()
+        assert (res.values == expected).all()
+
+    def test_scale_projects_ops(self, setup):
+        node, stream, table = setup
+        driver = AsyncCascadeDriver(table, num_threads=1, scale=100.0)
+        res = driver.query_stream([stream.batch(0).keys])
+        assert res.num_ops == 100 * stream.batch(0).size
+
+    def test_single_thread_is_sequential(self, setup):
+        node, stream, table = setup
+        driver = AsyncCascadeDriver(table, num_threads=1)
+        res = driver.query_stream([b.keys for b in stream])
+        assert res.reduction == pytest.approx(0.0)
+
+    def test_empty_stream(self, setup):
+        node, stream, table = setup
+        driver = AsyncCascadeDriver(table)
+        res = driver.insert_stream([])
+        assert res.num_ops == 0 and res.makespan == 0.0
+
+    def test_invalid_params(self, setup):
+        _, _, table = setup
+        with pytest.raises(ConfigurationError):
+            AsyncCascadeDriver(table, num_threads=0)
+        with pytest.raises(ConfigurationError):
+            AsyncCascadeDriver(table, scale=0)

@@ -1,0 +1,70 @@
+"""Tests for cascade stage construction."""
+
+import pytest
+
+from repro.perfmodel.cascade import CascadeTiming
+from repro.pipeline.stages import insert_stages, query_stages
+
+
+def timing(h2d=1.0, ms=0.5, a2a=0.3, kern=2.0, rev=0.2, d2h=1.5):
+    return CascadeTiming(
+        h2d=h2d, multisplit=ms, alltoall=a2a, kernel=kern, reverse=rev, d2h=d2h
+    )
+
+
+class TestInsertStages:
+    def test_three_stage_cascade(self):
+        stages = insert_stages(timing())
+        assert [s.name for s in stages] == ["H2D", "MST", "INS"]
+        assert [s.resource for s in stages] == ["pcie_up", "nvlink", "vram"]
+
+    def test_mst_bundles_multisplit_and_alltoall(self):
+        stages = insert_stages(timing(ms=0.5, a2a=0.3))
+        assert stages[1].seconds == pytest.approx(0.8)
+
+    def test_device_sided_drops_pcie(self):
+        stages = insert_stages(timing(h2d=0.0))
+        assert [s.name for s in stages] == ["MST", "INS"]
+
+    def test_include_pcie_false(self):
+        stages = insert_stages(timing(), include_pcie=False)
+        assert [s.name for s in stages] == ["MST", "INS"]
+
+
+class TestQueryStages:
+    def test_five_stage_cascade(self):
+        stages = query_stages(timing())
+        assert [s.name for s in stages] == ["H2D", "MST", "RET", "REV", "D2H"]
+
+    def test_pcie_legs_use_separate_lanes(self):
+        stages = query_stages(timing())
+        assert stages[0].resource == "pcie_up"
+        assert stages[-1].resource == "pcie_down"
+
+    def test_reverse_rides_nvlink(self):
+        stages = query_stages(timing(rev=0.7))
+        rev = [s for s in stages if s.name == "REV"][0]
+        assert rev.resource == "nvlink" and rev.seconds == pytest.approx(0.7)
+
+    def test_device_sided_query(self):
+        stages = query_stages(timing(h2d=0.0, d2h=0.0))
+        assert [s.name for s in stages] == ["MST", "RET", "REV"]
+
+
+class TestCascadeTiming:
+    def test_total_and_device_only(self):
+        t = timing()
+        assert t.total == pytest.approx(5.5)
+        assert t.device_only == pytest.approx(3.0)
+
+    def test_fractions_sum_to_one(self):
+        fr = timing().fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_fractions_of_zero_timing(self):
+        z = CascadeTiming(0, 0, 0, 0, 0, 0)
+        assert all(v == 0.0 for v in z.fractions().values())
+
+    def test_scaled(self):
+        t = timing().scaled(2.0)
+        assert t.total == pytest.approx(11.0)

@@ -1,0 +1,79 @@
+"""Tests for timeline bookkeeping and rendering."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.pipeline.timeline import Span, Timeline
+
+
+def make_timeline():
+    tl = Timeline()
+    tl.add(Span(batch=0, stage="H2D", resource="pcie_up", start=0.0, end=2.0))
+    tl.add(Span(batch=0, stage="INS", resource="vram", start=2.0, end=5.0))
+    tl.add(Span(batch=1, stage="H2D", resource="pcie_up", start=2.0, end=4.0))
+    return tl
+
+
+class TestBookkeeping:
+    def test_makespan(self):
+        assert make_timeline().makespan == 5.0
+
+    def test_empty_makespan(self):
+        assert Timeline().makespan == 0.0
+
+    def test_busy_time_and_utilization(self):
+        tl = make_timeline()
+        assert tl.busy_time("pcie_up") == 4.0
+        assert tl.utilization("pcie_up") == pytest.approx(0.8)
+        assert tl.utilization("nvlink") == 0.0
+
+    def test_batch_span(self):
+        tl = make_timeline()
+        assert tl.batch_span(0) == (0.0, 5.0)
+        with pytest.raises(ScheduleError):
+            tl.batch_span(9)
+
+    def test_stage_totals(self):
+        totals = make_timeline().stage_totals()
+        assert totals["H2D"] == 4.0
+        assert totals["INS"] == 3.0
+
+    def test_invalid_span_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ScheduleError):
+            tl.add(Span(batch=0, stage="x", resource="vram", start=2.0, end=1.0))
+
+
+class TestInvariantChecks:
+    def test_overlap_detected(self):
+        tl = Timeline()
+        tl.add(Span(0, "A", "vram", 0.0, 2.0))
+        tl.add(Span(1, "B", "vram", 1.0, 3.0))
+        with pytest.raises(ScheduleError):
+            tl.verify_no_overlap()
+
+    def test_adjacent_spans_allowed(self):
+        tl = Timeline()
+        tl.add(Span(0, "A", "vram", 0.0, 2.0))
+        tl.add(Span(1, "B", "vram", 2.0, 3.0))
+        tl.verify_no_overlap()
+
+    def test_batch_order_violation_detected(self):
+        tl = Timeline()
+        tl.add(Span(0, "A", "vram", 0.0, 2.0))
+        tl.add(Span(0, "B", "nvlink", 1.0, 3.0))
+        with pytest.raises(ScheduleError):
+            tl.verify_batch_order()
+
+
+class TestRender:
+    def test_render_has_one_row_per_resource(self):
+        out = make_timeline().render()
+        assert len(out.splitlines()) == 4  # pcie_up, pcie_down, nvlink, vram
+
+    def test_render_empty(self):
+        assert "empty" in Timeline().render()
+
+    def test_render_contains_batch_digits(self):
+        out = make_timeline().render(width=40)
+        assert "0" in out and "1" in out

@@ -1,0 +1,72 @@
+"""Tests for warp-aggregated stream compaction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.primitives.compact import compact, histogram
+from repro.simt.counters import TransactionCounter
+
+
+class TestCompact:
+    def test_selects_and_preserves_order(self):
+        vals = np.arange(100)
+        r = compact(vals, vals % 3 == 0)
+        assert (r.values == np.arange(0, 100, 3)).all()
+        assert (r.source_index == np.arange(0, 100, 3)).all()
+
+    def test_none_selected(self):
+        r = compact(np.arange(10), np.zeros(10, dtype=bool))
+        assert r.values.size == 0
+        assert r.atomics_used == 0
+
+    def test_all_selected(self):
+        vals = np.arange(64)
+        r = compact(vals, np.ones(64, dtype=bool), group_size=32)
+        assert (r.values == vals).all()
+        assert r.atomics_used == 2  # one per 32-lane group
+
+    def test_warp_aggregation_saves_atomics(self):
+        """One atomic per participating group, not per element [23]."""
+        vals = np.arange(3200)
+        pred = np.ones(3200, dtype=bool)
+        r32 = compact(vals, pred, group_size=32)
+        r1 = compact(vals, pred, group_size=1)
+        assert r32.atomics_used == 100
+        assert r1.atomics_used == 3200
+        assert (r32.values == r1.values).all()
+
+    def test_sparse_predicate_skips_empty_groups(self):
+        pred = np.zeros(320, dtype=bool)
+        pred[5] = True  # only one group participates
+        r = compact(np.arange(320), pred, group_size=32)
+        assert r.atomics_used == 1
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            compact(np.arange(5), np.ones(4, dtype=bool))
+
+    def test_counter_integration(self):
+        c = TransactionCounter()
+        compact(np.arange(1000, dtype=np.int64), np.arange(1000) % 2 == 0, counter=c)
+        assert c.load_sectors > 0 and c.atomic_adds > 0
+
+
+class TestHistogram:
+    def test_counts(self):
+        vals = np.array([0, 1, 1, 3, 3, 3])
+        assert histogram(vals, 4).tolist() == [1, 2, 0, 3]
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            histogram(np.array([5]), 4)
+        with pytest.raises(ConfigurationError):
+            histogram(np.array([-1]), 4)
+
+    def test_empty(self):
+        assert histogram(np.array([], dtype=np.int64), 3).tolist() == [0, 0, 0]
+
+    def test_counter_atomics(self):
+        c = TransactionCounter()
+        histogram(np.arange(256) % 8, 8, counter=c)
+        assert c.atomic_adds > 0

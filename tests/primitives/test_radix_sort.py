@@ -1,0 +1,95 @@
+"""Tests for the LSD radix sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.primitives.radix_sort import DIGIT_BITS, radix_sort, radix_sort_pairs
+from repro.simt.counters import TransactionCounter
+from repro.workloads.distributions import uniform_keys
+
+
+class TestCorrectness:
+    def test_sorts_random_keys(self):
+        keys = uniform_keys(5000, seed=1)
+        r = radix_sort(keys)
+        assert (np.sort(keys) == r.keys).all()
+
+    def test_values_follow_keys(self):
+        keys = uniform_keys(2000, seed=2)
+        vals = np.arange(2000, dtype=np.uint32)
+        r = radix_sort_pairs(keys, vals)
+        assert (keys[r.values] == r.keys).all()  # value = original index
+
+    def test_stability(self):
+        keys = np.array([3, 1, 3, 1, 3], dtype=np.uint32)
+        r = radix_sort_pairs(keys, np.arange(5, dtype=np.uint32))
+        assert r.values.tolist() == [1, 3, 0, 2, 4]
+
+    def test_permutation_is_exact(self):
+        keys = uniform_keys(1000, seed=3)
+        r = radix_sort(keys)
+        assert (keys[r.permutation] == r.keys).all()
+        assert np.unique(r.permutation).size == 1000
+
+    def test_empty_and_single(self):
+        assert radix_sort(np.array([], dtype=np.uint32)).keys.size == 0
+        assert radix_sort(np.array([5], dtype=np.uint32)).keys.tolist() == [5]
+
+    def test_uint64_keys(self):
+        keys = np.array([1 << 40, 1, 1 << 33], dtype=np.uint64)
+        r = radix_sort(keys)
+        assert r.keys.tolist() == [1, 1 << 33, 1 << 40]
+        assert r.passes == 8
+
+    def test_signed_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            radix_sort(np.array([1, 2], dtype=np.int32))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            radix_sort_pairs(
+                np.array([1], dtype=np.uint32), np.array([1, 2], dtype=np.uint32)
+            )
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=0, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_sorting_property(self, xs):
+        keys = np.array(xs, dtype=np.uint32)
+        r = radix_sort(keys)
+        assert (np.sort(keys) == r.keys).all()
+
+
+class TestWorkAccounting:
+    def test_pass_count(self):
+        keys = uniform_keys(100, seed=4)
+        assert radix_sort(keys).passes == 32 // DIGIT_BITS
+
+    def test_reduced_key_bits_fewer_passes(self):
+        keys = (uniform_keys(100, seed=5) & np.uint32(0xFFFF))
+        r = radix_sort(keys, key_bits=16)
+        assert r.passes == 2
+        assert (np.sort(keys) == r.keys).all()
+
+    def test_aux_memory_is_one_buffer(self):
+        keys = uniform_keys(1000, seed=6)
+        vals = np.arange(1000, dtype=np.uint32)
+        r = radix_sort_pairs(keys, vals)
+        assert r.aux_bytes == 1000 * 8  # ping-pong buffer for the pairs
+
+    def test_counter_per_pass_sweeps(self):
+        keys = uniform_keys(4096, seed=7)
+        c = TransactionCounter()
+        radix_sort(keys, counter=c)
+        sweep = 4096 * 4 // 32
+        assert c.load_sectors >= 4 * sweep
+        assert c.store_sectors >= 4 * sweep
+        assert c.atomic_adds > 0
+
+    def test_invalid_key_bits(self):
+        with pytest.raises(ConfigurationError):
+            radix_sort(np.array([1], dtype=np.uint32), key_bits=0)
+        with pytest.raises(ConfigurationError):
+            radix_sort(np.array([1], dtype=np.uint32), key_bits=64)

@@ -1,0 +1,88 @@
+"""Tests for prefix-scan primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.primitives.scan import exclusive_scan, inclusive_scan, segmented_reduce
+from repro.simt.counters import TransactionCounter
+
+
+class TestExclusiveScan:
+    def test_known_values(self):
+        assert exclusive_scan(np.array([1, 2, 3, 4])).values.tolist() == [0, 1, 3, 6]
+
+    def test_empty(self):
+        r = exclusive_scan(np.array([], dtype=np.int64))
+        assert r.values.size == 0 and r.operations == 0 and r.levels == 0
+
+    def test_single_element(self):
+        r = exclusive_scan(np.array([7]))
+        assert r.values.tolist() == [0]
+        assert r.levels == 0
+
+    def test_work_complexity(self):
+        """Blelloch: 2(n-1) adds over ceil(log2 n) levels."""
+        r = exclusive_scan(np.arange(1000))
+        assert r.operations == 2 * 999
+        assert r.levels == 10
+
+    def test_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exclusive_scan(np.zeros((2, 2)))
+
+    def test_counter_charged(self):
+        c = TransactionCounter()
+        exclusive_scan(np.arange(1000, dtype=np.int64), counter=c)
+        assert c.load_sectors > 0 and c.store_sectors > 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_matches_cumsum_property(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        out = exclusive_scan(arr).values
+        assert out[0] == 0
+        assert (out[1:] == np.cumsum(arr)[:-1]).all()
+
+
+class TestInclusiveScan:
+    def test_relationship_with_exclusive(self):
+        arr = np.array([3, 1, 4, 1, 5])
+        inc = inclusive_scan(arr).values
+        exc = exclusive_scan(arr).values
+        assert (inc == exc + arr).all()
+
+    def test_total(self):
+        arr = np.arange(100)
+        assert inclusive_scan(arr).values[-1] == arr.sum()
+
+
+class TestSegmentedReduce:
+    def test_basic_segments(self):
+        vals = np.arange(10)
+        offs = np.array([0, 3, 3, 10])
+        out = segmented_reduce(vals, offs).values
+        assert out.tolist() == [3, 0, 42]
+
+    def test_single_segment(self):
+        out = segmented_reduce(np.arange(5), np.array([0, 5])).values
+        assert out.tolist() == [10]
+
+    def test_unsorted_offsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segmented_reduce(np.arange(5), np.array([3, 0]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segmented_reduce(np.arange(5), np.array([0, 9]))
+
+    def test_multi_value_compression_use_case(self):
+        """The §II sort-and-compress flow: sorted keys -> per-key sums."""
+        keys = np.array([1, 1, 2, 5, 5, 5], dtype=np.uint32)
+        vals = np.array([10, 20, 5, 1, 1, 1], dtype=np.int64)
+        uniq, starts = np.unique(keys, return_index=True)
+        offs = np.concatenate([starts, [keys.size]])
+        sums = segmented_reduce(vals, offs).values
+        assert sums.tolist() == [30, 5, 3]

@@ -1,0 +1,97 @@
+"""Tests for atomic operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simt.atomics import atomic_add, atomic_cas, atomic_exch, warp_aggregated_add
+from repro.simt.counters import TransactionCounter
+
+
+@pytest.fixture
+def buf():
+    return np.array([10, 20, 30], dtype=np.uint64)
+
+
+class TestAtomicCas:
+    def test_success_writes_and_returns_old(self, buf):
+        old = atomic_cas(buf, 1, np.uint64(20), np.uint64(99))
+        assert old == 20
+        assert buf[1] == 99
+
+    def test_failure_leaves_slot_and_returns_current(self, buf):
+        old = atomic_cas(buf, 1, np.uint64(7), np.uint64(99))
+        assert old == 20
+        assert buf[1] == 20
+
+    def test_caller_detects_success_by_comparing_old(self, buf):
+        """Fig. 3 line 13: success iff returned old == expected."""
+        expected = buf[0]
+        old = atomic_cas(buf, 0, expected, np.uint64(1))
+        assert old == expected  # won
+        old2 = atomic_cas(buf, 0, expected, np.uint64(2))
+        assert old2 != expected  # lost: someone already changed it
+
+    def test_counter_tracks_attempts_and_successes(self, buf):
+        c = TransactionCounter()
+        atomic_cas(buf, 0, buf[0], np.uint64(1), c)
+        atomic_cas(buf, 0, np.uint64(12345), np.uint64(2), c)
+        assert c.cas_attempts == 2
+        assert c.cas_successes == 1
+
+    def test_out_of_range_index(self, buf):
+        with pytest.raises(ConfigurationError):
+            atomic_cas(buf, 3, np.uint64(0), np.uint64(1))
+
+
+class TestAtomicExch:
+    def test_unconditional_swap(self, buf):
+        old = atomic_exch(buf, 2, np.uint64(77))
+        assert old == 30 and buf[2] == 77
+
+    def test_counted_as_successful_cas(self, buf):
+        c = TransactionCounter()
+        atomic_exch(buf, 0, np.uint64(1), c)
+        assert c.cas_attempts == 1 and c.cas_successes == 1
+
+
+class TestAtomicAdd:
+    def test_returns_preadd(self):
+        arr = np.array([5], dtype=np.int64)
+        assert atomic_add(arr, 0, 3) == 5
+        assert arr[0] == 8
+
+    def test_counter(self):
+        arr = np.array([0], dtype=np.int64)
+        c = TransactionCounter()
+        atomic_add(arr, 0, 1, c)
+        assert c.atomic_adds == 1
+
+
+class TestWarpAggregatedAdd:
+    def test_reserves_consecutive_positions(self):
+        arr = np.array([100], dtype=np.int64)
+        lanes = np.array([True, False, True, True])
+        out = warp_aggregated_add(arr, 0, lanes)
+        assert out.tolist() == [100, -1, 101, 102]
+        assert arr[0] == 103
+
+    def test_single_atomic_for_whole_group(self):
+        """Adinetz's point [23]: one atomic serves all participants."""
+        arr = np.array([0], dtype=np.int64)
+        c = TransactionCounter()
+        warp_aggregated_add(arr, 0, np.ones(32, dtype=bool), c)
+        assert c.atomic_adds == 1
+
+    def test_no_participants(self):
+        arr = np.array([5], dtype=np.int64)
+        out = warp_aggregated_add(arr, 0, np.zeros(4, dtype=bool))
+        assert (out == -1).all()
+        assert arr[0] == 5
+
+    def test_positions_disjoint_across_groups(self):
+        arr = np.array([0], dtype=np.int64)
+        a = warp_aggregated_add(arr, 0, np.ones(4, dtype=bool))
+        b = warp_aggregated_add(arr, 0, np.ones(4, dtype=bool))
+        combined = np.concatenate([a, b])
+        assert np.unique(combined).size == 8

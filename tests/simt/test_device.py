@@ -1,0 +1,62 @@
+"""Tests for the simulated GPU device."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.perfmodel.specs import P100
+from repro.simt.device import Device, GPUSpec
+
+
+class TestGPUSpec:
+    def test_p100_constants(self):
+        assert P100.vram_gib == pytest.approx(16.0)
+        assert P100.mem_bandwidth == pytest.approx(720e9)
+        assert P100.num_mem_interfaces == 8
+
+    def test_effective_random_bandwidth(self):
+        assert P100.effective_random_bandwidth == pytest.approx(
+            720e9 * P100.random_access_efficiency
+        )
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(name="x", vram_bytes=0, mem_bandwidth=1.0)
+        with pytest.raises(ConfigurationError):
+            GPUSpec(name="x", vram_bytes=1, mem_bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            GPUSpec(name="x", vram_bytes=1, mem_bandwidth=1.0,
+                    random_access_efficiency=1.5)
+
+
+class TestDevice:
+    def test_allocation_bookkeeping(self, p100_device):
+        p100_device.allocate(1000)
+        p100_device.allocate(2000)
+        assert p100_device.allocated_bytes == 3000
+        p100_device.free(1000)
+        assert p100_device.allocated_bytes == 2000
+        assert p100_device.peak_allocated_bytes == 3000
+
+    def test_vram_exhaustion(self, p100_device):
+        with pytest.raises(AllocationError):
+            p100_device.allocate(P100.vram_bytes + 1)
+
+    def test_vram_exact_fit(self, p100_device):
+        p100_device.allocate(P100.vram_bytes)
+        assert p100_device.free_bytes == 0
+        with pytest.raises(AllocationError):
+            p100_device.allocate(1)
+
+    def test_overfree_rejected(self, p100_device):
+        p100_device.allocate(100)
+        with pytest.raises(ConfigurationError):
+            p100_device.free(200)
+
+    def test_negative_device_id(self):
+        with pytest.raises(ConfigurationError):
+            Device(-1, P100)
+
+    def test_counter_reset(self, p100_device):
+        p100_device.counter.charge_load(5)
+        p100_device.reset_counters()
+        assert p100_device.counter.load_sectors == 0

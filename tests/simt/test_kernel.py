@@ -1,0 +1,76 @@
+"""Tests for the kernel launch abstraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simt.counters import TransactionCounter
+from repro.simt.kernel import LaunchConfig, launch
+from repro.simt.scheduler import RoundRobinScheduler
+
+
+class TestLaunchConfig:
+    def test_groups_per_block_and_warp(self):
+        cfg = LaunchConfig(group_size=4, block_threads=256)
+        assert cfg.groups_per_block == 64
+        assert cfg.groups_per_warp == 8
+
+    def test_blocks_for(self):
+        cfg = LaunchConfig(group_size=8, block_threads=128)
+        assert cfg.blocks_for(16) == 1
+        assert cfg.blocks_for(17) == 2
+        assert cfg.blocks_for(0) == 0
+
+    def test_block_must_be_warp_multiple(self):
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(group_size=4, block_threads=100)
+
+    def test_group_cannot_exceed_block(self):
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(group_size=32, block_threads=0)
+
+
+class TestLaunch:
+    def test_results_in_item_order(self):
+        def kernel(i):
+            def task():
+                yield
+                return i * i
+
+            return task()
+
+        assert list(launch(kernel, 5)) == [0, 1, 4, 9, 16]
+
+    def test_launch_counter(self):
+        c = TransactionCounter()
+
+        def kernel(i):
+            def task():
+                return i
+                yield  # pragma: no cover
+
+            return task()
+
+        launch(kernel, 3, counter=c)
+        assert c.kernel_launches == 1
+
+    def test_custom_scheduler_used(self):
+        order = []
+
+        def kernel(i):
+            def task():
+                order.append(i)
+                yield
+                order.append(i)
+                return i
+
+            return task()
+
+        launch(kernel, 2, scheduler=RoundRobinScheduler())
+        assert order == [0, 1, 0, 1]
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            launch(lambda i: iter([]), -1)
+
+    def test_zero_items(self):
+        assert list(launch(lambda i: iter([]), 0)) == []

@@ -1,0 +1,96 @@
+"""Tests for cross-group interleaving schedulers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simt.scheduler import (
+    ALL_SCHEDULERS,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SequentialScheduler,
+)
+
+
+def make_task(tag, steps, log):
+    def gen():
+        for i in range(steps):
+            log.append((tag, i))
+            yield
+        return f"done-{tag}"
+
+    return gen()
+
+
+class TestSequential:
+    def test_runs_to_completion_in_order(self):
+        log = []
+        results = SequentialScheduler().run(
+            [make_task("a", 2, log), make_task("b", 2, log)]
+        )
+        assert results == ["done-a", "done-b"]
+        assert log == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_empty_task_list(self):
+        assert SequentialScheduler().run([]) == []
+
+    def test_zero_step_task(self):
+        log = []
+        assert SequentialScheduler().run([make_task("x", 0, log)]) == ["done-x"]
+
+
+class TestRoundRobin:
+    def test_interleaves_steps(self):
+        log = []
+        results = RoundRobinScheduler().run(
+            [make_task("a", 2, log), make_task("b", 2, log)]
+        )
+        assert results == ["done-a", "done-b"]
+        assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_uneven_task_lengths(self):
+        log = []
+        results = RoundRobinScheduler().run(
+            [make_task("a", 1, log), make_task("b", 3, log)]
+        )
+        assert results == ["done-a", "done-b"]
+        assert log[-1] == ("b", 2)
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        log1, log2 = [], []
+        RandomScheduler(seed=5).run([make_task("a", 3, log1), make_task("b", 3, log1)])
+        RandomScheduler(seed=5).run([make_task("a", 3, log2), make_task("b", 3, log2)])
+        assert log1 == log2
+
+    def test_different_seeds_usually_differ(self):
+        log1, log2 = [], []
+        RandomScheduler(seed=1).run([make_task("a", 8, log1), make_task("b", 8, log1)])
+        RandomScheduler(seed=2).run([make_task("a", 8, log2), make_task("b", 8, log2)])
+        assert log1 != log2
+
+    def test_results_in_input_order(self):
+        results = RandomScheduler(seed=3).run(
+            [make_task(i, 2, []) for i in range(5)]
+        )
+        assert results == [f"done-{i}" for i in range(5)]
+
+
+class TestSafetyValve:
+    def test_infinite_task_detected(self, monkeypatch):
+        def forever():
+            while True:
+                yield
+
+        from repro.simt.scheduler import Scheduler
+
+        monkeypatch.setattr(Scheduler, "MAX_STEPS_PER_TASK", 100)
+        with pytest.raises(ConfigurationError):
+            SequentialScheduler().run([forever()])
+
+
+class TestRegistry:
+    def test_all_schedulers_constructible(self):
+        for name, factory in ALL_SCHEDULERS.items():
+            sched = factory()
+            assert sched.run([make_task(name, 1, [])]) == [f"done-{name}"]

@@ -1,0 +1,104 @@
+"""Tests for coalesced-group collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simt.counters import TransactionCounter
+from repro.simt.warp import CoalescedGroup
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("g", [1, 2, 4, 8, 16, 32])
+    def test_valid_sizes(self, g):
+        cg = CoalescedGroup(g)
+        assert cg.size == g
+        assert cg.groups_per_warp == 32 // g
+
+    @pytest.mark.parametrize("g", [0, 3, 33])
+    def test_invalid_sizes(self, g):
+        with pytest.raises(ConfigurationError):
+            CoalescedGroup(g)
+
+    def test_thread_rank(self):
+        assert CoalescedGroup(8).thread_rank.tolist() == list(range(8))
+
+
+class TestBallot:
+    def test_ballot_packs_lanes(self):
+        cg = CoalescedGroup(4)
+        assert cg.ballot(np.array([True, False, True, False])) == 0b0101
+
+    def test_ballot_empty_mask(self):
+        cg = CoalescedGroup(8)
+        assert cg.ballot(np.zeros(8, dtype=bool)) == 0
+
+    def test_ballot_full_mask(self):
+        cg = CoalescedGroup(32)
+        assert cg.ballot(np.ones(32, dtype=bool)) == 0xFFFFFFFF
+
+    def test_ballot_wrong_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoalescedGroup(4).ballot(np.ones(5, dtype=bool))
+
+    @given(st.lists(st.booleans(), min_size=8, max_size=8))
+    def test_ballot_ffs_leader_is_first_true(self, flags):
+        cg = CoalescedGroup(8)
+        mask = cg.ballot(np.array(flags))
+        leader = cg.elect_leader(mask)
+        if any(flags):
+            assert leader == flags.index(True)
+        else:
+            assert leader == -1
+
+
+class TestAnyAll:
+    def test_any(self):
+        cg = CoalescedGroup(4)
+        assert cg.any(np.array([False, False, True, False]))
+        assert not cg.any(np.zeros(4, dtype=bool))
+
+    def test_all(self):
+        cg = CoalescedGroup(2)
+        assert cg.all(np.ones(2, dtype=bool))
+        assert not cg.all(np.array([True, False]))
+
+    def test_shape_checks(self):
+        with pytest.raises(ConfigurationError):
+            CoalescedGroup(4).any(np.ones(3, dtype=bool))
+        with pytest.raises(ConfigurationError):
+            CoalescedGroup(4).all(np.ones(3, dtype=bool))
+
+
+class TestShfl:
+    def test_broadcast(self):
+        cg = CoalescedGroup(4)
+        out = cg.shfl(np.array([10, 20, 30, 40]), 2)
+        assert out.tolist() == [30, 30, 30, 30]
+
+    def test_invalid_lane(self):
+        with pytest.raises(ConfigurationError):
+            CoalescedGroup(4).shfl(np.arange(4), 4)
+
+    def test_returns_copy(self):
+        cg = CoalescedGroup(2)
+        vals = np.array([1, 2])
+        out = cg.shfl(vals, 0)
+        out[0] = 99
+        assert vals[0] == 1
+
+
+class TestAccounting:
+    def test_collectives_charged(self):
+        counter = TransactionCounter()
+        cg = CoalescedGroup(4, counter)
+        cg.ballot(np.ones(4, dtype=bool))
+        cg.any(np.ones(4, dtype=bool))
+        cg.shfl(np.arange(4), 0)
+        assert counter.warp_collectives == 3
+
+    def test_no_counter_is_fine(self):
+        cg = CoalescedGroup(4)
+        cg.ballot(np.ones(4, dtype=bool))  # must not raise

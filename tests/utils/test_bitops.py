@@ -1,0 +1,123 @@
+"""Unit and property tests for the bit intrinsics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bools_from_mask,
+    clear_lowest_bit,
+    ffs,
+    ffs_array,
+    is_power_of_two,
+    mask_from_bools,
+    next_power_of_two,
+    popcount,
+    popcount_array,
+)
+
+
+class TestFfs:
+    def test_zero_mask_returns_zero(self):
+        assert ffs(0) == 0
+
+    def test_single_bit_positions(self):
+        for i in range(64):
+            assert ffs(1 << i) == i + 1
+
+    def test_matches_cuda_semantics_for_mixed_masks(self):
+        assert ffs(0b1010) == 2
+        assert ffs(0b1000_0001) == 1
+        assert ffs(0xFFFFFFFF) == 1
+
+    @given(st.integers(min_value=1, max_value=(1 << 64) - 1))
+    def test_ffs_points_at_lowest_set_bit(self, mask):
+        pos = ffs(mask)
+        assert mask & (1 << (pos - 1))
+        assert mask & ((1 << (pos - 1)) - 1) == 0
+
+    def test_ffs_array_matches_scalar(self):
+        masks = np.array([0, 1, 2, 12, 1 << 63, 0b1010], dtype=np.uint64)
+        expected = [ffs(int(m)) for m in masks]
+        assert ffs_array(masks).tolist() == expected
+
+    def test_ffs_array_empty(self):
+        assert ffs_array(np.empty(0, dtype=np.uint64)).shape == (0,)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones_32(self):
+        assert popcount(0xFFFFFFFF) == 32
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_matches_python_bitcount(self, mask):
+        assert popcount(mask) == bin(mask).count("1")
+
+    def test_popcount_array(self):
+        masks = np.array([0, 1, 3, 0xFF, 1 << 40], dtype=np.uint64)
+        assert popcount_array(masks).tolist() == [0, 1, 2, 8, 1]
+
+
+class TestBallotMasks:
+    def test_roundtrip_small(self):
+        flags = np.array([True, False, True, True])
+        mask = mask_from_bools(flags)
+        assert mask == 0b1101
+        assert bools_from_mask(mask, 4).tolist() == flags.tolist()
+
+    def test_empty_flags(self):
+        assert mask_from_bools(np.array([], dtype=bool)) == 0
+
+    def test_lane_zero_is_bit_zero(self):
+        assert mask_from_bools(np.array([True] + [False] * 7)) == 1
+
+    def test_too_many_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            mask_from_bools(np.ones(65, dtype=bool))
+
+    def test_bools_from_mask_bad_width(self):
+        with pytest.raises(ValueError):
+            bools_from_mask(1, 65)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=32))
+    def test_roundtrip_property(self, flags):
+        arr = np.array(flags, dtype=bool)
+        assert bools_from_mask(mask_from_bools(arr), len(flags)).tolist() == flags
+
+
+class TestClearLowestBit:
+    def test_clears_exactly_one(self):
+        assert clear_lowest_bit(0b1010) == 0b1000
+        assert clear_lowest_bit(0b1000) == 0
+
+    @given(st.integers(min_value=1, max_value=(1 << 63)))
+    def test_reduces_popcount_by_one(self, mask):
+        assert popcount(clear_lowest_bit(mask)) == popcount(mask) - 1
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(1 << i) for i in range(32))
+        assert not any(is_power_of_two(x) for x in (0, 3, 5, 6, 7, 9, -2))
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1023) == 1024
+        assert next_power_of_two(1024) == 1024
+
+    def test_next_power_of_two_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 40))
+    def test_next_power_bounds(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p // 2 < n

@@ -1,0 +1,58 @@
+"""Tests for prime helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.primes import is_prime, next_prime
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+class TestIsPrime:
+    def test_small_numbers(self):
+        for n in range(50):
+            assert is_prime(n) == (n in SMALL_PRIMES)
+
+    def test_known_large_prime(self):
+        assert is_prime(2_147_483_647)  # Mersenne prime 2^31 - 1
+
+    def test_known_large_composite(self):
+        assert not is_prime(2_147_483_647 * 3)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool naive tests
+        for n in (561, 1105, 1729, 41041, 825265):
+            assert not is_prime(n)
+
+    def test_squares_of_primes(self):
+        for p in (101, 1009, 65537):
+            assert not is_prime(p * p)
+
+
+class TestNextPrime:
+    def test_fixed_points(self):
+        for p in (2, 3, 5, 101, 65537):
+            assert next_prime(p) == p
+
+    def test_rounds_up(self):
+        assert next_prime(4) == 5
+        assert next_prime(90) == 97
+        assert next_prime(1 << 20) == 1048583
+
+    def test_below_two(self):
+        assert next_prime(0) == 2
+        assert next_prime(-5) == 2
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            next_prime(1 << 63)
+
+    @given(st.integers(min_value=2, max_value=1 << 24))
+    def test_result_is_prime_and_gap_small(self, n):
+        p = next_prime(n)
+        assert p >= n
+        assert is_prime(p)
+        # Bertrand: there is a prime below 2n
+        assert p < 2 * n

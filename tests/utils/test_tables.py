@@ -1,0 +1,71 @@
+"""Tests for the ASCII report renderer."""
+
+import pytest
+
+from repro.utils.tables import format_kv, format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        # all rows same width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="TITLE")
+        assert out.splitlines()[0] == "TITLE"
+
+    def test_float_rounding(self):
+        out = format_table(["v"], [[1.23456]], ndigits=2)
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_bool_cells(self):
+        out = format_table(["ok"], [[True]])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_series_contains_points(self):
+        out = format_series("s", [1, 2], [10.0, 20.0], x_label="n", y_label="r")
+        assert "s" in out and "10.000" in out and "n" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1.0, 2.0])
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv({"a": 1, "longer": 2.0})
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""
+        assert format_kv({}, title="t") == "t"
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(10)))) == 10

@@ -1,0 +1,97 @@
+"""Tests for argument validation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MAX_KEY
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_choice,
+    check_group_size,
+    check_in_range,
+    check_keys,
+    check_load_factor,
+    check_non_negative,
+    check_positive,
+    check_same_length,
+    check_values,
+)
+
+
+class TestGroupSize:
+    @pytest.mark.parametrize("g", [1, 2, 4, 8, 16, 32])
+    def test_valid_sizes(self, g):
+        assert check_group_size(g) == g
+
+    @pytest.mark.parametrize("g", [0, 3, 5, 6, 7, 64, -1])
+    def test_invalid_sizes(self, g):
+        with pytest.raises(ConfigurationError):
+            check_group_size(g)
+
+
+class TestScalars:
+    def test_positive(self):
+        assert check_positive("x", 1) == 1
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0)
+
+    def test_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -1)
+
+    def test_in_range_inclusive(self):
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_load_factor_bounds(self):
+        assert check_load_factor(0.5) == 0.5
+        assert check_load_factor(1.0) == 1.0
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                check_load_factor(bad)
+
+
+class TestKeysValues:
+    def test_keys_cast_to_uint32(self):
+        out = check_keys(np.array([1, 2, 3], dtype=np.int64))
+        assert out.dtype == np.uint32
+
+    def test_reserved_top_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_keys(np.array([MAX_KEY + 1], dtype=np.int64))
+
+    def test_max_legal_key_accepted(self):
+        assert check_keys(np.array([MAX_KEY], dtype=np.int64))[0] == MAX_KEY
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_keys(np.array([-1]))
+
+    def test_float_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_keys(np.array([1.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_keys(np.zeros((2, 2), dtype=np.uint32))
+
+    def test_empty_keys_ok(self):
+        assert check_keys(np.array([], dtype=np.uint32)).size == 0
+
+    def test_values_allow_full_32bit(self):
+        out = check_values(np.array([0xFFFFFFFF], dtype=np.uint64))
+        assert out[0] == 0xFFFFFFFF
+
+    def test_same_length(self):
+        check_same_length("a", [1], "b", [2])
+        with pytest.raises(ConfigurationError):
+            check_same_length("a", [1], "b", [2, 3])
+
+
+class TestChoice:
+    def test_choice(self):
+        assert check_choice("m", "a", ("a", "b")) == "a"
+        with pytest.raises(ConfigurationError):
+            check_choice("m", "c", ("a", "b"))

@@ -1,0 +1,107 @@
+"""Tests for the paper's key distributions (§V-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import MAX_KEY
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    expected_unique_fraction,
+    make_distribution,
+    random_values,
+    uniform_keys,
+    unique_keys,
+    zipf_keys,
+)
+
+
+class TestUnique:
+    def test_all_distinct(self):
+        keys = unique_keys(10_000, seed=1)
+        assert np.unique(keys).size == 10_000
+
+    def test_deterministic(self):
+        assert (unique_keys(100, seed=5) == unique_keys(100, seed=5)).all()
+
+    def test_seeds_differ(self):
+        assert not (unique_keys(100, seed=1) == unique_keys(100, seed=2)).all()
+
+    def test_within_legal_key_space(self):
+        keys = unique_keys(10_000, seed=3)
+        assert int(keys.max()) <= MAX_KEY
+
+    def test_order_is_shuffled(self):
+        keys = unique_keys(1000, seed=4)
+        assert not (np.diff(keys.astype(np.int64)) > 0).all()
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            unique_keys(0)
+
+    @given(st.integers(min_value=1, max_value=5000), st.integers(min_value=0, max_value=999))
+    @settings(max_examples=15, deadline=None)
+    def test_uniqueness_property(self, n, seed):
+        assert np.unique(unique_keys(n, seed=seed)).size == n
+
+
+class TestUniform:
+    def test_size_and_range(self):
+        keys = uniform_keys(5000, seed=1)
+        assert keys.size == 5000
+        assert int(keys.max()) <= MAX_KEY
+
+    def test_bootstrap_ratio_formula(self):
+        """§V-A: the number of unique keys scales with 1 - e^(-n/2^32)."""
+        assert expected_unique_fraction(1) == pytest.approx(1.0, abs=1e-6)
+        big = expected_unique_fraction(1 << 32)
+        assert big == pytest.approx(1 - np.exp(-1), rel=1e-3)
+
+    def test_fig7_omission_argument(self):
+        """For n = 2^27 draws, ≈98.5% are unique — why the paper skips
+        the uniform panel in Fig. 7."""
+        assert expected_unique_fraction(1 << 27) == pytest.approx(0.985, abs=0.002)
+
+
+class TestZipf:
+    def test_multiplicities_follow_power_law(self):
+        keys = zipf_keys(50_000, s=1.5, universe=1000, seed=2)
+        _, counts = np.unique(keys, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # top key dominates, tail is thin
+        assert counts[0] > 20 * counts[min(99, counts.size - 1)]
+
+    def test_damping_changes_skew(self):
+        flat = zipf_keys(20_000, s=1.0 + 1e-6, universe=2000, seed=3)
+        steep = zipf_keys(20_000, s=2.0, universe=2000, seed=3)
+        assert np.unique(flat).size > np.unique(steep).size
+
+    def test_exponent_must_exceed_one(self):
+        """§V-A: 's > 1 is an exponential damping coefficient'."""
+        with pytest.raises(ConfigurationError):
+            zipf_keys(100, s=1.0)
+
+    def test_keys_are_hashed_not_sequential(self):
+        keys = zipf_keys(1000, s=1.2, universe=100, seed=4)
+        assert int(keys.max()) > 1000  # rank-to-key map spreads values
+
+    def test_deterministic(self):
+        a = zipf_keys(500, s=1.3, universe=50, seed=9)
+        b = zipf_keys(500, s=1.3, universe=50, seed=9)
+        assert (a == b).all()
+
+
+class TestRegistry:
+    def test_make_distribution_names(self):
+        for name in ("unique", "uniform", "zipf"):
+            keys = make_distribution(name, 100, seed=1)
+            assert keys.size == 100
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_distribution("gaussian", 10)
+
+    def test_random_values_dtype(self):
+        v = random_values(100, seed=1)
+        assert v.dtype == np.uint32

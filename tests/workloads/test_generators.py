@@ -1,0 +1,56 @@
+"""Tests for batch streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import BatchStream
+
+
+class TestBatchStream:
+    def test_batch_count_and_sizes(self):
+        stream = BatchStream(total=1000, batch_size=300, seed=1)
+        assert len(stream) == 4
+        sizes = [b.size for b in stream]
+        assert sizes == [300, 300, 300, 100]
+
+    def test_unique_stream_globally_disjoint(self):
+        stream = BatchStream(total=2000, batch_size=500, distribution="unique", seed=2)
+        all_keys = np.concatenate([b.keys for b in stream])
+        assert np.unique(all_keys).size == 2000
+
+    def test_batches_deterministic_and_random_access(self):
+        stream = BatchStream(total=900, batch_size=300, seed=3)
+        b1 = stream.batch(1)
+        again = stream.batch(1)
+        assert (b1.keys == again.keys).all()
+        assert (b1.values == again.values).all()
+
+    def test_batch_index_bounds(self):
+        stream = BatchStream(total=100, batch_size=50)
+        with pytest.raises(ConfigurationError):
+            stream.batch(2)
+        with pytest.raises(ConfigurationError):
+            stream.batch(-1)
+
+    def test_zipf_stream(self):
+        stream = BatchStream(
+            total=600, batch_size=200, distribution="zipf", seed=4, s=1.5, universe=50
+        )
+        for batch in stream:
+            assert batch.size == 200
+            assert np.unique(batch.keys).size <= 50
+
+    def test_nbytes(self):
+        stream = BatchStream(total=100, batch_size=100)
+        assert stream.batch(0).nbytes == 100 * 8
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BatchStream(total=0, batch_size=10)
+        with pytest.raises(ConfigurationError):
+            BatchStream(total=10, batch_size=0)
+
+    def test_values_differ_across_batches(self):
+        stream = BatchStream(total=400, batch_size=200, seed=5)
+        assert not (stream.batch(0).values == stream.batch(1).values).all()

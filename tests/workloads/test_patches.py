@@ -1,0 +1,112 @@
+"""Tests for the image-patch workload (§IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_keys
+from repro.workloads.patches import (
+    extract_patches,
+    patch_amplification,
+    patch_keys,
+    random_image,
+)
+
+
+class TestRandomImage:
+    def test_shape_and_dtype(self):
+        img = random_image(50, 70, seed=1)
+        assert img.shape == (50, 70) and img.dtype == np.uint8
+
+    def test_deterministic(self):
+        assert (random_image(32, 32, seed=3) == random_image(32, 32, seed=3)).all()
+
+    def test_noise_perturbs(self):
+        a = random_image(32, 32, seed=4, noise=0)
+        b = random_image(32, 32, seed=4, noise=20)
+        assert not (a == b).all()
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            random_image(0, 10)
+        with pytest.raises(ConfigurationError):
+            random_image(10, 10, noise=-1)
+
+
+class TestExtractPatches:
+    def test_count(self):
+        """(H−p+1)·(W−p+1) windows, as in the paper's k-mer analogy."""
+        img = random_image(40, 60, seed=5)
+        assert extract_patches(img, 7).shape == (34 * 54, 7, 7)
+
+    def test_contents_match_slices(self):
+        img = random_image(20, 20, seed=6)
+        patches = extract_patches(img, 5)
+        w = 20 - 5 + 1
+        assert (patches[0] == img[0:5, 0:5]).all()
+        assert (patches[w + 1] == img[1:6, 1:6]).all()
+
+    def test_is_a_view(self):
+        img = random_image(16, 16, seed=7)
+        patches = extract_patches(img, 4)
+        assert patches.base is not None  # zero-copy stride trick
+
+    def test_patch_size_bounds(self):
+        img = random_image(8, 8, seed=8)
+        with pytest.raises(ConfigurationError):
+            extract_patches(img, 9)
+        with pytest.raises(ConfigurationError):
+            extract_patches(img, 0)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            extract_patches(np.zeros(10, dtype=np.uint8), 2)
+
+
+class TestPatchKeys:
+    def test_identical_patches_identical_keys(self):
+        img = random_image(64, 64, seed=9)
+        keys = patch_keys(img, 8, seed=1)
+        patches = extract_patches(img, 8)
+        u, c = np.unique(keys, return_counts=True)
+        assert c.max() > 1  # the blocky image repeats patches
+        dup_key = u[np.argmax(c)]
+        idx = np.flatnonzero(keys == dup_key)
+        assert (patches[idx[0]] == patches[idx[1]]).all()
+
+    def test_keys_table_legal(self):
+        keys = patch_keys(random_image(32, 32, seed=10), 4)
+        check_keys(keys)
+
+    def test_distinct_patches_mostly_distinct_keys(self):
+        rng = np.random.default_rng(11)
+        img = rng.integers(0, 256, size=(64, 64)).astype(np.uint8)  # pure noise
+        keys = patch_keys(img, 8)
+        assert np.unique(keys).size > 0.99 * keys.size
+
+    def test_count_matches_patches(self):
+        img = random_image(30, 40, seed=12)
+        assert patch_keys(img, 6).shape[0] == (30 - 6 + 1) * (40 - 6 + 1)
+
+
+class TestAmplification:
+    def test_roughly_p_squared(self):
+        """Large images: ≈ p² bytes of patches per transferred byte."""
+        amp = patch_amplification(1024, 1024, 8)
+        assert amp == pytest.approx(64, rel=0.02)
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            patch_amplification(4, 4, 5)
+
+    def test_dedup_pipeline_end_to_end(self):
+        """Patches → keys → counting table → duplicate detection."""
+        from repro.core.table import WarpDriveHashTable
+
+        img = random_image(64, 64, seed=13)
+        keys = patch_keys(img, 8, seed=2)
+        u, counts = np.unique(keys, return_counts=True)
+        table = WarpDriveHashTable.for_load_factor(u.size, 0.9)
+        table.insert(u, np.minimum(counts, 0xFFFFFFFF).astype(np.uint32))
+        got, found = table.query(u)
+        assert found.all() and (got == counts).all()

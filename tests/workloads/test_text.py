@@ -1,0 +1,74 @@
+"""Tests for the bag-of-words workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_keys
+from repro.workloads.text import bag_of_words, synthetic_corpus, token_keys, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello, WORLD! 42x") == ["hello", "world", "42x"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("...") == []
+
+    def test_trailing_word(self):
+        assert tokenize("abc") == ["abc"]
+
+
+class TestTokenKeys:
+    def test_deterministic(self):
+        a = token_keys(["alpha", "beta"])
+        b = token_keys(["alpha", "beta"])
+        assert (a == b).all()
+
+    def test_distinct_tokens_distinct_keys(self):
+        toks = [f"word{i}" for i in range(2000)]
+        keys = token_keys(toks)
+        assert np.unique(keys).size == 2000  # no collisions on this set
+
+    def test_keys_legal_for_tables(self):
+        check_keys(token_keys(["x", "yy", "zzz"]))
+
+    def test_empty_list(self):
+        assert token_keys([]).size == 0
+
+
+class TestSyntheticCorpus:
+    def test_size_and_determinism(self):
+        c = synthetic_corpus(1000, seed=1)
+        assert len(c) == 1000
+        assert c == synthetic_corpus(1000, seed=1)
+
+    def test_zipfian_shape(self):
+        c = synthetic_corpus(20_000, zipf_s=1.5, seed=2)
+        _, counts = np.unique(c, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 5 * counts[min(20, counts.size - 1)]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_corpus(0)
+        with pytest.raises(ConfigurationError):
+            synthetic_corpus(10, zipf_s=0.9)
+
+
+class TestBagOfWords:
+    def test_counts_sum_to_tokens(self):
+        tokens = synthetic_corpus(5000, seed=3)
+        keys, counts, legend = bag_of_words(tokens)
+        assert int(counts.sum()) == 5000
+        assert keys.size == counts.size
+
+    def test_legend_maps_back(self):
+        tokens = ["apple", "pear", "apple"]
+        keys, counts, legend = bag_of_words(tokens)
+        names = sorted(legend.values())
+        assert names == ["apple", "pear"]
+        apple_key = token_keys(["apple"])[0]
+        assert legend[int(apple_key)] == "apple"
+        assert counts[keys == apple_key][0] == 2
