@@ -1,0 +1,44 @@
+"""Measured executor comparison — real seconds, not modelled ones.
+
+Runs single-shard bulk insert/query and the m = 4 device-sided insert
+cascade under all three execution backends (serial / thread / process)
+at n = 2^18, |g| = 4, α = 0.95, and writes ``BENCH_wallclock.json`` at
+the repo root (row schema: bench, n, m, executor, ops_per_s, seconds,
+plus the host ``cpus`` the run had).
+
+Interpretation: the parallel backends can only beat serial when the
+host grants more than one core — the ``cpus`` field says whether a
+given JSON is from a box where the ≥2x kernel-phase overlap is
+reachable (``docs/execution.md``).
+"""
+
+from pathlib import Path
+
+from conftest import record
+
+from repro.bench import format_records, run_wallclock_suite, write_results
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_wallclock(benchmark):
+    records = benchmark.pedantic(
+        lambda: run_wallclock_suite(n=1 << 18, m=4, seed=11),
+        iterations=1,
+        rounds=1,
+    )
+    write_results(records, REPO_ROOT / "BENCH_wallclock.json")
+    record("wallclock", format_records(records))
+
+    benches = {(r.bench, r.executor) for r in records}
+    for bench in ("single_shard_insert", "single_shard_query", "cascade_insert"):
+        for executor in ("serial", "thread", "process"):
+            assert (bench, executor) in benches
+    assert all(r.seconds > 0 and r.ops_per_s > 0 for r in records)
+
+
+if __name__ == "__main__":
+    rows = run_wallclock_suite(n=1 << 18, m=4, seed=11)
+    out = write_results(rows, REPO_ROOT / "BENCH_wallclock.json")
+    print(format_records(rows))
+    print(f"wrote {out}")

@@ -36,6 +36,12 @@ from .experiments_single import (
     run_single_gpu_sweep,
     run_speedup_table,
 )
+from .wallclock import (
+    WallClockRecord,
+    format_records,
+    run_wallclock_suite,
+    write_results,
+)
 
 __all__ = [
     "run_single_gpu_sweep",
@@ -61,4 +67,8 @@ __all__ = [
     "evaluate_claims",
     "format_scorecard",
     "LayoutAblation",
+    "WallClockRecord",
+    "run_wallclock_suite",
+    "write_results",
+    "format_records",
 ]

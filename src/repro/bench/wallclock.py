@@ -1,0 +1,197 @@
+"""Measured wall-clock benchmarks for the shard-execution engine.
+
+Unlike the rest of :mod:`repro.bench` — which *models* P100 seconds
+from counted work — this suite times the simulation itself with a
+monotonic clock, comparing the ``serial``/``thread``/``process``
+execution backends on identical workloads:
+
+* ``single_shard_insert`` / ``single_shard_query`` — one bulk kernel on
+  one shard (engine dispatch overhead + kernel time);
+* ``cascade_insert`` — the full m = 4 device-sided insertion cascade,
+  where the per-shard kernels are the parallelizable phase.
+
+Results carry the host's CPU count: on a single-core box the parallel
+backends cannot beat serial (see ``docs/execution.md``), and the
+recorded ``cpus`` field keeps such numbers interpretable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..core.config import HashTableConfig
+from ..core.table import WarpDriveHashTable
+from ..exec.engine import ShardKernelTask, available_backends, create_engine
+from ..multigpu.distributed_table import DistributedHashTable
+from ..multigpu.topology import p100_nvlink_node
+from ..workloads import random_values, unique_keys
+
+__all__ = [
+    "WallClockRecord",
+    "bench_single_shard",
+    "bench_cascade",
+    "run_wallclock_suite",
+    "write_results",
+    "format_records",
+]
+
+
+@dataclass
+class WallClockRecord:
+    """One measured data point (the ``BENCH_wallclock.json`` row schema)."""
+
+    bench: str
+    n: int
+    m: int
+    executor: str
+    ops_per_s: float
+    seconds: float
+    #: host cores the run had — parallel backends need > 1 to win
+    cpus: int = 0
+
+    def __post_init__(self):
+        if not self.cpus:
+            self.cpus = os.cpu_count() or 1
+
+
+def bench_single_shard(
+    executor: str,
+    n: int,
+    *,
+    group_size: int = 4,
+    load_factor: float = 0.95,
+    workers: int | None = None,
+    seed: int = 11,
+) -> list[WallClockRecord]:
+    """Time one bulk insert + query kernel dispatched through the engine."""
+    keys = unique_keys(n, seed=seed)
+    values = random_values(n, seed=seed + 1)
+    config = HashTableConfig.for_load_factor(n, load_factor, group_size=group_size)
+    records = []
+    with create_engine(executor, workers=workers) as engine:
+        table = WarpDriveHashTable(
+            config=config, shared=engine.requires_shared_slots
+        )
+        try:
+            for op, payload in (("insert", values), ("query", None)):
+                task = ShardKernelTask(
+                    shard=0,
+                    op=op,
+                    slots=table.slots,
+                    seq=table.seq,
+                    keys=keys,
+                    values=payload,
+                    shm=table.shm_descriptor(),
+                )
+                t0 = time.perf_counter()
+                res = engine.run([task])[0]
+                seconds = time.perf_counter() - t0
+                if op == "insert":
+                    table.absorb_insert(keys, values, res.report, res.status)
+                else:
+                    table.absorb_query(res.report)
+                records.append(
+                    WallClockRecord(
+                        bench=f"single_shard_{op}",
+                        n=n,
+                        m=1,
+                        executor=executor,
+                        ops_per_s=n / seconds if seconds > 0 else 0.0,
+                        seconds=seconds,
+                    )
+                )
+        finally:
+            table.free()
+    return records
+
+
+def bench_cascade(
+    executor: str,
+    n: int,
+    *,
+    m: int = 4,
+    group_size: int = 4,
+    load_factor: float = 0.95,
+    workers: int | None = None,
+    seed: int = 11,
+) -> list[WallClockRecord]:
+    """Time the full device-sided distributed insertion cascade."""
+    keys = unique_keys(n, seed=seed)
+    values = random_values(n, seed=seed + 1)
+    topology = p100_nvlink_node(m)
+    table = DistributedHashTable.for_workload(
+        topology,
+        keys,
+        load_factor,
+        group_size=group_size,
+        executor=executor,
+        workers=workers,
+    )
+    try:
+        t0 = time.perf_counter()
+        table.insert(keys, values, source="device")
+        seconds = time.perf_counter() - t0
+    finally:
+        table.free()
+    return [
+        WallClockRecord(
+            bench="cascade_insert",
+            n=n,
+            m=m,
+            executor=executor,
+            ops_per_s=n / seconds if seconds > 0 else 0.0,
+            seconds=seconds,
+        )
+    ]
+
+
+def run_wallclock_suite(
+    n: int = 1 << 18,
+    *,
+    m: int = 4,
+    executors: tuple[str, ...] | None = None,
+    workers: int | None = None,
+    seed: int = 11,
+) -> list[WallClockRecord]:
+    """All benches × all backends on the same keys (same seed)."""
+    records: list[WallClockRecord] = []
+    for executor in executors or available_backends():
+        records.extend(
+            bench_single_shard(executor, n, workers=workers, seed=seed)
+        )
+        records.extend(
+            bench_cascade(executor, n, m=m, workers=workers, seed=seed)
+        )
+    return records
+
+
+def write_results(records: list[WallClockRecord], path: str | Path) -> Path:
+    """Persist records as a JSON array of row objects."""
+    path = Path(path)
+    path.write_text(json.dumps([asdict(r) for r in records], indent=2) + "\n")
+    return path
+
+
+def format_records(records: list[WallClockRecord]) -> str:
+    """Fixed-width table, one row per record, with vs-serial speedups."""
+    serial = {
+        (r.bench, r.n, r.m): r.seconds for r in records if r.executor == "serial"
+    }
+    lines = [
+        f"{'bench':<20} {'n':>9} {'m':>2} {'executor':<9} "
+        f"{'seconds':>9} {'Mops/s':>8} {'vs serial':>9}"
+    ]
+    for r in records:
+        base = serial.get((r.bench, r.n, r.m))
+        speedup = f"{base / r.seconds:>8.2f}x" if base and r.seconds else f"{'-':>9}"
+        lines.append(
+            f"{r.bench:<20} {r.n:>9} {r.m:>2} {r.executor:<9} "
+            f"{r.seconds:>9.4f} {r.ops_per_s / 1e6:>8.2f} {speedup}"
+        )
+    if records:
+        lines.append(f"(host cpus: {records[0].cpus})")
+    return "\n".join(lines)

@@ -10,6 +10,8 @@ rates
     Modelled single-GPU insert/retrieve rates for chosen loads and |g|.
 figures
     Regenerate paper figures (delegates to the experiment harness).
+bench
+    Measured wall-clock comparison of the shard-execution backends.
 """
 
 from __future__ import annotations
@@ -71,7 +73,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
 
     node = p100_nvlink_node(4)
-    dist = DistributedHashTable.for_workload(node, keys, 0.95, group_size=4)
+    dist = DistributedHashTable.for_workload(
+        node, keys, 0.95, group_size=4,
+        executor=args.executor, workers=args.workers,
+    )
     drep = dist.insert(keys, values, source="host")
     timing = time_cascade(drep, dist, node)
     got, found, _ = dist.query(keys[: n // 4], source="device")
@@ -81,6 +86,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"modelled {throughput(n, timing.total) / 1e9:.2f} G inserts/s "
         f"host-sided ({throughput(n, timing.device_only) / 1e9:.2f} device-sided)"
     )
+    print(
+        f"executor   : {dist.engine.name}, kernel phase measured "
+        f"{drep.kernel_wall_seconds * 1e3:.1f} ms across {node.num_devices} shards"
+    )
+    dist.free()
     print("demo OK")
     return 0
 
@@ -113,6 +123,23 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_records, run_wallclock_suite, write_results
+
+    n = 1 << 12 if args.smoke else args.n
+    records = run_wallclock_suite(
+        n=n,
+        m=args.m,
+        executors=tuple(args.executors) if args.executors else None,
+        workers=args.workers,
+    )
+    print(format_records(records))
+    if args.out:
+        path = write_results(records, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="WarpDrive reproduction toolkit"
@@ -125,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="functional single+multi GPU demo")
     demo.add_argument("--n", type=int, default=100_000, help="pairs to insert")
+    demo.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="shard-execution backend for the multi-GPU part",
+    )
+    demo.add_argument(
+        "--workers", type=int, default=None, help="pool size for thread/process"
+    )
     demo.set_defaults(fn=_cmd_demo)
 
     rates = sub.add_parser("rates", help="modelled single-GPU rate table")
@@ -149,6 +185,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     score.add_argument("--full", action="store_true")
     score.set_defaults(fn=_cmd_scorecard)
+
+    bench = sub.add_parser(
+        "bench", help="measured wall-clock comparison of execution backends"
+    )
+    bench.add_argument("--n", type=int, default=1 << 18, help="keys per bench")
+    bench.add_argument("--m", type=int, default=4, help="GPUs in the cascade")
+    bench.add_argument(
+        "--smoke", action="store_true", help="tiny n for a quick sanity run"
+    )
+    bench.add_argument(
+        "--executors",
+        nargs="+",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="backends to compare (default: all)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None, help="pool size for thread/process"
+    )
+    bench.add_argument(
+        "--out", default=None, help="also write records to this JSON path"
+    )
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -28,13 +28,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..constants import TOMBSTONE_SLOT
+from ..constants import EMPTY_SLOT, TOMBSTONE_SLOT
 from ..memory.layout import pack_pairs
 from ..simt.counters import TransactionCounter, sectors_for_access
 from ..utils.validation import check_keys, check_same_length, check_values
 from .probing import WindowSequence
 from .report import KernelReport
-from .slots import is_empty, is_vacant, slot_keys, slot_values
+from .slots import is_vacant, slot_keys, slot_values
 
 __all__ = ["bulk_insert", "bulk_query", "bulk_erase", "STATUS"]
 
@@ -78,6 +78,57 @@ def _window_rows(
         )
     ranks = np.arange(seq.group_size, dtype=np.int64)
     return (start.astype(np.int64)[:, None] + ranks[None, :]) % capacity
+
+
+def _hash_cache(seq: WindowSequence, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-key (primary, step) hashes, computed once per wave entry.
+
+    A key's hashes never change across rounds, so the round loop gathers
+    from this cache instead of re-running the mixers over the pending
+    set every round (the cached arithmetic below mirrors
+    :func:`_window_rows` bit for bit).
+    """
+    with np.errstate(over="ignore"):
+        return seq.family.primary(keys), seq.family.step(keys)
+
+
+def _cached_window_rows(
+    h1: np.ndarray,
+    step: np.ndarray,
+    flat: np.ndarray,
+    inner: int,
+    group_size: int,
+    ranks: np.ndarray,
+    capacity: int,
+) -> np.ndarray:
+    """:func:`_window_rows` on pre-hashed keys (`h1`/`step` gathered)."""
+    p = flat // inner
+    q = flat % inner
+    with np.errstate(over="ignore"):
+        h = h1 + (p & 0xFFFFFFFF).astype(np.uint32) * step
+        start = (h + (q * group_size).astype(np.uint32)).astype(_U64) % _U64(
+            capacity
+        )
+    return (start.astype(np.int64)[:, None] + ranks[None, :]) % capacity
+
+
+def _any_rows(mask: np.ndarray) -> np.ndarray:
+    """Row-wise ``mask.any(axis=1)`` for the narrow (m, |g|) round masks.
+
+    NumPy's axis-1 boolean reduce goes through the pairwise buffering
+    machinery and is ~7x slower than |g|-1 column ORs at |g| <= 8 (the
+    paper-optimal group sizes), which makes it the hottest line of the
+    round loop.  Wide groups keep the builtin reduce.
+    """
+    g = mask.shape[1]
+    if g == 1:
+        return mask[:, 0]
+    if g > 8:
+        return mask.any(axis=1)
+    out = mask[:, 0].copy()
+    for lane in range(1, g):
+        np.bitwise_or(out, mask[:, lane], out=out)
+    return out
 
 
 def _sectors_per_window(group_size: int) -> int:
@@ -135,29 +186,47 @@ def bulk_insert(
     report = KernelReport(op="insert", num_ops=n, group_size=g)
     sectors_per_window = _sectors_per_window(g)
     max_windows = seq.max_windows
+    inner = seq.inner_count
+    ranks = np.arange(g, dtype=np.int64)
+    # per-wave hash cache: filled chunk-by-chunk as items enter the wave
+    h1 = np.empty(n, dtype=np.uint32)
+    hstep = np.empty(n, dtype=np.uint32)
+    all_idx = np.arange(n, dtype=np.int64)
 
+    # the pending set lives in a preallocated ring of index buffers:
+    # survivors compact into the spare buffer each round, new items are
+    # appended at the tail — no per-round np.concatenate
+    ring_cap = max(min(wave, n), 1)
+    ring, spare = np.empty(ring_cap, np.int64), np.empty(ring_cap, np.int64)
+    count = 0  # live entries in ring[:count]
     cursor = 0  # next unlaunched item; items enter as wave slots free up
-    pending = np.empty(0, dtype=np.int64)
-    while pending.size or cursor < n:
-        if cursor < n and pending.size < wave:
-            take = min(wave - pending.size, n - cursor)
-            pending = np.concatenate(
-                [pending, np.arange(cursor, cursor + take, dtype=np.int64)]
+    while count or cursor < n:
+        if cursor < n and count < wave:
+            take = min(wave - count, n - cursor)
+            ring[count : count + take] = all_idx[cursor : cursor + take]
+            h1[cursor : cursor + take], hstep[cursor : cursor + take] = _hash_cache(
+                seq, k[cursor : cursor + take]
             )
+            count += take
             cursor += take
+        pending = ring[:count]
+        m = count
         cur_keys = k[pending]
-        rows = _window_rows(seq, cur_keys, win_idx[pending], capacity)
+        rows = _cached_window_rows(
+            h1[pending], hstep[pending], win_idx[pending], inner, g, ranks, capacity
+        )
         window = slots[rows]  # snapshot (m, g)
-        m = pending.shape[0]
         probes[pending] += 1
         report.load_sectors += m * sectors_per_window
 
         wkeys = slot_keys(window)
-        live = ~is_vacant(window)
-        match = live & (wkeys == cur_keys[:, None])
-        has_match = match.any(axis=1)
-        vac = is_vacant(window)
-        empty_here = is_empty(window).any(axis=1)
+        is_emp = window == EMPTY_SLOT
+        vac = is_emp | (window == TOMBSTONE_SLOT)
+        # sentinel key halves decode above MAX_KEY, so a raw key-half
+        # comparison cannot match a vacant slot — no live-mask needed
+        match = wkeys == cur_keys[:, None]
+        has_match = _any_rows(match)
+        empty_here = _any_rows(is_emp)
 
         # ---- update path: key already stored in this window ----------
         upd = np.flatnonzero(has_match)
@@ -179,10 +248,12 @@ def bulk_insert(
             status[items] = STATUS["updated"]
 
         # ---- scan path: remember the walk's first vacant slot ---------
-        first_lane = np.argmax(vac, axis=1)
-        window_vac_slot = rows[np.arange(m), first_lane]
-        record = (first_vac[pending] < 0) & vac.any(axis=1) & ~has_match
-        first_vac[pending[record]] = window_vac_slot[record]
+        # (argmax only over the items that actually record this round)
+        record = (first_vac[pending] < 0) & _any_rows(vac) & ~has_match
+        rec = np.flatnonzero(record)
+        if rec.size:
+            first_lane = np.argmax(vac[rec], axis=1)
+            first_vac[pending[rec]] = rows[rec, first_lane]
 
         # ---- claim path: EMPTY reached (or budget exhausted) ----------
         at_end = ~has_match & empty_here
@@ -230,7 +301,9 @@ def bulk_insert(
         report.warp_collectives += 2 * m  # match ballot + vacancy ballot
 
         still = status[pending] == STATUS["pending"]
-        pending = pending[still]
+        count = int(np.count_nonzero(still))
+        np.compress(still, pending, out=spare[:count])
+        ring, spare = spare, ring
 
     report.probe_windows = probes
     report.failed = int(np.sum(status == STATUS["failed"]))
@@ -239,15 +312,8 @@ def bulk_insert(
 
 
 def _merge_counter(counter: TransactionCounter | None, report: KernelReport) -> None:
-    if counter is None:
-        return
-    counter.load_sectors += report.load_sectors
-    counter.store_sectors += report.store_sectors
-    counter.cas_attempts += report.cas_attempts
-    counter.cas_successes += report.cas_successes
-    counter.warp_collectives += report.warp_collectives
-    counter.window_probes += report.total_windows
-    counter.kernel_launches += 1
+    if counter is not None:
+        report.charge_to(counter)
 
 
 def bulk_query(
@@ -272,26 +338,32 @@ def bulk_query(
     done = np.zeros(n, dtype=bool)
     win_idx = np.zeros(n, dtype=np.int64)
     probes = np.zeros(n, dtype=np.int64)
-    pending = np.arange(n, dtype=np.int64)
 
     report = KernelReport(op="query", num_ops=n, group_size=g)
     sectors_per_window = _sectors_per_window(g)
     max_windows = seq.max_windows
+    inner = seq.inner_count
+    ranks = np.arange(g, dtype=np.int64)
+    h1, hstep = _hash_cache(seq, k)
 
-    while pending.size:
+    ring, spare = np.arange(n, dtype=np.int64), np.empty(n, dtype=np.int64)
+    count = n
+    while count:
+        pending = ring[:count]
+        m = count
         cur_keys = k[pending]
-        rows = _window_rows(seq, cur_keys, win_idx[pending], capacity)
+        rows = _cached_window_rows(
+            h1[pending], hstep[pending], win_idx[pending], inner, g, ranks, capacity
+        )
         window = slots[rows]
-        m = pending.shape[0]
         probes[pending] += 1
         report.load_sectors += m * sectors_per_window
         report.warp_collectives += 2 * m
 
         wkeys = slot_keys(window)
-        live = ~is_vacant(window)
-        match = live & (wkeys == cur_keys[:, None])
-        has_match = match.any(axis=1)
-        empty_in_window = is_empty(window).any(axis=1)
+        match = wkeys == cur_keys[:, None]
+        has_match = _any_rows(match)
+        empty_in_window = _any_rows(window == EMPTY_SLOT)
 
         hit = np.flatnonzero(has_match)
         if hit.size:
@@ -308,7 +380,10 @@ def bulk_query(
         win_idx[advance] += 1
         done[advance[win_idx[advance] >= max_windows]] = True
 
-        pending = pending[~done[pending]]
+        still = ~done[pending]
+        count = int(np.count_nonzero(still))
+        np.compress(still, pending, out=spare[:count])
+        ring, spare = spare, ring
 
     report.probe_windows = probes
     report.failed = int(np.sum(~found))
@@ -343,26 +418,32 @@ def bulk_erase(
     done = np.zeros(n, dtype=bool)
     win_idx = np.zeros(n, dtype=np.int64)
     probes = np.zeros(n, dtype=np.int64)
-    pending = np.arange(n, dtype=np.int64)
 
     report = KernelReport(op="erase", num_ops=n, group_size=g)
     sectors_per_window = _sectors_per_window(g)
     max_windows = seq.max_windows
+    inner = seq.inner_count
+    ranks = np.arange(g, dtype=np.int64)
+    h1, hstep = _hash_cache(seq, k)
 
-    while pending.size:
+    ring, spare = np.arange(n, dtype=np.int64), np.empty(n, dtype=np.int64)
+    count = n
+    while count:
+        pending = ring[:count]
+        m = count
         cur_keys = k[pending]
-        rows = _window_rows(seq, cur_keys, win_idx[pending], capacity)
+        rows = _cached_window_rows(
+            h1[pending], hstep[pending], win_idx[pending], inner, g, ranks, capacity
+        )
         window = slots[rows]
-        m = pending.shape[0]
         probes[pending] += 1
         report.load_sectors += m * sectors_per_window
         report.warp_collectives += 2 * m
 
         wkeys = slot_keys(window)
-        live = ~is_vacant(window)
-        match = live & (wkeys == cur_keys[:, None])
-        has_match = match.any(axis=1)
-        empty_in_window = is_empty(window).any(axis=1)
+        match = wkeys == cur_keys[:, None]
+        has_match = _any_rows(match)
+        empty_in_window = _any_rows(window == EMPTY_SLOT)
 
         hit = np.flatnonzero(has_match)
         if hit.size:
@@ -384,7 +465,10 @@ def bulk_erase(
         win_idx[advance] += 1
         done[advance[win_idx[advance] >= max_windows]] = True
 
-        pending = pending[~done[pending]]
+        still = ~done[pending]
+        count = int(np.count_nonzero(still))
+        np.compress(still, pending, out=spare[:count])
+        ring, spare = spare, ring
 
     report.probe_windows = probes
     report.failed = int(np.sum(~erased))

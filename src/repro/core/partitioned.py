@@ -20,6 +20,7 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..exec.engine import ExecutionEngine, ShardKernelTask, create_engine
 from ..hashing.partition import PartitionHash, hashed_partition
 from ..perfmodel import calibration as cal
 from ..simt.device import Device
@@ -42,6 +43,9 @@ class PartitionedWarpDriveTable:
         degradation knee (2 GB).
     group_size, p_max, device:
         Forwarded to each sub-table.
+    executor, workers:
+        Shard-execution backend; sub-tables are disjoint so their bulk
+        kernels run concurrently under ``"thread"``/``"process"``.
     """
 
     def __init__(
@@ -53,6 +57,8 @@ class PartitionedWarpDriveTable:
         p_max: int | None = None,
         device: Device | None = None,
         partition: PartitionHash | None = None,
+        executor: str | ExecutionEngine = "serial",
+        workers: int | None = None,
     ):
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be > 0, got {capacity}")
@@ -72,8 +78,13 @@ class PartitionedWarpDriveTable:
                 f"{self.num_partitions} sub-tables required"
             )
         self.partition = partition
+        self.engine = create_engine(executor, workers=workers)
+        self._owns_engine = not isinstance(executor, ExecutionEngine)
         sub_capacity = -(-capacity // self.num_partitions)
-        kwargs = {"group_size": group_size}
+        kwargs = {
+            "group_size": group_size,
+            "shared": self.engine.requires_shared_slots,
+        }
         if p_max is not None:
             kwargs["p_max"] = p_max
         self.subtables = [
@@ -110,15 +121,50 @@ class PartitionedWarpDriveTable:
         parts = self.partition(keys)
         return [np.flatnonzero(parts == p) for p in range(self.num_partitions)]
 
+    def _run_subtable_kernels(
+        self,
+        op: str,
+        routed: list[np.ndarray],
+        keys: np.ndarray,
+        values: np.ndarray | None = None,
+        *,
+        default: int = 0,
+    ) -> list:
+        """Run one kernel per non-empty sub-table through the engine.
+
+        Results come back in sub-table order; absorbing in that order
+        keeps counters and rebuild decisions identical across backends.
+        """
+        tasks = []
+        for p, idx in enumerate(routed):
+            if idx.size == 0:
+                continue
+            sub = self.subtables[p]
+            tasks.append(
+                ShardKernelTask(
+                    shard=p,
+                    op=op,
+                    slots=sub.slots,
+                    seq=sub.seq,
+                    keys=keys[idx],
+                    values=None if values is None else values[idx],
+                    default=default,
+                    shm=sub.shm_descriptor(),
+                )
+            )
+        return self.engine.run(tasks) if tasks else []
+
     def insert(self, keys: np.ndarray, values: np.ndarray) -> KernelReport:
         k = check_keys(keys)
         v = check_values(values)
         check_same_length("keys", k, "values", v)
+        routed = self._route(k)
         merged: KernelReport | None = None
-        for p, idx in enumerate(self._route(k)):
-            if idx.size == 0:
-                continue
-            rep = self.subtables[p].insert(k[idx], v[idx])
+        for res in self._run_subtable_kernels("insert", routed, k, v):
+            idx = routed[res.shard]
+            rep = self.subtables[res.shard].absorb_insert(
+                k[idx], v[idx], res.report, res.status
+            )
             merged = rep if merged is None else merged.merge(rep)
         report = merged if merged is not None else KernelReport(op="insert")
         self.last_report = report
@@ -130,14 +176,13 @@ class PartitionedWarpDriveTable:
         k = check_keys(keys)
         values = np.full(k.shape[0], default, dtype=np.uint32)
         found = np.zeros(k.shape[0], dtype=bool)
+        routed = self._route(k)
         merged: KernelReport | None = None
-        for p, idx in enumerate(self._route(k)):
-            if idx.size == 0:
-                continue
-            vals, hits = self.subtables[p].query(k[idx], default=default)
-            values[idx] = vals
-            found[idx] = hits
-            rep = self.subtables[p].last_report
+        for res in self._run_subtable_kernels("query", routed, k, default=default):
+            idx = routed[res.shard]
+            values[idx] = res.values
+            found[idx] = res.found
+            rep = self.subtables[res.shard].absorb_query(res.report)
             merged = rep if merged is None else merged.merge(rep)
         self.last_report = merged
         return values, found
@@ -145,10 +190,10 @@ class PartitionedWarpDriveTable:
     def erase(self, keys: np.ndarray) -> np.ndarray:
         k = check_keys(keys)
         erased = np.zeros(k.shape[0], dtype=bool)
-        for p, idx in enumerate(self._route(k)):
-            if idx.size == 0:
-                continue
-            erased[idx] = self.subtables[p].erase(k[idx])
+        routed = self._route(k)
+        for res in self._run_subtable_kernels("erase", routed, k):
+            erased[routed[res.shard]] = res.erased
+            self.subtables[res.shard].absorb_erase(res.report)
         return erased
 
     def export(self) -> tuple[np.ndarray, np.ndarray]:
@@ -162,3 +207,5 @@ class PartitionedWarpDriveTable:
     def free(self) -> None:
         for t in self.subtables:
             t.free()
+        if self._owns_engine:
+            self.engine.close()

@@ -49,6 +49,26 @@ class KernelReport:
     host_load_sectors: int = 0
     host_store_sectors: int = 0
 
+    @classmethod
+    def empty(cls, op: str, group_size: int = 0) -> "KernelReport":
+        """A zero-work report for a shard that received no items."""
+        return cls(op=op, num_ops=0, group_size=group_size)
+
+    def charge_to(self, counter) -> None:
+        """Add this kernel's work to a transaction counter (one launch).
+
+        Shard engines run kernels without a counter (workers may live in
+        another process) and charge the owning device afterwards — in
+        shard order, so totals are identical across backends.
+        """
+        counter.load_sectors += self.load_sectors
+        counter.store_sectors += self.store_sectors
+        counter.cas_attempts += self.cas_attempts
+        counter.cas_successes += self.cas_successes
+        counter.warp_collectives += self.warp_collectives
+        counter.window_probes += self.total_windows
+        counter.kernel_launches += 1
+
     @property
     def total_windows(self) -> int:
         return int(self.probe_windows.sum()) if self.probe_windows.size else 0

@@ -70,6 +70,7 @@ class WarpDriveHashTable:
         p_max: int | None = None,
         config: HashTableConfig | None = None,
         device: Device | None = None,
+        shared: bool = False,
     ):
         if config is None:
             if capacity is None:
@@ -86,8 +87,23 @@ class WarpDriveHashTable:
         self.device = device
         self.counter = device.counter if device is not None else TransactionCounter()
 
-        if device is not None:
-            self._buffer: DeviceBuffer | None = DeviceBuffer.full(
+        # ``shared=True`` backs the slot array with POSIX shared memory so
+        # the process execution backend mutates the table zero-copy
+        self._shm: "SharedSlots | None" = None
+        if shared:
+            from ..exec.shm import SharedSlots
+
+            self._shm = SharedSlots(config.capacity, fill=EMPTY_SLOT)
+            if device is not None:
+                self._buffer: DeviceBuffer | None = DeviceBuffer.from_array(
+                    device, self._shm.array
+                )
+                self.slots = self._buffer.array
+            else:
+                self._buffer = None
+                self.slots = self._shm.array
+        elif device is not None:
+            self._buffer = DeviceBuffer.full(
                 device, config.capacity, EMPTY_SLOT, dtype=np.uint64
             )
             self.slots = self._buffer.array
@@ -170,7 +186,17 @@ class WarpDriveHashTable:
             report, status = self._insert_ref(k, v, scheduler)
         else:
             raise ConfigurationError(f"unknown executor {executor!r}")
+        return self._finish_insert(k, v, report, status, executor)
 
+    def _finish_insert(
+        self,
+        k: np.ndarray,
+        v: np.ndarray,
+        report: KernelReport,
+        status: np.ndarray,
+        executor: str,
+    ) -> KernelReport:
+        """Post-kernel bookkeeping: size, last report, rebuild-on-failure."""
         self._size += int(np.sum(status == STATUS["inserted"]))
         self.last_report = report
 
@@ -186,6 +212,36 @@ class WarpDriveHashTable:
                 )
             failed_mask = status == STATUS["failed"]
             self._rebuild_with(k[failed_mask], v[failed_mask], executor=executor)
+        return report
+
+    # -- execution-engine integration -------------------------------------
+
+    def shm_descriptor(self):
+        """Shared-memory descriptor of the slot table (None if not shared)."""
+        return self._shm.descriptor() if self._shm is not None else None
+
+    def absorb_insert(
+        self, keys: np.ndarray, values: np.ndarray, report: KernelReport,
+        status: np.ndarray,
+    ) -> KernelReport:
+        """Account an insert kernel the execution engine ran on our slots.
+
+        The engine runs kernels counter-less (workers may live in another
+        process); charging here, in shard order, keeps counter totals
+        bit-identical across serial/thread/process backends.
+        """
+        report.charge_to(self.counter)
+        return self._finish_insert(keys, values, report, status, "fast")
+
+    def absorb_query(self, report: KernelReport) -> KernelReport:
+        report.charge_to(self.counter)
+        self.last_report = report
+        return report
+
+    def absorb_erase(self, report: KernelReport) -> KernelReport:
+        report.charge_to(self.counter)
+        self._size -= report.store_sectors
+        self.last_report = report
         return report
 
     def _insert_ref(
@@ -344,9 +400,12 @@ class WarpDriveHashTable:
             self.insert(all_k, all_v, executor=executor)
 
     def free(self) -> None:
-        """Release simulated VRAM (no-op for host-backed tables)."""
+        """Release simulated VRAM and any shared-memory segment."""
         if self._buffer is not None:
             self._buffer.free()
+            self.slots = np.empty(0, dtype=np.uint64)
+        if self._shm is not None:
+            self._shm.close()
             self.slots = np.empty(0, dtype=np.uint64)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,36 @@
+"""Shard-execution engine: real wall-clock overlap of per-shard kernels."""
+
+from .engine import (
+    ExecutionEngine,
+    ProcessEngine,
+    SerialEngine,
+    ShardKernelResult,
+    ShardKernelTask,
+    ThreadEngine,
+    available_backends,
+    create_engine,
+    run_kernel_task,
+)
+from .metrics import MeasuredTimeline, ShardSpan
+from .pool import WorkerError, WorkerPool, default_worker_count
+from .shm import SharedSlots, SlotsDescriptor, attach_slots
+
+__all__ = [
+    "ExecutionEngine",
+    "SerialEngine",
+    "ThreadEngine",
+    "ProcessEngine",
+    "ShardKernelTask",
+    "ShardKernelResult",
+    "run_kernel_task",
+    "available_backends",
+    "create_engine",
+    "MeasuredTimeline",
+    "ShardSpan",
+    "WorkerPool",
+    "WorkerError",
+    "default_worker_count",
+    "SharedSlots",
+    "SlotsDescriptor",
+    "attach_slots",
+]

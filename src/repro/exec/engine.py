@@ -1,0 +1,266 @@
+"""Pluggable shard-execution engine (backend protocol + registry).
+
+The paper's central wall-clock claim is that the ``m`` GPUs of a node
+work *concurrently*: after the all-to-all transpose every shard owns
+exactly its own keys, so the per-shard insert/query/erase kernels are
+embarrassingly parallel (§IV-B, Fig. 9/11).  This module makes that
+concurrency real instead of merely modelled: a
+:class:`ShardKernelTask` describes one shard's bulk kernel, and an
+:class:`ExecutionEngine` backend runs a batch of them —
+
+``serial``
+    in submission order on the calling thread (the reference schedule);
+``thread``
+    on a thread pool — NumPy kernels release the GIL for large array
+    ops, so shards genuinely overlap on multi-core hosts;
+``process``
+    on a worker-process pool with the slot tables in shared memory
+    (:mod:`repro.exec.shm`), sidestepping the GIL entirely.
+
+Every backend is **deterministic**: shards are disjoint address spaces,
+per-shard kernels are pure functions of (slots, seq, keys, values), and
+results return in task order — so final tables are bit-identical and
+merged :class:`~repro.core.report.KernelReport` counters are equal
+across backends (property-tested in ``tests/exec``).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.bulk import bulk_erase, bulk_insert, bulk_query
+from ..core.probing import WindowSequence
+from ..core.report import KernelReport
+from ..errors import ConfigurationError, ExecutionError
+from .metrics import ShardSpan
+from .pool import WorkerPool, default_worker_count
+from .shm import SlotsDescriptor, attach_slots
+
+__all__ = [
+    "ShardKernelTask",
+    "ShardKernelResult",
+    "ExecutionEngine",
+    "SerialEngine",
+    "ThreadEngine",
+    "ProcessEngine",
+    "available_backends",
+    "create_engine",
+]
+
+
+@dataclass
+class ShardKernelTask:
+    """One shard's bulk kernel: op + operands + a handle to its table."""
+
+    shard: int
+    op: str  # "insert" | "query" | "erase"
+    slots: np.ndarray | None
+    seq: WindowSequence
+    keys: np.ndarray
+    values: np.ndarray | None = None
+    default: int = 0
+    #: set when the slot array is shared-memory backed (process backend)
+    shm: SlotsDescriptor | None = None
+
+    def for_pickling(self) -> "ShardKernelTask":
+        """A copy without the slot array — workers re-map it via ``shm``."""
+        return replace(self, slots=None)
+
+
+@dataclass
+class ShardKernelResult:
+    """Outcome of one shard kernel; payload fields depend on ``op``."""
+
+    shard: int
+    op: str
+    report: KernelReport
+    status: np.ndarray | None = None  # insert
+    values: np.ndarray | None = None  # query
+    found: np.ndarray | None = None  # query
+    erased: np.ndarray | None = None  # erase
+    span: ShardSpan | None = None
+
+
+def run_kernel_task(slots: np.ndarray, task: ShardKernelTask) -> ShardKernelResult:
+    """Execute one task against ``slots`` (no counter: the caller merges).
+
+    Work accounting stays in the returned report so counter merging
+    happens on the parent in deterministic shard order, identically for
+    in-process and out-of-process backends.
+    """
+    t0 = time.perf_counter()
+    if task.op == "insert":
+        report, status = bulk_insert(slots, task.seq, task.keys, task.values, None)
+        result = ShardKernelResult(task.shard, task.op, report, status=status)
+    elif task.op == "query":
+        report, values, found = bulk_query(
+            slots, task.seq, task.keys, None, default=task.default
+        )
+        result = ShardKernelResult(
+            task.shard, task.op, report, values=values, found=found
+        )
+    elif task.op == "erase":
+        report, erased = bulk_erase(slots, task.seq, task.keys, None)
+        result = ShardKernelResult(task.shard, task.op, report, erased=erased)
+    else:
+        raise ConfigurationError(f"unknown kernel op {task.op!r}")
+    t1 = time.perf_counter()
+    result.span = ShardSpan(task.shard, task.op, t0, t1)
+    return result
+
+
+def _normalize_spans(results: list[ShardKernelResult]) -> None:
+    """Rebase all spans so the earliest task start is t = 0."""
+    starts = [r.span.start for r in results if r.span is not None]
+    if not starts:
+        return
+    epoch = min(starts)
+    for r in results:
+        if r.span is not None:
+            r.span = r.span.shifted(-epoch)
+
+
+class ExecutionEngine(ABC):
+    """A strategy for running a batch of independent shard kernels."""
+
+    name: str = "abstract"
+    #: True when shard tables must be shared-memory backed (process pool)
+    requires_shared_slots: bool = False
+
+    @abstractmethod
+    def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+        """Execute all tasks; results in task order, spans rebased to 0."""
+
+    def close(self) -> None:
+        """Release backend resources (worker threads/processes)."""
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialEngine(ExecutionEngine):
+    """Reference backend: shard kernels in submission order, one thread."""
+
+    name = "serial"
+
+    def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+        results = [run_kernel_task(task.slots, task) for task in tasks]
+        _normalize_spans(results)
+        return results
+
+
+class ThreadEngine(ExecutionEngine):
+    """Thread-pool backend; NumPy's GIL releases let shards overlap."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = int(workers) if workers else default_worker_count()
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+        futures = [self._pool.submit(run_kernel_task, t.slots, t) for t in tasks]
+        results = [f.result() for f in futures]
+        _normalize_spans(results)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _process_entry(task: ShardKernelTask) -> ShardKernelResult:
+    """Worker-side: map the shard's shared slots, run, ship the result."""
+    array, shm = _attached(task.shm)
+    del shm  # cache keeps the mapping alive
+    return run_kernel_task(array, task)
+
+
+_ATTACH_CACHE: dict[str, tuple[np.ndarray, object]] = {}
+
+
+def _attached(descriptor: SlotsDescriptor) -> tuple[np.ndarray, object]:
+    cached = _ATTACH_CACHE.get(descriptor.name)
+    if cached is None or cached[0].shape[0] != descriptor.capacity:
+        cached = attach_slots(descriptor)
+        _ATTACH_CACHE[descriptor.name] = cached
+    return cached
+
+
+class ProcessEngine(ExecutionEngine):
+    """Worker-process backend over shared-memory slot tables.
+
+    Keys/values and reports are pickled across the queue; the ``uint64``
+    tables themselves are never copied — workers mutate the same pages
+    the parent reads (:mod:`repro.exec.shm`).
+    """
+
+    name = "process"
+    requires_shared_slots = True
+
+    def __init__(self, workers: int | None = None):
+        self._pool = WorkerPool(workers)
+        self.workers = self._pool.workers
+
+    def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+        for task in tasks:
+            if task.shm is None:
+                raise ExecutionError(
+                    "process backend needs shared-memory slot tables; "
+                    "construct the table with executor='process' (or "
+                    "shared=True) so shards allocate via repro.exec.shm"
+                )
+        results = self._pool.map(
+            _process_entry, [task.for_pickling() for task in tasks]
+        )
+        _normalize_spans(results)
+        return results
+
+    def close(self) -> None:
+        self._pool.close()
+
+
+BACKENDS: dict[str, type[ExecutionEngine]] = {
+    "serial": SerialEngine,
+    "thread": ThreadEngine,
+    "process": ProcessEngine,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(BACKENDS)
+
+
+def create_engine(
+    executor: str | ExecutionEngine = "serial", workers: int | None = None
+) -> ExecutionEngine:
+    """Resolve an executor spec (name or ready-made engine instance)."""
+    if isinstance(executor, ExecutionEngine):
+        return executor
+    try:
+        backend = BACKENDS[executor]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {executor!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    if backend is SerialEngine:
+        return backend()
+    return backend(workers=workers)

@@ -1,0 +1,91 @@
+"""Measured wall-clock spans for the shard-execution engine.
+
+The performance model (:mod:`repro.perfmodel`) produces *modelled*
+seconds from counted work; the execution engine produces *measured*
+seconds by actually running shard kernels concurrently and timing them.
+This module holds the measured counterpart of
+:class:`repro.pipeline.timeline.Timeline`: per-shard wall-clock spans
+collected by the backends, composable into a node-level measured
+timeline (``docs/execution.md`` explains when each is authoritative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShardSpan", "MeasuredTimeline"]
+
+
+@dataclass(frozen=True)
+class ShardSpan:
+    """One timed unit of work: a shard kernel or a whole batch cascade.
+
+    ``shard`` is the shard/GPU index, or ``-1`` for spans covering the
+    whole node (e.g. one batch cascade in the async driver).  Times are
+    seconds relative to the enclosing timeline's epoch.
+    """
+
+    shard: int
+    op: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def shifted(self, offset: float) -> "ShardSpan":
+        return ShardSpan(self.shard, self.op, self.start + offset, self.end + offset)
+
+
+@dataclass
+class MeasuredTimeline:
+    """A collection of measured spans sharing one epoch (t = 0)."""
+
+    spans: list[ShardSpan] = field(default_factory=list)
+
+    def add(self, span: ShardSpan) -> None:
+        self.spans.append(span)
+
+    def extend(self, spans: list[ShardSpan], *, offset: float = 0.0) -> None:
+        self.spans.extend(s.shifted(offset) if offset else s for s in spans)
+
+    @property
+    def makespan(self) -> float:
+        """End of the last span (epoch-relative wall-clock seconds)."""
+        return max((s.end for s in self.spans), default=0.0)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Sum of span durations — the serialized cost of the same work."""
+        return sum(s.duration for s in self.spans)
+
+    @property
+    def overlap_speedup(self) -> float:
+        """busy / makespan: 1.0 means fully serial, m means perfect overlap."""
+        span = self.makespan
+        return self.busy_seconds / span if span > 0 else 0.0
+
+    def shard_spans(self, shard: int) -> list[ShardSpan]:
+        return [s for s in self.spans if s.shard == shard]
+
+    def render(self, *, width: int = 72) -> str:
+        """ASCII Gantt chart, one row per shard (measured Fig. 5 analogue)."""
+        span = self.makespan
+        if span == 0:
+            return "(empty measured timeline)"
+        shards = sorted({s.shard for s in self.spans})
+        lines = []
+        for shard in shards:
+            row = [" "] * width
+            for s in self.spans:
+                if s.shard != shard:
+                    continue
+                lo = int(s.start / span * (width - 1))
+                hi = max(lo + 1, int(s.end / span * (width - 1)))
+                mark = "=" if shard < 0 else str(shard % 10)
+                for i in range(lo, min(hi, width)):
+                    row[i] = mark
+            label = "node" if shard < 0 else f"gpu{shard}"
+            lines.append(f"{label:>6} |{''.join(row)}|")
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Shared-memory slot buffers for the process execution backend.
+
+A shard's slot table is one contiguous ``np.uint64`` array.  Backing it
+with :class:`multiprocessing.shared_memory.SharedMemory` lets worker
+processes map the *same* physical pages the parent owns, so per-shard
+kernels mutate the table zero-copy — only keys/values and the
+:class:`~repro.core.report.KernelReport` cross the process boundary.
+
+Ownership model: the table that created a :class:`SharedSlots` owns the
+segment and unlinks it on :meth:`close`; workers attach read-write by
+name and keep their mapping alive for the pool's lifetime (an unlinked
+segment stays valid for already-attached mappings on POSIX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT
+from ..errors import ConfigurationError
+
+__all__ = ["SlotsDescriptor", "SharedSlots", "attach_slots"]
+
+
+@dataclass(frozen=True)
+class SlotsDescriptor:
+    """Everything a worker needs to map a shard's slot table."""
+
+    name: str
+    capacity: int
+    dtype: str = "uint64"
+
+
+class SharedSlots:
+    """Owner side of a shared-memory slot array."""
+
+    def __init__(self, capacity: int, *, fill=EMPTY_SLOT):
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        nbytes = max(capacity * np.dtype(np.uint64).itemsize, 1)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.capacity = capacity
+        self.array = np.ndarray((capacity,), dtype=np.uint64, buffer=self._shm.buf)
+        self.array.fill(fill)
+
+    def descriptor(self) -> SlotsDescriptor:
+        return SlotsDescriptor(name=self._shm.name, capacity=self.capacity)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def close(self) -> None:
+        """Release the mapping and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        # drop the numpy view before closing the mmap under it
+        self.array = np.empty(0, dtype=np.uint64)
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink race
+            pass
+        self._shm = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_slots(
+    descriptor: SlotsDescriptor,
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Worker-side attach; returns (array view, segment handle to keep).
+
+    The caller must keep the returned segment handle referenced for as
+    long as the view is used.  No resource-tracker bookkeeping happens
+    here: pool workers share the parent's tracker process (fork *and*
+    spawn children inherit its fd), so the attach-side register is an
+    idempotent set-add and the owner's unlink unregisters exactly once.
+    """
+    if descriptor.dtype != "uint64":
+        raise ConfigurationError(f"unsupported slot dtype {descriptor.dtype!r}")
+    shm = shared_memory.SharedMemory(name=descriptor.name)
+    array = np.ndarray((descriptor.capacity,), dtype=np.uint64, buffer=shm.buf)
+    return array, shm

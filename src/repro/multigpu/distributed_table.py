@@ -16,6 +16,7 @@ that :mod:`repro.perfmodel` prices into seconds.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,8 @@ from ..constants import PAIR_BYTES
 from ..core.report import KernelReport
 from ..core.table import WarpDriveHashTable
 from ..errors import ConfigurationError
+from ..exec.engine import ExecutionEngine, ShardKernelTask, create_engine
+from ..exec.metrics import ShardSpan
 from ..hashing.partition import PartitionHash, hashed_partition
 from ..memory.buffer import DeviceBuffer
 from ..memory.layout import pack_pairs, unpack_pairs
@@ -60,6 +63,10 @@ class CascadeReport:
     #: per-GPU H2D/D2H byte loads (for PCIe-switch pricing)
     h2d_per_gpu: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
     d2h_per_gpu: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    #: measured per-shard kernel spans (seconds, 0 = kernel-phase start)
+    kernel_spans: list[ShardSpan] = field(default_factory=list)
+    #: measured wall-clock of the whole kernel phase (engine dispatch incl.)
+    kernel_wall_seconds: float = 0.0
 
     @property
     def load_imbalance(self) -> float:
@@ -93,6 +100,11 @@ class DistributedHashTable:
         GPU-assignment hash; defaults to a hashed partition so structured
         key sets still balance (Fig. 4's ``k mod m`` is available via
         :func:`repro.hashing.modulo_partition`).
+    executor, workers:
+        Shard-execution backend (``"serial"``, ``"thread"``, ``"process"``
+        or a ready-made :class:`~repro.exec.ExecutionEngine`) and its
+        worker count.  The process backend allocates every shard's slot
+        array in shared memory so workers mutate the tables zero-copy.
     """
 
     def __init__(
@@ -103,6 +115,8 @@ class DistributedHashTable:
         group_size: int = 4,
         p_max: int | None = None,
         partition: PartitionHash | None = None,
+        executor: str | ExecutionEngine = "serial",
+        workers: int | None = None,
     ):
         if total_capacity < topology.num_devices:
             raise ConfigurationError(
@@ -118,8 +132,13 @@ class DistributedHashTable:
                 f"{self.num_gpus} GPUs"
             )
         self.partition = partition
+        self.engine = create_engine(executor, workers=workers)
+        self._owns_engine = not isinstance(executor, ExecutionEngine)
         shard_capacity = -(-total_capacity // self.num_gpus)  # ceil div
-        kwargs = {"group_size": group_size}
+        kwargs = {
+            "group_size": group_size,
+            "shared": self.engine.requires_shared_slots,
+        }
         if p_max is not None:
             kwargs["p_max"] = p_max
         self.shards = [
@@ -241,6 +260,63 @@ class DistributedHashTable:
         for buf in buffers:
             buf.free()
 
+    def _kernel_phase(
+        self,
+        op: str,
+        keys_per_gpu: list[np.ndarray],
+        values_per_gpu: list[np.ndarray] | None = None,
+        *,
+        default: int = 0,
+        report: CascadeReport,
+    ) -> dict:
+        """Run one per-shard kernel wave through the execution engine.
+
+        Non-empty shards become :class:`ShardKernelTask`s; the engine
+        runs them (possibly overlapped), then work is absorbed into the
+        shards **in shard order** so device counters, sizes, and rebuild
+        decisions match the serial schedule exactly.  Empty shards record
+        a zero-work report so ``kernel_reports`` stays length ``m``.
+        Returns results keyed by GPU index.
+        """
+        t0 = time.perf_counter()
+        tasks = []
+        for gpu, gk in enumerate(keys_per_gpu):
+            if gk.size == 0:
+                continue
+            shard = self.shards[gpu]
+            tasks.append(
+                ShardKernelTask(
+                    shard=gpu,
+                    op=op,
+                    slots=shard.slots,
+                    seq=shard.seq,
+                    keys=gk,
+                    values=None if values_per_gpu is None else values_per_gpu[gpu],
+                    default=default,
+                    shm=shard.shm_descriptor(),
+                )
+            )
+        by_gpu = {r.shard: r for r in self.engine.run(tasks)} if tasks else {}
+        for gpu, gk in enumerate(keys_per_gpu):
+            shard = self.shards[gpu]
+            res = by_gpu.get(gpu)
+            if res is None:
+                report.kernel_reports.append(
+                    KernelReport.empty(op, shard.config.group_size)
+                )
+                continue
+            if op == "insert":
+                shard.absorb_insert(gk, values_per_gpu[gpu], res.report, res.status)
+            elif op == "query":
+                shard.absorb_query(res.report)
+            else:
+                shard.absorb_erase(res.report)
+            report.kernel_reports.append(res.report)
+            if res.span is not None:
+                report.kernel_spans.append(res.span)
+        report.kernel_wall_seconds = time.perf_counter() - t0
+        return by_gpu
+
     def insert(
         self,
         keys: np.ndarray,
@@ -296,14 +372,16 @@ class DistributedHashTable:
             report.alltoall_bytes = table.offdiagonal_bytes()
             report.alltoall_seconds = exchange.network_seconds
 
-            for gpu in range(self.num_gpus):
-                pairs_here = exchange.received[gpu]
-                gk, gv = unpack_pairs(pairs_here)
-                if gk.size:
-                    rep = self.shards[gpu].insert(gk, gv)
-                else:
-                    rep = KernelReport(op="insert", num_ops=0, group_size=self.shards[gpu].config.group_size)
-                report.kernel_reports.append(rep)
+            per_gpu = [
+                unpack_pairs(exchange.received[gpu])
+                for gpu in range(self.num_gpus)
+            ]
+            self._kernel_phase(
+                "insert",
+                [kv[0] for kv in per_gpu],
+                [kv[1] for kv in per_gpu],
+                report=report,
+            )
         finally:
             self._release_batch_buffers(staging)
         return report
@@ -367,18 +445,21 @@ class DistributedHashTable:
 
         # per-shard queries; answers packed as (found << 32) | value so the
         # reverse exchange moves one word per key
+        keys_per_gpu = [
+            unpack_pairs(exchange.received[gpu])[0]
+            for gpu in range(self.num_gpus)
+        ]
+        by_gpu = self._kernel_phase(
+            "query", keys_per_gpu, default=default, report=report
+        )
         results = []
         for gpu in range(self.num_gpus):
-            gk, _ = unpack_pairs(exchange.received[gpu])
-            if gk.size:
-                vals, found = self.shards[gpu].query(gk, default=default)
-                report.kernel_reports.append(self.shards[gpu].last_report)
-            else:
+            res = by_gpu.get(gpu)
+            if res is None:
                 vals = np.empty(0, dtype=np.uint32)
                 found = np.empty(0, dtype=bool)
-                report.kernel_reports.append(
-                    KernelReport(op="query", num_ops=0, group_size=self.shards[gpu].config.group_size)
-                )
+            else:
+                vals, found = res.values, res.found
             results.append(
                 vals.astype(np.uint64) | (found.astype(np.uint64) << np.uint64(32))
             )
@@ -478,21 +559,15 @@ class DistributedHashTable:
         report.alltoall_bytes = table.offdiagonal_bytes()
         report.alltoall_seconds = exchange.network_seconds
 
+        keys_per_gpu = [
+            unpack_pairs(exchange.received[gpu])[0]
+            for gpu in range(self.num_gpus)
+        ]
+        by_gpu = self._kernel_phase("erase", keys_per_gpu, report=report)
         results = []
         for gpu in range(self.num_gpus):
-            gk, _ = unpack_pairs(exchange.received[gpu])
-            if gk.size:
-                erased = self.shards[gpu].erase(gk)
-                report.kernel_reports.append(self.shards[gpu].last_report)
-            else:
-                erased = np.empty(0, dtype=bool)
-                report.kernel_reports.append(
-                    KernelReport(
-                        op="erase",
-                        num_ops=0,
-                        group_size=self.shards[gpu].config.group_size,
-                    )
-                )
+            res = by_gpu.get(gpu)
+            erased = np.empty(0, dtype=bool) if res is None else res.erased
             results.append(erased.astype(np.uint64))
 
         chunk_sizes = [int(p.shape[0]) for p in packed]
@@ -525,6 +600,8 @@ class DistributedHashTable:
     def free(self) -> None:
         for shard in self.shards:
             shard.free()
+        if self._owns_engine:
+            self.engine.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -12,13 +12,15 @@ and the modelled overlapped wall time.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..multigpu.distributed_table import DistributedHashTable
+from ..exec.metrics import MeasuredTimeline, ShardSpan
+from ..multigpu.distributed_table import CascadeReport, DistributedHashTable
 from ..perfmodel.cascade import time_cascade
 from ..perfmodel.memmodel import throughput
 from .schedule import schedule_batches
@@ -41,10 +43,17 @@ class StreamResult:
     #: query streams: concatenated values and found mask, input order
     values: np.ndarray | None = None
     found: np.ndarray | None = None
+    #: real wall-clock spans (``wall_clock=True`` drivers only)
+    measured: MeasuredTimeline | None = None
 
     @property
     def makespan(self) -> float:
         return self.timeline.makespan
+
+    @property
+    def measured_makespan(self) -> float:
+        """Real seconds the stream took (0.0 unless ``wall_clock=True``)."""
+        return self.measured.makespan if self.measured is not None else 0.0
 
     @property
     def reduction(self) -> float:
@@ -70,6 +79,11 @@ class AsyncCascadeDriver:
     scale:
         Optional projection factor per batch (scaled-down batches standing
         in for paper-size ones).
+    wall_clock:
+        When True, also *measure* each batch cascade with a monotonic
+        clock and attach a :class:`~repro.exec.MeasuredTimeline` to the
+        result — real seconds from the execution engine next to the
+        modelled makespan (``docs/execution.md``).
     """
 
     def __init__(
@@ -78,6 +92,7 @@ class AsyncCascadeDriver:
         *,
         num_threads: int = 4,
         scale: float = 1.0,
+        wall_clock: bool = False,
     ):
         if num_threads < 1:
             raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
@@ -86,6 +101,24 @@ class AsyncCascadeDriver:
         self.table = table
         self.num_threads = num_threads
         self.scale = scale
+        self.wall_clock = bool(wall_clock)
+
+    def _record_batch(
+        self,
+        measured: MeasuredTimeline | None,
+        op: str,
+        report: CascadeReport,
+        epoch: float,
+        batch_start: float,
+    ) -> None:
+        """Append one batch's measured spans (epoch-relative seconds)."""
+        if measured is None:
+            return
+        now = time.perf_counter()
+        measured.add(ShardSpan(-1, f"{op} batch", batch_start - epoch, now - epoch))
+        # kernel spans are 0-based at the kernel phase; rebase to the epoch
+        offset = (now - epoch) - report.kernel_wall_seconds
+        measured.extend(report.kernel_spans, offset=offset)
 
     def insert_stream(
         self, batches: Iterable[tuple[np.ndarray, np.ndarray]]
@@ -93,8 +126,12 @@ class AsyncCascadeDriver:
         """Insert (keys, values) batches; returns the overlapped timeline."""
         stage_lists = []
         total = 0
+        measured = MeasuredTimeline() if self.wall_clock else None
+        epoch = time.perf_counter()
         for keys, values in batches:
+            batch_start = time.perf_counter()
             report = self.table.insert(keys, values, source="host")
+            self._record_batch(measured, "insert", report, epoch, batch_start)
             timing = time_cascade(
                 report, self.table, self.table.topology, scale=self.scale
             )
@@ -104,6 +141,7 @@ class AsyncCascadeDriver:
             timeline=schedule_batches(stage_lists, self.num_threads),
             sequential=schedule_batches(stage_lists, 1),
             num_ops=int(total * self.scale),
+            measured=measured,
         )
 
     def query_stream(self, batches: Iterable[np.ndarray]) -> StreamResult:
@@ -112,8 +150,12 @@ class AsyncCascadeDriver:
         all_values: list[np.ndarray] = []
         all_found: list[np.ndarray] = []
         total = 0
+        measured = MeasuredTimeline() if self.wall_clock else None
+        epoch = time.perf_counter()
         for keys in batches:
+            batch_start = time.perf_counter()
             values, found, report = self.table.query(keys, source="host")
+            self._record_batch(measured, "query", report, epoch, batch_start)
             timing = time_cascade(
                 report, self.table, self.table.topology, scale=self.scale
             )
@@ -127,4 +169,5 @@ class AsyncCascadeDriver:
             num_ops=int(total * self.scale),
             values=np.concatenate(all_values) if all_values else np.empty(0, np.uint32),
             found=np.concatenate(all_found) if all_found else np.empty(0, bool),
+            measured=measured,
         )

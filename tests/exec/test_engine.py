@@ -1,0 +1,270 @@
+"""Unit tests for the shard-execution engine building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HashTableConfig
+from repro.core.report import KernelReport
+from repro.core.table import WarpDriveHashTable
+from repro.errors import ConfigurationError, ExecutionError
+from repro.exec import (
+    MeasuredTimeline,
+    ProcessEngine,
+    SerialEngine,
+    ShardKernelTask,
+    ShardSpan,
+    SharedSlots,
+    ThreadEngine,
+    WorkerError,
+    WorkerPool,
+    attach_slots,
+    available_backends,
+    create_engine,
+)
+from repro.workloads import random_values, unique_keys
+
+
+def _table(n: int, *, shared: bool = False) -> WarpDriveHashTable:
+    config = HashTableConfig.for_load_factor(n, 0.9, group_size=4)
+    return WarpDriveHashTable(config=config, shared=shared)
+
+
+def _tasks(tables, keys, values) -> list[ShardKernelTask]:
+    return [
+        ShardKernelTask(
+            shard=i,
+            op="insert",
+            slots=t.slots,
+            seq=t.seq,
+            keys=keys[i],
+            values=values[i],
+            shm=t.shm_descriptor(),
+        )
+        for i, t in enumerate(tables)
+    ]
+
+
+class TestRegistry:
+    def test_backends_listed(self):
+        assert available_backends() == ("serial", "thread", "process")
+
+    def test_create_by_name(self):
+        with create_engine("serial") as eng:
+            assert isinstance(eng, SerialEngine)
+        with create_engine("thread", workers=2) as eng:
+            assert isinstance(eng, ThreadEngine)
+            assert eng.workers == 2
+
+    def test_create_passthrough(self):
+        eng = SerialEngine()
+        assert create_engine(eng) is eng
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            create_engine("cuda")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            ThreadEngine(workers=-3)
+
+
+class TestSerialThread:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_runs_all_ops(self, executor):
+        n = 2000
+        keys = unique_keys(n, seed=3)
+        values = random_values(n, seed=4)
+        table = _table(n)
+        with create_engine(executor, workers=2) as eng:
+            res = eng.run(_tasks([table], [keys], [values]))[0]
+            table.absorb_insert(keys, values, res.report, res.status)
+            assert len(table) == n
+
+            qres = eng.run(
+                [
+                    ShardKernelTask(
+                        shard=0, op="query", slots=table.slots,
+                        seq=table.seq, keys=keys,
+                    )
+                ]
+            )[0]
+            assert qres.found.all()
+            assert (qres.values == values).all()
+
+            eres = eng.run(
+                [
+                    ShardKernelTask(
+                        shard=0, op="erase", slots=table.slots,
+                        seq=table.seq, keys=keys[: n // 2],
+                    )
+                ]
+            )[0]
+            table.absorb_erase(eres.report)
+            assert eres.erased.all()
+            assert len(table) == n - n // 2
+
+    def test_results_in_task_order_with_spans(self):
+        n = 500
+        tables = [_table(n) for _ in range(3)]
+        keys = [unique_keys(n, seed=s) for s in (1, 2, 3)]
+        values = [random_values(n, seed=s) for s in (4, 5, 6)]
+        with create_engine("thread", workers=3) as eng:
+            results = eng.run(_tasks(tables, keys, values))
+        assert [r.shard for r in results] == [0, 1, 2]
+        # spans rebased: earliest start is exactly 0, all durations > 0
+        starts = [r.span.start for r in results]
+        assert min(starts) == 0.0
+        assert all(r.span.duration > 0 for r in results)
+
+    def test_unknown_op_rejected(self):
+        table = _table(64)
+        task = ShardKernelTask(
+            shard=0, op="upsert", slots=table.slots, seq=table.seq,
+            keys=unique_keys(8, seed=1),
+        )
+        with pytest.raises(ConfigurationError, match="unknown kernel op"):
+            SerialEngine().run([task])
+
+
+class TestMetrics:
+    def test_timeline_aggregates(self):
+        tl = MeasuredTimeline()
+        tl.add(ShardSpan(0, "insert", 0.0, 1.0))
+        tl.add(ShardSpan(1, "insert", 0.5, 2.0))
+        assert tl.makespan == 2.0
+        assert tl.busy_seconds == pytest.approx(2.5)
+        assert tl.overlap_speedup == pytest.approx(1.25)
+        assert len(tl.shard_spans(1)) == 1
+
+    def test_extend_with_offset(self):
+        tl = MeasuredTimeline()
+        tl.extend([ShardSpan(0, "query", 0.0, 1.0)], offset=3.0)
+        assert tl.spans[0].start == 3.0
+        assert tl.makespan == 4.0
+
+    def test_render_rows(self):
+        tl = MeasuredTimeline()
+        tl.add(ShardSpan(-1, "insert batch", 0.0, 2.0))
+        tl.add(ShardSpan(0, "insert", 0.0, 1.0))
+        art = tl.render(width=40)
+        assert "node" in art and "gpu0" in art
+
+    def test_empty_timeline(self):
+        tl = MeasuredTimeline()
+        assert tl.makespan == 0.0
+        assert tl.overlap_speedup == 0.0
+        assert tl.render() == "(empty measured timeline)"
+
+
+class TestSharedSlots:
+    def test_roundtrip(self):
+        owner = SharedSlots(128)
+        try:
+            owner.array[:4] = [1, 2, 3, 4]
+            view, handle = attach_slots(owner.descriptor())
+            assert (view[:4] == [1, 2, 3, 4]).all()
+            view[0] = 99
+            assert owner.array[0] == 99
+            del view
+            handle.close()
+        finally:
+            owner.close()
+
+    def test_close_idempotent(self):
+        owner = SharedSlots(16)
+        owner.close()
+        owner.close()
+        assert owner.closed
+
+    def test_bad_dtype_rejected(self):
+        owner = SharedSlots(16)
+        try:
+            desc = owner.descriptor()
+            with pytest.raises(ConfigurationError):
+                attach_slots(type(desc)(desc.name, desc.capacity, dtype="int8"))
+        finally:
+            owner.close()
+
+
+def _boom(x):
+    raise ValueError(f"bad task {x}")
+
+
+def _double(x):
+    return 2 * x
+
+
+@pytest.mark.slow
+class TestWorkerPool:
+    def test_map_in_order(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
+
+    def test_exception_propagates_with_traceback(self):
+        with WorkerPool(workers=1) as pool:
+            with pytest.raises(WorkerError, match="bad task 7") as exc_info:
+                pool.map(_boom, [7])
+            assert "ValueError" in exc_info.value.remote_traceback
+
+
+@pytest.mark.slow
+class TestProcessEngine:
+    def test_requires_shared_slots(self):
+        table = _table(64, shared=False)
+        task = ShardKernelTask(
+            shard=0, op="insert", slots=table.slots, seq=table.seq,
+            keys=unique_keys(8, seed=1), values=random_values(8, seed=2),
+        )
+        with ProcessEngine(workers=1) as eng:
+            with pytest.raises(ExecutionError, match="shared-memory"):
+                eng.run([task])
+
+    def test_mutates_shared_table(self):
+        n = 1000
+        keys = unique_keys(n, seed=5)
+        values = random_values(n, seed=6)
+        table = _table(n, shared=True)
+        try:
+            with ProcessEngine(workers=1) as eng:
+                res = eng.run(_tasks([table], [keys], [values]))[0]
+                table.absorb_insert(keys, values, res.report, res.status)
+                got, found = table.query(keys)
+                assert found.all()
+                assert (got == values).all()
+        finally:
+            table.free()
+
+
+class TestReportHelpers:
+    def test_empty_classmethod(self):
+        rep = KernelReport.empty("query", 8)
+        assert rep.op == "query"
+        assert rep.num_ops == 0
+        assert rep.group_size == 8
+        assert rep.total_windows == 0
+
+    def test_charge_to_matches_inline_counting(self):
+        """Counter-less kernel + charge_to == counter-threaded kernel."""
+        from repro.core.bulk import bulk_insert
+        from repro.simt.counters import TransactionCounter
+
+        n = 1500
+        keys = unique_keys(n, seed=11)
+        values = random_values(n, seed=12)
+        t_inline, t_charged = _table(n), _table(n)
+
+        inline = TransactionCounter()
+        bulk_insert(t_inline.slots, t_inline.seq, keys, values, inline)
+
+        charged = TransactionCounter()
+        report, _ = bulk_insert(t_charged.slots, t_charged.seq, keys, values, None)
+        report.charge_to(charged)
+
+        assert np.array_equal(t_inline.slots, t_charged.slots)
+        for attr in (
+            "load_sectors", "store_sectors", "cas_attempts", "cas_successes",
+            "warp_collectives", "window_probes", "kernel_launches",
+        ):
+            assert getattr(inline, attr) == getattr(charged, attr), attr

@@ -67,3 +67,40 @@ class TestInsertStream:
             AsyncCascadeDriver(table, num_threads=0)
         with pytest.raises(ConfigurationError):
             AsyncCascadeDriver(table, scale=0)
+
+
+class TestWallClock:
+    def test_disabled_by_default(self, setup):
+        node, stream, table = setup
+        driver = AsyncCascadeDriver(table, num_threads=2)
+        res = driver.query_stream([stream.batch(0).keys])
+        assert res.measured is None
+        assert res.measured_makespan == 0.0
+
+    def test_measured_timeline_attached(self):
+        node = p100_nvlink_node(4)
+        stream = BatchStream(total=4000, batch_size=1000, seed=6)
+        pool = np.concatenate([b.keys for b in stream])
+        table = DistributedHashTable.for_workload(node, pool, 0.9)
+        driver = AsyncCascadeDriver(table, num_threads=2, wall_clock=True)
+
+        res = driver.insert_stream((b.keys, b.values) for b in stream)
+        assert res.measured is not None
+        assert res.measured_makespan > 0.0
+        # one node-level span per batch, plus the per-shard kernel spans
+        batch_spans = res.measured.shard_spans(-1)
+        assert len(batch_spans) == 4
+        assert all(s.op == "insert batch" for s in batch_spans)
+        kernel_spans = [s for s in res.measured.spans if s.shard >= 0]
+        assert kernel_spans and all(s.duration > 0 for s in kernel_spans)
+        # batches stream one after another on a monotonic clock
+        starts = [s.start for s in batch_spans]
+        assert starts == sorted(starts)
+        # modelled and measured makespans coexist on the same result
+        assert res.makespan > 0.0
+
+        qres = driver.query_stream([b.keys for b in stream])
+        assert qres.found.all()
+        assert qres.measured_makespan > 0.0
+        assert qres.measured.busy_seconds > 0.0
+        table.free()
