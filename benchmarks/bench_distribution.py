@@ -1,0 +1,51 @@
+"""Measured distribution-path comparison — real seconds, not modelled.
+
+Runs the host-side distribution phases (multisplit, transposition,
+reverse transposition) under both the reference implementation and the
+fused single-pass one at n = 2^18, m = 4, and writes
+``BENCH_distribution.json`` at the repo root (row schema: bench, n, m,
+path, seconds, ops_per_s, plus the host ``cpus`` the run had).
+
+The fused path must deliver at least a 2x end-to-end speedup on these
+phases while staying bit-identical to the reference — the equivalence
+itself is property-tested in ``tests/multigpu`` and re-checked inside
+the suite before any number is reported.
+"""
+
+from pathlib import Path
+
+from conftest import record
+
+from repro.bench import (
+    distribution_speedup,
+    format_distribution_records,
+    run_distribution_suite,
+    write_results,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_distribution(benchmark):
+    records = benchmark.pedantic(
+        lambda: run_distribution_suite(n=1 << 18, m=4, seed=11),
+        iterations=1,
+        rounds=1,
+    )
+    write_results(records, REPO_ROOT / "BENCH_distribution.json")
+    record("distribution", format_distribution_records(records))
+
+    rows = {(r.bench, r.path) for r in records}
+    for phase in ("multisplit", "transpose", "reverse", "total"):
+        for path in ("reference", "fused"):
+            assert (phase, path) in rows
+    assert all(r.seconds > 0 and r.cpus >= 1 for r in records)
+    assert distribution_speedup(records, "total") >= 2.0
+
+
+if __name__ == "__main__":
+    rows = run_distribution_suite(n=1 << 18, m=4, seed=11)
+    out = write_results(rows, REPO_ROOT / "BENCH_distribution.json")
+    print(format_distribution_records(rows))
+    print(f"total speedup: {distribution_speedup(rows, 'total'):.2f}x")
+    print(f"wrote {out}")

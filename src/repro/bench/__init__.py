@@ -36,6 +36,12 @@ from .experiments_single import (
     run_single_gpu_sweep,
     run_speedup_table,
 )
+from .distribution import (
+    DistributionRecord,
+    distribution_speedup,
+    format_distribution_records,
+    run_distribution_suite,
+)
 from .wallclock import (
     WallClockRecord,
     format_records,
@@ -71,4 +77,8 @@ __all__ = [
     "run_wallclock_suite",
     "write_results",
     "format_records",
+    "DistributionRecord",
+    "run_distribution_suite",
+    "format_distribution_records",
+    "distribution_speedup",
 ]

@@ -11,7 +11,8 @@ rates
 figures
     Regenerate paper figures (delegates to the experiment harness).
 bench
-    Measured wall-clock comparison of the shard-execution backends.
+    Measured wall-clock suites: shard-execution backends and the
+    fused-vs-reference distribution path.
 """
 
 from __future__ import annotations
@@ -124,16 +125,34 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_records, run_wallclock_suite, write_results
+    from repro.bench import (
+        distribution_speedup,
+        format_distribution_records,
+        format_records,
+        run_distribution_suite,
+        run_wallclock_suite,
+        write_results,
+    )
 
     n = 1 << 12 if args.smoke else args.n
-    records = run_wallclock_suite(
-        n=n,
-        m=args.m,
-        executors=tuple(args.executors) if args.executors else None,
-        workers=args.workers,
-    )
-    print(format_records(records))
+    records: list = []
+    if args.suite in ("wallclock", "all"):
+        wall = run_wallclock_suite(
+            n=n,
+            m=args.m,
+            executors=tuple(args.executors) if args.executors else None,
+            workers=args.workers,
+        )
+        print(format_records(wall))
+        records.extend(wall)
+    if args.suite in ("distribution", "all"):
+        dist = run_distribution_suite(n=n, m=args.m)
+        print(format_distribution_records(dist))
+        print(
+            f"distribution total speedup: "
+            f"{distribution_speedup(dist, 'total'):.2f}x fused vs reference"
+        )
+        records.extend(dist)
     if args.out:
         path = write_results(records, args.out)
         print(f"wrote {path}")
@@ -187,10 +206,16 @@ def build_parser() -> argparse.ArgumentParser:
     score.set_defaults(fn=_cmd_scorecard)
 
     bench = sub.add_parser(
-        "bench", help="measured wall-clock comparison of execution backends"
+        "bench", help="measured wall-clock suites (executors, distribution)"
     )
     bench.add_argument("--n", type=int, default=1 << 18, help="keys per bench")
     bench.add_argument("--m", type=int, default=4, help="GPUs in the cascade")
+    bench.add_argument(
+        "--suite",
+        choices=("wallclock", "distribution", "all"),
+        default="all",
+        help="which measured suite(s) to run",
+    )
     bench.add_argument(
         "--smoke", action="store_true", help="tiny n for a quick sanity run"
     )

@@ -1,9 +1,17 @@
 """Multi-GPU distribution: topology, multisplit, all-to-all, sharded table."""
 
-from .alltoall import AllToAllResult, reverse_exchange, transpose_exchange
+from .alltoall import (
+    AllToAllResult,
+    ExchangeRouting,
+    ReverseExchangeResult,
+    reverse_exchange,
+    reverse_exchange_fast,
+    transpose_exchange,
+    transpose_exchange_fast,
+)
 from .distributed_table import CascadeReport, DistributedHashTable
 from .strategies import StrategyCost, compare_strategies
-from .multisplit import MultisplitResult, multisplit
+from .multisplit import MultisplitResult, multisplit, multisplit_fast
 from .partition_table import PartitionTable, TransferPlanEntry
 from .topology import NodeTopology, dgx1v_node, p100_nvlink_node, pcie_only_node
 
@@ -14,11 +22,16 @@ __all__ = [
     "pcie_only_node",
     "MultisplitResult",
     "multisplit",
+    "multisplit_fast",
     "PartitionTable",
     "TransferPlanEntry",
     "AllToAllResult",
+    "ExchangeRouting",
+    "ReverseExchangeResult",
     "transpose_exchange",
+    "transpose_exchange_fast",
     "reverse_exchange",
+    "reverse_exchange_fast",
     "DistributedHashTable",
     "StrategyCost",
     "compare_strategies",

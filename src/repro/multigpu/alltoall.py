@@ -6,6 +6,23 @@ received ones).  "Note that matrix transposition is an isomorphism and
 thus all-to-all communication is reversible as well" — the reverse
 operation routes per-element results (query answers) back to the GPU and
 position each key came from, which is what the retrieval cascade needs.
+
+Two equivalent implementations are provided, mirroring ``compact`` /
+``compact_fast``:
+
+* the **reference** pair :func:`transpose_exchange` /
+  :func:`reverse_exchange` materializes per-element ``(src, position)``
+  provenance rows (16 B/element) and reverses with m² boolean-mask
+  passes — the seed implementation, kept as the equivalence oracle;
+* the **fused** pair :func:`transpose_exchange_fast` /
+  :func:`reverse_exchange_fast` carries only the m×m offset ranges of
+  the partition table plus a precomputed inverse permutation
+  (:class:`ExchangeRouting`), so the reverse path is one fancy-index
+  gather per GPU and the traffic matrix comes straight from the table.
+
+Both log identical :class:`~repro.memory.transfer.TransferRecord`
+sequences and price identical network seconds; the property tests in
+``tests/multigpu/test_fused_distribution.py`` pin the equivalence.
 """
 
 from __future__ import annotations
@@ -19,22 +36,103 @@ from ..memory.transfer import MemcpyKind, TransferLog, TransferRecord
 from .partition_table import PartitionTable
 from .topology import NodeTopology
 
-__all__ = ["AllToAllResult", "transpose_exchange", "reverse_exchange"]
+__all__ = [
+    "AllToAllResult",
+    "ExchangeRouting",
+    "ReverseExchangeResult",
+    "transpose_exchange",
+    "transpose_exchange_fast",
+    "reverse_exchange",
+    "reverse_exchange_fast",
+    "reverse_route_accounting",
+]
+
+
+@dataclass(frozen=True)
+class ExchangeRouting:
+    """Compact reverse-routing state: offset ranges + inverse permutation.
+
+    Replaces per-element provenance rows.  Block ``(part, src)`` of the
+    received buffers is ``received[part][recv_offsets[src, part] :
+    + counts[src, part]]`` and originated at ``send_offsets[src, part]``
+    in ``src``'s multisplit output — everything the reverse transposition
+    needs, in m² integers instead of 16 bytes per element.
+    """
+
+    #: the forward partition table T[gpu, part]
+    table: PartitionTable
+    #: row-wise exclusive scan of T (sender-side block starts)
+    send_offsets: np.ndarray
+    #: column-wise exclusive scan of T (receiver-side block starts)
+    recv_offsets: np.ndarray
+    #: global base of each partition's block in the flat result vector
+    result_bases: np.ndarray
+    #: reverse_gather[src][q] — flat-result index holding the answer for
+    #: position ``q`` of ``src``'s multisplit buffer (the precomputed
+    #: inverse permutation of the exchange)
+    reverse_gather: list[np.ndarray]
 
 
 @dataclass
 class AllToAllResult:
-    """Per-GPU received buffers plus provenance for the reverse path."""
+    """Per-GPU received buffers plus routing state for the reverse path."""
 
     #: received[i]: all pairs with p(k) == i, concatenated by source GPU
     received: list[np.ndarray]
-    #: provenance[i]: (src_gpu, src_position) per received element —
-    #: src_position indexes the *source GPU's multisplit output*
-    provenance: list[np.ndarray]
     #: the transposed partition table T^t
     table: PartitionTable
     #: seconds the exchange occupies the NVLink network (model time)
     network_seconds: float
+    #: reference path: (src_gpu, src_position) per received element —
+    #: src_position indexes the *source GPU's multisplit output*
+    provenance: list[np.ndarray] | None = None
+    #: fused path: compact offset-range routing
+    routing: ExchangeRouting | None = None
+
+
+@dataclass
+class ReverseExchangeResult:
+    """Routed answers plus the reverse network load."""
+
+    #: outputs[src]: answers aligned with src's multisplit output
+    outputs: list[np.ndarray]
+    #: seconds the reverse exchange occupies the network (model time)
+    network_seconds: float
+    #: bytes moved per (sending part, receiving src); diagonal is zero
+    traffic: np.ndarray
+
+
+def _log_transpose(
+    log: TransferLog | None, part: int, src: int, nbytes: int
+) -> None:
+    if src != part and nbytes > 0 and log is not None:
+        log.add(
+            TransferRecord(
+                kind=MemcpyKind.P2P,
+                nbytes=nbytes,
+                src_device=src,
+                dst_device=part,
+                tag=f"transpose part={part}",
+            )
+        )
+
+
+def _check_shapes(
+    split_pairs: list[np.ndarray],
+    split_offsets: list[np.ndarray],
+    counts: PartitionTable,
+    topology: NodeTopology,
+) -> int:
+    m = counts.num_gpus
+    if len(split_pairs) != m or len(split_offsets) != m:
+        raise ConfigurationError(
+            f"expected {m} per-GPU buffers, got {len(split_pairs)}"
+        )
+    if topology.num_devices < m:
+        raise ConfigurationError(
+            f"topology has {topology.num_devices} devices but table needs {m}"
+        )
+    return m
 
 
 def transpose_exchange(
@@ -45,7 +143,7 @@ def transpose_exchange(
     *,
     log: TransferLog | None = None,
 ) -> AllToAllResult:
-    """Execute the m×m transposition.
+    """Execute the m×m transposition (reference: per-element provenance).
 
     Parameters
     ----------
@@ -58,15 +156,7 @@ def transpose_exchange(
     topology:
         Prices the off-diagonal traffic and receives the transfer log.
     """
-    m = counts.num_gpus
-    if len(split_pairs) != m or len(split_offsets) != m:
-        raise ConfigurationError(
-            f"expected {m} per-GPU buffers, got {len(split_pairs)}"
-        )
-    if topology.num_devices < m:
-        raise ConfigurationError(
-            f"topology has {topology.num_devices} devices but table needs {m}"
-        )
+    m = _check_shapes(split_pairs, split_offsets, counts, topology)
 
     received: list[np.ndarray] = []
     provenance: list[np.ndarray] = []
@@ -87,16 +177,7 @@ def transpose_exchange(
                     axis=1,
                 )
             )
-            if src != part and count > 0 and log is not None:
-                log.add(
-                    TransferRecord(
-                        kind=MemcpyKind.P2P,
-                        nbytes=chunk.nbytes,
-                        src_device=src,
-                        dst_device=part,
-                        tag=f"transpose part={part}",
-                    )
-                )
+            _log_transpose(log, part, src, chunk.nbytes)
         received.append(
             np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint64)
         )
@@ -113,6 +194,126 @@ def transpose_exchange(
     )
 
 
+def transpose_exchange_fast(
+    split_pairs: list[np.ndarray],
+    split_offsets: list[np.ndarray],
+    counts: PartitionTable,
+    topology: NodeTopology,
+    *,
+    log: TransferLog | None = None,
+    build_routing: bool = True,
+) -> AllToAllResult:
+    """Index-routed :func:`transpose_exchange` — same buffers, same log.
+
+    Produces byte-identical ``received`` buffers and
+    :class:`TransferRecord` sequences while carrying an
+    :class:`ExchangeRouting` instead of per-element provenance: the
+    send/recv offset scans the paper already prescribes ("row-wise
+    exclusive prefix scans over T for the senders and column-wise scans
+    for the receivers") plus the inverse permutation they induce.
+    ``build_routing=False`` skips the inverse permutation for one-way
+    cascades (insertion has no reverse leg).
+    """
+    m = _check_shapes(split_pairs, split_offsets, counts, topology)
+    send_off = counts.send_offsets()
+    recv_off = counts.recv_offsets()
+    recv_counts = counts.recv_counts()
+    result_bases = np.zeros(m, dtype=np.int64)
+    np.cumsum(recv_counts[:-1], out=result_bases[1:])
+
+    received: list[np.ndarray] = []
+    for part in range(m):
+        chunks = []
+        for src in range(m):
+            start = int(split_offsets[src][part])
+            count = int(counts.counts[src, part])
+            chunk = split_pairs[src][start : start + count]
+            chunks.append(chunk)
+            _log_transpose(log, part, src, chunk.nbytes)
+        received.append(
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint64)
+        )
+
+    # position q in src's split buffer (block of partition `part`) landed
+    # at recv_offsets[src, part] + (q - send_offsets[src, part]) on GPU
+    # `part`; flat-result index = result_bases[part] + that.  Built per
+    # src as m consecutive ranges — the inverse permutation in closed form.
+    routing = None
+    if build_routing:
+        reverse_gather = [
+            np.concatenate(
+                [
+                    np.arange(
+                        int(result_bases[part] + recv_off[src, part]),
+                        int(
+                            result_bases[part]
+                            + recv_off[src, part]
+                            + counts.counts[src, part]
+                        ),
+                        dtype=np.int64,
+                    )
+                    for part in range(m)
+                ]
+            )
+            for src in range(m)
+        ]
+        routing = ExchangeRouting(
+            table=counts,
+            send_offsets=send_off,
+            recv_offsets=recv_off,
+            result_bases=result_bases,
+            reverse_gather=reverse_gather,
+        )
+    network_seconds = topology.alltoall_time(counts.traffic_matrix())
+    return AllToAllResult(
+        received=received,
+        table=counts.transposed(),
+        network_seconds=network_seconds,
+        routing=routing,
+    )
+
+
+def _log_reverse(
+    log: TransferLog | None, table: PartitionTable, itemsize: int
+) -> None:
+    """Append the reverse-path P2P records (same order as the reference)."""
+    if log is None:
+        return
+    m = table.num_gpus
+    for part in range(m):
+        for src in range(m):
+            count = int(table.counts[src, part])
+            if src != part and count > 0:
+                log.add(
+                    TransferRecord(
+                        kind=MemcpyKind.P2P,
+                        nbytes=count * itemsize,
+                        src_device=part,
+                        dst_device=src,
+                        tag=f"reverse part={part}",
+                    )
+                )
+
+
+def reverse_route_accounting(
+    table: PartitionTable,
+    itemsize: int,
+    topology: NodeTopology,
+    *,
+    log: TransferLog | None = None,
+) -> tuple[float, np.ndarray]:
+    """Price and log the reverse exchange from the partition table alone.
+
+    Returns ``(network_seconds, traffic_matrix)`` — what the reverse
+    transposition costs without touching a single element, since the
+    table already knows every block size.  Used by the fused cascade,
+    which folds the data movement itself into one global gather.
+    """
+    traffic = table.reverse_traffic_matrix(itemsize)
+    _log_reverse(log, table, itemsize)
+    return topology.alltoall_time(traffic), traffic
+
+
 def reverse_exchange(
     results_per_part: list[np.ndarray],
     provenance: list[np.ndarray],
@@ -120,13 +321,14 @@ def reverse_exchange(
     topology: NodeTopology,
     *,
     log: TransferLog | None = None,
-) -> tuple[list[np.ndarray], float]:
+) -> ReverseExchangeResult:
     """Route per-element results back to their source GPUs (query path).
 
     ``results_per_part[i][j]`` is the answer for the j-th element GPU i
     received during :func:`transpose_exchange`; ``provenance[i][j]`` says
     where that element came from.  Returns per-source-GPU result arrays
-    aligned with each GPU's multisplit output, plus the network seconds.
+    aligned with each GPU's multisplit output, the network seconds, and
+    the m×m reverse traffic matrix (reference: m² boolean-mask passes).
     """
     m = len(results_per_part)
     if len(provenance) != m:
@@ -162,4 +364,46 @@ def reverse_exchange(
                             tag=f"reverse part={part}",
                         )
                     )
-    return outputs, topology.alltoall_time(traffic)
+    return ReverseExchangeResult(
+        outputs=outputs,
+        network_seconds=topology.alltoall_time(traffic),
+        traffic=traffic,
+    )
+
+
+def reverse_exchange_fast(
+    results_per_part: list[np.ndarray],
+    routing: ExchangeRouting,
+    topology: NodeTopology,
+    *,
+    log: TransferLog | None = None,
+) -> ReverseExchangeResult:
+    """Vectorized :func:`reverse_exchange` — same outputs, log, traffic.
+
+    The traffic matrix is read off the partition table (each partition
+    sends ``T[src, part]`` answers back to ``src``) and the scatter is
+    one precomputed fancy-index gather per GPU — no per-element
+    provenance, no boolean masks.
+    """
+    m = routing.table.num_gpus
+    if len(results_per_part) != m:
+        raise ConfigurationError("routing/results length mismatch")
+    recv_counts = routing.table.recv_counts()
+    for part, res in enumerate(results_per_part):
+        if res.shape[0] != int(recv_counts[part]):
+            raise ConfigurationError(
+                f"partition {part}: {res.shape[0]} results for "
+                f"{int(recv_counts[part])} received elements"
+            )
+    flat = (
+        np.concatenate(results_per_part)
+        if results_per_part
+        else np.empty(0, dtype=np.uint64)
+    )
+    seconds, traffic = reverse_route_accounting(
+        routing.table, flat.dtype.itemsize, topology, log=log
+    )
+    outputs = [flat[gather] for gather in routing.reverse_gather]
+    return ReverseExchangeResult(
+        outputs=outputs, network_seconds=seconds, traffic=traffic
+    )

@@ -32,8 +32,14 @@ from ..memory.buffer import DeviceBuffer
 from ..memory.layout import pack_pairs, unpack_pairs
 from ..memory.transfer import MemcpyKind, TransferLog, TransferRecord
 from ..utils.validation import check_keys, check_same_length, check_values
-from .alltoall import reverse_exchange, transpose_exchange
-from .multisplit import MultisplitResult, multisplit
+from .alltoall import (
+    AllToAllResult,
+    reverse_exchange,
+    reverse_route_accounting,
+    transpose_exchange,
+    transpose_exchange_fast,
+)
+from .multisplit import MultisplitResult, multisplit, multisplit_fast
 from .partition_table import PartitionTable
 from .topology import NodeTopology
 
@@ -67,6 +73,9 @@ class CascadeReport:
     kernel_spans: list[ShardSpan] = field(default_factory=list)
     #: measured wall-clock of the whole kernel phase (engine dispatch incl.)
     kernel_wall_seconds: float = 0.0
+    #: measured wall-clock of the distribution phases (multisplit +
+    #: transpose + reverse) — the host cost the fused path shrinks
+    distribution_wall_seconds: float = 0.0
 
     @property
     def load_imbalance(self) -> float:
@@ -105,6 +114,13 @@ class DistributedHashTable:
         or a ready-made :class:`~repro.exec.ExecutionEngine`) and its
         worker count.  The process backend allocates every shard's slot
         array in shared memory so workers mutate the tables zero-copy.
+    distribution:
+        Host implementation of the distribution phases.  ``"fused"``
+        (default) runs the single-pass multisplit and index-routed
+        exchange; ``"reference"`` runs the seed's m-binary-split sweeps
+        and provenance-based reverse.  Both are bit-identical in results
+        and accounting (``tests/multigpu/test_fused_distribution.py``);
+        only the host wall-clock differs (``docs/distribution.md``).
     """
 
     def __init__(
@@ -117,11 +133,17 @@ class DistributedHashTable:
         partition: PartitionHash | None = None,
         executor: str | ExecutionEngine = "serial",
         workers: int | None = None,
+        distribution: str = "fused",
     ):
         if total_capacity < topology.num_devices:
             raise ConfigurationError(
                 "total_capacity must be at least one slot per GPU"
             )
+        if distribution not in ("fused", "reference"):
+            raise ConfigurationError(
+                f"distribution must be 'fused' or 'reference', got {distribution!r}"
+            )
+        self.distribution = distribution
         self.topology = topology
         self.num_gpus = topology.num_devices
         if partition is None:
@@ -221,10 +243,12 @@ class DistributedHashTable:
         return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(m)]
 
     def _split_phase(
-        self, packed_chunks: list[np.ndarray]
+        self, packed_chunks: list[np.ndarray], report: CascadeReport
     ) -> tuple[list[MultisplitResult], PartitionTable]:
+        t0 = time.perf_counter()
+        split_fn = multisplit_fast if self.distribution == "fused" else multisplit
         splits = [
-            multisplit(
+            split_fn(
                 chunk,
                 self.partition,
                 counter=self.topology.devices[gpu].counter,
@@ -232,7 +256,107 @@ class DistributedHashTable:
             for gpu, chunk in enumerate(packed_chunks)
         ]
         counts = np.stack([ms.counts for ms in splits])
-        return splits, PartitionTable(counts)
+        report.distribution_wall_seconds += time.perf_counter() - t0
+        report.multisplit_reports = [ms.report for ms in splits]
+        table = PartitionTable(counts)
+        report.partition_table = table
+        return splits, table
+
+    def _transpose_phase(
+        self,
+        splits: list[MultisplitResult],
+        table: PartitionTable,
+        report: CascadeReport,
+        *,
+        reversible: bool,
+    ) -> AllToAllResult:
+        """Run the m×m exchange and record its traffic + measured time.
+
+        ``reversible`` builds the reverse-routing state (inverse
+        permutation or provenance) retrieval/erase cascades need; pure
+        insertion skips it on the fused path.
+        """
+        t0 = time.perf_counter()
+        if self.distribution == "fused":
+            exchange = transpose_exchange_fast(
+                [ms.pairs for ms in splits],
+                [ms.offsets for ms in splits],
+                table,
+                self.topology,
+                log=self.transfer_log,
+                build_routing=reversible,
+            )
+        else:
+            exchange = transpose_exchange(
+                [ms.pairs for ms in splits],
+                [ms.offsets for ms in splits],
+                table,
+                self.topology,
+                log=self.transfer_log,
+            )
+        report.distribution_wall_seconds += time.perf_counter() - t0
+        report.alltoall_bytes = table.offdiagonal_bytes()
+        report.alltoall_seconds = exchange.network_seconds
+        return exchange
+
+    def _reverse_phase(
+        self,
+        results: list[np.ndarray],
+        exchange: AllToAllResult,
+        splits: list[MultisplitResult],
+        chunks: list[slice],
+        n: int,
+        report: CascadeReport,
+    ) -> np.ndarray:
+        """Reverse-route per-partition answers back to input order.
+
+        Returns the flat answer vector aligned with the cascade's input
+        and records the reverse traffic (priced from the partition table,
+        not re-scanned) on the report.  Fused path: one global
+        inverse-permutation gather composing the reverse exchange with
+        the multisplit un-permute — no per-chunk staging copies.
+        """
+        t0 = time.perf_counter()
+        if self.distribution == "fused":
+            flat = (
+                np.concatenate(results)
+                if results
+                else np.empty(0, dtype=np.uint64)
+            )
+            seconds, traffic = reverse_route_accounting(
+                exchange.routing.table,
+                flat.dtype.itemsize,
+                self.topology,
+                log=self.transfer_log,
+            )
+            perm = np.empty(n, dtype=np.int64)
+            for gpu, sl in enumerate(chunks):
+                perm[sl.start + splits[gpu].source_index] = (
+                    exchange.routing.reverse_gather[gpu]
+                )
+            answers = flat[perm]
+        else:
+            chunk_sizes = [sl.stop - sl.start for sl in chunks]
+            rev = reverse_exchange(
+                results,
+                exchange.provenance,
+                chunk_sizes,
+                self.topology,
+                log=self.transfer_log,
+            )
+            seconds, traffic = rev.network_seconds, rev.traffic
+            answers = np.zeros(n, dtype=np.uint64)
+            for gpu, sl in enumerate(chunks):
+                # undo the multisplit permutation inside the chunk
+                split_result = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
+                split_result[:] = rev.outputs[gpu]
+                chunk_vals = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
+                chunk_vals[splits[gpu].source_index] = split_result
+                answers[sl] = chunk_vals
+        report.distribution_wall_seconds += time.perf_counter() - t0
+        report.reverse_seconds = seconds
+        report.reverse_bytes = int(traffic.sum())
+        return answers
 
     def _reserve_batch_buffers(
         self, packed_chunks: list[np.ndarray]
@@ -358,19 +482,10 @@ class DistributedHashTable:
 
         staging = self._reserve_batch_buffers(packed)
         try:
-            splits, table = self._split_phase(packed)
-            report.multisplit_reports = [ms.report for ms in splits]
-            report.partition_table = table
-
-            exchange = transpose_exchange(
-                [ms.pairs for ms in splits],
-                [ms.offsets for ms in splits],
-                table,
-                self.topology,
-                log=self.transfer_log,
+            splits, table = self._split_phase(packed, report)
+            exchange = self._transpose_phase(
+                splits, table, report, reversible=False
             )
-            report.alltoall_bytes = table.offdiagonal_bytes()
-            report.alltoall_seconds = exchange.network_seconds
 
             per_gpu = [
                 unpack_pairs(exchange.received[gpu])
@@ -429,89 +544,65 @@ class DistributedHashTable:
                 )
 
         staging = self._reserve_batch_buffers(packed)
-        splits, table = self._split_phase(packed)
-        report.multisplit_reports = [ms.report for ms in splits]
-        report.partition_table = table
-
-        exchange = transpose_exchange(
-            [ms.pairs for ms in splits],
-            [ms.offsets for ms in splits],
-            table,
-            self.topology,
-            log=self.transfer_log,
-        )
-        report.alltoall_bytes = table.offdiagonal_bytes()
-        report.alltoall_seconds = exchange.network_seconds
-
-        # per-shard queries; answers packed as (found << 32) | value so the
-        # reverse exchange moves one word per key
-        keys_per_gpu = [
-            unpack_pairs(exchange.received[gpu])[0]
-            for gpu in range(self.num_gpus)
-        ]
-        by_gpu = self._kernel_phase(
-            "query", keys_per_gpu, default=default, report=report
-        )
-        results = []
-        for gpu in range(self.num_gpus):
-            res = by_gpu.get(gpu)
-            if res is None:
-                vals = np.empty(0, dtype=np.uint32)
-                found = np.empty(0, dtype=bool)
-            else:
-                vals, found = res.values, res.found
-            results.append(
-                vals.astype(np.uint64) | (found.astype(np.uint64) << np.uint64(32))
+        try:
+            splits, table = self._split_phase(packed, report)
+            exchange = self._transpose_phase(
+                splits, table, report, reversible=True
             )
 
-        chunk_sizes = [int(p.shape[0]) for p in packed]
-        routed, reverse_seconds = reverse_exchange(
-            results,
-            exchange.provenance,
-            chunk_sizes,
-            self.topology,
-            log=self.transfer_log,
-        )
-        report.reverse_seconds = reverse_seconds
-        report.reverse_bytes = sum(int(r.nbytes) for r in results) - sum(
-            int(results[i][exchange.provenance[i][:, 0] == i].nbytes)
-            for i in range(self.num_gpus)
-        )
-
-        values = np.full(n, default, dtype=np.uint32)
-        found_out = np.zeros(n, dtype=bool)
-        for gpu, sl in enumerate(chunks):
-            # undo the multisplit permutation inside the chunk
-            split_result = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
-            split_result[:] = routed[gpu]
-            chunk_vals = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
-            chunk_vals[splits[gpu].source_index] = split_result
-            values[sl] = (chunk_vals & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-            found_out[sl] = (chunk_vals >> np.uint64(32)).astype(bool)
-
-        report.d2h_per_gpu = np.array(
-            [
-                chunk_sizes[gpu] * PAIR_BYTES if source == "host" else 0
+            # per-shard queries; answers packed as (found << 32) | value so
+            # the reverse exchange moves one word per key
+            keys_per_gpu = [
+                unpack_pairs(exchange.received[gpu])[0]
                 for gpu in range(self.num_gpus)
-            ],
-            dtype=np.int64,
-        )
-        report.d2h_bytes = int(report.d2h_per_gpu.sum())
-        if source == "host":
+            ]
+            by_gpu = self._kernel_phase(
+                "query", keys_per_gpu, default=default, report=report
+            )
+            results = []
             for gpu in range(self.num_gpus):
-                if chunk_sizes[gpu]:
-                    self.transfer_log.add(
-                        TransferRecord(
-                            kind=MemcpyKind.D2H,
-                            nbytes=chunk_sizes[gpu] * PAIR_BYTES,
-                            src_device=gpu,
-                            dst_device=None,
-                            tag="query results",
+                res = by_gpu.get(gpu)
+                if res is None:
+                    vals = np.empty(0, dtype=np.uint32)
+                    found = np.empty(0, dtype=bool)
+                else:
+                    vals, found = res.values, res.found
+                results.append(
+                    vals.astype(np.uint64)
+                    | (found.astype(np.uint64) << np.uint64(32))
+                )
+
+            answers = self._reverse_phase(
+                results, exchange, splits, chunks, n, report
+            )
+            values = (answers & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+            found_out = (answers >> np.uint64(32)).astype(bool)
+
+            chunk_sizes = [int(p.shape[0]) for p in packed]
+            report.d2h_per_gpu = np.array(
+                [
+                    chunk_sizes[gpu] * PAIR_BYTES if source == "host" else 0
+                    for gpu in range(self.num_gpus)
+                ],
+                dtype=np.int64,
+            )
+            report.d2h_bytes = int(report.d2h_per_gpu.sum())
+            if source == "host":
+                for gpu in range(self.num_gpus):
+                    if chunk_sizes[gpu]:
+                        self.transfer_log.add(
+                            TransferRecord(
+                                kind=MemcpyKind.D2H,
+                                nbytes=chunk_sizes[gpu] * PAIR_BYTES,
+                                src_device=gpu,
+                                dst_device=None,
+                                tag="query results",
+                            )
                         )
-                    )
-        # defaults for missing keys
-        values[~found_out] = default
-        self._release_batch_buffers(staging)
+            # defaults for missing keys
+            values[~found_out] = default
+        finally:
+            self._release_batch_buffers(staging)
         return values, found_out, report
 
     def erase(
@@ -543,49 +634,42 @@ class DistributedHashTable:
         )
         report.h2d_per_gpu = key_bytes if source == "host" else np.zeros_like(key_bytes)
         report.h2d_bytes = int(report.h2d_per_gpu.sum())
+        if source == "host":
+            for gpu, nbytes in enumerate(key_bytes):
+                self.transfer_log.add(
+                    TransferRecord(
+                        kind=MemcpyKind.H2D,
+                        nbytes=int(nbytes),
+                        src_device=None,
+                        dst_device=gpu,
+                        tag="erase keys",
+                    )
+                )
 
         staging = self._reserve_batch_buffers(packed)
-        splits, table = self._split_phase(packed)
-        report.multisplit_reports = [ms.report for ms in splits]
-        report.partition_table = table
+        try:
+            splits, table = self._split_phase(packed, report)
+            exchange = self._transpose_phase(
+                splits, table, report, reversible=True
+            )
 
-        exchange = transpose_exchange(
-            [ms.pairs for ms in splits],
-            [ms.offsets for ms in splits],
-            table,
-            self.topology,
-            log=self.transfer_log,
-        )
-        report.alltoall_bytes = table.offdiagonal_bytes()
-        report.alltoall_seconds = exchange.network_seconds
+            keys_per_gpu = [
+                unpack_pairs(exchange.received[gpu])[0]
+                for gpu in range(self.num_gpus)
+            ]
+            by_gpu = self._kernel_phase("erase", keys_per_gpu, report=report)
+            results = []
+            for gpu in range(self.num_gpus):
+                res = by_gpu.get(gpu)
+                erased = np.empty(0, dtype=bool) if res is None else res.erased
+                results.append(erased.astype(np.uint64))
 
-        keys_per_gpu = [
-            unpack_pairs(exchange.received[gpu])[0]
-            for gpu in range(self.num_gpus)
-        ]
-        by_gpu = self._kernel_phase("erase", keys_per_gpu, report=report)
-        results = []
-        for gpu in range(self.num_gpus):
-            res = by_gpu.get(gpu)
-            erased = np.empty(0, dtype=bool) if res is None else res.erased
-            results.append(erased.astype(np.uint64))
-
-        chunk_sizes = [int(p.shape[0]) for p in packed]
-        routed, reverse_seconds = reverse_exchange(
-            results,
-            exchange.provenance,
-            chunk_sizes,
-            self.topology,
-            log=self.transfer_log,
-        )
-        report.reverse_seconds = reverse_seconds
-
-        erased_out = np.zeros(n, dtype=bool)
-        for gpu, sl in enumerate(chunks):
-            chunk_flags = np.zeros(chunk_sizes[gpu], dtype=np.uint64)
-            chunk_flags[splits[gpu].source_index] = routed[gpu]
-            erased_out[sl] = chunk_flags.astype(bool)
-        self._release_batch_buffers(staging)
+            answers = self._reverse_phase(
+                results, exchange, splits, chunks, n, report
+            )
+            erased_out = answers.astype(bool)
+        finally:
+            self._release_batch_buffers(staging)
         return erased_out, report
 
     def export(self) -> tuple[np.ndarray, np.ndarray]:

@@ -85,6 +85,16 @@ class PartitionTable:
         """Total bytes crossing the interconnect (the m² − m messages)."""
         return int(self.traffic_matrix().sum())
 
+    def reverse_traffic_matrix(self, itemsize: int = PAIR_BYTES) -> np.ndarray:
+        """Bytes the reverse transposition moves: partition ``part`` sends
+        ``T[src, part]`` answers of ``itemsize`` bytes back to ``src``.
+        Entry ``[part, src]``; the diagonal (local answers) is zero."""
+        if itemsize < 1:
+            raise ConfigurationError(f"itemsize must be >= 1, got {itemsize}")
+        out = self.counts.T * int(itemsize)
+        np.fill_diagonal(out, 0)
+        return out
+
     def plan(self) -> list[TransferPlanEntry]:
         """All-to-all message list, diagonal (local copies) excluded."""
         entries = []

@@ -116,6 +116,18 @@ class AsyncCascadeDriver:
             return
         now = time.perf_counter()
         measured.add(ShardSpan(-1, f"{op} batch", batch_start - epoch, now - epoch))
+        # the host-side distribution phases (multisplit + transpose +
+        # reverse) as one span anchored at the batch start — the cost the
+        # fused path shrinks, visible next to the kernel spans
+        if report.distribution_wall_seconds > 0:
+            measured.add(
+                ShardSpan(
+                    -1,
+                    f"{op} distribution",
+                    batch_start - epoch,
+                    batch_start - epoch + report.distribution_wall_seconds,
+                )
+            )
         # kernel spans are 0-based at the kernel phase; rebase to the epoch
         offset = (now - epoch) - report.kernel_wall_seconds
         measured.extend(report.kernel_spans, offset=offset)

@@ -1,8 +1,9 @@
 """Device primitives (CUB stand-ins): scans, radix sort, compaction."""
 
-from .compact import CompactResult, compact, histogram
+from .compact import CompactResult, compact, compact_fast, histogram
 from .radix_sort import DIGIT_BITS, RADIX, RadixSortResult, radix_sort, radix_sort_pairs
 from .scan import ScanResult, exclusive_scan, inclusive_scan, segmented_reduce
+from .scatter import CountingScatterResult, counting_scatter
 
 __all__ = [
     "ScanResult",
@@ -16,5 +17,8 @@ __all__ = [
     "RADIX",
     "CompactResult",
     "compact",
+    "compact_fast",
     "histogram",
+    "CountingScatterResult",
+    "counting_scatter",
 ]

@@ -6,7 +6,12 @@ import pytest
 from repro.hashing.partition import hashed_partition
 from repro.memory.layout import pack_pairs, unpack_pairs
 from repro.memory.transfer import MemcpyKind, TransferLog
-from repro.multigpu.alltoall import reverse_exchange, transpose_exchange
+from repro.multigpu.alltoall import (
+    reverse_exchange,
+    reverse_exchange_fast,
+    transpose_exchange,
+    transpose_exchange_fast,
+)
 from repro.multigpu.multisplit import multisplit
 from repro.multigpu.partition_table import PartitionTable
 from repro.multigpu.topology import p100_nvlink_node
@@ -94,16 +99,17 @@ class TestReverseExchange:
         for gpu in range(4):
             keys, _ = unpack_pairs(exchange.received[gpu])
             answers.append((keys.astype(np.uint64) + np.uint64(1)))
-        routed, seconds = reverse_exchange(
+        rev = reverse_exchange(
             answers,
             exchange.provenance,
             [ms.pairs.size for ms in splits],
             node,
         )
-        assert seconds >= 0
+        assert rev.network_seconds >= 0
+        assert rev.traffic.sum() > 0
         for gpu in range(4):
             keys, _ = unpack_pairs(splits[gpu].pairs)
-            assert (routed[gpu] == keys.astype(np.uint64) + np.uint64(1)).all()
+            assert (rev.outputs[gpu] == keys.astype(np.uint64) + np.uint64(1)).all()
 
     def test_reverse_is_isomorphism(self):
         """Sending the received pairs straight back reconstructs each
@@ -112,14 +118,14 @@ class TestReverseExchange:
         exchange = transpose_exchange(
             [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
         )
-        routed, _ = reverse_exchange(
+        rev = reverse_exchange(
             exchange.received,
             exchange.provenance,
             [ms.pairs.size for ms in splits],
             node,
         )
         for gpu in range(4):
-            assert (routed[gpu] == splits[gpu].pairs).all()
+            assert (rev.outputs[gpu] == splits[gpu].pairs).all()
 
     def test_length_mismatch_rejected(self):
         node, _, splits, table, _ = setup_exchange()
@@ -131,3 +137,75 @@ class TestReverseExchange:
             reverse_exchange(
                 bad, exchange.provenance, [ms.pairs.size for ms in splits], node
             )
+
+
+class TestFusedExchange:
+    """Index-routed fast path vs the provenance-based reference."""
+
+    def test_received_buffers_identical(self):
+        node, _, splits, table, _ = setup_exchange(seed=7)
+        ref = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        fused = transpose_exchange_fast(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        for gpu in range(4):
+            assert (ref.received[gpu] == fused.received[gpu]).all()
+        assert (ref.table.counts == fused.table.counts).all()
+        assert ref.network_seconds == fused.network_seconds
+        assert fused.provenance is None and fused.routing is not None
+
+    def test_transfer_logs_identical(self):
+        node, _, splits, table, _ = setup_exchange(seed=8)
+        ref_log, fused_log = TransferLog(), TransferLog()
+        transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits],
+            table, node, log=ref_log,
+        )
+        transpose_exchange_fast(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits],
+            table, node, log=fused_log,
+        )
+        assert ref_log.records == fused_log.records
+
+    def test_reverse_outputs_and_traffic_identical(self):
+        node, _, splits, table, _ = setup_exchange(seed=9)
+        ref = transpose_exchange(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        fused = transpose_exchange_fast(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        answers = []
+        for gpu in range(4):
+            keys, _ = unpack_pairs(ref.received[gpu])
+            answers.append(keys.astype(np.uint64) * np.uint64(3))
+        ref_log, fused_log = TransferLog(), TransferLog()
+        rev_ref = reverse_exchange(
+            answers, ref.provenance, [ms.pairs.size for ms in splits],
+            node, log=ref_log,
+        )
+        rev_fused = reverse_exchange_fast(answers, fused.routing, node, log=fused_log)
+        for gpu in range(4):
+            assert (rev_ref.outputs[gpu] == rev_fused.outputs[gpu]).all()
+        assert (rev_ref.traffic == rev_fused.traffic).all()
+        assert rev_ref.network_seconds == rev_fused.network_seconds
+        assert ref_log.records == fused_log.records
+
+    def test_build_routing_false_skips_inverse_permutation(self):
+        node, _, splits, table, _ = setup_exchange(seed=10)
+        fused = transpose_exchange_fast(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits],
+            table, node, build_routing=False,
+        )
+        assert fused.routing is None
+
+    def test_reverse_fast_size_mismatch_rejected(self):
+        node, _, splits, table, _ = setup_exchange(seed=11)
+        fused = transpose_exchange_fast(
+            [ms.pairs for ms in splits], [ms.offsets for ms in splits], table, node
+        )
+        bad = [r[:-1] if r.size else r for r in fused.received]
+        with pytest.raises(Exception):
+            reverse_exchange_fast(bad, fused.routing, node)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.hashing.partition import modulo_partition
+from repro.memory.transfer import MemcpyKind
 from repro.multigpu.distributed_table import DistributedHashTable
 from repro.multigpu.topology import p100_nvlink_node
 from repro.workloads.distributions import random_values, unique_keys, zipf_keys
@@ -161,6 +162,57 @@ class TestDistributedErase:
         erased, _ = t.erase(probe)
         assert erased[:100].all() and not erased[100:].any()
 
+    def test_erase_host_source_logs_transfers(self):
+        """erase(source="host") must log H2D records matching its
+        h2d accounting and report reverse traffic, like insert/query."""
+        node = p100_nvlink_node(4)
+        keys = unique_keys(2000, seed=24)
+        t = DistributedHashTable.for_workload(node, keys, 0.9)
+        t.insert(keys, keys, source="device")
+        t.transfer_log.clear()
+        erased, report = t.erase(keys[:1000], source="host")
+        assert erased.all()
+        assert report.h2d_bytes == 1000 * 4
+        h2d_records = [
+            r for r in t.transfer_log.records if r.kind is MemcpyKind.H2D
+        ]
+        assert sum(r.nbytes for r in h2d_records) == report.h2d_bytes
+        assert all(r.tag == "erase keys" for r in h2d_records)
+        # reverse traffic is now accounted exactly like the query cascade
+        assert report.reverse_bytes > 0
+        reverse_p2p = [
+            r
+            for r in t.transfer_log.records
+            if r.kind is MemcpyKind.P2P and r.tag.startswith("reverse")
+        ]
+        assert sum(r.nbytes for r in reverse_p2p) == report.reverse_bytes
+
+    def test_erase_device_source_logs_nothing_host_side(self):
+        node = p100_nvlink_node(2)
+        keys = unique_keys(500, seed=25)
+        t = DistributedHashTable.for_workload(node, keys, 0.9)
+        t.insert(keys, keys, source="device")
+        t.transfer_log.clear()
+        _, report = t.erase(keys[:100])  # default source="device"
+        assert report.h2d_bytes == 0
+        assert not any(
+            r.kind is MemcpyKind.H2D for r in t.transfer_log.records
+        )
+
+    def test_query_reverse_bytes_matches_traffic_matrix(self):
+        node = p100_nvlink_node(4)
+        keys = unique_keys(2000, seed=26)
+        t = DistributedHashTable.for_workload(node, keys, 0.9)
+        t.insert(keys, keys, source="device")
+        t.transfer_log.clear()
+        _, _, report = t.query(keys, source="host")
+        reverse_p2p = [
+            r
+            for r in t.transfer_log.records
+            if r.kind is MemcpyKind.P2P and r.tag.startswith("reverse")
+        ]
+        assert report.reverse_bytes == sum(r.nbytes for r in reverse_p2p)
+
     def test_erase_then_reinsert(self):
         node = p100_nvlink_node(3)
         keys = unique_keys(600, seed=23)
@@ -221,6 +273,26 @@ class TestConfiguration:
         assert node.devices[0].allocated_bytes == before  # released
         # but the peak recorded the staging footprint (2x chunk pairs)
         assert node.devices[0].peak_allocated_bytes >= before + 2 * 500 * 8
+
+    def test_staging_released_when_query_raises(self):
+        """query()/erase() must release staging buffers on exception
+        (the try/finally insert() always had)."""
+        node = p100_nvlink_node(2)
+        keys = unique_keys(1000, seed=32)
+        t = DistributedHashTable.for_workload(node, keys, 0.8)
+        t.insert(keys, keys)
+        baseline = node.devices[0].allocated_bytes
+
+        def boom(tasks):
+            raise RuntimeError("engine crashed")
+
+        t.engine.run = boom
+        with pytest.raises(RuntimeError):
+            t.query(keys)
+        assert node.devices[0].allocated_bytes == baseline
+        with pytest.raises(RuntimeError):
+            t.erase(keys[:10])
+        assert node.devices[0].allocated_bytes == baseline
 
     def test_oversized_batch_exhausts_vram(self):
         """A batch whose double buffers exceed the card must fail the

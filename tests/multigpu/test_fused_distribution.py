@@ -1,0 +1,218 @@
+"""Property tests: the fused distribution path is bit-identical to the
+reference path — multisplit outputs and accounting, exchange buffers and
+logs, reverse routing, and whole-cascade reports/counters."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.partition import hashed_partition, modulo_partition
+from repro.memory.layout import pack_pairs
+from repro.multigpu.distributed_table import DistributedHashTable
+from repro.multigpu.multisplit import multisplit, multisplit_fast
+from repro.multigpu.topology import p100_nvlink_node
+from repro.simt.counters import TransactionCounter
+from repro.workloads.distributions import random_values, unique_keys, zipf_keys
+
+
+def make_pairs(n, seed=0):
+    keys = unique_keys(n, seed=seed)
+    return pack_pairs(keys, random_values(n, seed=seed + 1))
+
+
+def assert_multisplit_identical(pairs, partition, group_size):
+    ref_counter, fused_counter = TransactionCounter(), TransactionCounter()
+    ref = multisplit(pairs, partition, counter=ref_counter, group_size=group_size)
+    fused = multisplit_fast(
+        pairs, partition, counter=fused_counter, group_size=group_size
+    )
+    assert (ref.pairs == fused.pairs).all()
+    assert (ref.source_index == fused.source_index).all()
+    assert (ref.counts == fused.counts).all()
+    assert (ref.offsets == fused.offsets).all()
+    assert ref.report.load_sectors == fused.report.load_sectors
+    assert ref.report.store_sectors == fused.report.store_sectors
+    assert ref.report.warp_collectives == fused.report.warp_collectives
+    assert (ref.report.probe_windows == fused.report.probe_windows).all()
+    assert ref_counter.snapshot() == fused_counter.snapshot()
+
+
+class TestMultisplitEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=400),
+        m=st.sampled_from([1, 2, 4, 8]),
+        group_size=st.sampled_from([1, 4, 32]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_keys(self, n, m, group_size, seed):
+        assert_multisplit_identical(
+            make_pairs(n, seed=seed), hashed_partition(m), group_size
+        )
+
+    @given(
+        m=st.sampled_from([2, 4, 8]),
+        group_size=st.sampled_from([1, 4, 32]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_empty_partitions(self, m, group_size, seed):
+        """Keys all ≡ 0 (mod m): every partition but one is empty."""
+        keys = (np.arange(64, dtype=np.uint32) * m).astype(np.uint32)
+        pairs = pack_pairs(keys, random_values(64, seed=seed))
+        assert_multisplit_identical(pairs, modulo_partition(m), group_size)
+
+    @given(
+        m=st.sampled_from([2, 4, 8]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_skewed_zipf_keys(self, m, seed):
+        keys = zipf_keys(300, s=1.4, universe=50, seed=seed)
+        pairs = pack_pairs(keys, random_values(300, seed=seed + 1))
+        assert_multisplit_identical(pairs, hashed_partition(m), 32)
+
+
+def build_pair(node_factory, m, n, seed, **kwargs):
+    """Two tables over identical topologies: reference and fused."""
+    keys = unique_keys(n, seed=seed)
+    tables = {}
+    for mode in ("reference", "fused"):
+        node = node_factory(m)
+        tables[mode] = DistributedHashTable.for_workload(
+            node, keys, 0.9, distribution=mode, **kwargs
+        )
+    return keys, tables["reference"], tables["fused"]
+
+
+def assert_reports_identical(ref, fused):
+    assert ref.op == fused.op and ref.num_ops == fused.num_ops
+    assert ref.h2d_bytes == fused.h2d_bytes
+    assert ref.d2h_bytes == fused.d2h_bytes
+    assert (ref.h2d_per_gpu == fused.h2d_per_gpu).all()
+    assert (ref.d2h_per_gpu == fused.d2h_per_gpu).all()
+    assert ref.alltoall_bytes == fused.alltoall_bytes
+    assert ref.alltoall_seconds == fused.alltoall_seconds
+    assert ref.reverse_bytes == fused.reverse_bytes
+    assert ref.reverse_seconds == fused.reverse_seconds
+    assert (ref.partition_table.counts == fused.partition_table.counts).all()
+    for a, b in zip(ref.multisplit_reports, fused.multisplit_reports):
+        assert a.as_dict() == b.as_dict()
+    for a, b in zip(ref.kernel_reports, fused.kernel_reports):
+        assert a.as_dict() == b.as_dict()
+
+
+def assert_devices_identical(ref_table, fused_table):
+    for dev_ref, dev_fused in zip(
+        ref_table.topology.devices, fused_table.topology.devices
+    ):
+        assert dev_ref.counter.snapshot() == dev_fused.counter.snapshot()
+
+
+class TestCascadeEquivalence:
+    @given(
+        m=st.sampled_from([1, 2, 4, 8]),
+        n=st.integers(min_value=1, max_value=600),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_insert_query_cascades(self, m, n, seed):
+        keys, ref, fused = build_pair(p100_nvlink_node, m, n, seed)
+        values = random_values(n, seed=seed + 7)
+
+        rep_ref = ref.insert(keys, values, source="host")
+        rep_fused = fused.insert(keys, values, source="host")
+        assert_reports_identical(rep_ref, rep_fused)
+        assert len(ref) == len(fused)
+
+        got_ref, found_ref, qrep_ref = ref.query(keys, source="host")
+        got_fused, found_fused, qrep_fused = fused.query(keys, source="host")
+        assert (got_ref == got_fused).all()
+        assert (found_ref == found_fused).all()
+        assert found_fused.all()
+        assert_reports_identical(qrep_ref, qrep_fused)
+
+        assert_devices_identical(ref, fused)
+        assert ref.transfer_log.records == fused.transfer_log.records
+        ref.free()
+        fused.free()
+
+    @given(
+        m=st.sampled_from([2, 4]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_erase_cascade(self, m, seed):
+        n = 400
+        keys, ref, fused = build_pair(p100_nvlink_node, m, n, seed)
+        for t in (ref, fused):
+            t.insert(keys, keys, source="device")
+
+        erased_ref, erep_ref = ref.erase(keys[: n // 2], source="host")
+        erased_fused, erep_fused = fused.erase(keys[: n // 2], source="host")
+        assert (erased_ref == erased_fused).all()
+        assert erased_fused.all()
+        assert_reports_identical(erep_ref, erep_fused)
+        assert_devices_identical(ref, fused)
+        assert ref.transfer_log.records == fused.transfer_log.records
+        ref.free()
+        fused.free()
+
+    def test_mixed_present_absent_query(self):
+        keys, ref, fused = build_pair(p100_nvlink_node, 4, 300, 55)
+        for t in (ref, fused):
+            t.insert(keys, keys, source="device")
+        pool = unique_keys(1200, seed=56)
+        absent = pool[~np.isin(pool, keys)][:300]
+        probe = np.empty(600, dtype=np.uint32)
+        probe[0::2] = keys
+        probe[1::2] = absent
+        got_ref, found_ref, rep_ref = ref.query(probe, default=99)
+        got_fused, found_fused, rep_fused = fused.query(probe, default=99)
+        assert (got_ref == got_fused).all()
+        assert (found_ref == found_fused).all()
+        assert found_fused[0::2].all() and not found_fused[1::2].any()
+        assert (got_fused[1::2] == 99).all()
+        assert_reports_identical(rep_ref, rep_fused)
+        ref.free()
+        fused.free()
+
+    def test_skewed_partitions_modulo(self):
+        """Structured keys under k mod m leave partitions empty."""
+        node_ref = p100_nvlink_node(4)
+        node_fused = p100_nvlink_node(4)
+        keys = (np.arange(200, dtype=np.uint32) * 4).astype(np.uint32)  # all on GPU 0
+        ref = DistributedHashTable.for_workload(
+            node_ref, keys, 0.8, partition=modulo_partition(4),
+            distribution="reference",
+        )
+        fused = DistributedHashTable.for_workload(
+            node_fused, keys, 0.8, partition=modulo_partition(4),
+            distribution="fused",
+        )
+        rep_ref = ref.insert(keys, keys)
+        rep_fused = fused.insert(keys, keys)
+        assert_reports_identical(rep_ref, rep_fused)
+        got_ref, found_ref, qref = ref.query(keys)
+        got_fused, found_fused, qfused = fused.query(keys)
+        assert (got_ref == got_fused).all() and found_fused.all()
+        assert_reports_identical(qref, qfused)
+        assert_devices_identical(ref, fused)
+        assert ref.transfer_log.records == fused.transfer_log.records
+        ref.free()
+        fused.free()
+
+    def test_group_size_variants(self):
+        for group_size in (1, 4, 32):
+            keys, ref, fused = build_pair(
+                p100_nvlink_node, 4, 250, 77, group_size=group_size
+            )
+            rep_ref = ref.insert(keys, keys)
+            rep_fused = fused.insert(keys, keys)
+            assert_reports_identical(rep_ref, rep_fused)
+            got_ref, _, _ = ref.query(keys)
+            got_fused, _, _ = fused.query(keys)
+            assert (got_ref == got_fused).all()
+            assert_devices_identical(ref, fused)
+            ref.free()
+            fused.free()

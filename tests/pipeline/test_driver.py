@@ -87,10 +87,14 @@ class TestWallClock:
         res = driver.insert_stream((b.keys, b.values) for b in stream)
         assert res.measured is not None
         assert res.measured_makespan > 0.0
-        # one node-level span per batch, plus the per-shard kernel spans
-        batch_spans = res.measured.shard_spans(-1)
+        # one node-level span per batch plus one distribution span per
+        # batch, plus the per-shard kernel spans
+        node_spans = res.measured.shard_spans(-1)
+        batch_spans = [s for s in node_spans if s.op == "insert batch"]
+        dist_spans = [s for s in node_spans if s.op == "insert distribution"]
         assert len(batch_spans) == 4
-        assert all(s.op == "insert batch" for s in batch_spans)
+        assert len(dist_spans) == 4
+        assert all(s.duration > 0 for s in dist_spans)
         kernel_spans = [s for s in res.measured.spans if s.shard >= 0]
         assert kernel_spans and all(s.duration > 0 for s in kernel_spans)
         # batches stream one after another on a monotonic clock

@@ -1,0 +1,56 @@
+"""Audit of the pytest marker configuration and test-time budget.
+
+Tier-1 is ``pytest -q`` with ``-m 'not slow'``: anything expensive must
+carry the (registered) ``slow`` marker, and the hypothesis property
+tests that guard the fused distribution path must keep their example
+counts small enough to stay inside the tier-1 budget.
+"""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TESTS = REPO_ROOT / "tests"
+
+MAX_EXAMPLES_BUDGET = 100
+
+
+def _pyproject() -> str:
+    return (REPO_ROOT / "pyproject.toml").read_text()
+
+
+class TestMarkerConfig:
+    def test_slow_marker_registered(self):
+        assert re.search(r'"slow:.*"', _pyproject())
+
+    def test_tier1_deselects_slow(self):
+        assert "-m 'not slow'" in _pyproject()
+
+    def test_benchmarks_outside_tier1_paths(self):
+        """The 2^18 measurement lives in benchmarks/, not testpaths."""
+        match = re.search(r"testpaths\s*=\s*\[([^\]]*)\]", _pyproject())
+        assert match and "benchmarks" not in match.group(1)
+        assert (REPO_ROOT / "benchmarks" / "bench_distribution.py").exists()
+
+    def test_slow_marks_use_registered_name(self):
+        """Every pytest.mark.<name> in tests/ is a registered marker."""
+        registered = set(
+            re.findall(r'"(\w+):', _pyproject())
+        ) | {"parametrize", "skip", "skipif", "xfail", "usefixtures", "filterwarnings"}
+        for path in TESTS.rglob("test_*.py"):
+            for mark in re.findall(r"pytest\.mark\.(\w+)", path.read_text()):
+                assert mark in registered, f"{path.name}: unregistered mark {mark}"
+
+
+class TestHypothesisBudget:
+    def test_property_tests_cap_examples(self):
+        """settings(max_examples=...) stays within the tier-1 budget."""
+        found = 0
+        for path in TESTS.rglob("test_*.py"):
+            for count in re.findall(r"max_examples=(\d+)", path.read_text()):
+                found += 1
+                assert int(count) <= MAX_EXAMPLES_BUDGET, (
+                    f"{path.name}: max_examples={count} exceeds "
+                    f"tier-1 budget {MAX_EXAMPLES_BUDGET}"
+                )
+        assert found > 0  # the fused-path property tests exist
