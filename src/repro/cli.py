@@ -13,6 +13,12 @@ figures
 bench
     Measured wall-clock suites: shard-execution backends and the
     fused-vs-reference distribution path.
+racecheck
+    Shadow-memory race sanitizer over the reference kernels: clean-tree
+    certification plus the seeded mutant catalogue.
+fuzz
+    Differential fuzzing of the fast paths against the reference
+    semantics, with fault injection, shrinking, and seed replay.
 """
 
 from __future__ import annotations
@@ -159,6 +165,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(text: str) -> float:
+    """Seconds from a ``30s`` / ``2m`` / plain-number budget string."""
+    text = text.strip().lower()
+    if text.endswith("m"):
+        return float(text[:-1]) * 60.0
+    if text.endswith("s"):
+        return float(text[:-1])
+    return float(text)
+
+
+def _cmd_racecheck(args: argparse.Namespace) -> int:
+    from repro.sanitize.mutants import MUTANTS, run_clean, run_mutant
+    from repro.simt.scheduler import RandomScheduler, RoundRobinScheduler
+
+    schedulers = {
+        "round_robin": lambda: RoundRobinScheduler(),
+        "random": lambda: RandomScheduler(seed=args.seed),
+    }
+    names = [args.mutant] if args.mutant else ["clean", *MUTANTS]
+    failures = 0
+    for name in names:
+        for label, make in schedulers.items():
+            if name == "clean":
+                report = run_clean(make())
+                ok = report.clean
+                verdict = "clean" if ok else "FINDINGS (unexpected)"
+            else:
+                report = run_mutant(name, make())
+                expected = MUTANTS[name].expected_rule
+                ok = expected in report.rules_hit()
+                verdict = (
+                    f"flagged [{expected}]" if ok else "NOT FLAGGED (bug!)"
+                )
+            failures += not ok
+            print(f"{name:26s} {label:12s} {verdict}")
+            if args.verbose or not ok:
+                for line in report.format().splitlines():
+                    print("    " + line)
+    return 1 if failures else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.sanitize.fuzz import replay_seed, run_fuzz
+    from repro.sanitize.inject import INJECTIONS
+
+    if args.inject is not None and args.inject not in INJECTIONS:
+        print(f"unknown injection {args.inject!r}; choose from "
+              f"{sorted(INJECTIONS)}")
+        return 2
+
+    if args.replay is not None:
+        failure = replay_seed(args.replay, inject=args.inject)
+        if failure is None:
+            print(f"replay seed={args.replay}: all differential checks pass")
+            return 0
+        print(failure.message())
+        return 1
+
+    result = run_fuzz(
+        budget_seconds=_parse_budget(args.budget) if args.budget else None,
+        max_cases=args.max_cases,
+        start_seed=args.seed,
+        inject=args.inject,
+        corpus_path=args.corpus,
+        shrink_failures=not args.no_shrink,
+        log=print,
+    )
+    print(result.format())
+    return 1 if result.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="WarpDrive reproduction toolkit"
@@ -233,6 +310,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write records to this JSON path"
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    race = sub.add_parser(
+        "racecheck",
+        help="SIMT race sanitizer: clean-tree certification + mutant catalogue",
+    )
+    race.add_argument(
+        "--mutant", default=None, help="run one catalogued mutant only"
+    )
+    race.add_argument(
+        "--seed", type=int, default=7, help="random-scheduler seed"
+    )
+    race.add_argument(
+        "--verbose", action="store_true", help="print full reports"
+    )
+    race.set_defaults(fn=_cmd_racecheck)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of fast paths vs reference"
+    )
+    fuzz.add_argument(
+        "--budget", default=None, help="time budget, e.g. 30s or 2m"
+    )
+    fuzz.add_argument(
+        "--max-cases", type=int, default=None, help="cap on cases run"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="first case seed (cases count up)"
+    )
+    fuzz.add_argument(
+        "--replay", type=int, default=None, metavar="SEED",
+        help="re-run the single case derived from SEED and exit",
+    )
+    fuzz.add_argument(
+        "--inject", default=None, metavar="NAME",
+        help="enable a seeded fault (see repro.sanitize.inject)",
+    )
+    fuzz.add_argument(
+        "--corpus", default="tests/fuzz/corpus.json",
+        help="seed-corpus JSON to append to (replayable regressions)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="skip failure shrinking"
+    )
+    fuzz.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

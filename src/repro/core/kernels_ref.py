@@ -72,6 +72,7 @@ def insert_task(
 
     while True:  # restart wrapper: a lost claim rescans the walk
         claim_row = -1
+        claim_lane = -1
         claim_expected = np.uint64(0)
         finished_scan = False
 
@@ -88,7 +89,8 @@ def insert_task(
                     if match_mask:
                         leader = group.elect_leader(match_mask)
                         old = atomic_cas(
-                            slots, int(rows[leader]), d_t[leader], pair, counter
+                            slots, int(rows[leader]), d_t[leader], pair, counter,
+                            lane=leader,
                         )
                         yield
                         if old == d_t[leader]:
@@ -105,6 +107,7 @@ def insert_task(
                 if claim_row < 0 and mask:
                     leader = group.elect_leader(mask)
                     claim_row = int(rows[leader])
+                    claim_lane = leader
                     claim_expected = d_t[leader]
                 # an EMPTY slot ends the scan: no copy can lie beyond it
                 if group.any(is_empty(d_t)):
@@ -117,7 +120,9 @@ def insert_task(
             # p_max exhausted without a single vacancy (line 26)
             return ("failed", windows)
 
-        old = atomic_cas(slots, claim_row, claim_expected, pair, counter)
+        old = atomic_cas(
+            slots, claim_row, claim_expected, pair, counter, lane=claim_lane
+        )
         yield
         if old == claim_expected:
             return ("inserted", windows)
@@ -200,6 +205,7 @@ def erase_task(
                         d_t[leader],
                         TOMBSTONE_SLOT,
                         counter,
+                        lane=leader,
                     )
                     yield
                     if old == d_t[leader]:

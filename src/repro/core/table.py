@@ -111,6 +111,13 @@ class WarpDriveHashTable:
             self._buffer = None
             self.slots = np.full(config.capacity, EMPTY_SLOT, dtype=np.uint64)
 
+        # a sanitizer attached to the device shadow-instruments the slot
+        # array so reference-kernel launches get racechecked end to end
+        if device is not None and device.sanitizer is not None:
+            from ..sanitize.shadow import ShadowedArray
+
+            self.slots = ShadowedArray(self.slots, device.sanitizer)
+
         self.seq = WindowSequence(config.family, config.group_size, config.p_max)
         self._size = 0
         self.rebuilds = 0
@@ -244,10 +251,17 @@ class WarpDriveHashTable:
         self.last_report = report
         return report
 
+    def _ref_sanitizer(self):
+        """The device's race sanitizer, if one is attached."""
+        return self.device.sanitizer if self.device is not None else None
+
     def _insert_ref(
         self, k: np.ndarray, v: np.ndarray, scheduler: Scheduler | None
     ) -> tuple[KernelReport, np.ndarray]:
-        group = CoalescedGroup(self.config.group_size, self.counter)
+        sanitizer = self._ref_sanitizer()
+        group = CoalescedGroup(
+            self.config.group_size, self.counter, sanitizer=sanitizer
+        )
         sched = scheduler or SequentialScheduler()
 
         def kernel(i: int):
@@ -255,7 +269,10 @@ class WarpDriveHashTable:
                 self.slots, self.seq, group, int(k[i]), int(v[i]), self.counter
             )
 
-        results = launch(kernel, k.shape[0], scheduler=sched, counter=self.counter)
+        results = launch(
+            kernel, k.shape[0], scheduler=sched, counter=self.counter,
+            observer=sanitizer,
+        )
         status = np.array(
             [STATUS[s] for s, _ in results], dtype=np.uint8
         )
@@ -287,7 +304,10 @@ class WarpDriveHashTable:
                 self.slots, self.seq, k, self.counter, default=default
             )
         elif executor == "ref":
-            group = CoalescedGroup(self.config.group_size, self.counter)
+            sanitizer = self._ref_sanitizer()
+            group = CoalescedGroup(
+                self.config.group_size, self.counter, sanitizer=sanitizer
+            )
             sched = scheduler or SequentialScheduler()
 
             def kernel(i: int):
@@ -295,7 +315,10 @@ class WarpDriveHashTable:
                     self.slots, self.seq, group, int(k[i]), self.counter
                 )
 
-            results = launch(kernel, k.shape[0], scheduler=sched, counter=self.counter)
+            results = launch(
+                kernel, k.shape[0], scheduler=sched, counter=self.counter,
+                observer=sanitizer,
+            )
             values = np.full(k.shape[0], default, dtype=np.uint32)
             found = np.zeros(k.shape[0], dtype=bool)
             probes = np.zeros(k.shape[0], dtype=np.int64)
@@ -348,14 +371,20 @@ class WarpDriveHashTable:
             # every tombstone write is one store sector in the erase report
             self._size -= report.store_sectors
         elif executor == "ref":
-            group = CoalescedGroup(self.config.group_size, self.counter)
+            sanitizer = self._ref_sanitizer()
+            group = CoalescedGroup(
+                self.config.group_size, self.counter, sanitizer=sanitizer
+            )
             sched = scheduler or SequentialScheduler()
 
             def kernel(i: int):
                 return erase_task(self.slots, self.seq, group, int(k[i]), self.counter)
 
             cas_before = self.counter.cas_successes
-            results = launch(kernel, k.shape[0], scheduler=sched, counter=self.counter)
+            results = launch(
+                kernel, k.shape[0], scheduler=sched, counter=self.counter,
+                observer=sanitizer,
+            )
             erased = np.array([s == "erased" for s, _ in results], dtype=bool)
             report = KernelReport(
                 op="erase",

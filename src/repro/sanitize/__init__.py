@@ -1,0 +1,46 @@
+"""Race sanitizer and differential fuzzing for the simulated fast paths.
+
+Two halves, mirroring NVIDIA's ``compute-sanitizer`` + fuzzing practice:
+
+- :mod:`repro.sanitize.shadow` / :mod:`repro.sanitize.racecheck` — a
+  shadow-memory *racecheck* pass over the reference generator kernels,
+  flagging unguarded cross-group writes and missing intra-group syncs
+  under any scheduler.  :mod:`repro.sanitize.mutants` carries the seeded
+  defect catalogue that proves the checker's teeth.
+- :mod:`repro.sanitize.fuzz` / :mod:`repro.sanitize.inject` — a
+  differential fuzz harness cross-checking the vectorized fast paths
+  against the reference semantics on randomized workloads, with fault
+  injection, shrinking, and deterministic replay (``repro fuzz``).
+
+The fuzz half imports the core/exec/multigpu stacks, which in turn can
+import :mod:`repro.sanitize.shadow`; to keep that cycle broken the heavy
+submodules load lazily via module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from .racecheck import RaceChecker, RacecheckReport, RacecheckSession, RaceFinding
+from .shadow import AccessKind, AccessRecord, ShadowedArray
+
+__all__ = [
+    "AccessKind",
+    "AccessRecord",
+    "RaceChecker",
+    "RaceFinding",
+    "RacecheckReport",
+    "RacecheckSession",
+    "ShadowedArray",
+    "fuzz",
+    "inject",
+    "mutants",
+]
+
+_LAZY_SUBMODULES = {"fuzz", "inject", "mutants"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,156 @@
+"""Fault injection: seeded fast-path defects the fuzz harness must find.
+
+Each injection monkey-patches a defective variant of one fast-path
+function into **every** namespace that holds a direct reference to it
+(``from X import f`` freezes bindings, so patching the defining module
+alone is not enough).  The defects are real bug classes for this data
+structure, and each is *conditional* — it only changes behaviour on
+workloads with the right shape — so discovering one genuinely exercises
+the harness's randomization, and shrinking it exercises the reducer:
+
+``query-tombstone-skip``
+    ``bulk_query`` treats tombstones as EMPTY, so the absence proof
+    fires at the first vacant slot.  Visible only when a live key's
+    probe path crosses a tombstone (needs deletions + enough load).
+
+``erase-early-stop``
+    ``bulk_erase`` walks only the first outer probe attempt.  Visible
+    only when an erased key lives beyond window ``p = 0`` or a shadowed
+    duplicate copy follows the first match.
+
+``multisplit-unstable``
+    ``multisplit_fast`` loses its stable within-bin order.  Final
+    tables stay correct — only the bit-exact differential against the
+    reference multisplit (ordering + routing arrays) catches it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT, TOMBSTONE_SLOT
+
+__all__ = ["INJECTIONS", "InjectionSpec"]
+
+
+@dataclass(frozen=True)
+class InjectionSpec:
+    """One seeded fast-path defect and where the harness should catch it."""
+
+    name: str
+    summary: str
+    #: differential check expected to report the first mismatch
+    expected_check: str
+    #: builds [(module, attr, replacement), ...] given the live originals
+    _targets: Callable[[], list[tuple[object, str, object]]]
+
+    @contextmanager
+    def apply(self) -> Iterator[None]:
+        targets = self._targets()
+        saved = [(mod, attr, getattr(mod, attr)) for mod, attr, _ in targets]
+        for mod, attr, replacement in targets:
+            setattr(mod, attr, replacement)
+        try:
+            yield
+        finally:
+            for mod, attr, original in saved:
+                setattr(mod, attr, original)
+
+
+def _query_tombstone_skip_targets() -> list[tuple[object, str, object]]:
+    from ..core import bulk as bulk_mod
+    from ..core import table as table_mod
+    from ..exec import engine as engine_mod
+
+    real_bulk_query = bulk_mod.bulk_query
+
+    def broken_bulk_query(slots, seq, keys, counter=None, default=0):
+        # DEFECT: tombstones treated as EMPTY — the probe walk's absence
+        # proof fires at the first *vacant* slot instead of the first
+        # truly empty one, hiding keys stored beyond a deletion
+        view = np.asarray(slots).copy()
+        view[view == TOMBSTONE_SLOT] = EMPTY_SLOT
+        return real_bulk_query(view, seq, keys, counter, default=default)
+
+    return [
+        (table_mod, "bulk_query", broken_bulk_query),
+        (engine_mod, "bulk_query", broken_bulk_query),
+    ]
+
+
+def _erase_early_stop_targets() -> list[tuple[object, str, object]]:
+    from ..core import bulk as bulk_mod
+    from ..core import table as table_mod
+    from ..core.probing import WindowSequence
+    from ..exec import engine as engine_mod
+
+    real_bulk_erase = bulk_mod.bulk_erase
+
+    def broken_bulk_erase(slots, seq, keys, counter=None):
+        # DEFECT: gives up after the first outer probe attempt — keys
+        # that live past window p = 0 (or duplicate copies beyond the
+        # first match) survive the erase
+        truncated = WindowSequence(seq.family, seq.group_size, 1)
+        return real_bulk_erase(slots, truncated, keys, counter)
+
+    return [
+        (table_mod, "bulk_erase", broken_bulk_erase),
+        (engine_mod, "bulk_erase", broken_bulk_erase),
+    ]
+
+
+def _multisplit_unstable_targets() -> list[tuple[object, str, object]]:
+    import importlib
+
+    multisplit_mod = importlib.import_module("repro.multigpu.multisplit")
+    dist_mod = importlib.import_module("repro.multigpu.distributed_table")
+
+    real_multisplit_fast = multisplit_mod.multisplit_fast
+
+    def broken_multisplit_fast(pairs, partition, *args, **kwargs):
+        # DEFECT: within-bin order reversed — a lost stability guarantee.
+        # Routing stays self-consistent, so only the bit-exact
+        # differential against the reference multisplit sees it.
+        result = real_multisplit_fast(pairs, partition, *args, **kwargs)
+        for p in range(result.num_parts):
+            start = int(result.offsets[p])
+            stop = start + int(result.counts[p])
+            result.pairs[start:stop] = result.pairs[start:stop][::-1].copy()
+            result.source_index[start:stop] = (
+                result.source_index[start:stop][::-1].copy()
+            )
+        return result
+
+    return [
+        (multisplit_mod, "multisplit_fast", broken_multisplit_fast),
+        (dist_mod, "multisplit_fast", broken_multisplit_fast),
+    ]
+
+
+INJECTIONS: dict[str, InjectionSpec] = {
+    spec.name: spec
+    for spec in [
+        InjectionSpec(
+            name="query-tombstone-skip",
+            summary="bulk_query treats tombstones as EMPTY (early absence)",
+            expected_check="erase-tombstone",
+            _targets=_query_tombstone_skip_targets,
+        ),
+        InjectionSpec(
+            name="erase-early-stop",
+            summary="bulk_erase walks only the first outer probe attempt",
+            expected_check="erase-tombstone",
+            _targets=_erase_early_stop_targets,
+        ),
+        InjectionSpec(
+            name="multisplit-unstable",
+            summary="multisplit_fast loses stable within-bin ordering",
+            expected_check="multisplit",
+            _targets=_multisplit_unstable_targets,
+        ),
+    ]
+}

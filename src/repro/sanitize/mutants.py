@@ -1,0 +1,328 @@
+"""Seeded defect catalogue proving the racecheck pass has teeth.
+
+Each mutant is a realistic miscompilation of a reference kernel — the
+kind of bug the paper's Fig. 3 discipline exists to prevent — paired
+with a workload that makes its racy accesses overlap.  A mutant *must*
+be flagged (with the expected rule) under every scheduler, and the
+unmutated kernels on the same workloads must stay silent; both halves
+are enforced by ``tests/sanitize/test_mutants.py``.
+
+The catalogue:
+
+``dropped-cas-guard``
+    Fig. 3 line 13's slot-claiming CAS replaced by a plain store.  Two
+    groups inserting the same key walk the same windows, so the store
+    races with the other group's loads (and its own store).
+
+``missing-post-ballot-sync``
+    After the vacancy ballot the group writes the merged window back and
+    immediately re-reads the leader's word as a memory broadcast — with
+    no collective between store and load.  The classic missing
+    ``__syncwarp()``; flagged with a *single* group.
+
+``split-tombstone-rmw``
+    The CAS-guarded tombstone write of ``erase_task`` split into a
+    read-check-write sequence with a scheduling point in the middle.
+    Two erasers of one key interleave inside the torn RMW.
+
+``unsync-counter-bump``
+    A success counter bumped with a plain read-modify-write instead of
+    ``atomic_add``.  The insert itself stays correct — the race is on
+    the auxiliary ``stats`` word.  The ``atomic`` control variant of the
+    same kernel must stay clean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import TOMBSTONE_SLOT
+from ..core.kernels_ref import erase_task, insert_task, query_task
+from ..memory.layout import pack_scalar
+from ..core.slots import is_empty, is_vacant, matches_key
+from ..simt.atomics import atomic_add
+from ..simt.scheduler import Scheduler
+from .racecheck import RacecheckReport, RacecheckSession
+
+__all__ = [
+    "MUTANTS",
+    "MutantSpec",
+    "make_session",
+    "run_clean",
+    "run_mutant",
+]
+
+
+@dataclass(frozen=True)
+class MutantSpec:
+    """One catalogued defect: how to run it, what the checker must say."""
+
+    name: str
+    summary: str
+    expected_rule: str  # rule that must appear in report.rules_hit()
+    expected_array: str  # array the finding must land on
+    run: Callable[[RacecheckSession], None]
+
+
+def make_session(
+    scheduler: Scheduler | None = None,
+    *,
+    capacity: int = 64,
+    group_size: int = 8,
+) -> RacecheckSession:
+    """The catalogue's standard shadow-instrumented mini table."""
+    return RacecheckSession(capacity, group_size, scheduler=scheduler)
+
+
+# ---------------------------------------------------------------------------
+# mutant kernels
+# ---------------------------------------------------------------------------
+
+
+def _dropped_cas_guard_insert(slots, seq, group, key, value):
+    """Insert whose slot claim is a plain store instead of a CAS."""
+    capacity = slots.shape[0]
+    pair = pack_scalar(key, value)
+    key_arr = np.asarray([key], dtype=np.uint32)
+    for p in range(seq.p_max):
+        for q in range(seq.inner_count):
+            rows = seq.window_slots(key_arr, p, q, capacity)[0]
+            d_t = slots[rows].copy()
+            yield
+            mask = group.ballot(is_vacant(d_t))
+            if mask:
+                leader = group.elect_leader(mask)
+                # DEFECT: no CAS guard — a racing group claiming the same
+                # vacancy is silently overwritten
+                slots[int(rows[leader])] = pair
+                yield
+                return ("inserted", 0)
+    return ("failed", 0)
+
+
+def _run_dropped_cas_guard(session: RacecheckSession) -> None:
+    # two groups insert the *same* key: identical probe walks guarantee
+    # the unguarded store overlaps the other group's traffic
+    keys = [17, 17, 29, 29]
+
+    def kernel(i):
+        return _dropped_cas_guard_insert(
+            session.slots, session.seq, session.group, keys[i], i + 1
+        )
+
+    session.launch(kernel, len(keys))
+
+
+def _missing_post_ballot_sync_insert(slots, seq, group, key, value):
+    """Insert that memory-broadcasts the claim without a post-ballot sync."""
+    capacity = slots.shape[0]
+    pair = pack_scalar(key, value)
+    key_arr = np.asarray([key], dtype=np.uint32)
+    g = group.size
+    for p in range(seq.p_max):
+        for q in range(seq.inner_count):
+            rows = seq.window_slots(key_arr, p, q, capacity)[0]
+            d_t = slots[rows].copy()
+            yield
+            mask = group.ballot(is_vacant(d_t))
+            if mask:
+                leader = group.elect_leader(mask)
+                d_t[leader] = pair
+                # DEFECT: non-atomic window write-back, then every lane
+                # re-reads the leader's word as a memory broadcast with no
+                # collective in between — a missing __syncwarp() after
+                # the ballot
+                slots[rows] = d_t
+                broadcast = slots[np.full(g, rows[leader])]
+                yield
+                return ("inserted", int(broadcast[0] & np.uint64(0)))
+    return ("failed", 0)
+
+
+def _run_missing_post_ballot_sync(session: RacecheckSession) -> None:
+    # a single group suffices: the race is between lanes, not groups
+    def kernel(i):
+        return _missing_post_ballot_sync_insert(
+            session.slots, session.seq, session.group, 41, 1
+        )
+
+    session.launch(kernel, 1)
+
+
+def _split_tombstone_erase(slots, seq, group, key):
+    """Erase whose tombstone write is a torn read-check-write."""
+    capacity = slots.shape[0]
+    key_arr = np.asarray([key], dtype=np.uint32)
+    for p in range(seq.p_max):
+        for q in range(seq.inner_count):
+            rows = seq.window_slots(key_arr, p, q, capacity)[0]
+            d_t = slots[rows].copy()
+            yield
+            mask = group.ballot(matches_key(d_t, key))
+            if mask:
+                leader = group.elect_leader(mask)
+                row = int(rows[leader])
+                # DEFECT: the CAS split into read / reschedule / write —
+                # a concurrent eraser interleaves inside the RMW
+                cur = slots[row]
+                yield
+                if cur == d_t[leader]:
+                    slots[row] = TOMBSTONE_SLOT
+                yield
+                return ("erased", 0)
+            if group.any(is_empty(d_t)):
+                return ("absent", 0)
+    return ("absent", 0)
+
+
+def _run_split_tombstone_rmw(session: RacecheckSession) -> None:
+    # launch 0 (clean reference insert) populates; launch 1 races two
+    # erasers of the same key through the torn RMW
+    keys = [21, 22, 23]
+
+    def insert(i):
+        return insert_task(
+            session.slots, session.seq, session.group, keys[i], i + 1,
+            session.counter,
+        )
+
+    session.launch(insert, len(keys))
+
+    def erase(i):
+        return _split_tombstone_erase(
+            session.slots, session.seq, session.group, 21
+        )
+
+    session.launch(erase, 2)
+
+
+def _counter_bump_insert(slots, seq, group, key, value, stats, counter, *, atomic):
+    """Reference insert plus a per-success stats bump (racy or atomic)."""
+    result = yield from insert_task(slots, seq, group, key, value, counter)
+    if atomic:
+        atomic_add(stats, 0, 1, counter)
+    else:
+        # DEFECT: plain read-modify-write on a word every group touches
+        n = int(stats[0])
+        yield
+        stats[0] = n + 1
+    return result
+
+
+def _run_unsync_counter_bump(session: RacecheckSession) -> None:
+    _run_counter_bump(session, atomic=False)
+
+
+def _run_counter_bump(session: RacecheckSession, *, atomic: bool) -> None:
+    stats = session.aux("stats", 1)
+    keys = [51, 52, 53, 54]  # distinct keys: the table traffic is clean
+
+    def kernel(i):
+        return _counter_bump_insert(
+            session.slots, session.seq, session.group, keys[i], i + 1,
+            stats, session.counter, atomic=atomic,
+        )
+
+    session.launch(kernel, len(keys))
+
+
+# ---------------------------------------------------------------------------
+# registry + entry points
+# ---------------------------------------------------------------------------
+
+MUTANTS: dict[str, MutantSpec] = {
+    spec.name: spec
+    for spec in [
+        MutantSpec(
+            name="dropped-cas-guard",
+            summary="slot claim is a plain store instead of Fig. 3's CAS",
+            expected_rule="unguarded-write",
+            expected_array="slots",
+            run=_run_dropped_cas_guard,
+        ),
+        MutantSpec(
+            name="missing-post-ballot-sync",
+            summary="window write-back + memory broadcast with no sync",
+            expected_rule="intra-group-unsynced",
+            expected_array="slots",
+            run=_run_missing_post_ballot_sync,
+        ),
+        MutantSpec(
+            name="split-tombstone-rmw",
+            summary="tombstone CAS torn into read / reschedule / write",
+            expected_rule="unguarded-write",
+            expected_array="slots",
+            run=_run_split_tombstone_rmw,
+        ),
+        MutantSpec(
+            name="unsync-counter-bump",
+            summary="shared stats counter bumped without atomic_add",
+            expected_rule="unguarded-write",
+            expected_array="stats",
+            run=_run_unsync_counter_bump,
+        ),
+    ]
+}
+
+
+def run_mutant(
+    name: str, scheduler: Scheduler | None = None
+) -> RacecheckReport:
+    """Run one catalogued mutant under ``scheduler``; return its report."""
+    spec = MUTANTS[name]
+    session = make_session(scheduler)
+    spec.run(session)
+    return session.report()
+
+
+def run_clean(scheduler: Scheduler | None = None) -> RacecheckReport:
+    """The no-findings baseline: unmutated kernels on conflicting workloads.
+
+    Exercises every path the mutants corrupt — duplicate-key inserts
+    (update path + CAS restarts), queries, duplicate-key erases, and an
+    atomic stats bump — so a clean report certifies the rules do not
+    misfire on legal traffic.
+    """
+    session = make_session(scheduler)
+    stats = session.aux("stats", 1)
+    keys = [3, 5, 7, 3, 5, 7, 11, 13]
+
+    def insert(i):
+        def task():
+            result = yield from insert_task(
+                session.slots, session.seq, session.group, keys[i], i + 1,
+                session.counter,
+            )
+            atomic_add(stats, 0, 1, session.counter)
+            return result
+
+        return task()
+
+    session.launch(insert, len(keys))
+
+    def query(i):
+        return query_task(
+            session.slots, session.seq, session.group, keys[i], session.counter
+        )
+
+    session.launch(query, len(keys))
+
+    def erase(i):
+        return erase_task(
+            session.slots, session.seq, session.group, keys[i], session.counter
+        )
+
+    session.launch(erase, len(keys))
+    return session.report()
+
+
+def run_counter_bump_control(
+    scheduler: Scheduler | None = None,
+) -> RacecheckReport:
+    """The atomic control for ``unsync-counter-bump`` — must stay clean."""
+    session = make_session(scheduler)
+    _run_counter_bump(session, atomic=True)
+    return session.report()

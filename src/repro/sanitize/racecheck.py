@@ -1,0 +1,339 @@
+"""SIMT race sanitizer for the simulated reference kernels.
+
+The analogue of ``compute-sanitizer --tool racecheck`` for this repo's
+execution model.  The reference kernels (:mod:`repro.core.kernels_ref`)
+run as one generator per coalesced group, interleaved by a scheduler; the
+checker shadows every word of the instrumented arrays and records
+``(launch, task, lane, instruction-epoch, access-kind)`` per access.
+
+Memory-model discipline
+-----------------------
+The paper's kernels obey two rules, and the checker flags exactly their
+violations:
+
+``unguarded-write``
+    *Between groups* there is no synchronization inside a kernel launch
+    (grid barriers only exist between launches), so every write to a
+    shared word must be atomic (the 64-bit CAS of Fig. 3 line 13).  A
+    plain store to a word that any *other* group touches in the same
+    launch — read, write, or atomic — is a data race.  Plain reads may
+    race with other groups' atomics: that staleness is the algorithm's
+    documented tolerance ("the copies of the keys in registers might have
+    already been deprecated"), resolved by reloading after a failed CAS.
+
+``intra-group-unsynced``
+    *Within a group*, lanes synchronize only at the implicit barriers of
+    the collectives (``ballot`` / ``any`` / ``shfl``).  Under Volta
+    independent thread scheduling nothing else orders lanes, so a plain
+    write by one lane plus any access by a *different* lane to the same
+    word inside one sync interval (one "instruction epoch") is a race —
+    the classic missing ``__syncwarp`` after a ballot.
+
+Both rules are schedule-independent: they are judged on the recorded
+access sets, not on the particular interleaving the scheduler happened to
+produce, so a seeded mutant is flagged deterministically under lock-step
+and Volta-style scheduling alike.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT
+from ..core.config import HashTableConfig
+from ..core.probing import WindowSequence
+from ..simt.counters import TransactionCounter
+from ..simt.kernel import launch
+from ..simt.scheduler import RoundRobinScheduler, ScheduleObserver, Scheduler
+from ..simt.warp import CoalescedGroup
+from .shadow import AccessKind, AccessRecord, ShadowedArray
+
+__all__ = [
+    "RaceChecker",
+    "RaceFinding",
+    "RacecheckReport",
+    "RacecheckSession",
+]
+
+#: per-word record cap; beyond this the word's extra traffic is only
+#: counted (a hot word has long since accumulated every distinct
+#: (task, lane, kind) combination that matters for the rules)
+MAX_RECORDS_PER_WORD = 256
+
+
+@dataclass(frozen=True)
+class _Shadow:
+    """One recorded access, tagged with its kernel launch."""
+
+    launch: int
+    record: AccessRecord
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One detected race on one shadowed word."""
+
+    array: str
+    row: int
+    rule: str  # "unguarded-write" | "intra-group-unsynced"
+    write: AccessRecord
+    other: AccessRecord
+    launch: int
+
+    def describe(self) -> str:
+        return (
+            f"[{self.rule}] {self.array}[{self.row}] launch {self.launch}: "
+            f"{self.write.describe()} conflicts with {self.other.describe()}"
+        )
+
+
+@dataclass
+class RacecheckReport:
+    """Findings plus traffic statistics for one checked session."""
+
+    findings: list[RaceFinding] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    schedule: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def rules_hit(self) -> set[str]:
+        return {f.rule for f in self.findings}
+
+    def format(self) -> str:
+        lines = [
+            f"racecheck: {len(self.findings)} finding(s) under {self.schedule}"
+        ]
+        for f in self.findings[:20]:
+            lines.append("  " + f.describe())
+        if len(self.findings) > 20:
+            lines.append(f"  ... and {len(self.findings) - 20} more")
+        lines.append(
+            "traffic: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.stats.items()))
+        )
+        return "\n".join(lines)
+
+
+class RaceChecker(ScheduleObserver):
+    """Shadow-memory recorder + conflict detector.
+
+    One checker instance can shadow several arrays (slots plus auxiliary
+    buffers) and span several kernel launches; launch boundaries act as
+    global barriers, so conflicts are only reported within a launch.
+    """
+
+    def __init__(self):
+        self.current_task: int | None = None
+        self.current_launch = -1
+        self._epochs: dict[int, int] = {}
+        #: (array_name, row) -> recorded accesses
+        self._words: dict[tuple[str, int], list[_Shadow]] = {}
+        self._suppress_depth = 0
+        self.overflowed_words = 0
+        self.stats = {
+            "plain_reads": 0,
+            "plain_writes": 0,
+            "atomics": 0,
+            "syncs": 0,
+            "launches": 0,
+            "tasks": 0,
+        }
+
+    # -- array registration ----------------------------------------------
+
+    def shadow(self, array: np.ndarray, name: str = "slots") -> ShadowedArray:
+        """Wrap ``array`` so its accesses are recorded under ``name``."""
+        return ShadowedArray(array, self, name)
+
+    # -- sanitizer protocol (shadow + atomics + warp) ----------------------
+
+    @property
+    def plain_enabled(self) -> bool:
+        return self._suppress_depth == 0
+
+    @contextmanager
+    def suppress_plain(self):
+        """Hide the plain accesses inside an atomic implementation."""
+        self._suppress_depth += 1
+        try:
+            yield
+        finally:
+            self._suppress_depth -= 1
+
+    def record_plain(
+        self, name: str, rows: np.ndarray, kind: AccessKind, *, lanes_positional: bool
+    ) -> None:
+        key = "plain_reads" if kind is AccessKind.READ else "plain_writes"
+        self.stats[key] += int(rows.size)
+        if self.current_task is None:
+            return  # host-phase traffic cannot race with group traffic
+        epoch = self._epochs.get(self.current_task, 0)
+        for i, row in enumerate(rows):
+            lane = i if lanes_positional else -1
+            self._record(
+                name, int(row), AccessRecord(self.current_task, lane, epoch, kind)
+            )
+
+    def record_atomic(self, name: str, row: int, *, lane: int = -1) -> None:
+        self.stats["atomics"] += 1
+        if self.current_task is None:
+            return
+        epoch = self._epochs.get(self.current_task, 0)
+        self._record(
+            name,
+            int(row),
+            AccessRecord(self.current_task, lane, epoch, AccessKind.ATOMIC),
+        )
+
+    def on_sync(self) -> None:
+        self.stats["syncs"] += 1
+        if self.current_task is not None:
+            self._epochs[self.current_task] = (
+                self._epochs.get(self.current_task, 0) + 1
+            )
+
+    # -- ScheduleObserver --------------------------------------------------
+
+    def on_launch(self, num_tasks: int, description: str) -> None:
+        self.current_launch += 1
+        self.stats["launches"] += 1
+        self.stats["tasks"] += num_tasks
+        self._epochs = {}
+
+    def on_task_step(self, idx: int) -> None:
+        self.current_task = idx
+
+    def on_task_done(self, idx: int) -> None:
+        if self.current_task == idx:
+            self.current_task = None
+
+    # -- recording ---------------------------------------------------------
+
+    def _record(self, name: str, row: int, record: AccessRecord) -> None:
+        key = (name, row)
+        bucket = self._words.setdefault(key, [])
+        if len(bucket) >= MAX_RECORDS_PER_WORD:
+            self.overflowed_words += 1
+            return
+        bucket.append(_Shadow(self.current_launch, record))
+
+    # -- conflict detection ------------------------------------------------
+
+    def findings(self) -> list[RaceFinding]:
+        out: list[RaceFinding] = []
+        for (name, row), shadows in sorted(self._words.items()):
+            by_launch: dict[int, list[AccessRecord]] = {}
+            for s in shadows:
+                by_launch.setdefault(s.launch, []).append(s.record)
+            for launch_id, records in by_launch.items():
+                out.extend(
+                    self._word_findings(name, row, launch_id, records)
+                )
+        return out
+
+    @staticmethod
+    def _word_findings(
+        name: str, row: int, launch_id: int, records: list[AccessRecord]
+    ) -> list[RaceFinding]:
+        found: list[RaceFinding] = []
+        seen_rules: set[tuple[str, int]] = set()  # (rule, writer task)
+        writes = [r for r in records if r.kind is AccessKind.WRITE]
+        for w in writes:
+            # rule 1: cross-group plain write vs any other group's access
+            if ("unguarded-write", w.task) not in seen_rules:
+                other = next((r for r in records if r.task != w.task), None)
+                if other is not None:
+                    found.append(
+                        RaceFinding(name, row, "unguarded-write", w, other, launch_id)
+                    )
+                    seen_rules.add(("unguarded-write", w.task))
+            # rule 2: same group, same sync interval, different lanes
+            if w.lane >= 0 and ("intra-group-unsynced", w.task) not in seen_rules:
+                other = next(
+                    (
+                        r
+                        for r in records
+                        if r.task == w.task
+                        and r.epoch == w.epoch
+                        and r.lane >= 0
+                        and r.lane != w.lane
+                    ),
+                    None,
+                )
+                if other is not None:
+                    found.append(
+                        RaceFinding(
+                            name, row, "intra-group-unsynced", w, other, launch_id
+                        )
+                    )
+                    seen_rules.add(("intra-group-unsynced", w.task))
+        return found
+
+    def report(self, schedule: str = "") -> RacecheckReport:
+        stats = dict(self.stats)
+        stats["overflowed_words"] = self.overflowed_words
+        return RacecheckReport(
+            findings=self.findings(), stats=stats, schedule=schedule
+        )
+
+
+class RacecheckSession:
+    """A shadow-instrumented mini-table for racechecking kernels.
+
+    Owns an EMPTY-filled slot array (wrapped), the window sequence, and a
+    coalesced group whose collectives advance the checker's epochs.  Any
+    generator-kernel with the ``kernels_ref`` calling convention can be
+    launched through :meth:`launch`; auxiliary shared buffers (e.g. a
+    success counter) come from :meth:`aux`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        group_size: int,
+        *,
+        p_max: int | None = None,
+        scheduler: Scheduler | None = None,
+    ):
+        self.checker = RaceChecker()
+        kwargs = {"capacity": capacity, "group_size": group_size}
+        if p_max is not None:
+            kwargs["p_max"] = p_max
+        config = HashTableConfig(**kwargs)
+        self.config = config
+        self.counter = TransactionCounter()
+        self.slots = self.checker.shadow(
+            np.full(capacity, EMPTY_SLOT, dtype=np.uint64), "slots"
+        )
+        self.seq = WindowSequence(config.family, config.group_size, config.p_max)
+        self.group = CoalescedGroup(
+            group_size, self.counter, sanitizer=self.checker
+        )
+        self.scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self._aux: dict[str, np.ndarray] = {}
+
+    def aux(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """A named shadow-instrumented auxiliary device buffer."""
+        if name not in self._aux:
+            base = np.zeros(size, dtype=dtype)
+            self._aux[name] = self.checker.shadow(base, name)
+        return self._aux[name]
+
+    def launch(self, kernel_factory, num_items: int):
+        """Launch ``num_items`` tasks of ``kernel_factory(i)``."""
+        return launch(
+            kernel_factory,
+            num_items,
+            scheduler=self.scheduler,
+            counter=self.counter,
+            observer=self.checker,
+        )
+
+    def report(self) -> RacecheckReport:
+        return self.checker.report(schedule=self.scheduler.describe())

@@ -1,0 +1,132 @@
+"""Shadow-memory instrumentation for simulated device arrays.
+
+A :class:`ShadowedArray` is a drop-in ``np.ndarray`` view whose plain
+``__getitem__`` / ``__setitem__`` report every access to an attached
+sanitizer, together with the issuing coalesced-group lane (positional:
+lane ``i`` of a 1-D fancy-index access touches the ``i``-th indexed word,
+matching the window convention of the reference kernels, where
+``slots[rows]`` loads ``rows[i]`` into lane ``i``'s register).
+
+Atomic operations (:mod:`repro.simt.atomics`) detect the shadow wrapper,
+report themselves as *atomic* accesses, and suppress the plain accesses
+their implementation performs underneath — one indivisible access, like
+real hardware atomics.
+
+Views and copies derived from a shadowed array are **not** tracked: the
+window snapshot a kernel loads is register state, and register traffic is
+not shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["AccessKind", "AccessRecord", "ShadowedArray"]
+
+
+class AccessKind(Enum):
+    """How a shadowed word was touched."""
+
+    READ = "read"
+    WRITE = "write"
+    ATOMIC = "atomic"
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One access to one shadowed word.
+
+    ``task`` is the scheduler's group-task index (-1 outside any launch,
+    e.g. host-side setup), ``lane`` the issuing group lane (-1 when the
+    access pattern does not identify one), ``epoch`` the task's
+    instruction-epoch — the count of implicit group syncs (ballot / any /
+    shfl) the task had executed when the access happened.
+    """
+
+    task: int
+    lane: int
+    epoch: int
+    kind: AccessKind
+
+    def describe(self) -> str:
+        where = f"group {self.task}" if self.task >= 0 else "host"
+        lane = f" lane {self.lane}" if self.lane >= 0 else ""
+        return f"{self.kind.value} by {where}{lane} @epoch {self.epoch}"
+
+
+def _index_rows(n: int, index) -> np.ndarray:
+    """Flat word indices touched by ``array[index]``, lane-ordered.
+
+    For the kernel-idiomatic access shapes (scalar int, 1-D integer
+    array) the order of the result *is* the lane order.  Any other index
+    type (slices, boolean masks, multi-dimensional gathers from the
+    vectorized host paths) is normalized via an arange gather and carries
+    no lane attribution.
+    """
+    if isinstance(index, (int, np.integer)):
+        return np.asarray([int(index) % n if index < 0 else int(index)])
+    idx = np.asarray(index) if not isinstance(index, np.ndarray) else index
+    if idx.dtype.kind in "iu" and idx.ndim == 1:
+        rows = idx.astype(np.int64, copy=True)
+        rows[rows < 0] += n
+        return rows
+    return np.arange(n, dtype=np.int64)[index].ravel()
+
+
+class ShadowedArray(np.ndarray):
+    """An ndarray whose plain element accesses report to a sanitizer.
+
+    Construct with the array to instrument and the checker; the result is
+    a *view* over the same memory, so the caller can keep using either
+    handle (only accesses through the shadowed view are recorded).
+    """
+
+    def __new__(
+        cls, base: np.ndarray, sanitizer, name: str = "slots"
+    ) -> "ShadowedArray":
+        obj = np.asarray(base).view(cls)
+        obj.sanitizer = sanitizer
+        obj.shadow_name = name
+        return obj
+
+    def __array_finalize__(self, obj):
+        # views/copies derived from a shadowed array are register state,
+        # not shared memory — they carry no sanitizer
+        self.sanitizer = None
+        self.shadow_name = "derived"
+
+    # -- instrumented element access ------------------------------------
+
+    def __getitem__(self, index):
+        sanitizer = self.sanitizer
+        if sanitizer is not None and sanitizer.plain_enabled:
+            lane_attributed = isinstance(index, np.ndarray) and index.ndim == 1
+            sanitizer.record_plain(
+                self.shadow_name,
+                _index_rows(self.shape[0], index),
+                AccessKind.READ,
+                lanes_positional=lane_attributed,
+            )
+        out = super().__getitem__(index)
+        if isinstance(out, np.ndarray):
+            return out.view(np.ndarray)
+        return out
+
+    def __setitem__(self, index, value):
+        sanitizer = self.sanitizer
+        if sanitizer is not None and sanitizer.plain_enabled:
+            lane_attributed = isinstance(index, np.ndarray) and index.ndim == 1
+            sanitizer.record_plain(
+                self.shadow_name,
+                _index_rows(self.shape[0], index),
+                AccessKind.WRITE,
+                lanes_positional=lane_attributed,
+            )
+        super().__setitem__(index, value)
+
+    def __reduce__(self):  # pragma: no cover - defensive
+        # pickling would detach the sanitizer; ship the plain data instead
+        return (np.asarray, (np.asarray(self).copy(),))

@@ -6,6 +6,15 @@ trivially provided by the single simulation thread, but we preserve the
 exact *semantics*: CAS returns the old value, succeeds only on an exact
 match, and every attempt (successful or not) is charged to the counter so
 contention shows up in the performance model.
+
+Sanitizer hook
+--------------
+When the target array is a :class:`~repro.sanitize.shadow.ShadowedArray`
+the access is recorded as *atomic* shadow traffic (with the issuing lane,
+when the kernel annotates it via ``lane=``) and the plain ``__getitem__``
+/ ``__setitem__`` the implementation performs underneath are suppressed —
+exactly mirroring how ``compute-sanitizer`` treats hardware atomics as
+single indivisible accesses.
 """
 
 from __future__ import annotations
@@ -25,19 +34,38 @@ def _check_index(array: np.ndarray, index: int) -> None:
         )
 
 
+def _shadow(array: np.ndarray):
+    """The attached sanitizer when ``array`` is shadow-instrumented."""
+    return getattr(array, "sanitizer", None)
+
+
 def atomic_cas(
     array: np.ndarray,
     index: int,
     expected: np.uint64,
     desired: np.uint64,
     counter: TransactionCounter | None = None,
+    *,
+    lane: int = -1,
 ) -> np.uint64:
     """Compare-and-swap: write ``desired`` iff slot equals ``expected``.
 
     Returns the *old* slot contents, mirroring CUDA ``atomicCAS``: the
     caller tests ``old == expected`` to detect success (Fig. 3, line 13).
+    ``lane`` optionally names the issuing group lane for the sanitizer.
     """
     _check_index(array, index)
+    sanitizer = _shadow(array)
+    if sanitizer is not None:
+        sanitizer.record_atomic(
+            getattr(array, "shadow_name", "slots"), index, lane=lane
+        )
+        with sanitizer.suppress_plain():
+            return _cas_body(array, index, expected, desired, counter)
+    return _cas_body(array, index, expected, desired, counter)
+
+
+def _cas_body(array, index, expected, desired, counter):
     old = array[index]
     success = old == expected
     if success:
@@ -52,6 +80,8 @@ def atomic_exch(
     index: int,
     desired: np.uint64,
     counter: TransactionCounter | None = None,
+    *,
+    lane: int = -1,
 ) -> np.uint64:
     """Unconditional atomic exchange; returns the old value.
 
@@ -59,6 +89,17 @@ def atomic_exch(
     compares.
     """
     _check_index(array, index)
+    sanitizer = _shadow(array)
+    if sanitizer is not None:
+        sanitizer.record_atomic(
+            getattr(array, "shadow_name", "slots"), index, lane=lane
+        )
+        with sanitizer.suppress_plain():
+            return _exch_body(array, index, desired, counter)
+    return _exch_body(array, index, desired, counter)
+
+
+def _exch_body(array, index, desired, counter):
     old = array[index]
     array[index] = desired
     if counter is not None:
@@ -71,9 +112,22 @@ def atomic_add(
     index: int,
     amount: int,
     counter: TransactionCounter | None = None,
+    *,
+    lane: int = -1,
 ) -> int:
     """Atomic fetch-and-add; returns the pre-add value."""
     _check_index(array, index)
+    sanitizer = _shadow(array)
+    if sanitizer is not None:
+        sanitizer.record_atomic(
+            getattr(array, "shadow_name", "slots"), index, lane=lane
+        )
+        with sanitizer.suppress_plain():
+            return _add_body(array, index, amount, counter)
+    return _add_body(array, index, amount, counter)
+
+
+def _add_body(array, index, amount, counter):
     old = int(array[index])
     array[index] = array.dtype.type(old + amount)
     if counter is not None:

@@ -77,6 +77,11 @@ class Device:
 
     Buffers register their footprint through :meth:`allocate` /
     :meth:`free`; kernels charge work to :attr:`counter`.
+
+    A race sanitizer (:mod:`repro.sanitize.racecheck`) can be attached
+    with :meth:`attach_sanitizer`; tables constructed on the device then
+    shadow-instrument their slot arrays and reference-kernel launches so
+    every global-memory access is attributed to (group, lane, epoch).
     """
 
     def __init__(self, device_id: int, spec: GPUSpec):
@@ -87,6 +92,14 @@ class Device:
         self.counter = TransactionCounter()
         self.allocated_bytes = 0
         self.peak_allocated_bytes = 0
+        self.sanitizer = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Shadow-instrument future allocations/launches on this device."""
+        self.sanitizer = sanitizer
+
+    def detach_sanitizer(self) -> None:
+        self.sanitizer = None
 
     def allocate(self, nbytes: int) -> None:
         """Reserve VRAM; raises :class:`AllocationError` when exhausted."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from ..constants import WARP_SIZE
 from ..errors import ConfigurationError
 from .counters import TransactionCounter
-from .scheduler import GroupTask, Scheduler, SequentialScheduler
+from .scheduler import GroupTask, ScheduleObserver, Scheduler, SequentialScheduler
 
 __all__ = ["LaunchConfig", "launch"]
 
@@ -60,11 +60,14 @@ def launch(
     *,
     scheduler: Scheduler | None = None,
     counter: TransactionCounter | None = None,
+    observer: ScheduleObserver | None = None,
 ) -> Sequence[object]:
     """Launch ``num_items`` group-tasks of ``kernel`` under a scheduler.
 
     ``kernel(item_index)`` must return a generator that yields at memory
-    observation points and returns the item's result.
+    observation points and returns the item's result.  ``observer``
+    receives task-step attribution callbacks (used by the race
+    sanitizer).
     """
     if num_items < 0:
         raise ConfigurationError(f"num_items must be >= 0, got {num_items}")
@@ -72,4 +75,4 @@ def launch(
     if counter is not None:
         counter.kernel_launches += 1
     tasks = [kernel(i) for i in range(num_items)]
-    return sched.run(tasks)
+    return sched.run(tasks, observer)

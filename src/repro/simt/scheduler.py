@@ -18,6 +18,22 @@ scheduler drains a set of such group-tasks in some order:
   equivalent of independent thread scheduling.
 
 Correctness tests assert the table invariants hold under *all* schedules.
+
+Reproducibility
+---------------
+Every interleaving is a pure function of the scheduler's ``seed`` and the
+zero-based ``launch`` ordinal (:class:`RandomScheduler` re-derives a fresh
+RNG per :meth:`~Scheduler.run`, so the k-th launch on a reused scheduler
+does not depend on how long earlier launches ran).  ``describe()`` gives
+the exact expression to replay the interleaving of the *last* launch — the
+string the sanitizer and fuzz harness print in failure messages.
+
+Observers
+---------
+``run(tasks, observer=...)`` accepts a :class:`ScheduleObserver`; the
+scheduler reports which task is about to step and when each task retires.
+This is the hook the race sanitizer (:mod:`repro.sanitize.racecheck`) uses
+to attribute memory accesses to coalesced groups.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ from ..errors import ConfigurationError
 
 __all__ = [
     "Scheduler",
+    "ScheduleObserver",
     "SequentialScheduler",
     "RoundRobinScheduler",
     "RandomScheduler",
@@ -39,24 +56,58 @@ __all__ = [
 GroupTask = Generator[None, None, object]
 
 
+class ScheduleObserver:
+    """Callback protocol for schedule-aware instrumentation.
+
+    All hooks default to no-ops so observers override only what they
+    need.  ``on_task_step(idx)`` fires *before* the scheduler advances
+    task ``idx`` by one yield interval; ``on_task_done(idx)`` fires when
+    the task's generator returns.
+    """
+
+    def on_launch(self, num_tasks: int, description: str) -> None:
+        """A scheduler is about to drain ``num_tasks`` group-tasks."""
+
+    def on_task_step(self, idx: int) -> None:
+        """Task ``idx`` is about to execute its next interval."""
+
+    def on_task_done(self, idx: int) -> None:
+        """Task ``idx`` ran to completion."""
+
+
 class Scheduler(ABC):
     """Drains a collection of group-task generators to completion."""
 
     #: safety valve: one task may not yield more than this many times
     MAX_STEPS_PER_TASK = 1_000_000
 
+    #: zero-based ordinal of the next ``run`` call (for reproducibility)
+    launches: int = 0
+
     @abstractmethod
-    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
+    def run(
+        self, tasks: Iterable[GroupTask], observer: ScheduleObserver | None = None
+    ) -> list[object]:
         """Drive all tasks; returns their return values in input order."""
 
+    def describe(self) -> str:
+        """Replay expression for the most recent launch's interleaving."""
+        return f"{type(self).__name__}()"
+
     @staticmethod
-    def _finish(task: GroupTask) -> object:
+    def _finish(
+        task: GroupTask, idx: int, observer: ScheduleObserver | None
+    ) -> object:
         """Run a generator to completion, returning its StopIteration value."""
         steps = 0
         while True:
             try:
+                if observer is not None:
+                    observer.on_task_step(idx)
                 next(task)
             except StopIteration as stop:
+                if observer is not None:
+                    observer.on_task_done(idx)
                 return stop.value
             steps += 1
             if steps > Scheduler.MAX_STEPS_PER_TASK:
@@ -68,25 +119,42 @@ class Scheduler(ABC):
 class SequentialScheduler(Scheduler):
     """Each group runs to completion before the next starts."""
 
-    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
-        return [self._finish(task) for task in tasks]
+    def run(
+        self, tasks: Iterable[GroupTask], observer: ScheduleObserver | None = None
+    ) -> list[object]:
+        tasks = list(tasks)
+        self.launches += 1
+        if observer is not None:
+            observer.on_launch(len(tasks), self.describe())
+        return [
+            self._finish(task, idx, observer) for idx, task in enumerate(tasks)
+        ]
 
 
 class RoundRobinScheduler(Scheduler):
-    """Advance each live task by one step in rotation."""
+    """Advance each live task by one step in rotation (lock-step)."""
 
-    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
+    def run(
+        self, tasks: Iterable[GroupTask], observer: ScheduleObserver | None = None
+    ) -> list[object]:
         live: list[tuple[int, GroupTask]] = list(enumerate(tasks))
+        self.launches += 1
+        if observer is not None:
+            observer.on_launch(len(live), self.describe())
         results: dict[int, object] = {}
         steps = 0
         while live:
             still_live: list[tuple[int, GroupTask]] = []
             for idx, task in live:
                 try:
+                    if observer is not None:
+                        observer.on_task_step(idx)
                     next(task)
                     still_live.append((idx, task))
                 except StopIteration as stop:
                     results[idx] = stop.value
+                    if observer is not None:
+                        observer.on_task_done(idx)
             live = still_live
             steps += 1
             if steps > self.MAX_STEPS_PER_TASK:
@@ -97,25 +165,50 @@ class RoundRobinScheduler(Scheduler):
 
 
 class RandomScheduler(Scheduler):
-    """Advance a uniformly random live task each step (seeded)."""
+    """Advance a uniformly random live task each step (seeded).
+
+    The interleaving of the k-th :meth:`run` call is a pure function of
+    ``(seed, k)``: each launch derives a fresh ``random.Random`` so a
+    reused scheduler instance stays reproducible launch by launch.  The
+    exact replay expression for the last launch is :meth:`describe`.
+    """
 
     def __init__(self, seed: int = 0):
-        self._rng = random.Random(seed)
         self.seed = seed
+        self.launches = 0
 
-    def run(self, tasks: Iterable[GroupTask]) -> list[object]:
+    def describe(self) -> str:
+        last = max(self.launches - 1, 0)
+        return f"RandomScheduler(seed={self.seed}) [launch #{last}]"
+
+    def _launch_rng(self) -> random.Random:
+        # mix (seed, launch ordinal) into one int — stable across
+        # processes, and distinct launches never share a stream
+        return random.Random(self.seed * 1_000_003 + self.launches)
+
+    def run(
+        self, tasks: Iterable[GroupTask], observer: ScheduleObserver | None = None
+    ) -> list[object]:
         live: list[tuple[int, GroupTask]] = list(enumerate(tasks))
+        rng = self._launch_rng()
+        self.launches += 1
+        if observer is not None:
+            observer.on_launch(len(live), self.describe())
         results: dict[int, object] = {}
         total = len(live)
         steps = 0
         while live:
-            pick = self._rng.randrange(len(live))
+            pick = rng.randrange(len(live))
             idx, task = live[pick]
             try:
+                if observer is not None:
+                    observer.on_task_step(idx)
                 next(task)
             except StopIteration as stop:
                 results[idx] = stop.value
                 live.pop(pick)
+                if observer is not None:
+                    observer.on_task_done(idx)
             steps += 1
             if steps > self.MAX_STEPS_PER_TASK * max(total, 1):
                 raise ConfigurationError(

@@ -36,15 +36,26 @@ class CoalescedGroup:
     counter:
         Device counter charged for each collective; optional so the group
         can be used standalone in tests.
+    sanitizer:
+        Optional race sanitizer (:mod:`repro.sanitize.racecheck`).  Every
+        collective is an implicit intra-group synchronization point, so
+        each one closes the running group's instruction-epoch interval.
     """
 
-    def __init__(self, size: int, counter: TransactionCounter | None = None):
+    def __init__(
+        self,
+        size: int,
+        counter: TransactionCounter | None = None,
+        *,
+        sanitizer=None,
+    ):
         if size not in VALID_GROUP_SIZES:
             raise ConfigurationError(
                 f"group size must be one of {VALID_GROUP_SIZES}, got {size}"
             )
         self.size = size
         self.counter = counter
+        self.sanitizer = sanitizer
 
     @property
     def thread_rank(self) -> np.ndarray:
@@ -59,6 +70,8 @@ class CoalescedGroup:
     def _charge(self) -> None:
         if self.counter is not None:
             self.counter.warp_collectives += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_sync()
 
     def ballot(self, predicate: np.ndarray) -> int:
         """Packed |g|-bit mask of per-lane predicates (implicitly syncs).

@@ -1,13 +1,34 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profile selection for the test suite."""
 
 from __future__ import annotations
 
+import random
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
+# conftest is imported before pytest puts tests/ on sys.path, so the
+# shared profiles module must be made importable by hand.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from profiles import active_profile, register_profiles
 from repro.perfmodel.specs import P100
 from repro.simt.device import Device
 from repro.workloads.distributions import random_values, unique_keys
+
+register_profiles()
+settings.load_profile(active_profile())
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seeds():
+    """Pin the global PRNGs per test so non-Hypothesis randomness replays."""
+    random.seed(0xC0FFEE)
+    np.random.seed(0xC0FFEE)
+    yield
 
 
 @pytest.fixture

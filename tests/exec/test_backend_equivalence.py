@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from profiles import examples
 
 from repro.core.partitioned import PartitionedWarpDriveTable
 from repro.multigpu.distributed_table import DistributedHashTable
@@ -128,7 +130,7 @@ class TestPartitionedEquivalence:
 
 
 class TestPropertyEquivalence:
-    @settings(max_examples=15, deadline=None)
+    @examples(15)
     @given(
         seed=st.integers(min_value=0, max_value=2**31 - 1),
         n=st.integers(min_value=1, max_value=800),

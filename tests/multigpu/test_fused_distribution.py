@@ -3,8 +3,10 @@ reference path — multisplit outputs and accounting, exchange buffers and
 logs, reverse routing, and whole-cascade reports/counters."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from profiles import examples
 
 from repro.hashing.partition import hashed_partition, modulo_partition
 from repro.memory.layout import pack_pairs
@@ -44,7 +46,7 @@ class TestMultisplitEquivalence:
         group_size=st.sampled_from([1, 4, 32]),
         seed=st.integers(min_value=0, max_value=10_000),
     )
-    @settings(max_examples=50, deadline=None)
+    @examples(50)
     def test_uniform_keys(self, n, m, group_size, seed):
         assert_multisplit_identical(
             make_pairs(n, seed=seed), hashed_partition(m), group_size
@@ -55,7 +57,7 @@ class TestMultisplitEquivalence:
         group_size=st.sampled_from([1, 4, 32]),
         seed=st.integers(min_value=0, max_value=1000),
     )
-    @settings(max_examples=20, deadline=None)
+    @examples(20)
     def test_empty_partitions(self, m, group_size, seed):
         """Keys all ≡ 0 (mod m): every partition but one is empty."""
         keys = (np.arange(64, dtype=np.uint32) * m).astype(np.uint32)
@@ -66,7 +68,7 @@ class TestMultisplitEquivalence:
         m=st.sampled_from([2, 4, 8]),
         seed=st.integers(min_value=0, max_value=1000),
     )
-    @settings(max_examples=20, deadline=None)
+    @examples(20)
     def test_skewed_zipf_keys(self, m, seed):
         keys = zipf_keys(300, s=1.4, universe=50, seed=seed)
         pairs = pack_pairs(keys, random_values(300, seed=seed + 1))
@@ -115,7 +117,7 @@ class TestCascadeEquivalence:
         n=st.integers(min_value=1, max_value=600),
         seed=st.integers(min_value=0, max_value=1000),
     )
-    @settings(max_examples=12, deadline=None)
+    @examples(12)
     def test_insert_query_cascades(self, m, n, seed):
         keys, ref, fused = build_pair(p100_nvlink_node, m, n, seed)
         values = random_values(n, seed=seed + 7)
@@ -141,7 +143,7 @@ class TestCascadeEquivalence:
         m=st.sampled_from([2, 4]),
         seed=st.integers(min_value=0, max_value=1000),
     )
-    @settings(max_examples=8, deadline=None)
+    @examples(8)
     def test_erase_cascade(self, m, seed):
         n = 400
         keys, ref, fused = build_pair(p100_nvlink_node, m, n, seed)

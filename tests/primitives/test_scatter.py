@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from profiles import examples
 
 from repro.errors import ConfigurationError
 from repro.primitives.compact import compact_fast
@@ -35,7 +37,7 @@ class TestEquivalence:
         group_size=st.sampled_from([1, 4, 32]),
         seed=st.integers(min_value=0, max_value=10_000),
     )
-    @settings(max_examples=60, deadline=None)
+    @examples(60)
     def test_matches_m_compact_fast_passes(self, n, num_bins, group_size, seed):
         rng = np.random.default_rng(seed)
         values = rng.integers(0, 2**64, size=n, dtype=np.uint64)

@@ -1,0 +1,58 @@
+"""Shared Hypothesis profiles for the whole test suite.
+
+Three profiles, selected with ``REPRO_HYPOTHESIS_PROFILE``:
+
+``ci`` (default)
+    Deterministic (``derandomize=True``): example generation is a pure
+    function of each test, so tier-1 runs are bit-reproducible and never
+    flake on a fresh draw.  Example counts are the budgeted baseline.
+``dev``
+    Quarter-scale example counts for fast local iteration, randomized
+    draws (with ``print_blob`` so failures replay).
+``thorough``
+    5x example counts, randomized — the pre-merge soak.
+
+Property tests declare their *baseline* budget with ``@examples(n)``
+instead of ``@settings(max_examples=n)``; the active profile scales it.
+The marker audit (``tests/utils/test_marker_audit.py``) parses both
+spellings against the tier-1 budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+__all__ = ["PROFILE_ENV", "SCALES", "active_profile", "examples", "register_profiles"]
+
+PROFILE_ENV = "REPRO_HYPOTHESIS_PROFILE"
+
+#: multiplier applied to every @examples(n) baseline
+SCALES = {"ci": 1.0, "dev": 0.25, "thorough": 5.0}
+
+
+def register_profiles() -> None:
+    settings.register_profile(
+        "ci", deadline=None, derandomize=True, print_blob=True
+    )
+    settings.register_profile("dev", deadline=None, print_blob=True)
+    settings.register_profile("thorough", deadline=None, print_blob=True)
+
+
+def active_profile() -> str:
+    name = os.environ.get(PROFILE_ENV, "ci")
+    return name if name in SCALES else "ci"
+
+
+def examples(n: int) -> settings:
+    """A ``settings`` decorator with profile-scaled ``max_examples``.
+
+    ``n`` is the ci-profile baseline; dev shrinks it, thorough grows it.
+    Deadline and determinism come from the active profile.
+    """
+    scaled = max(1, int(round(n * SCALES[active_profile()])))
+    return settings(max_examples=scaled)
+
+
+register_profiles()

@@ -1,0 +1,159 @@
+"""Rule-level tests for the race checker's conflict detection."""
+
+import numpy as np
+import pytest
+
+from repro.sanitize.racecheck import MAX_RECORDS_PER_WORD, RaceChecker, RacecheckSession
+from repro.simt.atomics import atomic_cas
+from repro.simt.scheduler import RoundRobinScheduler
+
+
+def _in_task(checker, task):
+    checker.on_task_step(task)
+
+
+class TestUnguardedWriteRule:
+    def _checker(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(8, dtype=np.uint64), "slots")
+        checker.on_launch(2, "test")
+        return checker, arr
+
+    def test_cross_task_write_read_conflicts(self):
+        checker, arr = self._checker()
+        _in_task(checker, 0)
+        arr[3] = np.uint64(1)
+        _in_task(checker, 1)
+        _ = arr[3]
+        report = checker.report()
+        assert report.rules_hit() == {"unguarded-write"}
+        assert report.findings[0].row == 3
+
+    def test_cross_task_write_write_conflicts(self):
+        checker, arr = self._checker()
+        _in_task(checker, 0)
+        arr[5] = np.uint64(1)
+        _in_task(checker, 1)
+        arr[5] = np.uint64(2)
+        assert not checker.report().clean
+
+    def test_cross_task_atomic_vs_atomic_is_legal(self):
+        checker, arr = self._checker()
+        _in_task(checker, 0)
+        atomic_cas(arr, 2, np.uint64(0), np.uint64(1))
+        _in_task(checker, 1)
+        atomic_cas(arr, 2, np.uint64(0), np.uint64(2))
+        assert checker.report().clean
+
+    def test_cross_task_read_vs_atomic_is_tolerated_staleness(self):
+        """Stale register copies are the algorithm's documented tolerance."""
+        checker, arr = self._checker()
+        _in_task(checker, 0)
+        _ = arr[np.arange(4)]
+        _in_task(checker, 1)
+        atomic_cas(arr, 1, np.uint64(0), np.uint64(9))
+        assert checker.report().clean
+
+    def test_same_task_plain_write_is_legal_across_epochs(self):
+        checker, arr = self._checker()
+        _in_task(checker, 0)
+        arr[4] = np.uint64(1)
+        _ = arr[4]
+        assert checker.report().clean  # scalar accesses carry no lane
+
+    def test_launch_boundary_is_a_global_barrier(self):
+        checker, arr = self._checker()
+        _in_task(checker, 0)
+        arr[6] = np.uint64(1)
+        checker.on_task_done(0)
+        checker.on_launch(2, "next")
+        _in_task(checker, 1)
+        _ = arr[6]
+        assert checker.report().clean
+
+
+class TestIntraGroupRule:
+    def _checker(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(8, dtype=np.uint64), "slots")
+        checker.on_launch(1, "test")
+        checker.on_task_step(0)
+        return checker, arr
+
+    def test_same_epoch_different_lane_conflicts(self):
+        checker, arr = self._checker()
+        arr[np.array([2])] = np.uint64(1)  # lane 0 writes word 2
+        _ = arr[np.array([5, 2])]  # lane 1 reads word 2, no sync between
+        report = checker.report()
+        assert report.rules_hit() == {"intra-group-unsynced"}
+
+    def test_sync_between_write_and_read_is_legal(self):
+        checker, arr = self._checker()
+        arr[np.array([2])] = np.uint64(1)
+        checker.on_sync()  # ballot/any/shfl boundary
+        _ = arr[np.array([5, 2])]
+        assert checker.report().clean
+
+    def test_same_lane_rmw_is_legal(self):
+        checker, arr = self._checker()
+        arr[np.array([3])] = np.uint64(1)
+        _ = arr[np.array([3])]  # both lane 0
+        assert checker.report().clean
+
+    def test_unknown_lane_write_does_not_fire_this_rule(self):
+        checker, arr = self._checker()
+        arr[3] = np.uint64(1)  # scalar: lane unknown
+        _ = arr[np.array([0, 3])]
+        assert "intra-group-unsynced" not in checker.report().rules_hit()
+
+
+class TestRecordingLimits:
+    def test_hot_word_overflow_is_counted_not_fatal(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(2, dtype=np.uint64), "slots")
+        checker.on_launch(1, "test")
+        checker.on_task_step(0)
+        for _ in range(MAX_RECORDS_PER_WORD + 10):
+            _ = arr[0]
+        report = checker.report()
+        assert report.stats["overflowed_words"] == 10
+
+    def test_findings_deduped_per_writer_task(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(4, dtype=np.uint64), "slots")
+        checker.on_launch(2, "test")
+        checker.on_task_step(0)
+        for _ in range(5):
+            arr[1] = np.uint64(1)
+        checker.on_task_step(1)
+        _ = arr[1]
+        findings = [f for f in checker.findings() if f.rule == "unguarded-write"]
+        assert len(findings) == 1
+
+
+class TestSessionAndReport:
+    def test_session_shadows_slots_and_aux(self):
+        session = RacecheckSession(32, 4, scheduler=RoundRobinScheduler())
+        stats = session.aux("stats", 2)
+        assert session.slots.sanitizer is session.checker
+        assert stats.sanitizer is session.checker
+        assert session.aux("stats", 2) is stats  # cached
+
+    def test_report_format_mentions_rule_and_schedule(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(4, dtype=np.uint64), "slots")
+        checker.on_launch(2, "test")
+        checker.on_task_step(0)
+        arr[0] = np.uint64(1)
+        checker.on_task_step(1)
+        _ = arr[0]
+        text = checker.report(schedule="RoundRobinScheduler").format()
+        assert "unguarded-write" in text
+        assert "RoundRobinScheduler" in text
+        assert "traffic:" in text
+
+    def test_invalid_session_config_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RacecheckSession(32, 5)  # group size must divide the warp

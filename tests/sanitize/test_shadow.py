@@ -1,0 +1,108 @@
+"""Unit tests for the shadow-memory instrumentation layer."""
+
+import numpy as np
+
+from repro.sanitize.racecheck import RaceChecker
+from repro.sanitize.shadow import AccessKind, ShadowedArray, _index_rows
+from repro.simt.atomics import atomic_cas
+
+
+class Recorder:
+    """Minimal sanitizer protocol double."""
+
+    plain_enabled = True
+
+    def __init__(self):
+        self.calls = []
+
+    def record_plain(self, name, rows, kind, *, lanes_positional):
+        self.calls.append((name, list(map(int, rows)), kind, lanes_positional))
+
+
+class TestIndexRows:
+    def test_scalar(self):
+        assert list(_index_rows(8, 3)) == [3]
+
+    def test_negative_scalar_wraps(self):
+        assert list(_index_rows(8, -1)) == [7]
+
+    def test_int_array_is_lane_ordered(self):
+        rows = _index_rows(8, np.array([5, 2, 7]))
+        assert list(rows) == [5, 2, 7]
+
+    def test_negative_array_entries_wrap(self):
+        assert list(_index_rows(8, np.array([-1, 0]))) == [7, 0]
+
+    def test_slice_normalizes(self):
+        assert list(_index_rows(6, slice(1, 4))) == [1, 2, 3]
+
+    def test_bool_mask_normalizes(self):
+        mask = np.array([True, False, True, False])
+        assert list(_index_rows(4, mask)) == [0, 2]
+
+
+class TestShadowedArray:
+    def test_reads_and_writes_are_reported(self):
+        rec = Recorder()
+        arr = ShadowedArray(np.zeros(8, dtype=np.uint64), rec, "slots")
+        _ = arr[np.array([1, 3])]
+        arr[2] = np.uint64(5)
+        kinds = [(name, kind) for name, _, kind, _ in rec.calls]
+        assert kinds == [("slots", AccessKind.READ), ("slots", AccessKind.WRITE)]
+
+    def test_fancy_index_is_lane_positional_scalar_is_not(self):
+        rec = Recorder()
+        arr = ShadowedArray(np.zeros(8, dtype=np.uint64), rec)
+        _ = arr[np.array([4, 6])]
+        _ = arr[4]
+        assert rec.calls[0][3] is True
+        assert rec.calls[1][3] is False
+
+    def test_shares_memory_with_base(self):
+        base = np.zeros(4, dtype=np.uint64)
+        arr = ShadowedArray(base, Recorder())
+        arr[1] = np.uint64(9)
+        assert base[1] == 9
+
+    def test_views_and_copies_drop_the_sanitizer(self):
+        rec = Recorder()
+        arr = ShadowedArray(np.arange(8, dtype=np.uint64), rec)
+        view = arr[2:5]
+        copied = arr[np.array([0, 1])]
+        rec.calls.clear()
+        _ = view[0]
+        _ = copied[0]
+        assert rec.calls == []  # register state is not shared memory
+
+    def test_atomics_report_once_and_suppress_plain(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(4, dtype=np.uint64), "slots")
+        atomic_cas(arr, 0, np.uint64(0), np.uint64(7))
+        assert checker.stats["atomics"] == 1
+        assert checker.stats["plain_reads"] == 0
+        assert checker.stats["plain_writes"] == 0
+        assert arr[0] == 7  # the CAS actually landed
+
+
+class TestCheckerBookkeeping:
+    def test_aux_arrays_record_under_their_name(self):
+        checker = RaceChecker()
+        stats = checker.shadow(np.zeros(1, dtype=np.int64), "stats")
+        checker.on_launch(1, "t")
+        checker.on_task_step(0)
+        stats[0] = 1
+        assert ("stats", 0) in checker._words
+
+    def test_host_phase_traffic_is_counted_but_not_recorded(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(4, dtype=np.uint64), "slots")
+        arr[0] = np.uint64(3)  # no launch in progress
+        assert checker.stats["plain_writes"] == 1
+        assert checker._words == {}
+
+    def test_suppress_plain_context(self):
+        checker = RaceChecker()
+        arr = checker.shadow(np.zeros(4, dtype=np.uint64), "slots")
+        with checker.suppress_plain():
+            _ = arr[1]
+        assert checker.stats["plain_reads"] == 0

@@ -1,9 +1,10 @@
 """Audit of the pytest marker configuration and test-time budget.
 
-Tier-1 is ``pytest -q`` with ``-m 'not slow'``: anything expensive must
-carry the (registered) ``slow`` marker, and the hypothesis property
-tests that guard the fused distribution path must keep their example
-counts small enough to stay inside the tier-1 budget.
+Tier-1 is ``pytest -q`` with ``-m 'not slow and not fuzz'``: anything
+expensive must carry the (registered) ``slow`` marker, differential
+fuzz runs must carry ``fuzz``, and the hypothesis property tests that
+guard the fused distribution path must keep their example counts small
+enough to stay inside the tier-1 budget.
 """
 
 import re
@@ -23,8 +24,27 @@ class TestMarkerConfig:
     def test_slow_marker_registered(self):
         assert re.search(r'"slow:.*"', _pyproject())
 
-    def test_tier1_deselects_slow(self):
-        assert "-m 'not slow'" in _pyproject()
+    def test_fuzz_marker_registered(self):
+        assert re.search(r'"fuzz:.*"', _pyproject())
+
+    def test_tier1_deselects_slow_and_fuzz(self):
+        assert "-m 'not slow and not fuzz'" in _pyproject()
+
+    def test_fuzz_directory_is_fuzz_marked(self):
+        """Everything under tests/fuzz/ opts out of tier-1 via the marker."""
+        fuzz_tests = list((TESTS / "fuzz").glob("test_*.py"))
+        assert fuzz_tests
+        for path in fuzz_tests:
+            assert re.search(
+                r"pytestmark\s*=\s*pytest\.mark\.fuzz", path.read_text()
+            ), f"{path.name}: missing `pytestmark = pytest.mark.fuzz`"
+
+    def test_mutant_and_harness_runs_stay_out_of_tier1_paths(self):
+        """The sanitizer's own tier-1 tests are cheap unit runs; the
+        expensive differential campaigns live behind the fuzz marker."""
+        match = re.search(r"testpaths\s*=\s*\[([^\]]*)\]", _pyproject())
+        assert match is not None
+        assert "tests" in match.group(1)  # tests/fuzz deselected by marker
 
     def test_benchmarks_outside_tier1_paths(self):
         """The 2^18 measurement lives in benchmarks/, not testpaths."""
@@ -44,13 +64,31 @@ class TestMarkerConfig:
 
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
-        """settings(max_examples=...) stays within the tier-1 budget."""
+        """Example counts stay within the tier-1 budget.
+
+        Counts appear either as raw ``settings(max_examples=N)`` or via
+        the shared profile helper ``@examples(N)`` (scaled by the active
+        Hypothesis profile, 1.0 under the default ``ci`` profile).
+        """
         found = 0
+        pattern = re.compile(r"max_examples=(\d+)|@examples\((\d+)\)")
         for path in TESTS.rglob("test_*.py"):
-            for count in re.findall(r"max_examples=(\d+)", path.read_text()):
+            for raw, scaled in pattern.findall(path.read_text()):
                 found += 1
-                assert int(count) <= MAX_EXAMPLES_BUDGET, (
-                    f"{path.name}: max_examples={count} exceeds "
+                count = int(raw or scaled)
+                assert count <= MAX_EXAMPLES_BUDGET, (
+                    f"{path.name}: {count} examples exceeds "
                     f"tier-1 budget {MAX_EXAMPLES_BUDGET}"
                 )
         assert found > 0  # the fused-path property tests exist
+
+    def test_migrated_property_tests_use_shared_profiles(self):
+        """The fast-path suites draw budgets from tests/profiles.py."""
+        for name in (
+            "exec/test_backend_equivalence.py",
+            "primitives/test_scatter.py",
+            "multigpu/test_fused_distribution.py",
+        ):
+            text = (TESTS / name).read_text()
+            assert "from profiles import examples" in text, name
+            assert "settings(max_examples" not in text, name
