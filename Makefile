@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test cov fuzz-smoke racecheck fuzz-full
+.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke
 
 # tier-1: fast suite, excludes `slow` and `fuzz` via pyproject addopts
 test:
@@ -16,6 +16,11 @@ cov:
 fuzz-smoke:
 	$(PYTHON) -m repro fuzz --budget 60s --corpus tests/fuzz/corpus.json
 	$(PYTHON) -m pytest tests/fuzz -m fuzz
+
+# observability smoke: trace a small insert+query cascade, validate the
+# emitted Perfetto trace_event JSON (repro trace exits 1 on problems)
+trace-smoke:
+	$(PYTHON) -m repro trace --smoke --out /tmp/repro.smoke.trace.json
 
 # racecheck certification: clean tree silent, every mutant flagged
 racecheck:

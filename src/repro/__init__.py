@@ -16,8 +16,14 @@ subpackages hold the full API:
 * :mod:`repro.workloads` — key distributions from the paper's §V-A
 * :mod:`repro.pipeline` — asynchronous cascade overlap (Fig. 5 / 11)
 * :mod:`repro.bench` — experiment harness regenerating every figure
+* :mod:`repro.obs` — the trace/metrics spine behind ``repro trace``
+
+All table constructors and drivers share one option vocabulary —
+``engine=`` / ``workers=`` / ``distribution=`` / ``kernels=`` /
+``measure=`` — documented in :mod:`repro.options`.
 """
 
+from . import obs
 from .core.adaptive import AdaptiveWarpDriveTable
 from .core.config import HashTableConfig
 from .core.counting import CountingHashTable
@@ -30,6 +36,8 @@ from .errors import (
     InsertionError,
     ReproError,
 )
+from .multigpu.distributed_table import CascadeReport, DistributedHashTable
+from .pipeline.driver import AsyncCascadeDriver, StreamResult
 
 __version__ = "1.0.0"
 
@@ -40,6 +48,11 @@ __all__ = [
     "MultiValueHashTable",
     "CountingHashTable",
     "HashTableConfig",
+    "DistributedHashTable",
+    "CascadeReport",
+    "AsyncCascadeDriver",
+    "StreamResult",
+    "obs",
     "ReproError",
     "ConfigurationError",
     "CapacityError",

@@ -56,9 +56,28 @@ class DistributionRecord:
     #: host cores the run had (records stay interpretable across boxes)
     cpus: int = 0
 
+    schema_version = 1
+
     def __post_init__(self):
         if not self.cpus:
             self.cpus = os.cpu_count() or 1
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        from ..obs.protocol import reportable_dict
+
+        return reportable_dict(
+            self,
+            {
+                "bench": self.bench,
+                "n": self.n,
+                "m": self.m,
+                "path": self.path,
+                "seconds": self.seconds,
+                "ops_per_s": self.ops_per_s,
+                "cpus": self.cpus,
+            },
+        )
 
 
 def _time_path(path: str, packed_chunks, partition, topology):

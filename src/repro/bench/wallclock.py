@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.config import HashTableConfig
@@ -28,6 +28,7 @@ from ..core.table import WarpDriveHashTable
 from ..exec.engine import ShardKernelTask, available_backends, create_engine
 from ..multigpu.distributed_table import DistributedHashTable
 from ..multigpu.topology import p100_nvlink_node
+from ..obs.protocol import reportable_dict
 from ..workloads import random_values, unique_keys
 
 __all__ = [
@@ -47,19 +48,36 @@ class WallClockRecord:
     bench: str
     n: int
     m: int
-    executor: str
+    engine: str
     ops_per_s: float
     seconds: float
     #: host cores the run had — parallel backends need > 1 to win
     cpus: int = 0
 
+    schema_version = 1
+
     def __post_init__(self):
         if not self.cpus:
             self.cpus = os.cpu_count() or 1
 
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return reportable_dict(
+            self,
+            {
+                "bench": self.bench,
+                "n": self.n,
+                "m": self.m,
+                "engine": self.engine,
+                "ops_per_s": self.ops_per_s,
+                "seconds": self.seconds,
+                "cpus": self.cpus,
+            },
+        )
+
 
 def bench_single_shard(
-    executor: str,
+    engine: str,
     n: int,
     *,
     group_size: int = 4,
@@ -72,9 +90,9 @@ def bench_single_shard(
     values = random_values(n, seed=seed + 1)
     config = HashTableConfig.for_load_factor(n, load_factor, group_size=group_size)
     records = []
-    with create_engine(executor, workers=workers) as engine:
+    with create_engine(engine, workers=workers) as eng:
         table = WarpDriveHashTable(
-            config=config, shared=engine.requires_shared_slots
+            config=config, shared=eng.requires_shared_slots
         )
         try:
             for op, payload in (("insert", values), ("query", None)):
@@ -88,7 +106,7 @@ def bench_single_shard(
                     shm=table.shm_descriptor(),
                 )
                 t0 = time.perf_counter()
-                res = engine.run([task])[0]
+                res = eng.run([task])[0]
                 seconds = time.perf_counter() - t0
                 if op == "insert":
                     table.absorb_insert(keys, values, res.report, res.status)
@@ -99,7 +117,7 @@ def bench_single_shard(
                         bench=f"single_shard_{op}",
                         n=n,
                         m=1,
-                        executor=executor,
+                        engine=engine,
                         ops_per_s=n / seconds if seconds > 0 else 0.0,
                         seconds=seconds,
                     )
@@ -110,7 +128,7 @@ def bench_single_shard(
 
 
 def bench_cascade(
-    executor: str,
+    engine: str,
     n: int,
     *,
     m: int = 4,
@@ -128,7 +146,7 @@ def bench_cascade(
         keys,
         load_factor,
         group_size=group_size,
-        executor=executor,
+        engine=engine,
         workers=workers,
     )
     try:
@@ -142,7 +160,7 @@ def bench_cascade(
             bench="cascade_insert",
             n=n,
             m=m,
-            executor=executor,
+            engine=engine,
             ops_per_s=n / seconds if seconds > 0 else 0.0,
             seconds=seconds,
         )
@@ -153,18 +171,18 @@ def run_wallclock_suite(
     n: int = 1 << 18,
     *,
     m: int = 4,
-    executors: tuple[str, ...] | None = None,
+    engines: tuple[str, ...] | None = None,
     workers: int | None = None,
     seed: int = 11,
 ) -> list[WallClockRecord]:
     """All benches × all backends on the same keys (same seed)."""
     records: list[WallClockRecord] = []
-    for executor in executors or available_backends():
+    for engine in engines or available_backends():
         records.extend(
-            bench_single_shard(executor, n, workers=workers, seed=seed)
+            bench_single_shard(engine, n, workers=workers, seed=seed)
         )
         records.extend(
-            bench_cascade(executor, n, m=m, workers=workers, seed=seed)
+            bench_cascade(engine, n, m=m, workers=workers, seed=seed)
         )
     return records
 
@@ -172,24 +190,24 @@ def run_wallclock_suite(
 def write_results(records: list[WallClockRecord], path: str | Path) -> Path:
     """Persist records as a JSON array of row objects."""
     path = Path(path)
-    path.write_text(json.dumps([asdict(r) for r in records], indent=2) + "\n")
+    path.write_text(json.dumps([r.to_dict() for r in records], indent=2) + "\n")
     return path
 
 
 def format_records(records: list[WallClockRecord]) -> str:
     """Fixed-width table, one row per record, with vs-serial speedups."""
     serial = {
-        (r.bench, r.n, r.m): r.seconds for r in records if r.executor == "serial"
+        (r.bench, r.n, r.m): r.seconds for r in records if r.engine == "serial"
     }
     lines = [
-        f"{'bench':<20} {'n':>9} {'m':>2} {'executor':<9} "
+        f"{'bench':<20} {'n':>9} {'m':>2} {'engine':<9} "
         f"{'seconds':>9} {'Mops/s':>8} {'vs serial':>9}"
     ]
     for r in records:
         base = serial.get((r.bench, r.n, r.m))
         speedup = f"{base / r.seconds:>8.2f}x" if base and r.seconds else f"{'-':>9}"
         lines.append(
-            f"{r.bench:<20} {r.n:>9} {r.m:>2} {r.executor:<9} "
+            f"{r.bench:<20} {r.n:>9} {r.m:>2} {r.engine:<9} "
             f"{r.seconds:>9.4f} {r.ops_per_s / 1e6:>8.2f} {speedup}"
         )
     if records:

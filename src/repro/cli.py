@@ -13,6 +13,9 @@ figures
 bench
     Measured wall-clock suites: shard-execution backends and the
     fused-vs-reference distribution path.
+trace
+    Run a small traced cascade and write a Chrome/Perfetto
+    ``.trace.json`` through :mod:`repro.obs`.
 racecheck
     Shadow-memory race sanitizer over the reference kernels: clean-tree
     certification plus the seeded mutant catalogue.
@@ -82,7 +85,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     node = p100_nvlink_node(4)
     dist = DistributedHashTable.for_workload(
         node, keys, 0.95, group_size=4,
-        executor=args.executor, workers=args.workers,
+        engine=args.engine, workers=args.workers,
     )
     drep = dist.insert(keys, values, source="host")
     timing = time_cascade(drep, dist, node)
@@ -94,7 +97,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"host-sided ({throughput(n, timing.device_only) / 1e9:.2f} device-sided)"
     )
     print(
-        f"executor   : {dist.engine.name}, kernel phase measured "
+        f"engine     : {dist.engine.name}, kernel phase measured "
         f"{drep.kernel_wall_seconds * 1e3:.1f} ms across {node.num_devices} shards"
     )
     dist.free()
@@ -146,7 +149,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         wall = run_wallclock_suite(
             n=n,
             m=args.m,
-            executors=tuple(args.executors) if args.executors else None,
+            engines=tuple(args.engines) if args.engines else None,
             workers=args.workers,
         )
         print(format_records(wall))
@@ -162,6 +165,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         path = write_results(records, args.out)
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.multigpu import DistributedHashTable, p100_nvlink_node
+    from repro.workloads import random_values, unique_keys
+
+    n = 1 << 12 if args.smoke else args.n
+    keys = unique_keys(n, seed=3)
+    values = random_values(n, seed=4)
+    node = p100_nvlink_node(args.m)
+    with obs.session() as (recorder, metrics):
+        table = DistributedHashTable.for_workload(
+            node, keys, 0.95, group_size=4,
+            engine=args.engine, workers=args.workers,
+        )
+        try:
+            table.insert(keys, values, source="host")
+            _, found, _ = table.query(keys, source="host")
+        finally:
+            table.free()
+    if not bool(found.all()):
+        print("trace workload failed: not all inserted keys were found")
+        return 1
+
+    data = obs.to_perfetto(recorder, metrics)
+    problems = obs.validate_trace(data)
+    path = obs.write_trace(args.out, recorder, metrics)
+
+    print(obs.render_trace(recorder))
+    print()
+    counts = {c: len(recorder.by_category(c)) for c in sorted(recorder.categories())}
+    summary = ", ".join(f"{c}={k}" for c, k in counts.items())
+    print(f"{len(recorder.spans)} spans ({summary})")
+    print(f"makespan {recorder.makespan * 1e3:.1f} ms, trace {recorder.trace_id}")
+    print(f"wrote {path} (open at https://ui.perfetto.dev)")
+    if problems:
+        print(f"INVALID trace_event output ({len(problems)} problems):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
     return 0
 
 
@@ -249,7 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="functional single+multi GPU demo")
     demo.add_argument("--n", type=int, default=100_000, help="pairs to insert")
     demo.add_argument(
-        "--executor",
+        "--engine",
         choices=("serial", "thread", "process"),
         default="serial",
         help="shard-execution backend for the multi-GPU part",
@@ -283,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     score.set_defaults(fn=_cmd_scorecard)
 
     bench = sub.add_parser(
-        "bench", help="measured wall-clock suites (executors, distribution)"
+        "bench", help="measured wall-clock suites (engines, distribution)"
     )
     bench.add_argument("--n", type=int, default=1 << 18, help="keys per bench")
     bench.add_argument("--m", type=int, default=4, help="GPUs in the cascade")
@@ -297,7 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true", help="tiny n for a quick sanity run"
     )
     bench.add_argument(
-        "--executors",
+        "--engines",
         nargs="+",
         choices=("serial", "thread", "process"),
         default=None,
@@ -310,6 +355,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write records to this JSON path"
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced m-GPU cascade and write Perfetto trace_event JSON",
+    )
+    trace.add_argument("--n", type=int, default=1 << 16, help="pairs to stream")
+    trace.add_argument("--m", type=int, default=4, help="GPUs in the cascade")
+    trace.add_argument(
+        "--engine",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="shard-execution backend to trace",
+    )
+    trace.add_argument(
+        "--workers", type=int, default=None, help="pool size for thread/process"
+    )
+    trace.add_argument(
+        "--smoke", action="store_true", help="tiny n for a quick sanity run"
+    )
+    trace.add_argument(
+        "--out", default="repro.trace.json", help="trace_event JSON output path"
+    )
+    trace.set_defaults(fn=_cmd_trace)
 
     race = sub.add_parser(
         "racecheck",

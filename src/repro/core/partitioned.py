@@ -22,6 +22,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..exec.engine import ExecutionEngine, ShardKernelTask, create_engine
 from ..hashing.partition import PartitionHash, hashed_partition
+from ..options import UNSET, reject_unknown, resolve_renamed
 from ..perfmodel import calibration as cal
 from ..simt.device import Device
 from ..utils.validation import check_keys, check_same_length, check_values
@@ -43,9 +44,11 @@ class PartitionedWarpDriveTable:
         degradation knee (2 GB).
     group_size, p_max, device:
         Forwarded to each sub-table.
-    executor, workers:
+    engine, workers:
         Shard-execution backend; sub-tables are disjoint so their bulk
-        kernels run concurrently under ``"thread"``/``"process"``.
+        kernels run concurrently under ``"thread"``/``"process"``.  The
+        old ``executor=`` spelling still works with a deprecation
+        warning (:mod:`repro.options`).
     """
 
     def __init__(
@@ -57,9 +60,15 @@ class PartitionedWarpDriveTable:
         p_max: int | None = None,
         device: Device | None = None,
         partition: PartitionHash | None = None,
-        executor: str | ExecutionEngine = "serial",
+        engine: str | ExecutionEngine = UNSET,
         workers: int | None = None,
+        **legacy,
     ):
+        engine = resolve_renamed(
+            "PartitionedWarpDriveTable", legacy,
+            old="executor", new="engine", value=engine, default="serial",
+        )
+        reject_unknown("PartitionedWarpDriveTable", legacy)
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be > 0, got {capacity}")
         limit = (
@@ -78,8 +87,8 @@ class PartitionedWarpDriveTable:
                 f"{self.num_partitions} sub-tables required"
             )
         self.partition = partition
-        self.engine = create_engine(executor, workers=workers)
-        self._owns_engine = not isinstance(executor, ExecutionEngine)
+        self.engine = create_engine(engine, workers=workers)
+        self._owns_engine = not isinstance(engine, ExecutionEngine)
         sub_capacity = -(-capacity // self.num_partitions)
         kwargs = {
             "group_size": group_size,

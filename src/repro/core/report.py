@@ -1,10 +1,11 @@
 """Per-kernel work reports.
 
-Every bulk operation (insert / query / erase, reference or fast executor)
+Every bulk operation (insert / query / erase, reference or fast kernels)
 returns a :class:`KernelReport` describing exactly how much simulated
 device work it performed.  The performance model consumes these to
 project paper-scale throughput; the tests consume them to check executor
-equivalence and probing-cost theory.
+equivalence and probing-cost theory.  Like every report type in the
+repo, it implements the :class:`repro.obs.Reportable` protocol.
 """
 
 from __future__ import annotations
@@ -12,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..obs.protocol import reportable_dict
 
 __all__ = ["KernelReport"]
 
@@ -48,6 +51,8 @@ class KernelReport:
     #: in VRAM)
     host_load_sectors: int = 0
     host_store_sectors: int = 0
+
+    schema_version = 1
 
     @classmethod
     def empty(cls, op: str, group_size: int = 0) -> "KernelReport":
@@ -118,17 +123,28 @@ class KernelReport:
             host_store_sectors=self.host_store_sectors + other.host_store_sectors,
         )
 
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return reportable_dict(
+            self,
+            {
+                "op": self.op,
+                "num_ops": self.num_ops,
+                "mean_windows": self.mean_windows,
+                "max_windows": self.max_windows,
+                "total_windows": self.total_windows,
+                "load_sectors": self.load_sectors,
+                "store_sectors": self.store_sectors,
+                "cas_attempts": self.cas_attempts,
+                "cas_successes": self.cas_successes,
+                "warp_collectives": self.warp_collectives,
+                "failed": self.failed,
+                "group_size": self.group_size,
+                "host_load_sectors": self.host_load_sectors,
+                "host_store_sectors": self.host_store_sectors,
+            },
+        )
+
     def as_dict(self) -> dict[str, float | int | str]:
-        return {
-            "op": self.op,
-            "num_ops": self.num_ops,
-            "mean_windows": self.mean_windows,
-            "max_windows": self.max_windows,
-            "load_sectors": self.load_sectors,
-            "store_sectors": self.store_sectors,
-            "cas_attempts": self.cas_attempts,
-            "cas_successes": self.cas_successes,
-            "warp_collectives": self.warp_collectives,
-            "failed": self.failed,
-            "group_size": self.group_size,
-        }
+        """Deprecated alias for :meth:`to_dict` (pre-``repro.obs`` name)."""
+        return self.to_dict()

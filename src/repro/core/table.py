@@ -3,9 +3,11 @@
 This is the user-facing object implementing the paper's core
 contribution: an open-addressing hash map probed by coalesced groups of
 ``|g|`` threads with the hybrid linear-window/chaotic-hop scheme of
-Fig. 3.  Bulk operations run on the vectorized executor by default; the
-``executor="ref"`` path runs the faithful generator kernels under a
-chosen interleaving scheduler (slow; for verification).
+Fig. 3.  Bulk operations run the vectorized kernels by default; the
+``kernels="ref"`` path runs the faithful generator kernels under a
+chosen interleaving scheduler (slow; for verification).  The old
+``executor=`` spelling still works with a deprecation warning (see
+:mod:`repro.options` for the unified option set).
 
 Example
 -------
@@ -27,6 +29,7 @@ from ..constants import EMPTY_SLOT
 from ..errors import ConfigurationError, InsertionError
 from ..memory.buffer import DeviceBuffer
 from ..memory.layout import unpack_pairs
+from ..options import UNSET, reject_unknown, resolve_renamed
 from ..simt.counters import TransactionCounter
 from ..simt.device import Device
 from ..simt.kernel import launch
@@ -60,6 +63,13 @@ class WarpDriveHashTable:
     config:
         Full :class:`~repro.core.config.HashTableConfig`; overrides the
         keyword shortcuts.
+    engine:
+        Name (or instance) of the :mod:`repro.exec` shard-execution
+        backend this table will be driven under.  The table never
+        instantiates the engine itself — the option only decides the
+        storage: ``"process"`` (or any engine with
+        ``requires_shared_slots``) backs the slot array with POSIX
+        shared memory, same as ``shared=True``.
     """
 
     def __init__(
@@ -71,7 +81,12 @@ class WarpDriveHashTable:
         config: HashTableConfig | None = None,
         device: Device | None = None,
         shared: bool = False,
+        engine: object = None,
     ):
+        if engine is not None:
+            shared = shared or engine == "process" or bool(
+                getattr(engine, "requires_shared_slots", False)
+            )
         if config is None:
             if capacity is None:
                 raise ConfigurationError("pass either capacity or config")
@@ -170,30 +185,39 @@ class WarpDriveHashTable:
         keys: np.ndarray,
         values: np.ndarray,
         *,
-        executor: str = "fast",
+        kernels: str = UNSET,
         scheduler: Scheduler | None = None,
         wave_size: int | None = None,
+        **legacy,
     ) -> KernelReport:
         """Insert (or update) key-value pairs.
 
-        Raises :class:`~repro.errors.InsertionError` if the probing scheme
+        ``kernels`` selects the kernel implementation — ``"fast"``
+        (vectorized, default) or ``"ref"`` (faithful generator kernels
+        under a scheduler).  Raises
+        :class:`~repro.errors.InsertionError` if the probing scheme
         exhausts ``p_max`` windows and ``rebuild_on_failure`` is off (or
         rebuild attempts run out); otherwise transparently rebuilds with a
         translated hash family, as §II prescribes.
         """
+        kernels = resolve_renamed(
+            "WarpDriveHashTable", legacy,
+            old="executor", new="kernels", value=kernels, default="fast",
+        )
+        reject_unknown("WarpDriveHashTable.insert", legacy)
         k = check_keys(keys)
         v = check_values(values)
         check_same_length("keys", k, "values", v)
 
-        if executor == "fast":
+        if kernels == "fast":
             report, status = bulk_insert(
                 self.slots, self.seq, k, v, self.counter, wave_size=wave_size
             )
-        elif executor == "ref":
+        elif kernels == "ref":
             report, status = self._insert_ref(k, v, scheduler)
         else:
-            raise ConfigurationError(f"unknown executor {executor!r}")
-        return self._finish_insert(k, v, report, status, executor)
+            raise ConfigurationError(f"unknown kernels {kernels!r}")
+        return self._finish_insert(k, v, report, status, kernels)
 
     def _finish_insert(
         self,
@@ -201,7 +225,7 @@ class WarpDriveHashTable:
         v: np.ndarray,
         report: KernelReport,
         status: np.ndarray,
-        executor: str,
+        kernels: str,
     ) -> KernelReport:
         """Post-kernel bookkeeping: size, last report, rebuild-on-failure."""
         self._size += int(np.sum(status == STATUS["inserted"]))
@@ -218,7 +242,7 @@ class WarpDriveHashTable:
                     f"(load={self.load_factor:.3f}); rebuild budget exhausted"
                 )
             failed_mask = status == STATUS["failed"]
-            self._rebuild_with(k[failed_mask], v[failed_mask], executor=executor)
+            self._rebuild_with(k[failed_mask], v[failed_mask], kernels=kernels)
         return report
 
     # -- execution-engine integration -------------------------------------
@@ -291,19 +315,25 @@ class WarpDriveHashTable:
         keys: np.ndarray,
         *,
         default: int = 0,
-        executor: str = "fast",
+        kernels: str = UNSET,
         scheduler: Scheduler | None = None,
+        **legacy,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Retrieve values; returns (values, found-mask).
 
         Keys not present yield ``default`` with ``found == False``.
         """
+        kernels = resolve_renamed(
+            "WarpDriveHashTable", legacy,
+            old="executor", new="kernels", value=kernels, default="fast",
+        )
+        reject_unknown("WarpDriveHashTable.query", legacy)
         k = check_keys(keys)
-        if executor == "fast":
+        if kernels == "fast":
             report, values, found = bulk_query(
                 self.slots, self.seq, k, self.counter, default=default
             )
-        elif executor == "ref":
+        elif kernels == "ref":
             sanitizer = self._ref_sanitizer()
             group = CoalescedGroup(
                 self.config.group_size, self.counter, sanitizer=sanitizer
@@ -335,7 +365,7 @@ class WarpDriveHashTable:
                 failed=int(np.sum(~found)),
             )
         else:
-            raise ConfigurationError(f"unknown executor {executor!r}")
+            raise ConfigurationError(f"unknown kernels {kernels!r}")
         self.last_report = report
         return values, found
 
@@ -355,8 +385,9 @@ class WarpDriveHashTable:
         self,
         keys: np.ndarray,
         *,
-        executor: str = "fast",
+        kernels: str = UNSET,
         scheduler: Scheduler | None = None,
+        **legacy,
     ) -> np.ndarray:
         """Delete keys (tombstones); returns an erased-mask.
 
@@ -365,12 +396,17 @@ class WarpDriveHashTable:
         deletions.  Nevertheless, insertions and deletions can be safely
         interleaved using global barriers."
         """
+        kernels = resolve_renamed(
+            "WarpDriveHashTable", legacy,
+            old="executor", new="kernels", value=kernels, default="fast",
+        )
+        reject_unknown("WarpDriveHashTable.erase", legacy)
         k = check_keys(keys)
-        if executor == "fast":
+        if kernels == "fast":
             report, erased = bulk_erase(self.slots, self.seq, k, self.counter)
             # every tombstone write is one store sector in the erase report
             self._size -= report.store_sectors
-        elif executor == "ref":
+        elif kernels == "ref":
             sanitizer = self._ref_sanitizer()
             group = CoalescedGroup(
                 self.config.group_size, self.counter, sanitizer=sanitizer
@@ -396,7 +432,7 @@ class WarpDriveHashTable:
             # each successful tombstone CAS removed one live slot
             self._size -= self.counter.cas_successes - cas_before
         else:
-            raise ConfigurationError(f"unknown executor {executor!r}")
+            raise ConfigurationError(f"unknown kernels {kernels!r}")
         self.last_report = report
         return erased
 
@@ -412,7 +448,7 @@ class WarpDriveHashTable:
         self._size = 0
 
     def _rebuild_with(
-        self, extra_keys: np.ndarray, extra_values: np.ndarray, *, executor: str
+        self, extra_keys: np.ndarray, extra_values: np.ndarray, *, kernels: str
     ) -> None:
         """Invalidate and reconstruct with a distinct hash function (§II)."""
         self.rebuilds += 1
@@ -426,7 +462,7 @@ class WarpDriveHashTable:
         all_k = np.concatenate([stored_k, extra_keys])
         all_v = np.concatenate([stored_v, extra_values])
         if all_k.size:
-            self.insert(all_k, all_v, executor=executor)
+            self.insert(all_k, all_v, kernels=kernels)
 
     def free(self) -> None:
         """Release simulated VRAM and any shared-memory segment."""

@@ -26,6 +26,7 @@ across backends (property-tested in ``tests/exec``).
 
 from __future__ import annotations
 
+import os
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
@@ -37,6 +38,7 @@ from ..core.bulk import bulk_erase, bulk_insert, bulk_query
 from ..core.probing import WindowSequence
 from ..core.report import KernelReport
 from ..errors import ConfigurationError, ExecutionError
+from ..obs import runtime as obs
 from .metrics import ShardSpan
 from .pool import WorkerPool, default_worker_count
 from .shm import SlotsDescriptor, attach_slots
@@ -110,7 +112,7 @@ def run_kernel_task(slots: np.ndarray, task: ShardKernelTask) -> ShardKernelResu
     else:
         raise ConfigurationError(f"unknown kernel op {task.op!r}")
     t1 = time.perf_counter()
-    result.span = ShardSpan(task.shard, task.op, t0, t1)
+    result.span = ShardSpan(task.shard, task.op, t0, t1, pid=os.getpid())
     return result
 
 
@@ -132,9 +134,34 @@ class ExecutionEngine(ABC):
     #: True when shard tables must be shared-memory backed (process pool)
     requires_shared_slots: bool = False
 
-    @abstractmethod
     def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
-        """Execute all tasks; results in task order, spans rebased to 0."""
+        """Execute all tasks; results in task order, spans rebased to 0.
+
+        When :mod:`repro.obs` is enabled the dispatch is traced: one
+        ``engine`` span for the batch, plus the per-shard measured spans
+        shipped back by the backends (worker pids preserved) merged as
+        its children — the process-safe collection point for
+        out-of-process workers.
+        """
+        if not obs.enabled():
+            return self._run(tasks)
+        # the backend rides in attrs, not the name: span trees stay
+        # identical across serial/thread/process (tested in tests/obs)
+        with obs.span(
+            "dispatch", "engine", backend=self.name, tasks=len(tasks)
+        ) as sp:
+            results = self._run(tasks)
+        if sp is not None:
+            obs.record_shard_spans(
+                (r.span for r in results if r.span is not None),
+                offset=sp.start,
+                parent_id=sp.span_id,
+            )
+        return results
+
+    @abstractmethod
+    def _run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+        """Backend hook: execute all tasks, results in task order."""
 
     def close(self) -> None:
         """Release backend resources (worker threads/processes)."""
@@ -154,7 +181,7 @@ class SerialEngine(ExecutionEngine):
 
     name = "serial"
 
-    def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+    def _run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
         results = [run_kernel_task(task.slots, task) for task in tasks]
         _normalize_spans(results)
         return results
@@ -171,7 +198,7 @@ class ThreadEngine(ExecutionEngine):
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         self._pool: ThreadPoolExecutor | None = None
 
-    def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+    def _run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-shard"
@@ -220,12 +247,12 @@ class ProcessEngine(ExecutionEngine):
         self._pool = WorkerPool(workers)
         self.workers = self._pool.workers
 
-    def run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+    def _run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
         for task in tasks:
             if task.shm is None:
                 raise ExecutionError(
                     "process backend needs shared-memory slot tables; "
-                    "construct the table with executor='process' (or "
+                    "construct the table with engine='process' (or "
                     "shared=True) so shards allocate via repro.exec.shm"
                 )
         results = self._pool.map(
@@ -250,16 +277,16 @@ def available_backends() -> tuple[str, ...]:
 
 
 def create_engine(
-    executor: str | ExecutionEngine = "serial", workers: int | None = None
+    engine: str | ExecutionEngine = "serial", workers: int | None = None
 ) -> ExecutionEngine:
-    """Resolve an executor spec (name or ready-made engine instance)."""
-    if isinstance(executor, ExecutionEngine):
-        return executor
+    """Resolve an engine spec (name or ready-made engine instance)."""
+    if isinstance(engine, ExecutionEngine):
+        return engine
     try:
-        backend = BACKENDS[executor]
+        backend = BACKENDS[engine]
     except KeyError:
         raise ConfigurationError(
-            f"unknown executor {executor!r}; choose from {sorted(BACKENDS)}"
+            f"unknown engine {engine!r}; choose from {sorted(BACKENDS)}"
         ) from None
     if backend is SerialEngine:
         return backend()

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.protocol import reportable_dict
+
 __all__ = ["ShardSpan", "MeasuredTimeline"]
 
 
@@ -22,20 +24,42 @@ class ShardSpan:
 
     ``shard`` is the shard/GPU index, or ``-1`` for spans covering the
     whole node (e.g. one batch cascade in the async driver).  Times are
-    seconds relative to the enclosing timeline's epoch.
+    seconds relative to the enclosing timeline's epoch.  ``pid`` is the
+    OS process that ran the work (worker pids under the process engine)
+    — the provenance :class:`repro.obs.TraceRecorder` keeps when it
+    merges spans shipped home from workers.
     """
 
     shard: int
     op: str
     start: float
     end: float
+    pid: int = 0
+
+    schema_version = 1
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
     def shifted(self, offset: float) -> "ShardSpan":
-        return ShardSpan(self.shard, self.op, self.start + offset, self.end + offset)
+        return ShardSpan(
+            self.shard, self.op, self.start + offset, self.end + offset, self.pid
+        )
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return reportable_dict(
+            self,
+            {
+                "shard": self.shard,
+                "op": self.op,
+                "start": self.start,
+                "end": self.end,
+                "duration": self.duration,
+                "pid": self.pid,
+            },
+        )
 
 
 @dataclass
@@ -70,22 +94,32 @@ class MeasuredTimeline:
         return [s for s in self.spans if s.shard == shard]
 
     def render(self, *, width: int = 72) -> str:
-        """ASCII Gantt chart, one row per shard (measured Fig. 5 analogue)."""
-        span = self.makespan
-        if span == 0:
-            return "(empty measured timeline)"
+        """ASCII Gantt chart, one row per shard (measured Fig. 5 analogue).
+
+        Rendering goes through the shared :func:`repro.obs.render_rows`
+        renderer, so measured, modelled, and traced timelines all draw
+        identically.
+        """
+        from ..obs.export import render_rows
+
         shards = sorted({s.shard for s in self.spans})
-        lines = []
+        rows = []
         for shard in shards:
-            row = [" "] * width
-            for s in self.spans:
-                if s.shard != shard:
-                    continue
-                lo = int(s.start / span * (width - 1))
-                hi = max(lo + 1, int(s.end / span * (width - 1)))
-                mark = "=" if shard < 0 else str(shard % 10)
-                for i in range(lo, min(hi, width)):
-                    row[i] = mark
-            label = "node" if shard < 0 else f"gpu{shard}"
-            lines.append(f"{label:>6} |{''.join(row)}|")
-        return "\n".join(lines)
+            mark = "=" if shard < 0 else str(shard % 10)
+            rows.append(
+                (
+                    "node" if shard < 0 else f"gpu{shard}",
+                    [
+                        (s.start, s.end, mark)
+                        for s in self.spans
+                        if s.shard == shard
+                    ],
+                )
+            )
+        return render_rows(
+            rows,
+            width=width,
+            makespan=self.makespan,
+            label_width=6,
+            empty_message="(empty measured timeline)",
+        )

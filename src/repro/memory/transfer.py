@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.protocol import reportable_dict
 from .buffer import DeviceBuffer, HostBuffer
 
 __all__ = ["MemcpyKind", "TransferRecord", "TransferLog", "memcpy"]
@@ -37,6 +38,21 @@ class TransferRecord:
     src_device: int | None  # None = host
     dst_device: int | None  # None = host
     tag: str = ""
+
+    schema_version = 1
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return reportable_dict(
+            self,
+            {
+                "kind": self.kind.name.lower(),
+                "nbytes": self.nbytes,
+                "src_device": self.src_device,
+                "dst_device": self.dst_device,
+                "tag": self.tag,
+            },
+        )
 
 
 @dataclass

@@ -27,6 +27,9 @@ from ..core.table import WarpDriveHashTable
 from ..errors import ConfigurationError
 from ..exec.engine import ExecutionEngine, ShardKernelTask, create_engine
 from ..exec.metrics import ShardSpan
+from ..obs import runtime as obs
+from ..obs.protocol import reportable_dict
+from ..options import UNSET, reject_unknown, resolve_renamed
 from ..hashing.partition import PartitionHash, hashed_partition
 from ..memory.buffer import DeviceBuffer
 from ..memory.layout import pack_pairs, unpack_pairs
@@ -77,6 +80,8 @@ class CascadeReport:
     #: transpose + reverse) — the host cost the fused path shrinks
     distribution_wall_seconds: float = 0.0
 
+    schema_version = 1
+
     @property
     def load_imbalance(self) -> float:
         if self.partition_table is None:
@@ -91,6 +96,32 @@ class CascadeReport:
         for rep in self.kernel_reports[1:]:
             out = out.merge(rep)
         return out
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return reportable_dict(
+            self,
+            {
+                "op": self.op,
+                "num_ops": self.num_ops,
+                "h2d_bytes": self.h2d_bytes,
+                "d2h_bytes": self.d2h_bytes,
+                "alltoall_bytes": self.alltoall_bytes,
+                "alltoall_seconds": self.alltoall_seconds,
+                "reverse_bytes": self.reverse_bytes,
+                "reverse_seconds": self.reverse_seconds,
+                "load_imbalance": self.load_imbalance,
+                "kernel_wall_seconds": self.kernel_wall_seconds,
+                "distribution_wall_seconds": self.distribution_wall_seconds,
+                "h2d_per_gpu": self.h2d_per_gpu,
+                "d2h_per_gpu": self.d2h_per_gpu,
+                "multisplit_reports": [
+                    r.to_dict() for r in self.multisplit_reports
+                ],
+                "kernel_reports": [r.to_dict() for r in self.kernel_reports],
+                "kernel_spans": [s.to_dict() for s in self.kernel_spans],
+            },
+        )
 
 
 class DistributedHashTable:
@@ -109,11 +140,13 @@ class DistributedHashTable:
         GPU-assignment hash; defaults to a hashed partition so structured
         key sets still balance (Fig. 4's ``k mod m`` is available via
         :func:`repro.hashing.modulo_partition`).
-    executor, workers:
+    engine, workers:
         Shard-execution backend (``"serial"``, ``"thread"``, ``"process"``
         or a ready-made :class:`~repro.exec.ExecutionEngine`) and its
         worker count.  The process backend allocates every shard's slot
         array in shared memory so workers mutate the tables zero-copy.
+        (``executor=`` is the deprecated spelling; see
+        :mod:`repro.options`.)
     distribution:
         Host implementation of the distribution phases.  ``"fused"``
         (default) runs the single-pass multisplit and index-routed
@@ -131,10 +164,20 @@ class DistributedHashTable:
         group_size: int = 4,
         p_max: int | None = None,
         partition: PartitionHash | None = None,
-        executor: str | ExecutionEngine = "serial",
+        engine: str | ExecutionEngine = UNSET,
         workers: int | None = None,
         distribution: str = "fused",
+        **legacy,
     ):
+        engine = resolve_renamed(
+            "DistributedHashTable",
+            legacy,
+            old="executor",
+            new="engine",
+            value=engine,
+            default="serial",
+        )
+        reject_unknown("DistributedHashTable", legacy)
         if total_capacity < topology.num_devices:
             raise ConfigurationError(
                 "total_capacity must be at least one slot per GPU"
@@ -154,8 +197,8 @@ class DistributedHashTable:
                 f"{self.num_gpus} GPUs"
             )
         self.partition = partition
-        self.engine = create_engine(executor, workers=workers)
-        self._owns_engine = not isinstance(executor, ExecutionEngine)
+        self.engine = create_engine(engine, workers=workers)
+        self._owns_engine = not isinstance(engine, ExecutionEngine)
         shard_capacity = -(-total_capacity // self.num_gpus)  # ceil div
         kwargs = {
             "group_size": group_size,
@@ -245,18 +288,21 @@ class DistributedHashTable:
     def _split_phase(
         self, packed_chunks: list[np.ndarray], report: CascadeReport
     ) -> tuple[list[MultisplitResult], PartitionTable]:
-        t0 = time.perf_counter()
-        split_fn = multisplit_fast if self.distribution == "fused" else multisplit
-        splits = [
-            split_fn(
-                chunk,
-                self.partition,
-                counter=self.topology.devices[gpu].counter,
+        with obs.span("multisplit", "distribution", path=self.distribution):
+            t0 = time.perf_counter()
+            split_fn = (
+                multisplit_fast if self.distribution == "fused" else multisplit
             )
-            for gpu, chunk in enumerate(packed_chunks)
-        ]
-        counts = np.stack([ms.counts for ms in splits])
-        report.distribution_wall_seconds += time.perf_counter() - t0
+            splits = [
+                split_fn(
+                    chunk,
+                    self.partition,
+                    counter=self.topology.devices[gpu].counter,
+                )
+                for gpu, chunk in enumerate(packed_chunks)
+            ]
+            counts = np.stack([ms.counts for ms in splits])
+            report.distribution_wall_seconds += time.perf_counter() - t0
         report.multisplit_reports = [ms.report for ms in splits]
         table = PartitionTable(counts)
         report.partition_table = table
@@ -276,27 +322,33 @@ class DistributedHashTable:
         permutation or provenance) retrieval/erase cascades need; pure
         insertion skips it on the fused path.
         """
-        t0 = time.perf_counter()
-        if self.distribution == "fused":
-            exchange = transpose_exchange_fast(
-                [ms.pairs for ms in splits],
-                [ms.offsets for ms in splits],
-                table,
-                self.topology,
-                log=self.transfer_log,
-                build_routing=reversible,
-            )
-        else:
-            exchange = transpose_exchange(
-                [ms.pairs for ms in splits],
-                [ms.offsets for ms in splits],
-                table,
-                self.topology,
-                log=self.transfer_log,
-            )
-        report.distribution_wall_seconds += time.perf_counter() - t0
+        with obs.span(
+            "all-to-all", "distribution", path=self.distribution
+        ) as sp:
+            t0 = time.perf_counter()
+            if self.distribution == "fused":
+                exchange = transpose_exchange_fast(
+                    [ms.pairs for ms in splits],
+                    [ms.offsets for ms in splits],
+                    table,
+                    self.topology,
+                    log=self.transfer_log,
+                    build_routing=reversible,
+                )
+            else:
+                exchange = transpose_exchange(
+                    [ms.pairs for ms in splits],
+                    [ms.offsets for ms in splits],
+                    table,
+                    self.topology,
+                    log=self.transfer_log,
+                )
+            report.distribution_wall_seconds += time.perf_counter() - t0
         report.alltoall_bytes = table.offdiagonal_bytes()
         report.alltoall_seconds = exchange.network_seconds
+        if sp is not None:
+            sp.attrs["alltoall_bytes"] = report.alltoall_bytes
+            sp.attrs["modelled_network_seconds"] = report.alltoall_seconds
         return exchange
 
     def _reverse_phase(
@@ -316,6 +368,23 @@ class DistributedHashTable:
         inverse-permutation gather composing the reverse exchange with
         the multisplit un-permute — no per-chunk staging copies.
         """
+        with obs.span("reverse", "distribution", path=self.distribution):
+            answers, seconds, traffic = self._reverse_route(
+                results, exchange, splits, chunks, n, report
+            )
+        report.reverse_seconds = seconds
+        report.reverse_bytes = int(traffic.sum())
+        return answers
+
+    def _reverse_route(
+        self,
+        results: list[np.ndarray],
+        exchange: AllToAllResult,
+        splits: list[MultisplitResult],
+        chunks: list[slice],
+        n: int,
+        report: CascadeReport,
+    ) -> tuple[np.ndarray, float, np.ndarray]:
         t0 = time.perf_counter()
         if self.distribution == "fused":
             flat = (
@@ -354,9 +423,7 @@ class DistributedHashTable:
                 chunk_vals[splits[gpu].source_index] = split_result
                 answers[sl] = chunk_vals
         report.distribution_wall_seconds += time.perf_counter() - t0
-        report.reverse_seconds = seconds
-        report.reverse_bytes = int(traffic.sum())
-        return answers
+        return answers, seconds, traffic
 
     def _reserve_batch_buffers(
         self, packed_chunks: list[np.ndarray]
@@ -402,44 +469,60 @@ class DistributedHashTable:
         a zero-work report so ``kernel_reports`` stays length ``m``.
         Returns results keyed by GPU index.
         """
-        t0 = time.perf_counter()
-        tasks = []
-        for gpu, gk in enumerate(keys_per_gpu):
-            if gk.size == 0:
-                continue
-            shard = self.shards[gpu]
-            tasks.append(
-                ShardKernelTask(
-                    shard=gpu,
-                    op=op,
-                    slots=shard.slots,
-                    seq=shard.seq,
-                    keys=gk,
-                    values=None if values_per_gpu is None else values_per_gpu[gpu],
-                    default=default,
-                    shm=shard.shm_descriptor(),
+        with obs.span(
+            "kernel phase", "kernel", op=op, engine=self.engine.name
+        ):
+            t0 = time.perf_counter()
+            tasks = []
+            for gpu, gk in enumerate(keys_per_gpu):
+                if gk.size == 0:
+                    continue
+                shard = self.shards[gpu]
+                tasks.append(
+                    ShardKernelTask(
+                        shard=gpu,
+                        op=op,
+                        slots=shard.slots,
+                        seq=shard.seq,
+                        keys=gk,
+                        values=None
+                        if values_per_gpu is None
+                        else values_per_gpu[gpu],
+                        default=default,
+                        shm=shard.shm_descriptor(),
+                    )
                 )
+            by_gpu = (
+                {r.shard: r for r in self.engine.run(tasks)} if tasks else {}
             )
-        by_gpu = {r.shard: r for r in self.engine.run(tasks)} if tasks else {}
-        for gpu, gk in enumerate(keys_per_gpu):
-            shard = self.shards[gpu]
-            res = by_gpu.get(gpu)
-            if res is None:
-                report.kernel_reports.append(
-                    KernelReport.empty(op, shard.config.group_size)
-                )
-                continue
-            if op == "insert":
-                shard.absorb_insert(gk, values_per_gpu[gpu], res.report, res.status)
-            elif op == "query":
-                shard.absorb_query(res.report)
-            else:
-                shard.absorb_erase(res.report)
-            report.kernel_reports.append(res.report)
-            if res.span is not None:
-                report.kernel_spans.append(res.span)
-        report.kernel_wall_seconds = time.perf_counter() - t0
+            for gpu, gk in enumerate(keys_per_gpu):
+                shard = self.shards[gpu]
+                res = by_gpu.get(gpu)
+                if res is None:
+                    report.kernel_reports.append(
+                        KernelReport.empty(op, shard.config.group_size)
+                    )
+                    continue
+                if op == "insert":
+                    shard.absorb_insert(
+                        gk, values_per_gpu[gpu], res.report, res.status
+                    )
+                elif op == "query":
+                    shard.absorb_query(res.report)
+                else:
+                    shard.absorb_erase(res.report)
+                report.kernel_reports.append(res.report)
+                if res.span is not None:
+                    report.kernel_spans.append(res.span)
+            report.kernel_wall_seconds = time.perf_counter() - t0
         return by_gpu
+
+    def _observe_cascade(self, report: CascadeReport, log_mark: int) -> None:
+        """Feed the finished cascade into the metrics registry (if on)."""
+        if not obs.enabled():
+            return
+        obs.observe_cascade(report)
+        obs.observe_transfers(self.transfer_log.records[log_mark:])
 
     def insert(
         self,
@@ -461,44 +544,51 @@ class DistributedHashTable:
         check_same_length("keys", k, "values", v)
         n = k.shape[0]
         report = CascadeReport(op="insert", num_ops=n)
+        log_mark = len(self.transfer_log)
 
-        chunks = self._chunk(n)
-        packed = [pack_pairs(k[sl], v[sl]) for sl in chunks]
-        report.h2d_per_gpu = np.array(
-            [p.nbytes if source == "host" else 0 for p in packed], dtype=np.int64
-        )
-        report.h2d_bytes = int(report.h2d_per_gpu.sum())
-        if source == "host":
-            for gpu, p in enumerate(packed):
-                self.transfer_log.add(
-                    TransferRecord(
-                        kind=MemcpyKind.H2D,
-                        nbytes=int(p.nbytes),
-                        src_device=None,
-                        dst_device=gpu,
-                        tag="insert chunk",
-                    )
+        with obs.span("insert cascade", "cascade", num_ops=n):
+            chunks = self._chunk(n)
+            with obs.span("H2D", "transfer", op="insert") as sp:
+                packed = [pack_pairs(k[sl], v[sl]) for sl in chunks]
+                report.h2d_per_gpu = np.array(
+                    [p.nbytes if source == "host" else 0 for p in packed],
+                    dtype=np.int64,
+                )
+                report.h2d_bytes = int(report.h2d_per_gpu.sum())
+                if sp is not None:
+                    sp.attrs["nbytes"] = report.h2d_bytes
+                if source == "host":
+                    for gpu, p in enumerate(packed):
+                        self.transfer_log.add(
+                            TransferRecord(
+                                kind=MemcpyKind.H2D,
+                                nbytes=int(p.nbytes),
+                                src_device=None,
+                                dst_device=gpu,
+                                tag="insert chunk",
+                            )
+                        )
+
+            staging = self._reserve_batch_buffers(packed)
+            try:
+                splits, table = self._split_phase(packed, report)
+                exchange = self._transpose_phase(
+                    splits, table, report, reversible=False
                 )
 
-        staging = self._reserve_batch_buffers(packed)
-        try:
-            splits, table = self._split_phase(packed, report)
-            exchange = self._transpose_phase(
-                splits, table, report, reversible=False
-            )
-
-            per_gpu = [
-                unpack_pairs(exchange.received[gpu])
-                for gpu in range(self.num_gpus)
-            ]
-            self._kernel_phase(
-                "insert",
-                [kv[0] for kv in per_gpu],
-                [kv[1] for kv in per_gpu],
-                report=report,
-            )
-        finally:
-            self._release_batch_buffers(staging)
+                per_gpu = [
+                    unpack_pairs(exchange.received[gpu])
+                    for gpu in range(self.num_gpus)
+                ]
+                self._kernel_phase(
+                    "insert",
+                    [kv[0] for kv in per_gpu],
+                    [kv[1] for kv in per_gpu],
+                    report=report,
+                )
+            finally:
+                self._release_batch_buffers(staging)
+        self._observe_cascade(report, log_mark)
         return report
 
     def query(
@@ -519,90 +609,105 @@ class DistributedHashTable:
         k = check_keys(keys)
         n = k.shape[0]
         report = CascadeReport(op="query", num_ops=n)
+        log_mark = len(self.transfer_log)
 
-        chunks = self._chunk(n)
-        # queries ship keys only (4 B/key up, 8 B/key down, cf. Fig. 10)
-        packed = [
-            pack_pairs(k[sl], np.zeros((sl.stop - sl.start), dtype=np.uint32))
-            for sl in chunks
-        ]
-        key_bytes = np.array(
-            [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
-        )
-        report.h2d_per_gpu = key_bytes if source == "host" else np.zeros_like(key_bytes)
-        report.h2d_bytes = int(report.h2d_per_gpu.sum())
-        if source == "host":
-            for gpu, nbytes in enumerate(key_bytes):
-                self.transfer_log.add(
-                    TransferRecord(
-                        kind=MemcpyKind.H2D,
-                        nbytes=int(nbytes),
-                        src_device=None,
-                        dst_device=gpu,
-                        tag="query keys",
+        with obs.span("query cascade", "cascade", num_ops=n):
+            chunks = self._chunk(n)
+            # queries ship keys only (4 B/key up, 8 B/key down, cf. Fig. 10)
+            with obs.span("H2D", "transfer", op="query") as sp:
+                packed = [
+                    pack_pairs(
+                        k[sl], np.zeros((sl.stop - sl.start), dtype=np.uint32)
                     )
+                    for sl in chunks
+                ]
+                key_bytes = np.array(
+                    [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
                 )
-
-        staging = self._reserve_batch_buffers(packed)
-        try:
-            splits, table = self._split_phase(packed, report)
-            exchange = self._transpose_phase(
-                splits, table, report, reversible=True
-            )
-
-            # per-shard queries; answers packed as (found << 32) | value so
-            # the reverse exchange moves one word per key
-            keys_per_gpu = [
-                unpack_pairs(exchange.received[gpu])[0]
-                for gpu in range(self.num_gpus)
-            ]
-            by_gpu = self._kernel_phase(
-                "query", keys_per_gpu, default=default, report=report
-            )
-            results = []
-            for gpu in range(self.num_gpus):
-                res = by_gpu.get(gpu)
-                if res is None:
-                    vals = np.empty(0, dtype=np.uint32)
-                    found = np.empty(0, dtype=bool)
-                else:
-                    vals, found = res.values, res.found
-                results.append(
-                    vals.astype(np.uint64)
-                    | (found.astype(np.uint64) << np.uint64(32))
+                report.h2d_per_gpu = (
+                    key_bytes if source == "host" else np.zeros_like(key_bytes)
                 )
-
-            answers = self._reverse_phase(
-                results, exchange, splits, chunks, n, report
-            )
-            values = (answers & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-            found_out = (answers >> np.uint64(32)).astype(bool)
-
-            chunk_sizes = [int(p.shape[0]) for p in packed]
-            report.d2h_per_gpu = np.array(
-                [
-                    chunk_sizes[gpu] * PAIR_BYTES if source == "host" else 0
-                    for gpu in range(self.num_gpus)
-                ],
-                dtype=np.int64,
-            )
-            report.d2h_bytes = int(report.d2h_per_gpu.sum())
-            if source == "host":
-                for gpu in range(self.num_gpus):
-                    if chunk_sizes[gpu]:
+                report.h2d_bytes = int(report.h2d_per_gpu.sum())
+                if sp is not None:
+                    sp.attrs["nbytes"] = report.h2d_bytes
+                if source == "host":
+                    for gpu, nbytes in enumerate(key_bytes):
                         self.transfer_log.add(
                             TransferRecord(
-                                kind=MemcpyKind.D2H,
-                                nbytes=chunk_sizes[gpu] * PAIR_BYTES,
-                                src_device=gpu,
-                                dst_device=None,
-                                tag="query results",
+                                kind=MemcpyKind.H2D,
+                                nbytes=int(nbytes),
+                                src_device=None,
+                                dst_device=gpu,
+                                tag="query keys",
                             )
                         )
-            # defaults for missing keys
-            values[~found_out] = default
-        finally:
-            self._release_batch_buffers(staging)
+
+            staging = self._reserve_batch_buffers(packed)
+            try:
+                splits, table = self._split_phase(packed, report)
+                exchange = self._transpose_phase(
+                    splits, table, report, reversible=True
+                )
+
+                # per-shard queries; answers packed as (found << 32) | value
+                # so the reverse exchange moves one word per key
+                keys_per_gpu = [
+                    unpack_pairs(exchange.received[gpu])[0]
+                    for gpu in range(self.num_gpus)
+                ]
+                by_gpu = self._kernel_phase(
+                    "query", keys_per_gpu, default=default, report=report
+                )
+                results = []
+                for gpu in range(self.num_gpus):
+                    res = by_gpu.get(gpu)
+                    if res is None:
+                        vals = np.empty(0, dtype=np.uint32)
+                        found = np.empty(0, dtype=bool)
+                    else:
+                        vals, found = res.values, res.found
+                    results.append(
+                        vals.astype(np.uint64)
+                        | (found.astype(np.uint64) << np.uint64(32))
+                    )
+
+                answers = self._reverse_phase(
+                    results, exchange, splits, chunks, n, report
+                )
+                values = (answers & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+                found_out = (answers >> np.uint64(32)).astype(bool)
+
+                chunk_sizes = [int(p.shape[0]) for p in packed]
+                with obs.span("D2H", "transfer", op="query") as sp:
+                    report.d2h_per_gpu = np.array(
+                        [
+                            chunk_sizes[gpu] * PAIR_BYTES
+                            if source == "host"
+                            else 0
+                            for gpu in range(self.num_gpus)
+                        ],
+                        dtype=np.int64,
+                    )
+                    report.d2h_bytes = int(report.d2h_per_gpu.sum())
+                    if sp is not None:
+                        sp.attrs["nbytes"] = report.d2h_bytes
+                    if source == "host":
+                        for gpu in range(self.num_gpus):
+                            if chunk_sizes[gpu]:
+                                self.transfer_log.add(
+                                    TransferRecord(
+                                        kind=MemcpyKind.D2H,
+                                        nbytes=chunk_sizes[gpu] * PAIR_BYTES,
+                                        src_device=gpu,
+                                        dst_device=None,
+                                        tag="query results",
+                                    )
+                                )
+                # defaults for missing keys
+                values[~found_out] = default
+            finally:
+                self._release_batch_buffers(staging)
+        self._observe_cascade(report, log_mark)
         return values, found_out, report
 
     def erase(
@@ -623,53 +728,67 @@ class DistributedHashTable:
         k = check_keys(keys)
         n = k.shape[0]
         report = CascadeReport(op="erase", num_ops=n)
+        log_mark = len(self.transfer_log)
 
-        chunks = self._chunk(n)
-        packed = [
-            pack_pairs(k[sl], np.zeros(sl.stop - sl.start, dtype=np.uint32))
-            for sl in chunks
-        ]
-        key_bytes = np.array(
-            [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
-        )
-        report.h2d_per_gpu = key_bytes if source == "host" else np.zeros_like(key_bytes)
-        report.h2d_bytes = int(report.h2d_per_gpu.sum())
-        if source == "host":
-            for gpu, nbytes in enumerate(key_bytes):
-                self.transfer_log.add(
-                    TransferRecord(
-                        kind=MemcpyKind.H2D,
-                        nbytes=int(nbytes),
-                        src_device=None,
-                        dst_device=gpu,
-                        tag="erase keys",
+        with obs.span("erase cascade", "cascade", num_ops=n):
+            chunks = self._chunk(n)
+            with obs.span("H2D", "transfer", op="erase") as sp:
+                packed = [
+                    pack_pairs(
+                        k[sl], np.zeros(sl.stop - sl.start, dtype=np.uint32)
                     )
+                    for sl in chunks
+                ]
+                key_bytes = np.array(
+                    [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
+                )
+                report.h2d_per_gpu = (
+                    key_bytes if source == "host" else np.zeros_like(key_bytes)
+                )
+                report.h2d_bytes = int(report.h2d_per_gpu.sum())
+                if sp is not None:
+                    sp.attrs["nbytes"] = report.h2d_bytes
+                if source == "host":
+                    for gpu, nbytes in enumerate(key_bytes):
+                        self.transfer_log.add(
+                            TransferRecord(
+                                kind=MemcpyKind.H2D,
+                                nbytes=int(nbytes),
+                                src_device=None,
+                                dst_device=gpu,
+                                tag="erase keys",
+                            )
+                        )
+
+            staging = self._reserve_batch_buffers(packed)
+            try:
+                splits, table = self._split_phase(packed, report)
+                exchange = self._transpose_phase(
+                    splits, table, report, reversible=True
                 )
 
-        staging = self._reserve_batch_buffers(packed)
-        try:
-            splits, table = self._split_phase(packed, report)
-            exchange = self._transpose_phase(
-                splits, table, report, reversible=True
-            )
+                keys_per_gpu = [
+                    unpack_pairs(exchange.received[gpu])[0]
+                    for gpu in range(self.num_gpus)
+                ]
+                by_gpu = self._kernel_phase(
+                    "erase", keys_per_gpu, report=report
+                )
+                results = []
+                for gpu in range(self.num_gpus):
+                    res = by_gpu.get(gpu)
+                    erased = (
+                        np.empty(0, dtype=bool) if res is None else res.erased
+                    )
+                    results.append(erased.astype(np.uint64))
 
-            keys_per_gpu = [
-                unpack_pairs(exchange.received[gpu])[0]
-                for gpu in range(self.num_gpus)
-            ]
-            by_gpu = self._kernel_phase("erase", keys_per_gpu, report=report)
-            results = []
-            for gpu in range(self.num_gpus):
-                res = by_gpu.get(gpu)
-                erased = np.empty(0, dtype=bool) if res is None else res.erased
-                results.append(erased.astype(np.uint64))
-
-            answers = self._reverse_phase(
-                results, exchange, splits, chunks, n, report
-            )
-            erased_out = answers.astype(bool)
-        finally:
-            self._release_batch_buffers(staging)
+                answers = self._reverse_phase(
+                    results, exchange, splits, chunks, n, report
+                )
+                erased_out = answers.astype(bool)
+            finally:
+                self._release_batch_buffers(staging)
+        self._observe_cascade(report, log_mark)
         return erased_out, report
 
     def export(self) -> tuple[np.ndarray, np.ndarray]:

@@ -21,6 +21,9 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..exec.metrics import MeasuredTimeline, ShardSpan
 from ..multigpu.distributed_table import CascadeReport, DistributedHashTable
+from ..obs import runtime as obs
+from ..obs.protocol import reportable_dict
+from ..options import UNSET, reject_unknown, resolve_renamed
 from ..perfmodel.cascade import time_cascade
 from ..perfmodel.memmodel import throughput
 from .schedule import schedule_batches
@@ -43,17 +46,25 @@ class StreamResult:
     #: query streams: concatenated values and found mask, input order
     values: np.ndarray | None = None
     found: np.ndarray | None = None
-    #: real wall-clock spans (``wall_clock=True`` drivers only)
+    #: real wall-clock spans (``measure=True`` drivers only)
     measured: MeasuredTimeline | None = None
+
+    schema_version = 1
 
     @property
     def makespan(self) -> float:
         return self.timeline.makespan
 
     @property
-    def measured_makespan(self) -> float:
-        """Real seconds the stream took (0.0 unless ``wall_clock=True``)."""
-        return self.measured.makespan if self.measured is not None else 0.0
+    def measured_makespan(self) -> float | None:
+        """Real seconds the stream took.
+
+        ``None`` when the driver ran with ``measure=False`` — there is
+        no measurement, and returning a fake ``0.0`` would poison
+        downstream statistics.  Callers needing a number should test
+        ``result.measured is not None`` first.
+        """
+        return self.measured.makespan if self.measured is not None else None
 
     @property
     def reduction(self) -> float:
@@ -65,6 +76,36 @@ class StreamResult:
     @property
     def ops_per_second(self) -> float:
         return throughput(self.num_ops, self.makespan)
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys).
+
+        Array payloads (``values``/``found``) are summarized, not
+        dumped — stream results can hold millions of elements.
+        """
+        return reportable_dict(
+            self,
+            {
+                "num_ops": self.num_ops,
+                "makespan": self.makespan,
+                "sequential_makespan": self.sequential.makespan,
+                "reduction": self.reduction,
+                "ops_per_second": self.ops_per_second,
+                "measured_makespan": self.measured_makespan,
+                "num_values": (
+                    None if self.values is None else int(self.values.shape[0])
+                ),
+                "num_found": (
+                    None if self.found is None else int(self.found.sum())
+                ),
+                "spans": [s.to_dict() for s in self.timeline.spans],
+                "measured_spans": (
+                    []
+                    if self.measured is None
+                    else [s.to_dict() for s in self.measured.spans]
+                ),
+            },
+        )
 
 
 class AsyncCascadeDriver:
@@ -79,11 +120,12 @@ class AsyncCascadeDriver:
     scale:
         Optional projection factor per batch (scaled-down batches standing
         in for paper-size ones).
-    wall_clock:
+    measure:
         When True, also *measure* each batch cascade with a monotonic
         clock and attach a :class:`~repro.exec.MeasuredTimeline` to the
         result — real seconds from the execution engine next to the
-        modelled makespan (``docs/execution.md``).
+        modelled makespan (``docs/execution.md``).  (``wall_clock=`` is
+        the deprecated spelling; see :mod:`repro.options`.)
     """
 
     def __init__(
@@ -92,8 +134,18 @@ class AsyncCascadeDriver:
         *,
         num_threads: int = 4,
         scale: float = 1.0,
-        wall_clock: bool = False,
+        measure: bool = UNSET,
+        **legacy,
     ):
+        measure = resolve_renamed(
+            "AsyncCascadeDriver",
+            legacy,
+            old="wall_clock",
+            new="measure",
+            value=measure,
+            default=False,
+        )
+        reject_unknown("AsyncCascadeDriver", legacy)
         if num_threads < 1:
             raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
         if scale <= 0:
@@ -101,7 +153,12 @@ class AsyncCascadeDriver:
         self.table = table
         self.num_threads = num_threads
         self.scale = scale
-        self.wall_clock = bool(wall_clock)
+        self.measure = bool(measure)
+
+    @property
+    def wall_clock(self) -> bool:
+        """Deprecated alias for :attr:`measure`."""
+        return self.measure
 
     def _record_batch(
         self,
@@ -140,15 +197,16 @@ class AsyncCascadeDriver:
         total = 0
         measured = MeasuredTimeline() if self.wall_clock else None
         epoch = time.perf_counter()
-        for keys, values in batches:
-            batch_start = time.perf_counter()
-            report = self.table.insert(keys, values, source="host")
-            self._record_batch(measured, "insert", report, epoch, batch_start)
-            timing = time_cascade(
-                report, self.table, self.table.topology, scale=self.scale
-            )
-            stage_lists.append(insert_stages(timing))
-            total += int(np.asarray(keys).shape[0])
+        for i, (keys, values) in enumerate(batches):
+            with obs.span("insert batch", "batch", index=i):
+                batch_start = time.perf_counter()
+                report = self.table.insert(keys, values, source="host")
+                self._record_batch(measured, "insert", report, epoch, batch_start)
+                timing = time_cascade(
+                    report, self.table, self.table.topology, scale=self.scale
+                )
+                stage_lists.append(insert_stages(timing))
+                total += int(np.asarray(keys).shape[0])
         return StreamResult(
             timeline=schedule_batches(stage_lists, self.num_threads),
             sequential=schedule_batches(stage_lists, 1),
@@ -164,17 +222,18 @@ class AsyncCascadeDriver:
         total = 0
         measured = MeasuredTimeline() if self.wall_clock else None
         epoch = time.perf_counter()
-        for keys in batches:
-            batch_start = time.perf_counter()
-            values, found, report = self.table.query(keys, source="host")
-            self._record_batch(measured, "query", report, epoch, batch_start)
-            timing = time_cascade(
-                report, self.table, self.table.topology, scale=self.scale
-            )
-            stage_lists.append(query_stages(timing))
-            all_values.append(values)
-            all_found.append(found)
-            total += int(np.asarray(keys).shape[0])
+        for i, keys in enumerate(batches):
+            with obs.span("query batch", "batch", index=i):
+                batch_start = time.perf_counter()
+                values, found, report = self.table.query(keys, source="host")
+                self._record_batch(measured, "query", report, epoch, batch_start)
+                timing = time_cascade(
+                    report, self.table, self.table.topology, scale=self.scale
+                )
+                stage_lists.append(query_stages(timing))
+                all_values.append(values)
+                all_found.append(found)
+                total += int(np.asarray(keys).shape[0])
         return StreamResult(
             timeline=schedule_batches(stage_lists, self.num_threads),
             sequential=schedule_batches(stage_lists, 1),

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ScheduleError
+from ..obs.protocol import reportable_dict
 from .stages import RESOURCES
 
 __all__ = ["Span", "Timeline"]
@@ -20,9 +21,25 @@ class Span:
     start: float
     end: float
 
+    schema_version = 1
+
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return reportable_dict(
+            self,
+            {
+                "batch": self.batch,
+                "stage": self.stage,
+                "resource": self.resource,
+                "start": self.start,
+                "end": self.end,
+                "duration": self.duration,
+            },
+        )
 
 
 @dataclass
@@ -95,20 +112,28 @@ class Timeline:
                 )
 
     def render(self, *, width: int = 72) -> str:
-        """ASCII Gantt chart, one row per resource (Fig. 5 style)."""
-        span = self.makespan
-        if span == 0:
-            return "(empty timeline)"
-        lines = []
-        for resource in RESOURCES:
-            row = [" "] * width
-            for s in self.spans:
-                if s.resource != resource:
-                    continue
-                lo = int(s.start / span * (width - 1))
-                hi = max(lo + 1, int(s.end / span * (width - 1)))
-                label = str(s.batch % 10)
-                for i in range(lo, min(hi, width)):
-                    row[i] = label
-            lines.append(f"{resource:>7} |{''.join(row)}|")
-        return "\n".join(lines)
+        """ASCII Gantt chart, one row per resource (Fig. 5 style).
+
+        Drawn by the shared :func:`repro.obs.render_rows` renderer — the
+        same one behind measured timelines and exported traces.
+        """
+        from ..obs.export import render_rows
+
+        rows = [
+            (
+                resource,
+                [
+                    (s.start, s.end, str(s.batch % 10))
+                    for s in self.spans
+                    if s.resource == resource
+                ],
+            )
+            for resource in RESOURCES
+        ]
+        return render_rows(
+            rows,
+            width=width,
+            makespan=self.makespan,
+            label_width=7,
+            empty_message="(empty timeline)",
+        )

@@ -89,8 +89,11 @@ class FuzzCase:
             scheduler_seed=rng.randrange(1 << 16),
         )
 
+    schema_version = 1
+
     def to_dict(self) -> dict:
-        return asdict(self)
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return {"schema_version": self.schema_version, **asdict(self)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "FuzzCase":
@@ -221,8 +224,8 @@ def _check_insert_export(case, keys, values, absent) -> str | None:
     from ..simt.scheduler import RandomScheduler, SequentialScheduler
 
     fast, ref = _table_pair(case, keys)
-    fast.insert(keys, values, executor="fast")
-    ref.insert(keys, values, executor="ref", scheduler=SequentialScheduler())
+    fast.insert(keys, values, kernels="fast")
+    ref.insert(keys, values, kernels="ref", scheduler=SequentialScheduler())
     fk, fv = _sorted_pairs(fast)
     rk, rv = _sorted_pairs(ref)
     err = _diff("export keys", fk, rk) or _diff("export values", fv, rv)
@@ -235,7 +238,7 @@ def _check_insert_export(case, keys, values, absent) -> str | None:
         # randomized Volta-style interleaving must agree bit for bit
         _, ref2 = _table_pair(case, keys)
         ref2.insert(
-            keys, values, executor="ref",
+            keys, values, kernels="ref",
             scheduler=RandomScheduler(seed=case.scheduler_seed),
         )
         rk2, rv2 = _sorted_pairs(ref2)
@@ -251,8 +254,8 @@ def _check_query(case, keys, values, absent) -> str | None:
     fast, _ = _table_pair(case, keys)
     fast.insert(keys, values)
     probe = np.concatenate([keys, absent])
-    vf, ff = fast.query(probe, executor="fast")
-    vr, fr = fast.query(probe, executor="ref")
+    vf, ff = fast.query(probe, kernels="fast")
+    vr, fr = fast.query(probe, kernels="ref")
     return _diff("query found", ff, fr) or _diff("query values", vf, vr)
 
 
@@ -261,18 +264,18 @@ def _check_erase_tombstone(case, keys, values, absent) -> str | None:
 
     fast, ref = _table_pair(case, keys)
     fast.insert(keys, values)
-    ref.insert(keys, values, executor="ref")
+    ref.insert(keys, values, kernels="ref")
     present = np.unique(keys)
     n_erase = int(round(present.size * case.tombstone_ratio)) or 1
     victims = present[:n_erase]
-    ef = fast.erase(victims, executor="fast")
-    er = ref.erase(victims, executor="ref")
+    ef = fast.erase(victims, kernels="fast")
+    er = ref.erase(victims, kernels="ref")
     err = _diff("erase mask", ef, er)
     if err:
         return err
     probe = np.concatenate([keys, absent])
-    vf, ff = fast.query(probe, executor="fast")
-    vr, fr = ref.query(probe, executor="ref")
+    vf, ff = fast.query(probe, kernels="fast")
+    vr, fr = ref.query(probe, kernels="ref")
     err = _diff("post-erase found", ff, fr) or _diff("post-erase values", vf, vr)
     if err:
         return err
@@ -280,8 +283,8 @@ def _check_erase_tombstone(case, keys, values, absent) -> str | None:
     # the same final pair set
     fresh = unique_keys(n_erase, seed=case.seed + 3)
     fresh_v = random_values(n_erase, seed=case.seed + 4)
-    fast.insert(fresh, fresh_v, executor="fast")
-    ref.insert(fresh, fresh_v, executor="ref")
+    fast.insert(fresh, fresh_v, kernels="fast")
+    ref.insert(fresh, fresh_v, kernels="ref")
     fk, fv = _sorted_pairs(fast)
     rk, rv = _sorted_pairs(ref)
     return _diff("post-reinsert keys", fk, rk) or _diff(

@@ -89,6 +89,16 @@ class RaceFinding:
             f"{self.write.describe()} conflicts with {self.other.describe()}"
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "array": self.array,
+            "row": self.row,
+            "rule": self.rule,
+            "launch": self.launch,
+            "write": self.write.describe(),
+            "other": self.other.describe(),
+        }
+
 
 @dataclass
 class RacecheckReport:
@@ -98,12 +108,29 @@ class RacecheckReport:
     stats: dict = field(default_factory=dict)
     schedule: str = ""
 
+    schema_version = 1
+
     @property
     def clean(self) -> bool:
         return not self.findings
 
     def rules_hit(self) -> set[str]:
         return {f.rule for f in self.findings}
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        from ..obs.protocol import reportable_dict
+
+        return reportable_dict(
+            self,
+            {
+                "clean": self.clean,
+                "schedule": self.schedule,
+                "rules_hit": sorted(self.rules_hit()),
+                "findings": [f.to_dict() for f in self.findings],
+                "stats": dict(sorted(self.stats.items())),
+            },
+        )
 
     def format(self) -> str:
         lines = [

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..constants import WARP_SIZE
 from ..errors import ConfigurationError
+from ..obs import runtime as obs
 from .counters import TransactionCounter
 from .scheduler import GroupTask, ScheduleObserver, Scheduler, SequentialScheduler
 
@@ -75,4 +76,10 @@ def launch(
     if counter is not None:
         counter.kernel_launches += 1
     tasks = [kernel(i) for i in range(num_items)]
-    return sched.run(tasks, observer)
+    if not obs.enabled():
+        return sched.run(tasks, observer)
+    with obs.span(
+        "kernel launch", "launch",
+        items=num_items, scheduler=type(sched).__name__,
+    ):
+        return sched.run(tasks, observer)

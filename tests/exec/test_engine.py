@@ -62,7 +62,7 @@ class TestRegistry:
         assert create_engine(eng) is eng
 
     def test_unknown_backend(self):
-        with pytest.raises(ConfigurationError, match="unknown executor"):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
             create_engine("cuda")
 
     def test_bad_worker_count(self):

@@ -1,0 +1,153 @@
+"""Exporters: Perfetto trace_event validity, metrics rows, ASCII rendering."""
+
+import json
+
+from repro.exec.metrics import ShardSpan
+from repro.obs.export import (
+    metrics_rows,
+    render_rows,
+    render_trace,
+    to_perfetto,
+    validate_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+
+def _recorder():
+    rec = TraceRecorder(trace_id="cafebabe")
+    with rec.span("insert cascade", "cascade") as cascade:
+        rec.add_span("H2D", "transfer", 0.0, 0.1, parent_id=cascade.span_id)
+        rec.add_span("multisplit", "distribution", 0.1, 0.2)
+        with rec.span("kernel phase", "kernel"):
+            rec.record_shard_spans(
+                [ShardSpan(0, "insert", 0.0, 0.05, pid=99),
+                 ShardSpan(1, "insert", 0.01, 0.04, pid=99)],
+                offset=0.2,
+            )
+    return rec
+
+
+class TestPerfetto:
+    def test_valid_by_contract(self):
+        data = to_perfetto(_recorder())
+        assert validate_trace(data) == []
+
+    def test_event_shape(self):
+        data = to_perfetto(_recorder())
+        events = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert events
+        # microsecond timestamps, monotonic in file order
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert all(e["dur"] >= 0 for e in events)
+        # parent references resolve within the file
+        ids = {e["args"]["span_id"] for e in events}
+        for e in events:
+            parent = e["args"]["parent_id"]
+            assert parent is None or parent in ids
+        # shard spans land on their own tid, worker pid preserved
+        shard_events = [e for e in events if "insert shard" in e["name"]]
+        assert {e["tid"] for e in shard_events} == {1, 2}
+        assert {e["pid"] for e in shard_events} == {99}
+
+    def test_metadata_and_metrics_attached(self):
+        m = MetricsRegistry()
+        m.inc("cascade.insert.count")
+        data = to_perfetto(_recorder(), m)
+        assert data["otherData"]["trace_id"] == "cafebabe"
+        assert data["metrics"]["counter.cascade.insert.count"] == 1
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert meta  # one process_name record per pid
+
+    def test_write_and_reload(self, tmp_path):
+        path = write_trace(tmp_path / "t.trace.json", _recorder())
+        data = json.loads(path.read_text())
+        assert validate_trace(data) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_trace([]) != []
+        assert validate_trace({}) != []
+        bad = {
+            "traceEvents": [
+                {"ph": "Q"},
+                {"ph": "X", "name": "", "cat": "", "ts": -1, "dur": "x",
+                 "args": {"span_id": 1, "parent_id": 777}},
+            ]
+        }
+        problems = validate_trace(bad)
+        assert any("unsupported phase" in p for p in problems)
+        assert any("missing name" in p for p in problems)
+        assert any("ts=-1" in p for p in problems)
+        assert any("parent_id 777 unresolved" in p for p in problems)
+
+    def test_validator_flags_nonmonotonic(self):
+        events = [
+            {"ph": "X", "name": "b", "cat": "c", "ts": 5.0, "dur": 1.0,
+             "args": {"span_id": 1, "parent_id": None}},
+            {"ph": "X", "name": "a", "cat": "c", "ts": 1.0, "dur": 1.0,
+             "args": {"span_id": 2, "parent_id": None}},
+        ]
+        problems = validate_trace({"traceEvents": events})
+        assert any("not monotonic" in p for p in problems)
+
+
+class TestMetricsRows:
+    def test_bench_json_shape(self, tmp_path):
+        m = MetricsRegistry()
+        m.inc("cascade.insert.ops", 1000)
+        rows = metrics_rows(m, bench="trace", n=1000)
+        assert rows == [
+            {
+                "metric": "counter.cascade.insert.ops",
+                "value": 1000,
+                "cpus": rows[0]["cpus"],
+                "bench": "trace",
+                "n": 1000,
+            }
+        ]
+        path = write_metrics(tmp_path / "m.json", m, bench="trace")
+        assert json.loads(path.read_text())[0]["metric"].startswith("counter.")
+
+
+class TestAsciiRender:
+    def test_render_rows_scales_marks(self):
+        out = render_rows(
+            [("gpu0", [(0.0, 0.5, "0")]), ("gpu1", [(0.5, 1.0, "1")])],
+            width=12,
+        )
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("gpu0 |0")
+        assert lines[1].rstrip("|").rstrip().endswith("1")
+
+    def test_render_rows_empty(self):
+        assert render_rows([], width=10) == "(empty timeline)"
+        assert render_rows(
+            [("x", [])], width=10, empty_message="(nothing)"
+        ) == "(nothing)"
+
+    def test_render_trace_category_rows(self):
+        out = render_trace(_recorder(), width=40)
+        lines = out.splitlines()
+        labels = [line.split("|")[0].strip() for line in lines]
+        # taxonomy order: cascade before transfer/distribution/kernel
+        assert labels == ["cascade", "transfer", "distribution", "kernel"]
+
+    def test_legacy_renderers_delegate(self):
+        """Timeline.render and MeasuredTimeline.render share the renderer."""
+        from repro.exec.metrics import MeasuredTimeline
+        from repro.pipeline.timeline import Span, Timeline
+
+        tl = Timeline()
+        tl.add(Span(0, "kernel", "vram", 0.0, 1.0))
+        out = tl.render(width=20)
+        assert "vram" in out and "0" in out
+
+        mt = MeasuredTimeline()
+        mt.add(ShardSpan(0, "insert", 0.0, 1.0))
+        mt.add(ShardSpan(-1, "insert batch", 0.0, 1.0))
+        out = mt.render(width=20)
+        assert "gpu0" in out and "node" in out and "=" in out

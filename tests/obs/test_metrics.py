@@ -1,0 +1,102 @@
+"""MetricsRegistry: report folding, snapshots, thread safety."""
+
+import json
+import threading
+
+import numpy as np
+
+from repro.core.report import KernelReport
+from repro.memory.transfer import MemcpyKind, TransferRecord
+from repro.obs.metrics import MetricsRegistry
+
+
+def _kernel_report(op="insert", n=8):
+    return KernelReport(
+        op=op,
+        num_ops=n,
+        probe_windows=np.ones(n, dtype=np.int64),
+        group_size=4,
+        load_sectors=n,
+        store_sectors=n,
+        cas_attempts=2 * n,
+        cas_successes=n,
+        warp_collectives=n,
+        failed=0,
+    )
+
+
+class TestPrimitives:
+    def test_counters_accumulate_gauges_overwrite(self):
+        m = MetricsRegistry()
+        m.inc("a", 2)
+        m.inc("a", 3)
+        m.set_gauge("g", 1.0)
+        m.set_gauge("g", 7.0)
+        assert m.counter("a") == 5 and m.gauge("g") == 7.0
+
+    def test_snapshot_flat_sorted_json(self):
+        m = MetricsRegistry()
+        m.inc("z.last")
+        m.set_gauge("a.first", 0.5)
+        snap = m.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["counter.z.last"] == 1 and snap["gauge.a.first"] == 0.5
+        json.dumps(snap)
+
+    def test_concurrent_increments_lossless(self):
+        m = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                m.inc("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("hits") == 4000
+
+    def test_queue_depth_tracks_peak(self):
+        m = MetricsRegistry()
+        for depth in (3, 9, 2):
+            m.observe_queue_depth("batches", depth)
+        assert m.gauge("queue.batches.depth") == 2
+        assert m.gauge("queue.batches.peak_depth") == 9
+
+
+class TestObservers:
+    def test_observe_kernel(self):
+        m = MetricsRegistry()
+        m.observe_kernel(_kernel_report())
+        m.observe_kernel(_kernel_report())
+        assert m.counter("kernel.insert.ops") == 16
+        assert m.counter("kernel.insert.cas_retries") == 16
+        assert m.gauge("kernel.insert.mean_windows") == 1.0
+
+    def test_observe_transfers(self):
+        m = MetricsRegistry()
+        m.observe_transfers(
+            [
+                TransferRecord(MemcpyKind.H2D, 1024, None, 0),
+                TransferRecord(MemcpyKind.P2P, 512, 0, 1),
+                TransferRecord(MemcpyKind.P2P, 512, 0, 1),
+            ]
+        )
+        assert m.counter("transfer.h2d.bytes") == 1024
+        assert m.counter("transfer.p2p.count") == 2
+        assert m.counter("transfer.link.0_to_1.bytes") == 1024
+
+    def test_to_dict_versioned(self):
+        m = MetricsRegistry()
+        m.inc("x")
+        payload = m.to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["metrics"]["counter.x"] == 1
+
+    def test_clear(self):
+        m = MetricsRegistry()
+        m.inc("x")
+        m.set_gauge("y", 1)
+        m.clear()
+        assert m.snapshot() == {}

@@ -1,0 +1,150 @@
+"""The unified option vocabulary and its deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.table import WarpDriveHashTable
+from repro.errors import ConfigurationError
+from repro.multigpu.distributed_table import DistributedHashTable
+from repro.multigpu.topology import p100_nvlink_node
+from repro.options import (
+    UNSET,
+    reject_unknown,
+    reset_deprecation_warnings,
+    resolve_renamed,
+)
+from repro.pipeline.driver import AsyncCascadeDriver
+from repro.workloads.distributions import unique_keys
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+class TestResolveRenamed:
+    def test_canonical_passes_through(self):
+        assert resolve_renamed(
+            "X", {}, old="a", new="b", value="v", default="d"
+        ) == "v"
+
+    def test_default_when_unset(self):
+        assert resolve_renamed(
+            "X", {}, old="a", new="b", value=UNSET, default="d"
+        ) == "d"
+
+    def test_legacy_warns_and_maps(self):
+        legacy = {"a": "v"}
+        with pytest.warns(DeprecationWarning, match="'a=' is deprecated"):
+            got = resolve_renamed(
+                "X", legacy, old="a", new="b", value=UNSET, default="d"
+            )
+        assert got == "v" and legacy == {}
+
+    def test_warns_once_per_owner_keyword(self):
+        with pytest.warns(DeprecationWarning):
+            resolve_renamed("X", {"a": 1}, old="a", new="b", value=UNSET, default=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # second use is silent — warn-once per (owner, keyword)
+            resolve_renamed("X", {"a": 2}, old="a", new="b", value=UNSET, default=0)
+        with pytest.warns(DeprecationWarning):
+            # a different owner still gets its own warning
+            resolve_renamed("Y", {"a": 3}, old="a", new="b", value=UNSET, default=0)
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ConfigurationError, match="both"):
+            resolve_renamed(
+                "X", {"a": 1}, old="a", new="b", value=2, default=0
+            )
+
+    def test_reject_unknown(self):
+        reject_unknown("X", {})
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            reject_unknown("X", {"bogus": 1})
+
+
+class TestShims:
+    def test_table_methods_accept_executor(self):
+        t = WarpDriveHashTable(64)
+        keys = np.arange(8, dtype=np.uint32)
+        with pytest.warns(DeprecationWarning, match="WarpDriveHashTable"):
+            t.insert(keys, keys, executor="fast")
+        values, found = t.query(keys, kernels="fast")
+        assert found.all() and (values == keys).all()
+
+    def test_table_rejects_conflicting_spellings(self):
+        t = WarpDriveHashTable(64)
+        keys = np.arange(4, dtype=np.uint32)
+        with pytest.raises(ConfigurationError):
+            t.insert(keys, keys, kernels="fast", executor="fast")
+
+    def test_table_rejects_unknown_keyword(self):
+        t = WarpDriveHashTable(64)
+        keys = np.arange(4, dtype=np.uint32)
+        with pytest.raises(TypeError):
+            t.insert(keys, keys, bogus=1)
+
+    def test_table_engine_option_means_shared_storage(self):
+        t = WarpDriveHashTable(64, engine="process")
+        try:
+            assert t.shm_descriptor() is not None
+        finally:
+            t.free()
+        t = WarpDriveHashTable(64, engine="serial")
+        assert t.shm_descriptor() is None
+
+    def test_distributed_accepts_executor(self):
+        node = p100_nvlink_node(2)
+        with pytest.warns(DeprecationWarning, match="DistributedHashTable"):
+            t = DistributedHashTable.for_load_factor(
+                node, 200, 0.8, executor="serial"
+            )
+        assert t.engine.name == "serial"
+        t.free()
+
+    def test_driver_accepts_wall_clock(self):
+        node = p100_nvlink_node(2)
+        keys = unique_keys(200, seed=41)
+        table = DistributedHashTable.for_workload(node, keys, 0.8)
+        with pytest.warns(DeprecationWarning, match="AsyncCascadeDriver"):
+            driver = AsyncCascadeDriver(table, wall_clock=True)
+        assert driver.measure is True
+        assert driver.wall_clock is True  # back-compat read alias
+        table.free()
+
+    def test_driver_rejects_conflicting_spellings(self):
+        node = p100_nvlink_node(2)
+        keys = unique_keys(200, seed=42)
+        table = DistributedHashTable.for_workload(node, keys, 0.8)
+        with pytest.raises(ConfigurationError):
+            AsyncCascadeDriver(table, measure=True, wall_clock=True)
+        table.free()
+
+    def test_partitioned_accepts_executor(self):
+        from repro.core.partitioned import PartitionedWarpDriveTable
+
+        with pytest.warns(DeprecationWarning, match="PartitionedWarpDriveTable"):
+            t = PartitionedWarpDriveTable(256, executor="serial")
+        assert t.engine.name == "serial"
+        t.free()
+
+
+class TestTopLevelExports:
+    def test_unified_entry_points(self):
+        import repro
+
+        for name in (
+            "WarpDriveHashTable",
+            "DistributedHashTable",
+            "AsyncCascadeDriver",
+            "StreamResult",
+            "CascadeReport",
+            "obs",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__

@@ -62,6 +62,44 @@ class TestMarkerConfig:
                 assert mark in registered, f"{path.name}: unregistered mark {mark}"
 
 
+class TestObsTree:
+    """The observability suite stays inside the tier-1 budget."""
+
+    EXPECTED = {
+        "test_reportable.py",
+        "test_trace.py",
+        "test_metrics.py",
+        "test_export.py",
+        "test_runtime.py",
+        "test_options.py",
+        "test_cli_trace.py",
+    }
+
+    def test_obs_tree_covers_every_layer(self):
+        """One test module per obs layer: protocol, trace, metrics,
+        exporters, runtime hooks, option shims, CLI."""
+        present = {p.name for p in (TESTS / "obs").glob("test_*.py")}
+        assert self.EXPECTED <= present
+
+    def test_process_backend_equivalence_is_slow_marked(self):
+        """Worker-pool spin-up is the one expensive obs test; it must
+        carry the registered `slow` marker to stay out of tier-1."""
+        text = (TESTS / "obs" / "test_runtime.py").read_text()
+        match = re.search(
+            r"@pytest\.mark\.slow\s*\n\s*def (\w*process\w*)", text
+        )
+        assert match, "process-backend equivalence test must be slow-marked"
+
+    def test_obs_tests_avoid_global_obs_leakage(self):
+        """obs state is process-global: tests must scope it through
+        `obs.session()` / `configure(...)` teardown, never leave it on."""
+        for path in (TESTS / "obs").glob("test_*.py"):
+            text = path.read_text()
+            for m in re.finditer(r"configure\(enabled=True\)", text):
+                # every enable has a matching disable in the same file
+                assert "configure(enabled=False" in text, path.name
+
+
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
         """Example counts stay within the tier-1 budget.
