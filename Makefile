@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke
+.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke
 
 # tier-1: fast suite, excludes `slow` and `fuzz` via pyproject addopts
 test:
@@ -21,6 +21,12 @@ fuzz-smoke:
 # emitted Perfetto trace_event JSON (repro trace exits 1 on problems)
 trace-smoke:
 	$(PYTHON) -m repro trace --smoke --out /tmp/repro.smoke.trace.json
+
+# lifecycle smoke: 4x-capacity ingest through every table flavour with
+# dynamic growth, traced + Perfetto-validated (repro grow exits 1 on
+# any InsertionError, lost pair, or missing grow/rehash span)
+grow-smoke:
+	$(PYTHON) -m repro grow --smoke --out /tmp/repro.grow.trace.json
 
 # racecheck certification: clean tree silent, every mutant flagged
 racecheck:

@@ -1,10 +1,11 @@
-"""Measured executor comparison — real seconds, not modelled ones.
+"""Measured engine comparison — real seconds, not modelled ones.
 
-Runs single-shard bulk insert/query and the m = 4 device-sided insert
-cascade under all three execution backends (serial / thread / process)
-at n = 2^18, |g| = 4, α = 0.95, and writes ``BENCH_wallclock.json`` at
-the repo root (row schema: bench, n, m, executor, ops_per_s, seconds,
-plus the host ``cpus`` the run had).
+Runs single-shard bulk insert/query, the m = 4 device-sided insert
+cascade, and the quarter-capacity growth ingest under all three
+execution backends (serial / thread / process) at n = 2^18, |g| = 4,
+α = 0.95, and writes ``BENCH_wallclock.json`` at the repo root (row
+schema: bench, n, m, engine, ops_per_s, seconds, plus the host
+``cpus`` the run had).
 
 Interpretation: the parallel backends can only beat serial when the
 host grants more than one core — the ``cpus`` field says whether a
@@ -30,10 +31,15 @@ def test_wallclock(benchmark):
     write_results(records, REPO_ROOT / "BENCH_wallclock.json")
     record("wallclock", format_records(records))
 
-    benches = {(r.bench, r.executor) for r in records}
-    for bench in ("single_shard_insert", "single_shard_query", "cascade_insert"):
-        for executor in ("serial", "thread", "process"):
-            assert (bench, executor) in benches
+    benches = {(r.bench, r.engine) for r in records}
+    for bench in (
+        "single_shard_insert",
+        "single_shard_query",
+        "cascade_insert",
+        "growth_insert",
+    ):
+        for engine in ("serial", "thread", "process"):
+            assert (bench, engine) in benches
     assert all(r.seconds > 0 and r.ops_per_s > 0 for r in records)
 
 

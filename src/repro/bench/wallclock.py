@@ -8,7 +8,10 @@ execution backends on identical workloads:
 * ``single_shard_insert`` / ``single_shard_query`` — one bulk kernel on
   one shard (engine dispatch overhead + kernel time);
 * ``cascade_insert`` — the full m = 4 device-sided insertion cascade,
-  where the per-shard kernels are the parallelizable phase.
+  where the per-shard kernels are the parallelizable phase;
+* ``growth_insert`` — the same cascade started at a quarter of the
+  final capacity under a ``GrowthPolicy``, so the measured seconds
+  include the coordinated shard growth + rehash episodes.
 
 Results carry the host's CPU count: on a single-core box the parallel
 backends cannot beat serial (see ``docs/execution.md``), and the
@@ -24,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.config import HashTableConfig
+from ..core.growth import GrowthPolicy
 from ..core.table import WarpDriveHashTable
 from ..exec.engine import ShardKernelTask, available_backends, create_engine
 from ..multigpu.distributed_table import DistributedHashTable
@@ -35,6 +39,7 @@ __all__ = [
     "WallClockRecord",
     "bench_single_shard",
     "bench_cascade",
+    "bench_growth",
     "run_wallclock_suite",
     "write_results",
     "format_records",
@@ -167,6 +172,59 @@ def bench_cascade(
     ]
 
 
+def bench_growth(
+    engine: str,
+    n: int,
+    *,
+    m: int = 4,
+    group_size: int = 4,
+    max_load: float = 0.9,
+    chunks: int = 8,
+    workers: int | None = None,
+    seed: int = 11,
+) -> list[WallClockRecord]:
+    """Time a chunked cascade ingest that starts at a quarter of the
+    final capacity, so the clock includes every coordinated shard-growth
+    and rehash episode the :class:`~repro.core.growth.GrowthPolicy`
+    triggers on the way up."""
+    import numpy as np
+
+    keys = unique_keys(n, seed=seed)
+    values = random_values(n, seed=seed + 1)
+    topology = p100_nvlink_node(m)
+    start_capacity = max(m * 64, n // 4)
+    table = DistributedHashTable(
+        topology,
+        start_capacity,
+        group_size=group_size,
+        engine=engine,
+        workers=workers,
+        growth=GrowthPolicy(max_load=max_load),
+    )
+    try:
+        batches = list(
+            zip(np.array_split(keys, chunks), np.array_split(values, chunks))
+        )
+        t0 = time.perf_counter()
+        for chunk_keys, chunk_values in batches:
+            table.insert(chunk_keys, chunk_values, source="device")
+        seconds = time.perf_counter() - t0
+        if not any(shard.grows for shard in table.shards):
+            raise RuntimeError("growth bench never grew — workload too small")
+    finally:
+        table.free()
+    return [
+        WallClockRecord(
+            bench="growth_insert",
+            n=n,
+            m=m,
+            engine=engine,
+            ops_per_s=n / seconds if seconds > 0 else 0.0,
+            seconds=seconds,
+        )
+    ]
+
+
 def run_wallclock_suite(
     n: int = 1 << 18,
     *,
@@ -183,6 +241,9 @@ def run_wallclock_suite(
         )
         records.extend(
             bench_cascade(engine, n, m=m, workers=workers, seed=seed)
+        )
+        records.extend(
+            bench_growth(engine, n, m=m, workers=workers, seed=seed)
         )
     return records
 

@@ -16,6 +16,10 @@ bench
 trace
     Run a small traced cascade and write a Chrome/Perfetto
     ``.trace.json`` through :mod:`repro.obs`.
+grow
+    Dynamic-growth exercise: ingest past the load ceiling through every
+    table flavour and validate the traced grow/rehash spans
+    (``--smoke`` is the CI gate).
 racecheck
     Shadow-memory race sanitizer over the reference kernels: clean-tree
     certification plus the seeded mutant catalogue.
@@ -210,6 +214,112 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_grow(args: argparse.Namespace) -> int:
+    """Ingest far past the load ceiling through every table flavour.
+
+    Each stage starts at a small capacity with a ``GrowthPolicy`` and
+    streams in ``--scale`` times that many pairs; success means zero
+    ``InsertionError``, every key retrievable, at least one recorded
+    rehash, and a valid Perfetto trace containing the lifecycle spans.
+    """
+    import numpy as np
+
+    from repro import obs
+    from repro.core import (
+        GrowthPolicy,
+        PartitionedWarpDriveTable,
+        WarpDriveHashTable,
+    )
+    from repro.multigpu import DistributedHashTable, p100_nvlink_node
+    from repro.pipeline.driver import AsyncCascadeDriver
+    from repro.workloads import random_values, unique_keys
+
+    policy = GrowthPolicy(max_load=args.max_load)
+    base = 256 if args.smoke else args.capacity
+    n = int(base * args.scale)
+    keys = unique_keys(n, seed=11)
+    values = random_values(n, seed=12)
+    chunks = list(
+        zip(np.array_split(keys, 8), np.array_split(values, 8))
+    )
+    failures: list[str] = []
+
+    def check(label: str, table, query) -> None:
+        got, found = query()
+        if not bool(found.all()) or not bool((got == values).all()):
+            failures.append(f"{label}: grown table lost pairs")
+
+    with obs.session() as (recorder, metrics):
+        t = WarpDriveHashTable(base, growth=policy)
+        for ck, cv in chunks:
+            t.insert(ck, cv)
+        if t.grows == 0:
+            failures.append("single: no growth at 4x ingest")
+        check("single", t, lambda: t.query(keys))
+        print(f"single       capacity {base} -> {t.capacity} "
+              f"({t.grows} grows)")
+
+        pt = PartitionedWarpDriveTable(
+            base, max_partition_bytes=base * 2, growth=policy
+        )
+        for ck, cv in chunks:
+            pt.insert(ck, cv)
+        check("partitioned", pt, lambda: pt.query(keys))
+        print(f"partitioned  capacity {base} -> {pt.capacity} "
+              f"({sum(s.grows for s in pt.subtables)} grows)")
+        pt.free()
+
+        node = p100_nvlink_node(4)
+        dt = DistributedHashTable(node, base, growth=policy)
+        for ck, cv in chunks:
+            dt.insert(ck, cv)
+        check("distributed", dt,
+              lambda: dt.query(keys)[:2])
+        rehash_xfers = sum(
+            r.tag == "grow rehash" for r in dt.transfer_log.records
+        )
+        print(f"distributed  capacity {base} -> {dt.total_capacity} "
+              f"({sum(s.grows for s in dt.shards)} grows, "
+              f"{rehash_xfers} D2D rehash transfers)")
+        dt.free()
+
+        st = DistributedHashTable(node, base, growth=policy)
+        driver = AsyncCascadeDriver(st, num_threads=2, measure=True)
+        res = driver.insert_stream(chunks)
+        check("driver", st, lambda: st.query(keys)[:2])
+        grow_spans = [
+            s for s in res.measured.spans if s.op == "insert grow"
+        ]
+        if not grow_spans:
+            failures.append("driver: no measured mid-stream grow span")
+        print(f"driver       capacity {base} -> {st.total_capacity} "
+              f"({len(grow_spans)} measured grow spans)")
+        st.free()
+
+    data = obs.to_perfetto(recorder, metrics)
+    problems = obs.validate_trace(data)
+    if problems:
+        failures.extend(f"trace: {p}" for p in problems)
+    names = {s.name for s in recorder.spans}
+    for required in ("grow", "shard growth"):
+        if required not in names:
+            failures.append(f"trace: no '{required}' span recorded")
+    rehashes = metrics.counters.get("kernel.rehash.ops", 0)
+    if not rehashes:
+        failures.append("metrics: kernel.rehash.ops never incremented")
+    print(f"trace: {len(recorder.spans)} spans, "
+          f"{rehashes} pairs migrated by rehash kernels")
+    if args.out:
+        path = obs.write_trace(args.out, recorder, metrics)
+        print(f"wrote {path}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("growth smoke: all table flavours grew cleanly")
+    return 0
+
+
 def _parse_budget(text: str) -> float:
     """Seconds from a ``30s`` / ``2m`` / plain-number budget string."""
     text = text.strip().lower()
@@ -378,6 +488,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="repro.trace.json", help="trace_event JSON output path"
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    grow = sub.add_parser(
+        "grow",
+        help="dynamic-growth exercise across every table flavour",
+    )
+    grow.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed workload for CI (capacity 256)",
+    )
+    grow.add_argument("--capacity", type=int, default=1024,
+                      help="starting capacity per stage")
+    grow.add_argument("--scale", type=float, default=4.0,
+                      help="ingest scale x starting capacity pairs")
+    grow.add_argument("--max-load", type=float, default=0.9,
+                      help="GrowthPolicy load ceiling")
+    grow.add_argument("--out", default=None,
+                      help="optional Perfetto trace output path")
+    grow.set_defaults(fn=_cmd_grow)
 
     race = sub.add_parser(
         "racecheck",

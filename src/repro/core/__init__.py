@@ -2,16 +2,27 @@
 
 from .bulk import STATUS, bulk_erase, bulk_insert, bulk_query
 from .config import HashTableConfig
+from .growth import GrowthPolicy
 from .kernels_ref import erase_task, insert_task, query_task
 from .probing import (
+    WINDOW_SEQUENCES,
     DoubleHashProbing,
+    DoubleWindowSequence,
     LinearProbing,
+    LinearWindowSequence,
     ProbeSequence,
     QuadraticProbing,
     WindowRef,
     WindowSequence,
+    make_window_sequence,
 )
 from .report import KernelReport
+from .store import (
+    STORE_LAYOUTS,
+    SlotStore,
+    SoAPackedView,
+    make_store,
+)
 from .slots import (
     is_empty,
     is_live,
@@ -40,8 +51,17 @@ __all__ = [
     "MultiValueHashTable",
     "CountingHashTable",
     "HashTableConfig",
+    "GrowthPolicy",
     "KernelReport",
+    "SlotStore",
+    "SoAPackedView",
+    "STORE_LAYOUTS",
+    "make_store",
     "WindowSequence",
+    "DoubleWindowSequence",
+    "LinearWindowSequence",
+    "WINDOW_SEQUENCES",
+    "make_window_sequence",
     "WindowRef",
     "ProbeSequence",
     "LinearProbing",

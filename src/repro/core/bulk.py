@@ -66,30 +66,24 @@ def _window_rows(
     :meth:`WindowSequence.window_hash` path and the paper's ``uint32``
     kernels — the two executors must visit identical windows.
     """
-    inner = seq.inner_count
-    p = flat // inner
-    q = flat % inner
-    with np.errstate(over="ignore"):
-        h1 = seq.family.primary(keys)
-        step = seq.family.step(keys)
-        h = h1 + (p & 0xFFFFFFFF).astype(np.uint32) * step
-        start = (h + (q * seq.group_size).astype(np.uint32)).astype(_U64) % _U64(
-            capacity
-        )
     ranks = np.arange(seq.group_size, dtype=np.int64)
-    return (start.astype(np.int64)[:, None] + ranks[None, :]) % capacity
+    h1, step = _hash_cache(seq, keys)
+    return _cached_window_rows(
+        h1, step, flat, seq.inner_count, seq.group_size, ranks, capacity
+    )
 
 
 def _hash_cache(seq: WindowSequence, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Per-key (primary, step) hashes, computed once per wave entry.
+    """Per-key (h1, step) hashes, computed once per wave entry.
 
     A key's hashes never change across rounds, so the round loop gathers
     from this cache instead of re-running the mixers over the pending
-    set every round (the cached arithmetic below mirrors
-    :func:`_window_rows` bit for bit).
+    set every round.  Delegating to :meth:`WindowSequence.hash_cache`
+    makes the probing scheme a policy: every sequence publishes its walk
+    in the affine ``h1 + p·step + q·|g|`` form the cached arithmetic of
+    :func:`_cached_window_rows` evaluates bit for bit.
     """
-    with np.errstate(over="ignore"):
-        return seq.family.primary(keys), seq.family.step(keys)
+    return seq.hash_cache(keys)
 
 
 def _cached_window_rows(

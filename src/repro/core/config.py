@@ -9,6 +9,9 @@ from ..constants import DEFAULT_P_MAX
 from ..errors import ConfigurationError
 from ..hashing.families import DoubleHashFamily, make_double_family
 from ..utils.validation import check_group_size, check_load_factor, check_positive
+from .growth import GrowthPolicy
+from .probing import WINDOW_SEQUENCES
+from .store import STORE_LAYOUTS
 
 __all__ = ["HashTableConfig"]
 
@@ -35,6 +38,16 @@ class HashTableConfig:
         translated hash family after an insertion failure (§II).
     max_rebuilds:
         Upper bound on transparent rebuild attempts.
+    probing:
+        Window-walk policy: ``"window"`` (the paper's hybrid, default),
+        ``"double"``, or ``"linear"`` (:mod:`repro.core.probing`).
+    layout:
+        Slot storage policy: ``"aos"`` (packed, default) or ``"soa"``
+        (:mod:`repro.core.store`).
+    growth:
+        Optional :class:`~repro.core.growth.GrowthPolicy`; when set the
+        table resizes instead of failing (``None`` keeps the paper's
+        fixed-capacity semantics).
     """
 
     capacity: int
@@ -43,6 +56,9 @@ class HashTableConfig:
     family: DoubleHashFamily = field(default_factory=make_double_family)
     rebuild_on_failure: bool = True
     max_rebuilds: int = 4
+    probing: str = "window"
+    layout: str = "aos"
+    growth: GrowthPolicy | None = None
 
     def __post_init__(self):
         check_positive("capacity", self.capacity)
@@ -51,6 +67,20 @@ class HashTableConfig:
         if self.max_rebuilds < 0:
             raise ConfigurationError(
                 f"max_rebuilds must be >= 0, got {self.max_rebuilds}"
+            )
+        if self.probing not in WINDOW_SEQUENCES:
+            raise ConfigurationError(
+                f"unknown probing scheme {self.probing!r}; "
+                f"choose from {sorted(WINDOW_SEQUENCES)}"
+            )
+        if self.layout not in STORE_LAYOUTS:
+            raise ConfigurationError(
+                f"unknown slot layout {self.layout!r}; "
+                f"choose from {STORE_LAYOUTS}"
+            )
+        if self.growth is not None and not isinstance(self.growth, GrowthPolicy):
+            raise ConfigurationError(
+                f"growth must be a GrowthPolicy or None, got {self.growth!r}"
             )
 
     @classmethod
@@ -76,3 +106,19 @@ class HashTableConfig:
     def rebuilt(self, salt: int) -> "HashTableConfig":
         """Config for the reconstruction attempt after an insert failure."""
         return replace(self, family=self.family.rebuilt(salt))
+
+    def grown(self, new_capacity: int) -> "HashTableConfig":
+        """Config after a resize — same hash family, larger table.
+
+        Growth deliberately keeps the family: a grown table is
+        *query-equivalent* to a fresh table of the new capacity built
+        with the same family (property-tested in
+        ``tests/core/test_growth_equivalence.py``).
+        """
+        check_positive("new_capacity", new_capacity)
+        if new_capacity <= self.capacity:
+            raise ConfigurationError(
+                f"grown capacity {new_capacity} must exceed "
+                f"current capacity {self.capacity}"
+            )
+        return replace(self, capacity=int(new_capacity))

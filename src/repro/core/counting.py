@@ -17,6 +17,7 @@ import numpy as np
 
 from ..constants import MAX_VALUE
 from ..errors import ConfigurationError
+from ..options import UNSET, reject_unknown, resolve_renamed
 from ..simt.device import Device
 from ..utils.validation import check_keys
 from .report import KernelReport
@@ -28,8 +29,11 @@ __all__ = ["CountingHashTable"]
 class CountingHashTable:
     """A multiset of keys backed by a WarpDrive table.
 
-    Parameters mirror :class:`WarpDriveHashTable`; the stored value is
-    the saturating occurrence count.
+    Parameters mirror :class:`WarpDriveHashTable` — including the
+    unified option vocabulary (``engine=``, ``probing=``, ``layout=``,
+    ``growth=``; :mod:`repro.options`), all forwarded to the backing
+    table, with ``executor=`` resolving through the warn-once shim.
+    The stored value is the saturating occurrence count.
     """
 
     def __init__(
@@ -39,10 +43,24 @@ class CountingHashTable:
         group_size: int = 4,
         p_max: int | None = None,
         device: Device | None = None,
+        engine: object = UNSET,
+        probing: str = UNSET,
+        layout: str = UNSET,
+        growth=UNSET,
+        **legacy,
     ):
-        kwargs = {"group_size": group_size}
+        engine = resolve_renamed(
+            "CountingHashTable", legacy,
+            old="executor", new="engine", value=engine, default=None,
+        )
+        reject_unknown("CountingHashTable", legacy)
+        kwargs = {"group_size": group_size, "engine": engine}
         if p_max is not None:
             kwargs["p_max"] = p_max
+        for opt, val in (("probing", probing), ("layout", layout),
+                         ("growth", growth)):
+            if val is not UNSET:
+                kwargs[opt] = val
         self.table = WarpDriveHashTable(capacity, device=device, **kwargs)
         self.last_report: KernelReport | None = None
 
@@ -66,14 +84,27 @@ class CountingHashTable:
         _, values = self.table.export()
         return int(values.astype(np.uint64).sum())
 
-    def add(self, keys: np.ndarray, amounts: np.ndarray | int = 1) -> KernelReport:
+    def add(
+        self,
+        keys: np.ndarray,
+        amounts: np.ndarray | int = 1,
+        *,
+        kernels: str = UNSET,
+        **legacy,
+    ) -> KernelReport:
         """Count occurrences: ``table[key] += amount`` per observation.
 
         Duplicate keys inside one batch pre-aggregate before touching the
         table — one update per distinct key, like a warp-aggregated
         ``atomicAdd`` — so hot keys cost O(1) table traffic instead of
-        the multi-value table's O(M²/|g|) walk.
+        the multi-value table's O(M²/|g|) walk.  ``kernels=`` picks the
+        backing table's kernel implementation (``"fast"``/``"ref"``).
         """
+        kernels = resolve_renamed(
+            "CountingHashTable", legacy,
+            old="executor", new="kernels", value=kernels, default="fast",
+        )
+        reject_unknown("CountingHashTable.add", legacy)
         k = check_keys(keys)
         if np.isscalar(amounts):
             weights = np.full(k.shape[0], int(amounts), dtype=np.int64)
@@ -88,17 +119,26 @@ class CountingHashTable:
         sums = np.bincount(inverse, weights=weights.astype(np.float64))
         sums = sums.astype(np.uint64)
 
-        current, _ = self.table.query(uniq, default=0)
+        current, _ = self.table.query(uniq, default=0, kernels=kernels)
         new = np.minimum(
             current.astype(np.uint64) + sums, np.uint64(MAX_VALUE)
         ).astype(np.uint32)
-        report = self.table.insert(uniq, new)
+        report = self.table.insert(uniq, new, kernels=kernels)
         self.last_report = report
         return report
 
-    def count(self, keys: np.ndarray) -> np.ndarray:
+    def count(
+        self, keys: np.ndarray, *, kernels: str = UNSET, **legacy
+    ) -> np.ndarray:
         """Occurrence count per key (0 for unseen keys)."""
-        values, found = self.table.query(check_keys(keys), default=0)
+        kernels = resolve_renamed(
+            "CountingHashTable", legacy,
+            old="executor", new="kernels", value=kernels, default="fast",
+        )
+        reject_unknown("CountingHashTable.count", legacy)
+        values, found = self.table.query(
+            check_keys(keys), default=0, kernels=kernels
+        )
         values = values.copy()
         values[~found] = 0
         return values.astype(np.int64)

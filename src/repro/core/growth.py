@@ -1,0 +1,78 @@
+"""Dynamic growth policy for WarpDrive tables.
+
+WarpSpeed (McCoy & Pandey) identifies missing resizing as the key
+functionality gap keeping GPU hash tables out of large-scale data
+processing: a fixed-capacity table either over-provisions wildly or dies
+with an :class:`~repro.errors.InsertionError` mid-ingest.  A
+:class:`GrowthPolicy` closes that gap — it decides *when* a table must
+grow (the load threshold an incoming batch may not push past) and *how
+far* (a geometric factor, floored so the post-growth load lands back
+under the threshold).
+
+The policy is pure arithmetic; the actual rehash — re-inserting every
+live pair with the real bulk kernels, so the probe/CAS work of the
+migration is measured, charged, and traced — lives in
+:meth:`repro.core.table.WarpDriveHashTable.grow`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["GrowthPolicy", "DEFAULT_MAX_LOAD", "DEFAULT_GROWTH_FACTOR"]
+
+DEFAULT_MAX_LOAD = 0.9
+DEFAULT_GROWTH_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class GrowthPolicy:
+    """When and how far a table resizes.
+
+    Attributes
+    ----------
+    max_load:
+        Load factor the table may not exceed; an insert that would push
+        ``n / c`` past this triggers a grow *before* the kernel runs.
+    factor:
+        Geometric capacity multiplier per grow step.  The target
+        capacity is additionally floored at ``required / max_load`` so
+        one grow always suffices for the batch that triggered it.
+    """
+
+    max_load: float = DEFAULT_MAX_LOAD
+    factor: float = DEFAULT_GROWTH_FACTOR
+
+    def __post_init__(self):
+        if not 0 < self.max_load <= 1:
+            raise ConfigurationError(
+                f"max_load must be in (0, 1], got {self.max_load}"
+            )
+        if self.factor <= 1:
+            raise ConfigurationError(
+                f"growth factor must be > 1, got {self.factor}"
+            )
+
+    def max_pairs(self, capacity: int) -> int:
+        """Most pairs ``capacity`` may hold without tripping the policy."""
+        return int(math.floor(capacity * self.max_load))
+
+    def should_grow(self, capacity: int, required: int) -> bool:
+        """True when ``required`` pairs exceed the load threshold."""
+        return required > self.max_pairs(capacity)
+
+    def next_capacity(self, capacity: int, required: int) -> int:
+        """Smallest policy-conforming capacity for ``required`` pairs.
+
+        Grows geometrically (``factor`` per step) but never returns a
+        capacity whose load for ``required`` pairs would still exceed
+        ``max_load`` — a single grow always absorbs the triggering batch.
+        """
+        floor = int(math.ceil(required / self.max_load))
+        target = max(int(math.ceil(capacity * self.factor)), capacity + 1)
+        while target < floor:
+            target = max(int(math.ceil(target * self.factor)), target + 1)
+        return target

@@ -17,22 +17,33 @@ import math
 
 import numpy as np
 
-from ..constants import DEFAULT_P_MAX, EMPTY_SLOT
+from ..constants import DEFAULT_P_MAX
 from ..errors import ConfigurationError, InsertionError
 from ..hashing.families import DoubleHashFamily, make_double_family
 from ..memory.layout import pack_pairs
+from ..options import UNSET, reject_unknown, resolve_renamed
 from ..simt.counters import TransactionCounter
 from ..utils.validation import check_group_size, check_keys, check_same_length, check_values
 from .bulk import _sectors_per_window, _window_rows, default_wave_size
-from .probing import WindowSequence
+from .probing import make_window_sequence
 from .report import KernelReport
 from .slots import is_empty, is_vacant, slot_keys, slot_values
+from .store import make_store
 
 __all__ = ["MultiValueHashTable"]
 
 
 class MultiValueHashTable:
-    """Open-addressing multi-map: one key, many values."""
+    """Open-addressing multi-map: one key, many values.
+
+    Takes the unified option vocabulary of :mod:`repro.options`:
+    ``engine=`` (decides shared-memory slot backing, exactly like the
+    single-value table), ``probing=`` and ``layout=`` (the probing and
+    storage policies of :mod:`repro.core.probing` /
+    :mod:`repro.core.store`), and ``kernels=`` on the bulk methods.
+    The deprecated ``executor=`` spelling still resolves through the
+    warn-once shim.
+    """
 
     def __init__(
         self,
@@ -41,17 +52,58 @@ class MultiValueHashTable:
         group_size: int = 4,
         p_max: int = DEFAULT_P_MAX,
         family: DoubleHashFamily | None = None,
+        probing: str = "window",
+        layout: str = "aos",
+        engine: object = UNSET,
+        shared: bool = False,
+        **legacy,
     ):
+        engine = resolve_renamed(
+            "MultiValueHashTable", legacy,
+            old="executor", new="engine", value=engine, default=None,
+        )
+        reject_unknown("MultiValueHashTable", legacy)
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be > 0, got {capacity}")
         check_group_size(group_size)
+        if engine is not None:
+            shared = shared or engine == "process" or bool(
+                getattr(engine, "requires_shared_slots", False)
+            )
         self.capacity = capacity
         self.family = family if family is not None else make_double_family()
-        self.seq = WindowSequence(self.family, group_size, p_max)
-        self.slots = np.full(capacity, EMPTY_SLOT, dtype=np.uint64)
+        self.seq = make_window_sequence(probing, self.family, group_size, p_max)
+        self.store = make_store(capacity, layout=layout, shared=shared)
         self.counter = TransactionCounter()
         self._size = 0
         self.last_report: KernelReport | None = None
+
+    @property
+    def slots(self):
+        """The packed slot view (storage-policy controlled)."""
+        return self.store.view
+
+    def shm_descriptor(self):
+        """Shared-memory descriptor of the slot table (None if not shared)."""
+        return self.store.descriptor()
+
+    def free(self) -> None:
+        """Release the slot storage."""
+        self.store.free()
+
+    @staticmethod
+    def _resolve_kernels(method: str, kernels, legacy) -> None:
+        """Bulk-method ``kernels=`` resolution: only ``"fast"`` exists here."""
+        kernels = resolve_renamed(
+            "MultiValueHashTable", legacy,
+            old="executor", new="kernels", value=kernels, default="fast",
+        )
+        reject_unknown(f"MultiValueHashTable.{method}", legacy)
+        if kernels != "fast":
+            raise ConfigurationError(
+                f"MultiValueHashTable.{method} supports kernels='fast' only "
+                f"(no reference multi-value kernels); got {kernels!r}"
+            )
 
     @classmethod
     def for_load_factor(cls, num_pairs: int, load_factor: float, **kwargs):
@@ -70,8 +122,12 @@ class MultiValueHashTable:
 
     # -- insert ---------------------------------------------------------------
 
-    def insert(self, keys: np.ndarray, values: np.ndarray) -> KernelReport:
+    def insert(
+        self, keys: np.ndarray, values: np.ndarray, *, kernels: str = UNSET,
+        **legacy,
+    ) -> KernelReport:
         """Append (key, value) pairs; every pair claims its own slot."""
+        self._resolve_kernels("insert", kernels, legacy)
         k = check_keys(keys)
         v = check_values(values)
         check_same_length("keys", k, "values", v)
@@ -147,7 +203,9 @@ class MultiValueHashTable:
 
     # -- retrieval --------------------------------------------------------------
 
-    def count(self, keys: np.ndarray) -> np.ndarray:
+    def count(
+        self, keys: np.ndarray, *, kernels: str = UNSET, **legacy
+    ) -> np.ndarray:
         """Number of values stored under each key (vectorized).
 
         Distinct chaotic attempts may revisit a slot (the window walk is
@@ -155,6 +213,7 @@ class MultiValueHashTable:
         deduplicated by slot index before counting — the GPU kernel's
         equivalent is a revisit check against the probe history.
         """
+        self._resolve_kernels("count", kernels, legacy)
         k = check_keys(keys)
         n = k.shape[0]
         win_idx = np.zeros(n, dtype=np.int64)

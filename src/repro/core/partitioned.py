@@ -42,8 +42,11 @@ class PartitionedWarpDriveTable:
     max_partition_bytes:
         Upper bound per sub-table footprint; defaults to the CAS
         degradation knee (2 GB).
-    group_size, p_max, device:
-        Forwarded to each sub-table.
+    group_size, p_max, device, probing, layout, growth:
+        Forwarded to each sub-table (see
+        :class:`~repro.core.config.HashTableConfig`); with a
+        :class:`~repro.core.growth.GrowthPolicy` each sub-table grows
+        independently as its own load trips the threshold.
     engine, workers:
         Shard-execution backend; sub-tables are disjoint so their bulk
         kernels run concurrently under ``"thread"``/``"process"``.  The
@@ -62,6 +65,9 @@ class PartitionedWarpDriveTable:
         partition: PartitionHash | None = None,
         engine: str | ExecutionEngine = UNSET,
         workers: int | None = None,
+        probing: str = UNSET,
+        layout: str = UNSET,
+        growth=UNSET,
         **legacy,
     ):
         engine = resolve_renamed(
@@ -96,6 +102,10 @@ class PartitionedWarpDriveTable:
         }
         if p_max is not None:
             kwargs["p_max"] = p_max
+        for opt, val in (("probing", probing), ("layout", layout),
+                         ("growth", growth)):
+            if val is not UNSET:
+                kwargs[opt] = val
         self.subtables = [
             WarpDriveHashTable(sub_capacity, device=device, **kwargs)
             for _ in range(self.num_partitions)
@@ -163,11 +173,39 @@ class PartitionedWarpDriveTable:
             )
         return self.engine.run(tasks) if tasks else []
 
+    def grow(self, new_capacity: int) -> list[KernelReport]:
+        """Grow every sub-table so the total reaches ``new_capacity``.
+
+        Returns the per-sub-table rehash reports (empty sub-tables
+        contribute none).  Routing is untouched — the partition hash is
+        independent of sub-table capacity, so grown sub-tables keep
+        answering for exactly the same key set.
+        """
+        if new_capacity <= self.capacity:
+            raise ConfigurationError(
+                f"grown capacity {new_capacity} must exceed "
+                f"current capacity {self.capacity}"
+            )
+        target = -(-int(new_capacity) // self.num_partitions)
+        reports = []
+        for sub in self.subtables:
+            if target > sub.capacity:
+                rep = sub.grow(target)
+                if rep is not None:
+                    reports.append(rep)
+        return reports
+
     def insert(self, keys: np.ndarray, values: np.ndarray) -> KernelReport:
         k = check_keys(keys)
         v = check_values(values)
         check_same_length("keys", k, "values", v)
         routed = self._route(k)
+        # growth-policy sub-tables resize *before* the shard tasks snapshot
+        # their slot views/descriptors, so every backend (incl. process
+        # workers attaching by segment name) sees the grown store
+        for p, idx in enumerate(routed):
+            if idx.size:
+                self.subtables[p].ensure_capacity(idx.size)
         merged: KernelReport | None = None
         for res in self._run_subtable_kernels("insert", routed, k, v):
             idx = routed[res.shard]

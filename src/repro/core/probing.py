@@ -14,6 +14,15 @@ Two layers:
   the visited slot set is *independent of the group size* — "the inner
   probing loop ensures a consistent probing scheme in case that the size
   of g is varied over time".
+
+The window walk is a constructor-level *policy* of the table
+(``probing=`` in :class:`~repro.core.config.HashTableConfig`): every
+sequence reduces to the affine form ``start = h1 + p·step + q·|g|``
+(uint32 wraparound), published per key through :meth:`WindowSequence.
+hash_cache` so the fast bulk kernels and the faithful reference kernels
+consume any policy through one code path.  ``"window"`` is the paper's
+hybrid above; ``"double"`` re-hashes every |g|-wide window chaotically
+(no inner slide); ``"linear"`` walks consecutive windows.
 """
 
 from __future__ import annotations
@@ -35,7 +44,11 @@ __all__ = [
     "QuadraticProbing",
     "DoubleHashProbing",
     "WindowSequence",
+    "DoubleWindowSequence",
+    "LinearWindowSequence",
     "WindowRef",
+    "WINDOW_SEQUENCES",
+    "make_window_sequence",
 ]
 
 _U64 = np.uint64
@@ -125,6 +138,8 @@ class WindowSequence:
         Maximum outer attempts before the insert raises.
     """
 
+    name = "window"
+
     def __init__(self, family: DoubleHashFamily, group_size: int, p_max: int):
         self.family = family
         self.group_size = check_group_size(group_size)
@@ -135,6 +150,18 @@ class WindowSequence:
     def max_windows(self) -> int:
         """Total number of windows the walk may visit."""
         return self.p_max * self.inner_count
+
+    def hash_cache(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-key ``(h1, step)`` of the affine walk ``h1 + p·step + q·|g|``.
+
+        The single probing entry point both executors consume: the bulk
+        kernels gather from it once per wave entry, the reference path
+        derives :meth:`window_start` from it — so every policy that can
+        express its walk in the affine form plugs in here and the two
+        executors stay bit-identical automatically.
+        """
+        with np.errstate(over="ignore"):
+            return self.family.primary(keys), self.family.step(keys)
 
     def window_ref(self, flat_index: int) -> WindowRef:
         """Decompose a flat window counter into (outer p, inner q)."""
@@ -154,9 +181,11 @@ class WindowSequence:
             raise ConfigurationError(
                 f"inner must be in [0, {self.inner_count}), got {inner}"
             )
+        keys = np.asarray(keys, dtype=np.uint32)
+        h1, step = self.hash_cache(keys)
         # all hash arithmetic wraps at 32 bits (uint32 kernels, Fig. 3)
         with np.errstate(over="ignore"):
-            h = self.family.window_hash(keys, outer) + np.uint32(
+            h = h1 + np.uint32(outer & 0xFFFFFFFF) * step + np.uint32(
                 inner * self.group_size
             )
         return (h.astype(_U64) % _U64(capacity)).astype(np.int64)
@@ -189,3 +218,64 @@ class WindowSequence:
             key_arr = np.asarray([key], dtype=np.uint32)
             out.append(self.window_slots(key_arr, ref.outer, ref.inner, capacity)[0])
         return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+
+class DoubleWindowSequence(WindowSequence):
+    """Pure chaotic window probing: every attempt re-hashes (Eq. 3 on
+    |g|-wide windows).
+
+    No inner slide — ``inner_count == 1`` — so a walk of ``p_max``
+    attempts visits ``p_max`` independent windows.  Keeps the paper's
+    coalesced |g|-slot loads while trading the linear-window locality of
+    the hybrid scheme for maximal cluster escape.
+    """
+
+    name = "double"
+
+    def __init__(self, family: DoubleHashFamily, group_size: int, p_max: int):
+        super().__init__(family, group_size, p_max)
+        self.inner_count = 1
+
+
+class LinearWindowSequence(WindowSequence):
+    """Linear probing of |g|-wide windows: attempt ``p`` starts at
+    ``h(k) + p·|g|`` (Eq. 1 lifted to window granularity).
+
+    Maximally cache friendly — consecutive attempts touch adjacent
+    memory — at the cost of primary clustering.  Expressed through the
+    shared affine walk by publishing a constant per-key step of ``|g|``.
+    """
+
+    name = "linear"
+
+    def __init__(self, family: DoubleHashFamily, group_size: int, p_max: int):
+        super().__init__(family, group_size, p_max)
+        self.inner_count = 1
+
+    def hash_cache(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        with np.errstate(over="ignore"):
+            h1 = self.family.primary(keys)
+        step = np.full(h1.shape, self.group_size, dtype=np.uint32)
+        return h1, step
+
+
+#: the ``probing=`` option vocabulary (see :mod:`repro.options`)
+WINDOW_SEQUENCES: dict[str, type[WindowSequence]] = {
+    "window": WindowSequence,
+    "double": DoubleWindowSequence,
+    "linear": LinearWindowSequence,
+}
+
+
+def make_window_sequence(
+    probing: str, family: DoubleHashFamily, group_size: int, p_max: int
+) -> WindowSequence:
+    """Build the window walk for one table (the ``probing=`` policy)."""
+    try:
+        cls = WINDOW_SEQUENCES[probing]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown probing scheme {probing!r}; "
+            f"choose from {sorted(WINDOW_SEQUENCES)}"
+        ) from None
+    return cls(family, group_size, p_max)

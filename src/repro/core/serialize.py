@@ -6,7 +6,12 @@ store the raw slots, the family's mixer names and translations, and the
 config scalars.  Loading restores a byte-identical table — same probe
 walks, same placements — without re-inserting anything.
 
-Format: NumPy ``.npz`` with a JSON header (schema-versioned).
+Format: NumPy ``.npz`` with a JSON header (schema-versioned).  Version 2
+adds the policy fields of the decomposed table core — ``probing``,
+``layout``, and ``growth`` — and always stores the slots in *packed*
+form regardless of the in-memory layout, so an ``soa`` table snapshot
+loads into an ``aos`` build bit-identically (and vice versa).  Version 1
+snapshots load with the default policies.
 """
 
 from __future__ import annotations
@@ -19,12 +24,14 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..hashing.families import DoubleHashFamily, make_hash
 from .config import HashTableConfig
-from .probing import WindowSequence
+from .growth import GrowthPolicy
 from .table import WarpDriveHashTable
 
 __all__ = ["save_table", "load_table", "FORMAT_VERSION"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: versions :func:`load_table` understands
+READABLE_VERSIONS = frozenset({1, 2})
 
 
 def _family_meta(family: DoubleHashFamily) -> dict:
@@ -43,6 +50,18 @@ def _family_from_meta(meta: dict) -> DoubleHashFamily:
     )
 
 
+def _growth_meta(growth: GrowthPolicy | None) -> dict | None:
+    if growth is None:
+        return None
+    return {"max_load": growth.max_load, "factor": growth.factor}
+
+
+def _growth_from_meta(meta: dict | None) -> GrowthPolicy | None:
+    if meta is None:
+        return None
+    return GrowthPolicy(max_load=meta["max_load"], factor=meta["factor"])
+
+
 def save_table(table: WarpDriveHashTable, path: str | pathlib.Path) -> None:
     """Snapshot a table to ``path`` (``.npz``)."""
     header = {
@@ -52,14 +71,19 @@ def save_table(table: WarpDriveHashTable, path: str | pathlib.Path) -> None:
         "p_max": table.config.p_max,
         "size": len(table),
         "rebuilds": table.rebuilds,
+        "grows": table.grows,
         "family": _family_meta(table.config.family),
         "rebuild_on_failure": table.config.rebuild_on_failure,
         "max_rebuilds": table.config.max_rebuilds,
+        "probing": table.config.probing,
+        "layout": table.config.layout,
+        "growth": _growth_meta(table.config.growth),
     }
     np.savez_compressed(
         path,
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
-        slots=table.slots,
+        # always packed on disk: layout is an in-memory policy, not a format
+        slots=np.asarray(table.slots, dtype=np.uint64),
     )
 
 
@@ -72,10 +96,10 @@ def load_table(path: str | pathlib.Path) -> WarpDriveHashTable:
         slots = archive["slots"]
 
     version = header.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise ConfigurationError(
             f"{path}: unsupported snapshot version {version!r} "
-            f"(this build reads {FORMAT_VERSION})"
+            f"(this build reads {sorted(READABLE_VERSIONS)})"
         )
     if slots.shape[0] != header["capacity"]:
         raise ConfigurationError(
@@ -90,10 +114,14 @@ def load_table(path: str | pathlib.Path) -> WarpDriveHashTable:
         family=_family_from_meta(header["family"]),
         rebuild_on_failure=header["rebuild_on_failure"],
         max_rebuilds=header["max_rebuilds"],
+        # v1 snapshots predate the policy fields: default policies
+        probing=header.get("probing", "window"),
+        layout=header.get("layout", "aos"),
+        growth=_growth_from_meta(header.get("growth")),
     )
     table = WarpDriveHashTable(config=config)
-    table.slots[:] = slots.astype(np.uint64)
+    table.store.load_packed(slots.astype(np.uint64))
     table._size = int(header["size"])
     table.rebuilds = int(header["rebuilds"])
-    table.seq = WindowSequence(config.family, config.group_size, config.p_max)
+    table.grows = int(header.get("grows", 0))
     return table

@@ -1,0 +1,373 @@
+"""Slot storage policy — the memory layout behind a WarpDrive table.
+
+WarpCore (Jünger et al.) shows the WarpDrive design decomposes into
+orthogonal policies, storage layout being one of them.  This module is
+that seam for the reproduction: a :class:`SlotStore` owns the slot
+memory of one table and exposes it as a *packed view* — an
+ndarray-like object over ``uint64`` packed pairs — which is the only
+handle the kernels (:mod:`repro.core.bulk`,
+:mod:`repro.core.kernels_ref`), the execution engine, the serializer,
+and the sanitizer ever touch.  No module outside the store knows how
+the bits are arranged.
+
+Two layouts ship:
+
+``aos`` (default)
+    Packed array-of-structures: one ``uint64`` per slot, key in the
+    high 32 bits — the paper's layout.  The packed view *is* the raw
+    array (zero overhead).
+
+``soa``
+    Structure-of-arrays: two ``uint32`` planes (keys, values).  The
+    :class:`SoAPackedView` packs/unpacks on access, bit-exactly — the
+    sentinel encodings round-trip because the planes store the literal
+    high/low halves of ``EMPTY_SLOT`` / ``TOMBSTONE_SLOT`` (both have
+    key half ``0xFFFFFFFF``; they differ in the value half).
+
+Either layout can live in plain memory, simulated VRAM
+(:class:`~repro.memory.buffer.DeviceBuffer`), or POSIX shared memory
+(:mod:`repro.exec.shm`) for the process execution backend; a device
+sanitizer shadow-instruments the view in every combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import EMPTY_SLOT
+from ..errors import ConfigurationError
+
+# NOTE: repro.sanitize imports repro.core (racecheck builds tables), so the
+# shadow-instrumentation helpers are imported lazily at the few points a
+# sanitizer is actually attached — never at module import.
+
+__all__ = [
+    "STORE_LAYOUTS",
+    "SoAPackedView",
+    "SlotStore",
+    "PackedSlotStore",
+    "SplitSlotStore",
+    "make_store",
+    "attach_view",
+]
+
+_U64 = np.uint64
+_U32 = np.uint32
+_LOW_MASK = _U64(0xFFFFFFFF)
+_SHIFT = _U64(32)
+
+#: layouts :func:`make_store` accepts (the ``layout=`` option vocabulary)
+STORE_LAYOUTS = ("aos", "soa")
+
+
+def _halves(value: int) -> tuple[int, int]:
+    """(high, low) 32-bit halves of one packed slot word."""
+    value = int(value)
+    return (value >> 32) & 0xFFFFFFFF, value & 0xFFFFFFFF
+
+
+class SoAPackedView:
+    """ndarray-like packed ``uint64`` facade over split key/value planes.
+
+    Supports exactly the access grammar the kernels use on a raw slot
+    array — ``shape``/``dtype``/``len``, scalar and fancy ``[]`` get/set,
+    ``fill``, and ``__array__`` (so :func:`repro.core.slots.is_vacant`
+    and friends work unchanged).  Plain accesses report to an attached
+    sanitizer with the same lane-attribution rules as
+    :class:`~repro.sanitize.shadow.ShadowedArray`, against *logical slot
+    indices* — races are a property of the slot, not of the plane.
+    """
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray, sanitizer=None,
+                 name: str = "slots"):
+        if keys.shape != values.shape:
+            raise ConfigurationError("key/value planes must have equal shape")
+        self._keys = keys
+        self._values = values
+        self.sanitizer = sanitizer
+        self.shadow_name = name
+
+    # -- ndarray protocol surface ----------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._keys.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.uint64)
+
+    def __len__(self) -> int:
+        return int(self._keys.shape[0])
+
+    def __array__(self, dtype=None, copy=None):
+        packed = (self._keys.astype(_U64) << _SHIFT) | self._values.astype(
+            _U64
+        )
+        return packed if dtype is None else packed.astype(dtype)
+
+    def _record(self, index, kind: str) -> None:
+        sanitizer = self.sanitizer
+        if sanitizer is not None and sanitizer.plain_enabled:
+            from ..sanitize.shadow import AccessKind, _index_rows
+
+            lane_attributed = isinstance(index, np.ndarray) and index.ndim == 1
+            sanitizer.record_plain(
+                self.shadow_name,
+                _index_rows(self.shape[0], index),
+                AccessKind.READ if kind == "read" else AccessKind.WRITE,
+                lanes_positional=lane_attributed,
+            )
+
+    def __getitem__(self, index):
+        self._record(index, "read")
+        k = self._keys[index]
+        v = self._values[index]
+        if isinstance(k, np.ndarray):
+            return (k.astype(_U64) << _SHIFT) | v.astype(_U64)
+        return _U64((int(k) << 32) | int(v))
+
+    def __setitem__(self, index, value) -> None:
+        self._record(index, "write")
+        packed = np.asarray(value, dtype=_U64)
+        self._keys[index] = (packed >> _SHIFT).astype(_U32)
+        self._values[index] = (packed & _LOW_MASK).astype(_U32)
+
+    def fill(self, value) -> None:
+        hi, lo = _halves(value)
+        self._keys.fill(_U32(hi))
+        self._values.fill(_U32(lo))
+
+    # comparisons pack first, so ``view == TOMBSTONE_SLOT`` scans work
+    # exactly like on a raw packed array (no sanitizer traffic: the
+    # packed copy is register state, same as a window snapshot)
+    def __eq__(self, other):
+        return np.asarray(self) == other
+
+    def __ne__(self, other):
+        return np.asarray(self) != other
+
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SoAPackedView(capacity={len(self)})"
+
+
+class SlotStore:
+    """Owner of one table's slot memory, behind a packed view.
+
+    Concrete stores provide ``_allocate``/``_release`` and the packed
+    ``view`` construction; everything else — descriptor plumbing,
+    fill/clear, packed import/export — is layout-independent here.
+    """
+
+    layout: str = "abstract"
+
+    def __init__(self, capacity: int, *, device=None, shared: bool = False,
+                 sanitizer=None):
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.device = device
+        self.sanitizer = sanitizer
+        self.shm = None
+        self._buffers: list = []
+        self._view = None
+        self._allocate(shared)
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _allocate(self, shared: bool) -> None:
+        raise NotImplementedError
+
+    def packed(self) -> np.ndarray:
+        """The slot contents as one packed ``uint64`` array."""
+        raise NotImplementedError
+
+    def load_packed(self, packed: np.ndarray) -> None:
+        """Overwrite the slot contents from a packed ``uint64`` array."""
+        raise NotImplementedError
+
+    # -- shared surface ---------------------------------------------------
+
+    @property
+    def view(self):
+        """The packed slot view every kernel operates on."""
+        return self._view
+
+    @property
+    def nbytes(self) -> int:
+        """Slot memory footprint (8 bytes per slot in either layout)."""
+        return self.capacity * 8
+
+    def descriptor(self):
+        """Shared-memory descriptor for worker attach (None if private)."""
+        return self.shm.descriptor() if self.shm is not None else None
+
+    def fill(self, value=EMPTY_SLOT) -> None:
+        self._view.fill(value)
+
+    def free(self) -> None:
+        """Release VRAM reservations and any shared-memory segment."""
+        for buf in self._buffers:
+            buf.free()
+        self._buffers = []
+        if self.shm is not None:
+            self.shm.close()
+            self.shm = None
+        self._release()
+
+    def _release(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, "
+            f"layout={self.layout!r})"
+        )
+
+
+class PackedSlotStore(SlotStore):
+    """The paper's layout: one packed ``uint64`` word per slot."""
+
+    layout = "aos"
+
+    def _wrap(self, raw: np.ndarray):
+        if self.sanitizer is None:
+            return raw
+        from ..sanitize.shadow import ShadowedArray
+
+        return ShadowedArray(raw, self.sanitizer)
+
+    def _allocate(self, shared: bool) -> None:
+        from ..memory.buffer import DeviceBuffer
+
+        if shared:
+            from ..exec.shm import SharedSlots
+
+            self.shm = SharedSlots(self.capacity, fill=EMPTY_SLOT)
+            self._raw = self.shm.array
+            if self.device is not None:
+                self._buffers.append(
+                    DeviceBuffer.from_array(self.device, self._raw)
+                )
+        elif self.device is not None:
+            buf = DeviceBuffer.full(
+                self.device, self.capacity, EMPTY_SLOT, dtype=np.uint64
+            )
+            self._buffers.append(buf)
+            self._raw = buf.array
+        else:
+            self._raw = np.full(self.capacity, EMPTY_SLOT, dtype=np.uint64)
+        self._view = self._wrap(self._raw)
+
+    def packed(self) -> np.ndarray:
+        return self._raw
+
+    def load_packed(self, packed: np.ndarray) -> None:
+        self._raw[:] = np.asarray(packed, dtype=np.uint64)
+
+    def _release(self) -> None:
+        self._raw = np.empty(0, dtype=np.uint64)
+        self._view = self._wrap(self._raw)
+
+
+class SplitSlotStore(SlotStore):
+    """Structure-of-arrays layout: separate key and value planes."""
+
+    layout = "soa"
+
+    def _allocate(self, shared: bool) -> None:
+        from ..memory.buffer import DeviceBuffer
+
+        hi, lo = _halves(EMPTY_SLOT)
+        if shared:
+            from ..exec.shm import SharedSlots
+
+            self.shm = SharedSlots(self.capacity, layout="soa")
+            self._k, self._v = self.shm.keys, self.shm.values
+            if self.device is not None:
+                self._buffers.append(
+                    DeviceBuffer.from_array(self.device, self._k)
+                )
+                self._buffers.append(
+                    DeviceBuffer.from_array(self.device, self._v)
+                )
+        elif self.device is not None:
+            kbuf = DeviceBuffer.full(
+                self.device, self.capacity, hi, dtype=np.uint32
+            )
+            vbuf = DeviceBuffer.full(
+                self.device, self.capacity, lo, dtype=np.uint32
+            )
+            self._buffers.extend([kbuf, vbuf])
+            self._k, self._v = kbuf.array, vbuf.array
+        else:
+            self._k = np.full(self.capacity, hi, dtype=np.uint32)
+            self._v = np.full(self.capacity, lo, dtype=np.uint32)
+        self._view = SoAPackedView(self._k, self._v, sanitizer=self.sanitizer)
+
+    def packed(self) -> np.ndarray:
+        return np.asarray(self._view, dtype=np.uint64)
+
+    def load_packed(self, packed: np.ndarray) -> None:
+        packed = np.asarray(packed, dtype=np.uint64)
+        self._k[:] = (packed >> _SHIFT).astype(np.uint32)
+        self._v[:] = (packed & _LOW_MASK).astype(np.uint32)
+
+    def _release(self) -> None:
+        self._k = np.empty(0, dtype=np.uint32)
+        self._v = np.empty(0, dtype=np.uint32)
+        self._view = SoAPackedView(self._k, self._v, sanitizer=self.sanitizer)
+
+
+_STORES = {"aos": PackedSlotStore, "soa": SplitSlotStore}
+
+
+def make_store(
+    capacity: int,
+    *,
+    layout: str = "aos",
+    device=None,
+    shared: bool = False,
+    sanitizer=None,
+) -> SlotStore:
+    """Build the slot store for one table (the ``layout=`` policy)."""
+    try:
+        cls = _STORES[layout]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown slot layout {layout!r}; choose from {STORE_LAYOUTS}"
+        ) from None
+    return cls(capacity, device=device, shared=shared, sanitizer=sanitizer)
+
+
+def attach_view(descriptor):
+    """Worker-side attach: packed view over a shared store + segment handle.
+
+    Layout-aware counterpart of :func:`repro.exec.shm.attach_slots` —
+    process-pool workers receive a :class:`~repro.exec.shm.SlotsDescriptor`
+    and must reconstruct the same packed view the parent's kernels use,
+    whatever the layout.  The caller keeps the returned segment handle
+    referenced for as long as the view is alive.
+    """
+    from multiprocessing import shared_memory
+
+    if descriptor.dtype != "uint64":
+        raise ConfigurationError(f"unsupported slot dtype {descriptor.dtype!r}")
+    shm = shared_memory.SharedMemory(name=descriptor.name)
+    if descriptor.layout == "soa":
+        keys = np.ndarray((descriptor.capacity,), dtype=np.uint32, buffer=shm.buf)
+        values = np.ndarray(
+            (descriptor.capacity,),
+            dtype=np.uint32,
+            buffer=shm.buf,
+            offset=descriptor.capacity * 4,
+        )
+        return SoAPackedView(keys, values), shm
+    if descriptor.layout != "aos":
+        raise ConfigurationError(
+            f"unknown slot layout {descriptor.layout!r} in descriptor"
+        )
+    array = np.ndarray((descriptor.capacity,), dtype=np.uint64, buffer=shm.buf)
+    return array, shm

@@ -23,12 +23,14 @@ Example
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
+
 import numpy as np
 
 from ..constants import EMPTY_SLOT
 from ..errors import ConfigurationError, InsertionError
-from ..memory.buffer import DeviceBuffer
 from ..memory.layout import unpack_pairs
+from ..obs import runtime as obs
 from ..options import UNSET, reject_unknown, resolve_renamed
 from ..simt.counters import TransactionCounter
 from ..simt.device import Device
@@ -38,10 +40,12 @@ from ..simt.warp import CoalescedGroup
 from ..utils.validation import check_keys, check_same_length, check_values
 from .bulk import STATUS, bulk_erase, bulk_insert, bulk_query
 from .config import HashTableConfig
+from .growth import GrowthPolicy
 from .kernels_ref import erase_task, insert_task, query_task
-from .probing import WindowSequence
+from .probing import make_window_sequence
 from .report import KernelReport
 from .slots import is_vacant
+from .store import make_store
 
 __all__ = ["WarpDriveHashTable"]
 
@@ -70,6 +74,18 @@ class WarpDriveHashTable:
         storage: ``"process"`` (or any engine with
         ``requires_shared_slots``) backs the slot array with POSIX
         shared memory, same as ``shared=True``.
+    probing:
+        Window-walk policy — ``"window"`` (default), ``"double"``, or
+        ``"linear"`` (:mod:`repro.core.probing`); consumed uniformly by
+        the fast and ref kernels.
+    layout:
+        Slot storage policy — ``"aos"`` (default) or ``"soa"``
+        (:mod:`repro.core.store`).
+    growth:
+        Optional :class:`~repro.core.growth.GrowthPolicy`: the table
+        grows (rehashing with the real bulk kernels) instead of raising
+        :class:`~repro.errors.InsertionError` when an ingest would push
+        the load past the policy's threshold.
     """
 
     def __init__(
@@ -82,61 +98,67 @@ class WarpDriveHashTable:
         device: Device | None = None,
         shared: bool = False,
         engine: object = None,
+        probing: str = UNSET,
+        layout: str = UNSET,
+        growth: GrowthPolicy | None = UNSET,
     ):
         if engine is not None:
             shared = shared or engine == "process" or bool(
                 getattr(engine, "requires_shared_slots", False)
             )
+        overrides = {}
+        if probing is not UNSET:
+            overrides["probing"] = probing
+        if layout is not UNSET:
+            overrides["layout"] = layout
+        if growth is not UNSET:
+            overrides["growth"] = growth
         if config is None:
             if capacity is None:
                 raise ConfigurationError("pass either capacity or config")
             kwargs = {"capacity": capacity, "group_size": group_size}
             if p_max is not None:
                 kwargs["p_max"] = p_max
+            kwargs.update(overrides)
             config = HashTableConfig(**kwargs)
-        elif capacity is not None and capacity != config.capacity:
-            raise ConfigurationError(
-                "capacity argument conflicts with config.capacity"
-            )
+        else:
+            if capacity is not None and capacity != config.capacity:
+                raise ConfigurationError(
+                    "capacity argument conflicts with config.capacity"
+                )
+            if overrides:
+                config = _dc_replace(config, **overrides)
         self.config = config
         self.device = device
         self.counter = device.counter if device is not None else TransactionCounter()
 
-        # ``shared=True`` backs the slot array with POSIX shared memory so
-        # the process execution backend mutates the table zero-copy
-        self._shm: "SharedSlots | None" = None
-        if shared:
-            from ..exec.shm import SharedSlots
+        # the storage policy owns the slot memory: plain / VRAM / POSIX
+        # shared memory (``shared=True`` lets the process backend mutate
+        # the table zero-copy), packed or split layout, shadowed when a
+        # sanitizer rides on the device — the table only ever sees the
+        # packed view
+        self._shared = bool(shared)
+        self.store = make_store(
+            config.capacity,
+            layout=config.layout,
+            device=device,
+            shared=shared,
+            sanitizer=device.sanitizer if device is not None else None,
+        )
 
-            self._shm = SharedSlots(config.capacity, fill=EMPTY_SLOT)
-            if device is not None:
-                self._buffer: DeviceBuffer | None = DeviceBuffer.from_array(
-                    device, self._shm.array
-                )
-                self.slots = self._buffer.array
-            else:
-                self._buffer = None
-                self.slots = self._shm.array
-        elif device is not None:
-            self._buffer = DeviceBuffer.full(
-                device, config.capacity, EMPTY_SLOT, dtype=np.uint64
-            )
-            self.slots = self._buffer.array
-        else:
-            self._buffer = None
-            self.slots = np.full(config.capacity, EMPTY_SLOT, dtype=np.uint64)
-
-        # a sanitizer attached to the device shadow-instruments the slot
-        # array so reference-kernel launches get racechecked end to end
-        if device is not None and device.sanitizer is not None:
-            from ..sanitize.shadow import ShadowedArray
-
-            self.slots = ShadowedArray(self.slots, device.sanitizer)
-
-        self.seq = WindowSequence(config.family, config.group_size, config.p_max)
+        self.seq = make_window_sequence(
+            config.probing, config.family, config.group_size, config.p_max
+        )
         self._size = 0
         self.rebuilds = 0
+        self.grows = 0
         self.last_report: KernelReport | None = None
+        self.last_rehash_report: KernelReport | None = None
+
+    @property
+    def slots(self):
+        """The packed slot view (storage-policy controlled)."""
+        return self.store.view
 
     # -- construction helpers -------------------------------------------
 
@@ -208,6 +230,10 @@ class WarpDriveHashTable:
         k = check_keys(keys)
         v = check_values(values)
         check_same_length("keys", k, "values", v)
+        # growth-policy tables resize *before* the kernel runs, so the
+        # batch lands under the load ceiling (batch size is an upper
+        # bound on new pairs — duplicates only leave headroom)
+        self.ensure_capacity(k.shape[0])
 
         if kernels == "fast":
             report, status = bulk_insert(
@@ -232,6 +258,18 @@ class WarpDriveHashTable:
         self.last_report = report
 
         if report.failed:
+            failed_mask = status == STATUS["failed"]
+            if self.config.growth is not None:
+                # a growth policy replaces the same-capacity rebuild: grow
+                # past the threshold, then land the failed pairs in the
+                # roomier table (the grow rehashed everything else)
+                self.grow(
+                    self.config.growth.next_capacity(
+                        self.capacity, self._size + int(report.failed)
+                    )
+                )
+                self.insert(k[failed_mask], v[failed_mask], kernels=kernels)
+                return report
             if (
                 not self.config.rebuild_on_failure
                 or self.rebuilds >= self.config.max_rebuilds
@@ -241,7 +279,6 @@ class WarpDriveHashTable:
                     f"p_max={self.config.p_max} chaotic probes "
                     f"(load={self.load_factor:.3f}); rebuild budget exhausted"
                 )
-            failed_mask = status == STATUS["failed"]
             self._rebuild_with(k[failed_mask], v[failed_mask], kernels=kernels)
         return report
 
@@ -249,7 +286,7 @@ class WarpDriveHashTable:
 
     def shm_descriptor(self):
         """Shared-memory descriptor of the slot table (None if not shared)."""
-        return self._shm.descriptor() if self._shm is not None else None
+        return self.store.descriptor()
 
     def absorb_insert(
         self, keys: np.ndarray, values: np.ndarray, report: KernelReport,
@@ -444,8 +481,91 @@ class WarpDriveHashTable:
         return unpack_pairs(live)
 
     def clear(self) -> None:
-        self.slots.fill(EMPTY_SLOT)
+        self.store.fill(EMPTY_SLOT)
         self._size = 0
+
+    @property
+    def growth(self) -> GrowthPolicy | None:
+        """The table's growth policy (None = fixed capacity)."""
+        return self.config.growth
+
+    def ensure_capacity(self, extra: int) -> KernelReport | None:
+        """Grow ahead of ``extra`` incoming pairs if the policy demands.
+
+        Returns the rehash :class:`KernelReport` when a grow happened,
+        else None.  No-op without a growth policy.
+        """
+        policy = self.config.growth
+        if policy is None:
+            return None
+        required = self._size + int(extra)
+        if not policy.should_grow(self.capacity, required):
+            return None
+        return self.grow(policy.next_capacity(self.capacity, required))
+
+    def grow(self, new_capacity: int) -> KernelReport | None:
+        """Resize to ``new_capacity``, migrating live pairs by rehash.
+
+        The migration runs the *real* bulk insert kernel against the new
+        store, so its probe counts, CAS traffic, and store sectors are
+        measured, charged to the device counter, and reported — tagged
+        ``op="rehash"`` and kept in :attr:`last_rehash_report`.  The hash
+        family is deliberately preserved: a grown table answers queries
+        bit-identically to a fresh table of the new capacity (see
+        ``HashTableConfig.grown``).  Returns the rehash report (None when
+        the table was empty).
+        """
+        config = self.config.grown(new_capacity)  # validates new > old
+        live_k, live_v = self.export()
+        old_store = self.store
+        with obs.span(
+            "grow",
+            "lifecycle",
+            capacity_from=self.capacity,
+            capacity_to=int(new_capacity),
+            live=int(live_k.shape[0]),
+        ) as sp:
+            self.config = config
+            self.seq = make_window_sequence(
+                config.probing, config.family, config.group_size, config.p_max
+            )
+            self.store = make_store(
+                config.capacity,
+                layout=config.layout,
+                device=self.device,
+                shared=self._shared,
+                sanitizer=self.device.sanitizer if self.device is not None else None,
+            )
+            self._size = 0
+            report = None
+            if live_k.shape[0]:
+                report, status = bulk_insert(
+                    self.slots, self.seq, live_k, live_v, self.counter
+                )
+                self._size = int(np.sum(status != STATUS["failed"]))
+                if report.failed:  # pragma: no cover - load shrank, cannot fail
+                    raise InsertionError(
+                        f"{report.failed} live pairs failed to rehash into "
+                        f"capacity {config.capacity}"
+                    )
+            self.grows += 1
+            rehash = self._note_rehash(report, sp)
+        old_store.free()
+        return rehash
+
+    def _note_rehash(self, report: KernelReport | None, span) -> KernelReport | None:
+        """Record one lifecycle rehash: tag, expose, trace, and meter it."""
+        if report is None:
+            return None
+        rehash = _dc_replace(report, op="rehash")
+        self.last_rehash_report = rehash
+        if span is not None:
+            span.attrs["rehash_probe_windows"] = int(rehash.total_windows)
+            span.attrs["rehash_cas_attempts"] = int(rehash.cas_attempts)
+            span.attrs["rehash_store_sectors"] = int(rehash.store_sectors)
+        if obs.enabled():
+            obs.observe_kernel(rehash)
+        return rehash
 
     def _rebuild_with(
         self, extra_keys: np.ndarray, extra_values: np.ndarray, *, kernels: str
@@ -453,25 +573,33 @@ class WarpDriveHashTable:
         """Invalidate and reconstruct with a distinct hash function (§II)."""
         self.rebuilds += 1
         stored_k, stored_v = self.export()
-        self.config = self.config.rebuilt(self.rebuilds)
-        self.seq = WindowSequence(
-            self.config.family, self.config.group_size, self.config.p_max
-        )
-        self.slots.fill(EMPTY_SLOT)
-        self._size = 0
-        all_k = np.concatenate([stored_k, extra_keys])
-        all_v = np.concatenate([stored_v, extra_values])
-        if all_k.size:
-            self.insert(all_k, all_v, kernels=kernels)
+        with obs.span(
+            "rebuild",
+            "lifecycle",
+            attempt=self.rebuilds,
+            capacity=self.capacity,
+            live=int(stored_k.shape[0]),
+            pending=int(np.asarray(extra_keys).shape[0]),
+        ) as sp:
+            self.config = self.config.rebuilt(self.rebuilds)
+            self.seq = make_window_sequence(
+                self.config.probing,
+                self.config.family,
+                self.config.group_size,
+                self.config.p_max,
+            )
+            self.store.fill(EMPTY_SLOT)
+            self._size = 0
+            all_k = np.concatenate([stored_k, extra_keys])
+            all_v = np.concatenate([stored_v, extra_values])
+            report = None
+            if all_k.size:
+                report = self.insert(all_k, all_v, kernels=kernels)
+            self._note_rehash(report, sp)
 
     def free(self) -> None:
         """Release simulated VRAM and any shared-memory segment."""
-        if self._buffer is not None:
-            self._buffer.free()
-            self.slots = np.empty(0, dtype=np.uint64)
-        if self._shm is not None:
-            self._shm.close()
-            self.slots = np.empty(0, dtype=np.uint64)
+        self.store.free()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -37,11 +37,12 @@ import numpy as np
 from ..core.bulk import bulk_erase, bulk_insert, bulk_query
 from ..core.probing import WindowSequence
 from ..core.report import KernelReport
+from ..core.store import attach_view
 from ..errors import ConfigurationError, ExecutionError
 from ..obs import runtime as obs
 from .metrics import ShardSpan
 from .pool import WorkerPool, default_worker_count
-from .shm import SlotsDescriptor, attach_slots
+from .shm import SlotsDescriptor
 
 __all__ = [
     "ShardKernelTask",
@@ -225,9 +226,12 @@ _ATTACH_CACHE: dict[str, tuple[np.ndarray, object]] = {}
 
 
 def _attached(descriptor: SlotsDescriptor) -> tuple[np.ndarray, object]:
+    # keyed by segment name: a grown table allocates a *new* segment, so
+    # workers naturally re-attach after a resize instead of mutating the
+    # stale mapping
     cached = _ATTACH_CACHE.get(descriptor.name)
     if cached is None or cached[0].shape[0] != descriptor.capacity:
-        cached = attach_slots(descriptor)
+        cached = attach_view(descriptor)
         _ATTACH_CACHE[descriptor.name] = cached
     return cached
 

@@ -27,31 +27,67 @@ __all__ = ["SlotsDescriptor", "SharedSlots", "attach_slots"]
 
 @dataclass(frozen=True)
 class SlotsDescriptor:
-    """Everything a worker needs to map a shard's slot table."""
+    """Everything a worker needs to map a shard's slot table.
+
+    ``layout`` names the slot store arrangement inside the segment:
+    ``"aos"`` (one packed ``uint64`` word per slot) or ``"soa"``
+    (``capacity`` ``uint32`` keys followed by ``capacity`` ``uint32``
+    values).  ``dtype`` stays the *logical* packed dtype either way.
+    """
 
     name: str
     capacity: int
     dtype: str = "uint64"
+    layout: str = "aos"
 
 
 class SharedSlots:
-    """Owner side of a shared-memory slot array."""
+    """Owner side of a shared-memory slot array.
 
-    def __init__(self, capacity: int, *, fill=EMPTY_SLOT):
+    Both layouts occupy the same 8 bytes per slot; ``"soa"`` exposes the
+    segment as two ``uint32`` planes (``keys``, ``values``) instead of
+    one packed ``array``.
+    """
+
+    def __init__(self, capacity: int, *, fill=EMPTY_SLOT, layout: str = "aos"):
         if capacity < 0:
             raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        if layout not in ("aos", "soa"):
+            raise ConfigurationError(f"unknown slot layout {layout!r}")
         nbytes = max(capacity * np.dtype(np.uint64).itemsize, 1)
         self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
         self.capacity = capacity
-        self.array = np.ndarray((capacity,), dtype=np.uint64, buffer=self._shm.buf)
-        self.array.fill(fill)
+        self.layout = layout
+        fill = int(fill)
+        if layout == "soa":
+            self.array = None
+            self.keys = np.ndarray(
+                (capacity,), dtype=np.uint32, buffer=self._shm.buf
+            )
+            self.values = np.ndarray(
+                (capacity,),
+                dtype=np.uint32,
+                buffer=self._shm.buf,
+                offset=capacity * 4,
+            )
+            self.keys.fill(np.uint32((fill >> 32) & 0xFFFFFFFF))
+            self.values.fill(np.uint32(fill & 0xFFFFFFFF))
+        else:
+            self.array = np.ndarray(
+                (capacity,), dtype=np.uint64, buffer=self._shm.buf
+            )
+            self.keys = None
+            self.values = None
+            self.array.fill(fill)
 
     def descriptor(self) -> SlotsDescriptor:
-        return SlotsDescriptor(name=self._shm.name, capacity=self.capacity)
+        return SlotsDescriptor(
+            name=self._shm.name, capacity=self.capacity, layout=self.layout
+        )
 
     @property
     def nbytes(self) -> int:
-        return int(self.array.nbytes)
+        return self.capacity * 8
 
     @property
     def closed(self) -> bool:
@@ -61,8 +97,10 @@ class SharedSlots:
         """Release the mapping and unlink the segment (idempotent)."""
         if self._shm is None:
             return
-        # drop the numpy view before closing the mmap under it
-        self.array = np.empty(0, dtype=np.uint64)
+        # drop the numpy views before closing the mmap under them
+        self.array = np.empty(0, dtype=np.uint64) if self.layout == "aos" else None
+        self.keys = None
+        self.values = None
         try:
             self._shm.close()
             self._shm.unlink()
@@ -90,6 +128,11 @@ def attach_slots(
     """
     if descriptor.dtype != "uint64":
         raise ConfigurationError(f"unsupported slot dtype {descriptor.dtype!r}")
+    if descriptor.layout != "aos":
+        raise ConfigurationError(
+            f"attach_slots maps packed arrays only; use "
+            f"repro.core.store.attach_view for layout {descriptor.layout!r}"
+        )
     shm = shared_memory.SharedMemory(name=descriptor.name)
     array = np.ndarray((descriptor.capacity,), dtype=np.uint64, buffer=shm.buf)
     return array, shm

@@ -79,6 +79,10 @@ class CascadeReport:
     #: measured wall-clock of the distribution phases (multisplit +
     #: transpose + reverse) — the host cost the fused path shrinks
     distribution_wall_seconds: float = 0.0
+    #: per-shard rehash reports of any mid-cascade growth (op="rehash")
+    grow_reports: list[KernelReport] = field(default_factory=list)
+    #: measured wall-clock of the growth phase (0.0 = no growth happened)
+    grow_wall_seconds: float = 0.0
 
     schema_version = 1
 
@@ -120,6 +124,8 @@ class CascadeReport:
                 ],
                 "kernel_reports": [r.to_dict() for r in self.kernel_reports],
                 "kernel_spans": [s.to_dict() for s in self.kernel_spans],
+                "grow_reports": [r.to_dict() for r in self.grow_reports],
+                "grow_wall_seconds": self.grow_wall_seconds,
             },
         )
 
@@ -134,8 +140,15 @@ class DistributedHashTable:
         arrays as VRAM on the corresponding simulated device.
     total_capacity:
         Aggregate slot count; each GPU gets ``ceil(total / m)``.
-    group_size, p_max:
-        Forwarded to each single-GPU shard.
+    group_size, p_max, probing, layout, growth:
+        Forwarded to each single-GPU shard (see
+        :class:`~repro.core.config.HashTableConfig`).  With a
+        :class:`~repro.core.growth.GrowthPolicy` the shards grow in a
+        *coordinated* step mid-cascade: when any shard's incoming batch
+        trips its threshold, every shard resizes to a uniform target
+        before the kernel phase, keeping shard capacities equal.  The
+        per-shard rehash traffic is logged as D2D ``"grow rehash"``
+        transfers and reported in :attr:`CascadeReport.grow_reports`.
     partition:
         GPU-assignment hash; defaults to a hashed partition so structured
         key sets still balance (Fig. 4's ``k mod m`` is available via
@@ -167,6 +180,9 @@ class DistributedHashTable:
         engine: str | ExecutionEngine = UNSET,
         workers: int | None = None,
         distribution: str = "fused",
+        probing: str = UNSET,
+        layout: str = UNSET,
+        growth=UNSET,
         **legacy,
     ):
         engine = resolve_renamed(
@@ -206,6 +222,10 @@ class DistributedHashTable:
         }
         if p_max is not None:
             kwargs["p_max"] = p_max
+        for opt, val in (("probing", probing), ("layout", layout),
+                         ("growth", growth)):
+            if val is not UNSET:
+                kwargs[opt] = val
         self.shards = [
             WarpDriveHashTable(shard_capacity, device=dev, **kwargs)
             for dev in topology.devices
@@ -451,6 +471,78 @@ class DistributedHashTable:
         for buf in buffers:
             buf.free()
 
+    def _grow_shards_to(
+        self, target: int, report: CascadeReport | None = None
+    ) -> list[KernelReport]:
+        """Grow every shard below ``target`` to exactly ``target`` slots.
+
+        One rehash per shard runs on that shard's device (the table never
+        leaves its GPU — logged as a D2D copy of the live pairs, tagged
+        ``"grow rehash"``); reports land on the cascade report when one
+        is given.  Returns the rehash reports of non-empty shards.
+        """
+        reports: list[KernelReport] = []
+        with obs.span(
+            "shard growth",
+            "lifecycle",
+            target_capacity=int(target),
+            num_gpus=self.num_gpus,
+        ):
+            t0 = time.perf_counter()
+            for gpu, shard in enumerate(self.shards):
+                if target <= shard.capacity:
+                    continue
+                live = len(shard)
+                rep = shard.grow(target)
+                self.transfer_log.add(
+                    TransferRecord(
+                        kind=MemcpyKind.D2D,
+                        nbytes=live * PAIR_BYTES,
+                        src_device=gpu,
+                        dst_device=gpu,
+                        tag="grow rehash",
+                    )
+                )
+                if rep is not None:
+                    reports.append(rep)
+            elapsed = time.perf_counter() - t0
+        if report is not None:
+            report.grow_reports.extend(reports)
+            report.grow_wall_seconds += elapsed
+        return reports
+
+    def _maybe_grow_shards(
+        self, keys_per_gpu: list[np.ndarray], report: CascadeReport
+    ) -> None:
+        """Coordinated pre-kernel growth (no-op without growth policies).
+
+        Runs after the transposition — each shard's incoming count is
+        known exactly — and before the kernel phase snapshots slot views
+        and shm descriptors, so every engine backend lands the batch in
+        the grown stores.  The target is the max over tripped shards'
+        :meth:`~repro.core.growth.GrowthPolicy.next_capacity`, applied to
+        *all* shards so capacities stay uniform.
+        """
+        targets = []
+        for gpu, shard in enumerate(self.shards):
+            policy = shard.growth
+            if policy is None:
+                continue
+            required = len(shard) + int(keys_per_gpu[gpu].shape[0])
+            if policy.should_grow(shard.capacity, required):
+                targets.append(policy.next_capacity(shard.capacity, required))
+        if targets:
+            self._grow_shards_to(max(targets), report)
+
+    def grow(self, new_capacity: int) -> list[KernelReport]:
+        """Explicitly grow the table to ``new_capacity`` total slots."""
+        if new_capacity <= self.total_capacity:
+            raise ConfigurationError(
+                f"grown capacity {new_capacity} must exceed "
+                f"current capacity {self.total_capacity}"
+            )
+        return self._grow_shards_to(-(-int(new_capacity) // self.num_gpus))
+
     def _kernel_phase(
         self,
         op: str,
@@ -580,6 +672,7 @@ class DistributedHashTable:
                     unpack_pairs(exchange.received[gpu])
                     for gpu in range(self.num_gpus)
                 ]
+                self._maybe_grow_shards([kv[0] for kv in per_gpu], report)
                 self._kernel_phase(
                     "insert",
                     [kv[0] for kv in per_gpu],

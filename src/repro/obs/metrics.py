@@ -86,6 +86,15 @@ class MetricsRegistry:
             self.observe_kernel(rep)
         for rep in report.multisplit_reports:
             self.observe_kernel(rep)
+        grow_reports = getattr(report, "grow_reports", [])
+        if grow_reports:
+            self.inc(f"cascade.{op}.grows", len(grow_reports))
+            self.inc(
+                f"cascade.{op}.grow_wall_seconds",
+                getattr(report, "grow_wall_seconds", 0.0),
+            )
+            for rep in grow_reports:
+                self.observe_kernel(rep)
 
     def observe_transfers(self, records: Iterable) -> None:
         """Fold :class:`TransferRecord` streams into per-link byte counters."""

@@ -23,9 +23,20 @@ option set is now:
 ``kernels=``
     Per-operation kernel implementation: ``"fast"`` (vectorized) |
     ``"ref"`` (faithful generator kernels) on the bulk methods of
-    ``WarpDriveHashTable``.
+    ``WarpDriveHashTable``, ``CountingHashTable``, and
+    ``MultiValueHashTable`` (the latter is fast-only).
 ``measure=``
     Attach measured wall-clock timelines (``AsyncCascadeDriver``).
+``probing=``
+    Window-walk policy: ``"window"`` (the paper's hybrid) |
+    ``"double"`` | ``"linear"`` (:mod:`repro.core.probing`).
+``layout=``
+    Slot storage policy: ``"aos"`` (packed) | ``"soa"`` (split
+    key/value planes; :mod:`repro.core.store`).
+``growth=``
+    A :class:`~repro.core.growth.GrowthPolicy`: resize-and-rehash
+    instead of failing when an ingest would exceed the load ceiling
+    (accepted wherever ``probing=``/``layout=`` are).
 
 Deprecated keywords keep working through warn-once shims:
 

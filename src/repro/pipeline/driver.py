@@ -185,6 +185,17 @@ class AsyncCascadeDriver:
                     batch_start - epoch + report.distribution_wall_seconds,
                 )
             )
+        # a mid-batch coordinated shard growth, anchored at the batch start
+        # (it runs between the transposition and the kernel phase)
+        if report.grow_wall_seconds > 0:
+            measured.add(
+                ShardSpan(
+                    -1,
+                    f"{op} grow",
+                    batch_start - epoch,
+                    batch_start - epoch + report.grow_wall_seconds,
+                )
+            )
         # kernel spans are 0-based at the kernel phase; rebase to the epoch
         offset = (now - epoch) - report.kernel_wall_seconds
         measured.extend(report.kernel_spans, offset=offset)

@@ -1,0 +1,216 @@
+"""Tests for the slot-storage policy layer (``repro.core.store``)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import EMPTY_SLOT, TOMBSTONE_SLOT
+from repro.core.bulk import bulk_erase, bulk_insert, bulk_query
+from repro.core.probing import WindowSequence
+from repro.core.store import (
+    STORE_LAYOUTS,
+    PackedSlotStore,
+    SoAPackedView,
+    SplitSlotStore,
+    attach_view,
+    make_store,
+)
+from repro.core.table import WarpDriveHashTable
+from repro.errors import ConfigurationError
+from repro.hashing.families import make_double_family
+from repro.simt.counters import TransactionCounter
+from repro.workloads.distributions import random_values, unique_keys
+
+
+class TestMakeStore:
+    def test_layout_vocabulary(self):
+        assert set(STORE_LAYOUTS) == {"aos", "soa"}
+
+    def test_aos_builds_packed(self):
+        store = make_store(64, layout="aos")
+        assert isinstance(store, PackedSlotStore)
+        assert store.view.dtype == np.uint64
+        assert (np.asarray(store.view) == EMPTY_SLOT).all()
+
+    def test_soa_builds_split(self):
+        store = make_store(64, layout="soa")
+        assert isinstance(store, SplitSlotStore)
+        assert isinstance(store.view, SoAPackedView)
+        assert (np.asarray(store.view) == EMPTY_SLOT).all()
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ConfigurationError, match="layout"):
+            make_store(64, layout="columnar")
+
+    @pytest.mark.parametrize("layout", STORE_LAYOUTS)
+    def test_nbytes_is_layout_independent(self, layout):
+        assert make_store(100, layout=layout).nbytes == 800
+
+
+class TestSoAPackedView:
+    def _view(self, capacity=16):
+        return make_store(capacity, layout="soa").view
+
+    def test_sentinels_round_trip_bit_exact(self):
+        view = self._view()
+        assert int(view[0]) == EMPTY_SLOT
+        view[3] = np.uint64(TOMBSTONE_SLOT)
+        assert int(view[3]) == TOMBSTONE_SLOT
+        view.fill(TOMBSTONE_SLOT)
+        assert (np.asarray(view) == TOMBSTONE_SLOT).all()
+
+    def test_scalar_get_set(self):
+        view = self._view()
+        word = np.uint64((7 << 32) | 42)
+        view[5] = word
+        got = view[5]
+        assert isinstance(got, np.uint64) and got == word
+
+    def test_fancy_get_set(self):
+        view = self._view()
+        idx = np.array([1, 4, 9], dtype=np.int64)
+        words = ((np.arange(3, dtype=np.uint64) + 1) << np.uint64(32)) | np.uint64(5)
+        view[idx] = words
+        assert (view[idx] == words).all()
+        # 2-D gather, as the bulk kernels' window loads do
+        rows = np.array([[1, 4], [9, 0]], dtype=np.int64)
+        window = view[rows]
+        assert window.shape == (2, 2) and window.dtype == np.uint64
+        assert window[1, 1] == EMPTY_SLOT
+
+    def test_equality_scans_like_packed_array(self):
+        view = self._view()
+        view[2] = np.uint64(TOMBSTONE_SLOT)
+        mask = view == TOMBSTONE_SLOT
+        assert mask.sum() == 1 and mask[2]
+        assert (view != TOMBSTONE_SLOT).sum() == len(view) - 1
+
+    def test_shape_len_dtype(self):
+        view = self._view(10)
+        assert view.shape == (10,) and len(view) == 10
+        assert view.dtype == np.dtype(np.uint64)
+
+    def test_mismatched_planes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoAPackedView(
+                np.zeros(4, dtype=np.uint32), np.zeros(5, dtype=np.uint32)
+            )
+
+
+class TestLayoutEquivalence:
+    """The layout is invisible to the kernels: bit-identical tables."""
+
+    @pytest.mark.parametrize("g", [1, 4, 32])
+    def test_bulk_kernels_bit_identical(self, g):
+        family = make_double_family(translation=11)
+        seq = WindowSequence(family, g, 256)
+        keys = unique_keys(150, seed=21)
+        values = random_values(150, seed=22)
+        stores = [make_store(256, layout=lay) for lay in STORE_LAYOUTS]
+        for store in stores:
+            bulk_insert(store.view, seq, keys, values, TransactionCounter())
+            bulk_erase(store.view, seq, keys[:40], TransactionCounter())
+        packed = [store.packed() for store in stores]
+        assert (np.asarray(packed[0]) == np.asarray(packed[1])).all()
+        for store in stores:
+            _, vals, found = bulk_query(
+                store.view, seq, keys, TransactionCounter()
+            )
+            assert (found[40:]).all() and not found[:40].any()
+            assert (vals[40:] == values[40:]).all()
+
+    def test_table_slots_match_across_layouts(self):
+        keys = unique_keys(200, seed=3)
+        values = random_values(200, seed=4)
+        family = make_double_family(translation=9)
+        # same family in both tables so placements are comparable
+        from repro.core.config import HashTableConfig
+
+        cfg = HashTableConfig(capacity=300, group_size=8, family=family)
+        tables = [
+            WarpDriveHashTable(config=cfg, layout=lay) for lay in STORE_LAYOUTS
+        ]
+        for t in tables:
+            t.insert(keys, values)
+            t.erase(keys[:17])
+        assert (
+            np.asarray(tables[0].slots) == np.asarray(tables[1].slots)
+        ).all()
+
+    def test_packed_round_trip(self):
+        src = make_store(64, layout="aos")
+        seq = WindowSequence(make_double_family(translation=2), 4, 64)
+        keys = unique_keys(40, seed=5)
+        bulk_insert(src.view, seq, keys, keys, TransactionCounter())
+        dst = make_store(64, layout="soa")
+        dst.load_packed(src.packed())
+        assert (np.asarray(dst.view) == np.asarray(src.view)).all()
+
+
+class TestSharedAttach:
+    @pytest.mark.parametrize("layout", STORE_LAYOUTS)
+    def test_attach_view_sees_parent_writes(self, layout):
+        store = make_store(32, layout=layout, shared=True)
+        desc = store.descriptor()
+        assert desc is not None and desc.layout == layout
+        word = np.uint64((123 << 32) | 456)
+        store.view[7] = word
+        view, segment = attach_view(desc)
+        try:
+            assert np.uint64(view[7]) == word
+            # and the other direction: worker writes, parent reads
+            view[9] = np.uint64((1 << 32) | 2)
+            assert np.uint64(store.view[9]) == np.uint64((1 << 32) | 2)
+        finally:
+            del view
+            segment.close()
+            store.free()
+
+    def test_private_store_has_no_descriptor(self):
+        assert make_store(16).descriptor() is None
+
+    def test_attach_rejects_unknown_layout(self):
+        store = make_store(16, shared=True)
+        desc = store.descriptor()
+        try:
+            from dataclasses import replace
+
+            bad = replace(desc, layout="columnar")
+            with pytest.raises(ConfigurationError, match="layout"):
+                attach_view(bad)
+        finally:
+            store.free()
+
+
+class TestSanitizerIntegration:
+    @pytest.mark.parametrize("layout", STORE_LAYOUTS)
+    def test_view_carries_sanitizer(self, layout):
+        from repro.sanitize.racecheck import RaceChecker
+
+        checker = RaceChecker()
+        store = make_store(32, layout=layout, sanitizer=checker)
+        assert getattr(store.view, "sanitizer", None) is checker
+
+    @pytest.mark.parametrize("layout", STORE_LAYOUTS)
+    def test_ref_kernels_run_shadowed(self, layout):
+        from repro.perfmodel.specs import P100
+        from repro.sanitize.racecheck import RaceChecker
+        from repro.simt.device import Device
+
+        device = Device(0, P100)
+        device.attach_sanitizer(RaceChecker())
+        t = WarpDriveHashTable(64, device=device, layout=layout)
+        keys = unique_keys(30, seed=7)
+        t.insert(keys, keys, kernels="ref")
+        v, f = t.query(keys, kernels="ref")
+        assert f.all()
+        t.free()
+
+
+class TestFree:
+    @pytest.mark.parametrize("layout", STORE_LAYOUTS)
+    def test_free_releases_and_empties(self, layout):
+        store = make_store(32, layout=layout, shared=True)
+        store.free()
+        assert len(store.view) == 0
+        assert store.descriptor() is None
+        store.free()  # idempotent

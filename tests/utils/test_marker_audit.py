@@ -100,6 +100,51 @@ class TestObsTree:
                 assert "configure(enabled=False" in text, path.name
 
 
+class TestGrowthTree:
+    """The lifecycle (grow/rehash) suite stays wired into the gates."""
+
+    EXPECTED = {
+        "core/test_store.py",
+        "core/test_growth.py",
+        "core/test_growth_equivalence.py",
+        "multigpu/test_distributed_growth.py",
+    }
+
+    def test_growth_tree_exists_and_non_empty(self):
+        """One module per lifecycle layer: storage policy, single-table
+        growth, growth equivalence properties, coordinated shard growth."""
+        for name in self.EXPECTED:
+            path = TESTS / name
+            assert path.exists() and path.stat().st_size > 0, name
+
+    def test_coverage_floor_requires_growth_tree(self):
+        """tools/coverage_floor.py refuses to gate without these files,
+        so a rename can't silently drop the lifecycle coverage."""
+        text = (REPO_ROOT / "tools" / "coverage_floor.py").read_text()
+        assert "tests/core/test_growth*.py" in text
+        assert "tests/multigpu/test_distributed_growth*.py" in text
+
+    def test_process_engine_growth_is_slow_marked(self):
+        """Worker-pool growth runs spin up process pools; they must
+        carry the registered `slow` marker to stay out of tier-1."""
+        for name in ("core/test_growth.py", "core/test_growth_equivalence.py"):
+            text = (TESTS / name).read_text()
+            match = re.search(
+                r"@pytest\.mark\.slow\s*\n\s*def (\w*process\w*)", text
+            )
+            assert match, f"{name}: process-engine growth test must be slow-marked"
+
+    def test_growth_property_tests_use_shared_profiles(self):
+        text = (TESTS / "core" / "test_growth_equivalence.py").read_text()
+        assert "from profiles import examples" in text
+        assert "settings(max_examples" not in text
+
+    def test_ci_runs_grow_smoke(self):
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "make grow-smoke" in ci
+        assert "grow-smoke:" in (REPO_ROOT / "Makefile").read_text()
+
+
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
         """Example counts stay within the tier-1 budget.

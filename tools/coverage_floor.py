@@ -32,6 +32,25 @@ SRC = REPO_ROOT / "src"
 #: packages the floor applies to — keep in sync with [tool.coverage.run]
 TARGET_PACKAGES = ("repro/simt", "repro/core")
 
+#: test-tree globs the gate refuses to run without: the lifecycle layer
+#: (grow/rehash) is exercised only through these modules, so a renamed
+#: or emptied file would silently drop the floor's most load-bearing
+#: coverage instead of failing the gate
+REQUIRED_TEST_GLOBS = (
+    "tests/core/test_growth*.py",
+    "tests/multigpu/test_distributed_growth*.py",
+)
+
+
+def missing_required_tests() -> list[str]:
+    """Globs with no non-empty match under the repo root."""
+    missing = []
+    for pattern in REQUIRED_TEST_GLOBS:
+        matches = [p for p in REPO_ROOT.glob(pattern) if p.stat().st_size > 0]
+        if not matches:
+            missing.append(pattern)
+    return missing
+
 _PRAGMA = re.compile(r"#\s*pragma:\s*no\s+cover")
 
 
@@ -142,6 +161,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-gate", action="store_true",
                         help="report only; always exit 0")
     args = parser.parse_args(argv)
+
+    missing = missing_required_tests()
+    if missing:
+        for pattern in missing:
+            print(f"coverage_floor: required test tree missing: {pattern}")
+        return 1
 
     sys.path.insert(0, str(SRC))
     # subprocess-driven tests (examples, process backend) also need src
