@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke
+.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke bench-compiled
 
 # tier-1: fast suite, excludes `slow` and `fuzz` via pyproject addopts
 test:
@@ -27,6 +27,12 @@ trace-smoke:
 # any InsertionError, lost pair, or missing grow/rehash span)
 grow-smoke:
 	$(PYTHON) -m repro grow --smoke --out /tmp/repro.grow.trace.json
+
+# compiled-backend smoke: the serial wallclock suite through
+# kernels="compiled" at tiny n (auto-falls back to "fast" when no JIT
+# provider exists — the printed rows record the backend that ran)
+bench-compiled:
+	$(PYTHON) -m repro bench --smoke --suite wallclock --engines serial --kernels compiled
 
 # racecheck certification: clean tree silent, every mutant flagged
 racecheck:

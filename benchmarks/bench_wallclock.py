@@ -5,7 +5,12 @@ cascade, and the quarter-capacity growth ingest under all three
 execution backends (serial / thread / process) at n = 2^18, |g| = 4,
 α = 0.95, and writes ``BENCH_wallclock.json`` at the repo root (row
 schema: bench, n, m, engine, ops_per_s, seconds, plus the host
-``cpus`` the run had).
+``cpus`` the run had and the ``kernels`` backend that actually ran).
+
+When a JIT provider is live (``docs/compiled_backend.md``) the suite
+also appends ``kernels="compiled"`` serial rows; the serial fast and
+compiled legs are both re-timed best-of-``SERIAL_REPEATS`` so the
+fast-vs-compiled ratio comes from symmetric same-box measurements.
 
 Interpretation: the parallel backends can only beat serial when the
 host grants more than one core — the ``cpus`` field says whether a
@@ -18,16 +23,49 @@ from pathlib import Path
 from conftest import record
 
 from repro.bench import format_records, run_wallclock_suite, write_results
+from repro.core.kernels_jit import compiled_available
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: best-of count for the serial fast/compiled legs (same spirit as the
+#: ``repeats=5`` the distribution suite uses; symmetric across backends)
+SERIAL_REPEATS = 3
+
+
+def run_suite():
+    """Full fast suite + best-of serial fast/compiled rows merged in."""
+    records = run_wallclock_suite(n=1 << 18, m=4, seed=11)
+    serial_kernels = ("fast", "compiled") if compiled_available() else ("fast",)
+    best = {}
+    for _ in range(SERIAL_REPEATS):
+        for kernels in serial_kernels:
+            for r in run_wallclock_suite(
+                n=1 << 18, m=4, seed=11, engines=("serial",), kernels=kernels
+            ):
+                key = (r.bench, r.engine, r.kernels)
+                prev = best.get(key)
+                if prev is None or r.seconds < prev.seconds:
+                    best[key] = r
+    merged = []
+    for r in records:
+        key = (r.bench, r.engine, r.kernels)
+        if key in best and best[key].seconds < r.seconds:
+            r = best[key]
+        merged.append(r)
+    merged.extend(r for k, r in sorted(best.items()) if k[2] == "compiled")
+    return merged
+
+
+def _speedup(records, bench):
+    serial = {
+        (r.bench, r.kernels): r.seconds for r in records if r.engine == "serial"
+    }
+    fast, compiled = serial.get((bench, "fast")), serial.get((bench, "compiled"))
+    return fast / compiled if fast and compiled else 0.0
+
 
 def test_wallclock(benchmark):
-    records = benchmark.pedantic(
-        lambda: run_wallclock_suite(n=1 << 18, m=4, seed=11),
-        iterations=1,
-        rounds=1,
-    )
+    records = benchmark.pedantic(run_suite, iterations=1, rounds=1)
     write_results(records, REPO_ROOT / "BENCH_wallclock.json")
     record("wallclock", format_records(records))
 
@@ -41,10 +79,27 @@ def test_wallclock(benchmark):
         for engine in ("serial", "thread", "process"):
             assert (bench, engine) in benches
     assert all(r.seconds > 0 and r.ops_per_s > 0 for r in records)
+    if compiled_available():
+        compiled = {r.bench for r in records if r.kernels == "compiled"}
+        for bench in (
+            "single_shard_insert",
+            "single_shard_query",
+            "cascade_insert",
+            "growth_insert",
+        ):
+            assert bench in compiled
+        # conservative floors (the committed JSON shows the real ratios;
+        # these only guard against the compiled path silently regressing
+        # to interpreter speed on a noisy box)
+        assert _speedup(records, "single_shard_insert") >= 3.0
+        assert _speedup(records, "cascade_insert") >= 2.0
 
 
 if __name__ == "__main__":
-    rows = run_wallclock_suite(n=1 << 18, m=4, seed=11)
+    rows = run_suite()
     out = write_results(rows, REPO_ROOT / "BENCH_wallclock.json")
     print(format_records(rows))
+    for bench in ("single_shard_insert", "cascade_insert"):
+        if _speedup(rows, bench):
+            print(f"{bench} compiled speedup: {_speedup(rows, bench):.2f}x")
     print(f"wrote {out}")

@@ -55,6 +55,9 @@ class DistributionRecord:
     ops_per_s: float
     #: host cores the run had (records stay interpretable across boxes)
     cpus: int = 0
+    #: scatter backend the fused multisplit resolved ("compiled" when a
+    #: JIT provider serviced counting_scatter, else "fast")
+    kernels: str = "fast"
 
     schema_version = 1
 
@@ -76,6 +79,7 @@ class DistributionRecord:
                 "seconds": self.seconds,
                 "ops_per_s": self.ops_per_s,
                 "cpus": self.cpus,
+                "kernels": self.kernels,
             },
         )
 
@@ -162,6 +166,9 @@ def run_distribution_suite(
                 "fused and reference paths routed different answers"
             )
 
+    from ..core.kernels_jit import compiled_available
+
+    kernels = "compiled" if compiled_available() else "fast"
     return [
         DistributionRecord(
             bench=phase,
@@ -170,6 +177,7 @@ def run_distribution_suite(
             path=path,
             seconds=best[(phase, path)],
             ops_per_s=n / best[(phase, path)] if best[(phase, path)] > 0 else 0.0,
+            kernels=kernels,
         )
         for phase in PHASES
         for path in ("reference", "fused")

@@ -28,7 +28,9 @@ from pathlib import Path
 
 from ..core.config import HashTableConfig
 from ..core.growth import GrowthPolicy
+from ..core.kernels_jit import slot_planes, warm
 from ..core.table import WarpDriveHashTable
+from ..errors import ConfigurationError
 from ..exec.engine import ShardKernelTask, available_backends, create_engine
 from ..multigpu.distributed_table import DistributedHashTable
 from ..multigpu.topology import p100_nvlink_node
@@ -58,6 +60,9 @@ class WallClockRecord:
     seconds: float
     #: host cores the run had — parallel backends need > 1 to win
     cpus: int = 0
+    #: kernel backend that actually ran (post-fallback): "fast" | "ref"
+    #: | "compiled" — compiled-vs-fast runs must stay distinguishable
+    kernels: str = "fast"
 
     schema_version = 1
 
@@ -77,8 +82,23 @@ class WallClockRecord:
                 "ops_per_s": self.ops_per_s,
                 "seconds": self.seconds,
                 "cpus": self.cpus,
+                "kernels": self.kernels,
             },
         )
+
+
+def _warm_compiled(table) -> None:
+    """Warm the in-process JIT cache so compile time stays off the clock.
+
+    The compiled path attributes compilation to a ``jit_compile`` span;
+    warming here keeps that span out of the measured rows for in-process
+    engines (serial/thread).  Process workers warm themselves on first
+    task, which then *is* on the clock — cold-start rows say so via the
+    engine column.
+    """
+    planes = slot_planes(table.slots)
+    if planes is not None:
+        warm(table.seq.name, planes[0])
 
 
 def bench_single_shard(
@@ -89,17 +109,54 @@ def bench_single_shard(
     load_factor: float = 0.95,
     workers: int | None = None,
     seed: int = 11,
+    kernels: str = "fast",
 ) -> list[WallClockRecord]:
-    """Time one bulk insert + query kernel dispatched through the engine."""
+    """Time one bulk insert + query kernel dispatched through the engine.
+
+    ``kernels="ref"`` times the faithful generator kernels through the
+    table API instead of the engine (the ref path is a per-operation
+    verification schedule, not an engine-dispatchable bulk kernel) —
+    expect it to be orders of magnitude slower; use a small ``n``.
+    """
+    if kernels not in ("fast", "ref", "compiled"):
+        raise ConfigurationError(
+            f"kernels must be 'fast', 'ref', or 'compiled', got {kernels!r}"
+        )
     keys = unique_keys(n, seed=seed)
     values = random_values(n, seed=seed + 1)
     config = HashTableConfig.for_load_factor(n, load_factor, group_size=group_size)
     records = []
+    if kernels == "ref":
+        table = WarpDriveHashTable(config=config)
+        try:
+            for op in ("insert", "query"):
+                t0 = time.perf_counter()
+                if op == "insert":
+                    table.insert(keys, values, kernels="ref")
+                else:
+                    table.query(keys, kernels="ref")
+                seconds = time.perf_counter() - t0
+                records.append(
+                    WallClockRecord(
+                        bench=f"single_shard_{op}",
+                        n=n,
+                        m=1,
+                        engine=engine,
+                        ops_per_s=n / seconds if seconds > 0 else 0.0,
+                        seconds=seconds,
+                        kernels="ref",
+                    )
+                )
+        finally:
+            table.free()
+        return records
     with create_engine(engine, workers=workers) as eng:
         table = WarpDriveHashTable(
             config=config, shared=eng.requires_shared_slots
         )
         try:
+            if kernels == "compiled":
+                _warm_compiled(table)
             for op, payload in (("insert", values), ("query", None)):
                 task = ShardKernelTask(
                     shard=0,
@@ -109,6 +166,7 @@ def bench_single_shard(
                     keys=keys,
                     values=payload,
                     shm=table.shm_descriptor(),
+                    kernels=kernels,
                 )
                 t0 = time.perf_counter()
                 res = eng.run([task])[0]
@@ -125,6 +183,7 @@ def bench_single_shard(
                         engine=engine,
                         ops_per_s=n / seconds if seconds > 0 else 0.0,
                         seconds=seconds,
+                        kernels=res.kernels,
                     )
                 )
         finally:
@@ -141,6 +200,7 @@ def bench_cascade(
     load_factor: float = 0.95,
     workers: int | None = None,
     seed: int = 11,
+    kernels: str = "fast",
 ) -> list[WallClockRecord]:
     """Time the full device-sided distributed insertion cascade."""
     keys = unique_keys(n, seed=seed)
@@ -153,10 +213,13 @@ def bench_cascade(
         group_size=group_size,
         engine=engine,
         workers=workers,
+        kernels=kernels,
     )
     try:
+        if kernels == "compiled":
+            _warm_compiled(table.shards[0])
         t0 = time.perf_counter()
-        table.insert(keys, values, source="device")
+        report = table.insert(keys, values, source="device")
         seconds = time.perf_counter() - t0
     finally:
         table.free()
@@ -168,6 +231,7 @@ def bench_cascade(
             engine=engine,
             ops_per_s=n / seconds if seconds > 0 else 0.0,
             seconds=seconds,
+            kernels=report.kernels,
         )
     ]
 
@@ -182,6 +246,7 @@ def bench_growth(
     chunks: int = 8,
     workers: int | None = None,
     seed: int = 11,
+    kernels: str = "fast",
 ) -> list[WallClockRecord]:
     """Time a chunked cascade ingest that starts at a quarter of the
     final capacity, so the clock includes every coordinated shard-growth
@@ -200,14 +265,18 @@ def bench_growth(
         engine=engine,
         workers=workers,
         growth=GrowthPolicy(max_load=max_load),
+        kernels=kernels,
     )
     try:
+        if kernels == "compiled":
+            _warm_compiled(table.shards[0])
         batches = list(
             zip(np.array_split(keys, chunks), np.array_split(values, chunks))
         )
         t0 = time.perf_counter()
+        report = None
         for chunk_keys, chunk_values in batches:
-            table.insert(chunk_keys, chunk_values, source="device")
+            report = table.insert(chunk_keys, chunk_values, source="device")
         seconds = time.perf_counter() - t0
         if not any(shard.grows for shard in table.shards):
             raise RuntimeError("growth bench never grew — workload too small")
@@ -221,6 +290,7 @@ def bench_growth(
             engine=engine,
             ops_per_s=n / seconds if seconds > 0 else 0.0,
             seconds=seconds,
+            kernels=report.kernels if report is not None else kernels,
         )
     ]
 
@@ -232,18 +302,32 @@ def run_wallclock_suite(
     engines: tuple[str, ...] | None = None,
     workers: int | None = None,
     seed: int = 11,
+    kernels: str = "fast",
 ) -> list[WallClockRecord]:
-    """All benches × all backends on the same keys (same seed)."""
+    """All benches × all backends on the same keys (same seed).
+
+    ``kernels="ref"`` runs only the single-shard benches — the ref
+    kernels are a per-operation verification schedule and have no
+    cascade-level dispatch.
+    """
     records: list[WallClockRecord] = []
     for engine in engines or available_backends():
         records.extend(
-            bench_single_shard(engine, n, workers=workers, seed=seed)
+            bench_single_shard(
+                engine, n, workers=workers, seed=seed, kernels=kernels
+            )
+        )
+        if kernels == "ref":
+            continue
+        records.extend(
+            bench_cascade(
+                engine, n, m=m, workers=workers, seed=seed, kernels=kernels
+            )
         )
         records.extend(
-            bench_cascade(engine, n, m=m, workers=workers, seed=seed)
-        )
-        records.extend(
-            bench_growth(engine, n, m=m, workers=workers, seed=seed)
+            bench_growth(
+                engine, n, m=m, workers=workers, seed=seed, kernels=kernels
+            )
         )
     return records
 
@@ -258,17 +342,19 @@ def write_results(records: list[WallClockRecord], path: str | Path) -> Path:
 def format_records(records: list[WallClockRecord]) -> str:
     """Fixed-width table, one row per record, with vs-serial speedups."""
     serial = {
-        (r.bench, r.n, r.m): r.seconds for r in records if r.engine == "serial"
+        (r.bench, r.n, r.m, r.kernels): r.seconds
+        for r in records
+        if r.engine == "serial"
     }
     lines = [
-        f"{'bench':<20} {'n':>9} {'m':>2} {'engine':<9} "
+        f"{'bench':<20} {'n':>9} {'m':>2} {'engine':<9} {'kernels':<9} "
         f"{'seconds':>9} {'Mops/s':>8} {'vs serial':>9}"
     ]
     for r in records:
-        base = serial.get((r.bench, r.n, r.m))
+        base = serial.get((r.bench, r.n, r.m, r.kernels))
         speedup = f"{base / r.seconds:>8.2f}x" if base and r.seconds else f"{'-':>9}"
         lines.append(
-            f"{r.bench:<20} {r.n:>9} {r.m:>2} {r.engine:<9} "
+            f"{r.bench:<20} {r.n:>9} {r.m:>2} {r.engine:<9} {r.kernels:<9} "
             f"{r.seconds:>9.4f} {r.ops_per_s / 1e6:>8.2f} {speedup}"
         )
     if records:

@@ -148,6 +148,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     n = 1 << 12 if args.smoke else args.n
+    if args.kernels == "ref" and not args.smoke and n > (1 << 14):
+        print(
+            "note: kernels='ref' runs the per-operation verification "
+            "kernels; large n will take a very long time (--smoke "
+            "recommended)"
+        )
     records: list = []
     if args.suite in ("wallclock", "all"):
         wall = run_wallclock_suite(
@@ -155,8 +161,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             m=args.m,
             engines=tuple(args.engines) if args.engines else None,
             workers=args.workers,
+            kernels=args.kernels,
         )
         print(format_records(wall))
+        if args.kernels == "ref":
+            print(
+                "(ref kernels: single-shard rows only — the cascade has "
+                "no ref-level dispatch)"
+            )
         records.extend(wall)
     if args.suite in ("distribution", "all"):
         dist = run_distribution_suite(n=n, m=args.m)
@@ -460,6 +472,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--workers", type=int, default=None, help="pool size for thread/process"
+    )
+    bench.add_argument(
+        "--kernels",
+        choices=("fast", "ref", "compiled"),
+        default="fast",
+        help="kernel backend for the wallclock suite (compiled falls "
+        "back to fast without a JIT provider; rows record what ran)",
     )
     bench.add_argument(
         "--out", default=None, help="also write records to this JSON path"

@@ -52,6 +52,11 @@ class PartitionedWarpDriveTable:
         kernels run concurrently under ``"thread"``/``"process"``.  The
         old ``executor=`` spelling still works with a deprecation
         warning (:mod:`repro.options`).
+    kernels:
+        Kernel backend for the sub-table bulk ops: ``"fast"`` (default)
+        or ``"compiled"`` (JIT inner loops, bit-identical, auto-falling
+        back to ``"fast"`` without a provider — see
+        ``docs/compiled_backend.md``).
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class PartitionedWarpDriveTable:
         probing: str = UNSET,
         layout: str = UNSET,
         growth=UNSET,
+        kernels: str = UNSET,
         **legacy,
     ):
         engine = resolve_renamed(
@@ -93,6 +99,13 @@ class PartitionedWarpDriveTable:
                 f"{self.num_partitions} sub-tables required"
             )
         self.partition = partition
+        if kernels is UNSET:
+            kernels = "fast"
+        if kernels not in ("fast", "compiled"):
+            raise ConfigurationError(
+                f"kernels must be 'fast' or 'compiled', got {kernels!r}"
+            )
+        self.kernels = kernels
         self.engine = create_engine(engine, workers=workers)
         self._owns_engine = not isinstance(engine, ExecutionEngine)
         sub_capacity = -(-capacity // self.num_partitions)
@@ -169,6 +182,7 @@ class PartitionedWarpDriveTable:
                     values=None if values is None else values[idx],
                     default=default,
                     shm=sub.shm_descriptor(),
+                    kernels=self.kernels,
                 )
             )
         return self.engine.run(tasks) if tasks else []

@@ -41,6 +41,12 @@ from ..utils.validation import check_keys, check_same_length, check_values
 from .bulk import STATUS, bulk_erase, bulk_insert, bulk_query
 from .config import HashTableConfig
 from .growth import GrowthPolicy
+from .kernels_jit import (
+    bulk_erase_compiled,
+    bulk_insert_compiled,
+    bulk_query_compiled,
+    resolve_kernels,
+)
 from .kernels_ref import erase_task, insert_task, query_task
 from .probing import make_window_sequence
 from .report import KernelReport
@@ -235,8 +241,15 @@ class WarpDriveHashTable:
         # bound on new pairs — duplicates only leave headroom)
         self.ensure_capacity(k.shape[0])
 
+        kernels = resolve_kernels(
+            kernels, slots=self.slots, owner="WarpDriveHashTable.insert"
+        )
         if kernels == "fast":
             report, status = bulk_insert(
+                self.slots, self.seq, k, v, self.counter, wave_size=wave_size
+            )
+        elif kernels == "compiled":
+            report, status = bulk_insert_compiled(
                 self.slots, self.seq, k, v, self.counter, wave_size=wave_size
             )
         elif kernels == "ref":
@@ -366,8 +379,15 @@ class WarpDriveHashTable:
         )
         reject_unknown("WarpDriveHashTable.query", legacy)
         k = check_keys(keys)
+        kernels = resolve_kernels(
+            kernels, slots=self.slots, owner="WarpDriveHashTable.query"
+        )
         if kernels == "fast":
             report, values, found = bulk_query(
+                self.slots, self.seq, k, self.counter, default=default
+            )
+        elif kernels == "compiled":
+            report, values, found = bulk_query_compiled(
                 self.slots, self.seq, k, self.counter, default=default
             )
         elif kernels == "ref":
@@ -439,9 +459,17 @@ class WarpDriveHashTable:
         )
         reject_unknown("WarpDriveHashTable.erase", legacy)
         k = check_keys(keys)
+        kernels = resolve_kernels(
+            kernels, slots=self.slots, owner="WarpDriveHashTable.erase"
+        )
         if kernels == "fast":
             report, erased = bulk_erase(self.slots, self.seq, k, self.counter)
             # every tombstone write is one store sector in the erase report
+            self._size -= report.store_sectors
+        elif kernels == "compiled":
+            report, erased = bulk_erase_compiled(
+                self.slots, self.seq, k, self.counter
+            )
             self._size -= report.store_sectors
         elif kernels == "ref":
             sanitizer = self._ref_sanitizer()

@@ -35,6 +35,14 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..core.bulk import bulk_erase, bulk_insert, bulk_query
+from ..core.kernels_jit import (
+    bulk_erase_compiled,
+    bulk_insert_compiled,
+    bulk_query_compiled,
+    resolve_kernels,
+    slot_planes,
+    warm,
+)
 from ..core.probing import WindowSequence
 from ..core.report import KernelReport
 from ..core.store import attach_view
@@ -69,6 +77,9 @@ class ShardKernelTask:
     default: int = 0
     #: set when the slot array is shared-memory backed (process backend)
     shm: SlotsDescriptor | None = None
+    #: kernel backend: "fast" or "compiled" ("compiled" re-resolves in
+    #: the executing process, so workers fall back independently)
+    kernels: str = "fast"
 
     def for_pickling(self) -> "ShardKernelTask":
         """A copy without the slot array — workers re-map it via ``shm``."""
@@ -87,6 +98,8 @@ class ShardKernelResult:
     found: np.ndarray | None = None  # query
     erased: np.ndarray | None = None  # erase
     span: ShardSpan | None = None
+    #: kernel backend that actually ran (post-fallback), for reporting
+    kernels: str = "fast"
 
 
 def run_kernel_task(slots: np.ndarray, task: ShardKernelTask) -> ShardKernelResult:
@@ -96,24 +109,38 @@ def run_kernel_task(slots: np.ndarray, task: ShardKernelTask) -> ShardKernelResu
     happens on the parent in deterministic shard order, identically for
     in-process and out-of-process backends.
     """
+    # resolve here, in the executing process: a worker without a JIT
+    # provider falls back on its own, and the result records the truth
+    kernels = resolve_kernels(
+        task.kernels, slots=slots, owner="run_kernel_task"
+    )
+    compiled = kernels == "compiled"
+    if compiled:
+        # warm the process-local JIT cache (no-op when hot) so compile
+        # time lands in a jit_compile span, never in the measured span
+        warm(task.seq.name, slot_planes(slots)[0])
     t0 = time.perf_counter()
     if task.op == "insert":
-        report, status = bulk_insert(slots, task.seq, task.keys, task.values, None)
+        op = bulk_insert_compiled if compiled else bulk_insert
+        report, status = op(slots, task.seq, task.keys, task.values, None)
         result = ShardKernelResult(task.shard, task.op, report, status=status)
     elif task.op == "query":
-        report, values, found = bulk_query(
+        op = bulk_query_compiled if compiled else bulk_query
+        report, values, found = op(
             slots, task.seq, task.keys, None, default=task.default
         )
         result = ShardKernelResult(
             task.shard, task.op, report, values=values, found=found
         )
     elif task.op == "erase":
-        report, erased = bulk_erase(slots, task.seq, task.keys, None)
+        op = bulk_erase_compiled if compiled else bulk_erase
+        report, erased = op(slots, task.seq, task.keys, None)
         result = ShardKernelResult(task.shard, task.op, report, erased=erased)
     else:
         raise ConfigurationError(f"unknown kernel op {task.op!r}")
     t1 = time.perf_counter()
     result.span = ShardSpan(task.shard, task.op, t0, t1, pid=os.getpid())
+    result.kernels = kernels
     return result
 
 

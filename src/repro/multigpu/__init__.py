@@ -10,6 +10,7 @@ from .alltoall import (
     transpose_exchange_fast,
 )
 from .distributed_table import CascadeReport, DistributedHashTable
+from .plan import CascadePlan, PlanCache, chunk_slices
 from .strategies import StrategyCost, compare_strategies
 from .multisplit import MultisplitResult, multisplit, multisplit_fast
 from .partition_table import PartitionTable, TransferPlanEntry
@@ -33,6 +34,9 @@ __all__ = [
     "reverse_exchange",
     "reverse_exchange_fast",
     "DistributedHashTable",
+    "CascadePlan",
+    "PlanCache",
+    "chunk_slices",
     "StrategyCost",
     "compare_strategies",
     "CascadeReport",

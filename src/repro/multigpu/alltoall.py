@@ -202,6 +202,7 @@ def transpose_exchange_fast(
     *,
     log: TransferLog | None = None,
     build_routing: bool = True,
+    gather_out: list[np.ndarray] | None = None,
 ) -> AllToAllResult:
     """Index-routed :func:`transpose_exchange` — same buffers, same log.
 
@@ -212,7 +213,12 @@ def transpose_exchange_fast(
     exclusive prefix scans over T for the senders and column-wise scans
     for the receivers") plus the inverse permutation they induce.
     ``build_routing=False`` skips the inverse permutation for one-way
-    cascades (insertion has no reverse leg).
+    cascades (insertion has no reverse leg).  ``gather_out`` supplies
+    preplanned per-source ``int64`` buffers (length = that source's
+    chunk size) which the inverse permutation is written into in place —
+    the cascade-plan compiler (:mod:`repro.multigpu.plan`) reuses them
+    across waves, so the buffers alias the returned routing and are only
+    valid until the next cascade of the owning plan.
     """
     m = _check_shapes(split_pairs, split_offsets, counts, topology)
     send_off = counts.send_offsets()
@@ -240,23 +246,31 @@ def transpose_exchange_fast(
     # src as m consecutive ranges — the inverse permutation in closed form.
     routing = None
     if build_routing:
-        reverse_gather = [
-            np.concatenate(
-                [
-                    np.arange(
-                        int(result_bases[part] + recv_off[src, part]),
-                        int(
-                            result_bases[part]
-                            + recv_off[src, part]
-                            + counts.counts[src, part]
-                        ),
-                        dtype=np.int64,
-                    )
-                    for part in range(m)
-                ]
+        if gather_out is not None and len(gather_out) != m:
+            raise ConfigurationError(
+                f"gather_out needs {m} buffers, got {len(gather_out)}"
             )
-            for src in range(m)
-        ]
+        reverse_gather = []
+        for src in range(m):
+            size = int(counts.counts[src].sum())
+            if gather_out is None:
+                buf = np.empty(size, dtype=np.int64)
+            else:
+                buf = gather_out[src]
+                if buf.shape[0] != size:
+                    raise ConfigurationError(
+                        f"gather_out[{src}] holds {buf.shape[0]} slots "
+                        f"for {size} elements"
+                    )
+            pos = 0
+            for part in range(m):
+                count = int(counts.counts[src, part])
+                base = int(result_bases[part] + recv_off[src, part])
+                buf[pos : pos + count] = np.arange(
+                    base, base + count, dtype=np.int64
+                )
+                pos += count
+            reverse_gather.append(buf)
         routing = ExchangeRouting(
             table=counts,
             send_offsets=send_off,

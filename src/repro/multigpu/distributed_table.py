@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..constants import PAIR_BYTES
+from ..core.kernels_jit import resolve_kernels
 from ..core.report import KernelReport
 from ..core.table import WarpDriveHashTable
 from ..errors import ConfigurationError
@@ -44,6 +45,7 @@ from .alltoall import (
 )
 from .multisplit import MultisplitResult, multisplit, multisplit_fast
 from .partition_table import PartitionTable
+from .plan import CascadePlan, PlanCache, chunk_slices
 from .topology import NodeTopology
 
 __all__ = ["CascadeReport", "DistributedHashTable"]
@@ -83,6 +85,10 @@ class CascadeReport:
     grow_reports: list[KernelReport] = field(default_factory=list)
     #: measured wall-clock of the growth phase (0.0 = no growth happened)
     grow_wall_seconds: float = 0.0
+    #: kernel backend the shard kernels actually ran ("fast" or
+    #: "compiled") — post-fallback, so rows record the truth even when
+    #: "compiled" was requested on a host without a JIT provider
+    kernels: str = "fast"
 
     schema_version = 1
 
@@ -108,6 +114,7 @@ class CascadeReport:
             {
                 "op": self.op,
                 "num_ops": self.num_ops,
+                "kernels": self.kernels,
                 "h2d_bytes": self.h2d_bytes,
                 "d2h_bytes": self.d2h_bytes,
                 "alltoall_bytes": self.alltoall_bytes,
@@ -167,6 +174,13 @@ class DistributedHashTable:
         and provenance-based reverse.  Both are bit-identical in results
         and accounting (``tests/multigpu/test_fused_distribution.py``);
         only the host wall-clock differs (``docs/distribution.md``).
+    kernels:
+        Shard-kernel backend: ``"fast"`` (default, vectorized numpy) or
+        ``"compiled"`` (JIT inner loops, bit-identical; auto-falls back
+        to ``"fast"`` with a warning when no JIT provider is available
+        — see ``docs/compiled_backend.md``).  Workers re-resolve the
+        backend in their own process; :attr:`CascadeReport.kernels`
+        records what actually ran.
     """
 
     def __init__(
@@ -180,6 +194,7 @@ class DistributedHashTable:
         engine: str | ExecutionEngine = UNSET,
         workers: int | None = None,
         distribution: str = "fused",
+        kernels: str = UNSET,
         probing: str = UNSET,
         layout: str = UNSET,
         growth=UNSET,
@@ -203,6 +218,13 @@ class DistributedHashTable:
                 f"distribution must be 'fused' or 'reference', got {distribution!r}"
             )
         self.distribution = distribution
+        if kernels is UNSET:
+            kernels = "fast"
+        if kernels not in ("fast", "compiled"):
+            raise ConfigurationError(
+                f"kernels must be 'fast' or 'compiled', got {kernels!r}"
+            )
+        self.kernels = kernels
         self.topology = topology
         self.num_gpus = topology.num_devices
         if partition is None:
@@ -231,6 +253,9 @@ class DistributedHashTable:
             for dev in topology.devices
         ]
         self.transfer_log = TransferLog()
+        # per-batch-shape cascade plans (chunk slices, zero planes,
+        # reverse-routing scratch) reused across waves of equal size
+        self._plans = PlanCache()
 
     @classmethod
     def for_load_factor(
@@ -301,9 +326,11 @@ class DistributedHashTable:
 
     def _chunk(self, n: int) -> list[slice]:
         """Unstructured distribution: m equal contiguous chunks."""
-        m = self.num_gpus
-        bounds = np.linspace(0, n, m + 1).astype(np.int64)
-        return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(m)]
+        return chunk_slices(n, self.num_gpus)
+
+    def _plan(self, op: str, n: int) -> CascadePlan:
+        """The (cached) compiled plan for one batch shape."""
+        return self._plans.get(op, n, self.num_gpus)
 
     def _split_phase(
         self, packed_chunks: list[np.ndarray], report: CascadeReport
@@ -335,12 +362,15 @@ class DistributedHashTable:
         report: CascadeReport,
         *,
         reversible: bool,
+        plan: CascadePlan | None = None,
     ) -> AllToAllResult:
         """Run the m×m exchange and record its traffic + measured time.
 
         ``reversible`` builds the reverse-routing state (inverse
         permutation or provenance) retrieval/erase cascades need; pure
-        insertion skips it on the fused path.
+        insertion skips it on the fused path.  A reversible ``plan``
+        supplies the preallocated ``reverse_gather`` buffers the fused
+        exchange fills in place.
         """
         with obs.span(
             "all-to-all", "distribution", path=self.distribution
@@ -354,6 +384,11 @@ class DistributedHashTable:
                     self.topology,
                     log=self.transfer_log,
                     build_routing=reversible,
+                    gather_out=(
+                        plan.gather_out
+                        if reversible and plan is not None
+                        else None
+                    ),
                 )
             else:
                 exchange = transpose_exchange(
@@ -379,6 +414,7 @@ class DistributedHashTable:
         chunks: list[slice],
         n: int,
         report: CascadeReport,
+        plan: CascadePlan | None = None,
     ) -> np.ndarray:
         """Reverse-route per-partition answers back to input order.
 
@@ -386,11 +422,13 @@ class DistributedHashTable:
         and records the reverse traffic (priced from the partition table,
         not re-scanned) on the report.  Fused path: one global
         inverse-permutation gather composing the reverse exchange with
-        the multisplit un-permute — no per-chunk staging copies.
+        the multisplit un-permute — no per-chunk staging copies; the
+        plan's ``perm`` scratch is overwritten completely, so no
+        per-batch allocation either.
         """
         with obs.span("reverse", "distribution", path=self.distribution):
             answers, seconds, traffic = self._reverse_route(
-                results, exchange, splits, chunks, n, report
+                results, exchange, splits, chunks, n, report, plan
             )
         report.reverse_seconds = seconds
         report.reverse_bytes = int(traffic.sum())
@@ -404,6 +442,7 @@ class DistributedHashTable:
         chunks: list[slice],
         n: int,
         report: CascadeReport,
+        plan: CascadePlan | None = None,
     ) -> tuple[np.ndarray, float, np.ndarray]:
         t0 = time.perf_counter()
         if self.distribution == "fused":
@@ -418,7 +457,11 @@ class DistributedHashTable:
                 self.topology,
                 log=self.transfer_log,
             )
-            perm = np.empty(n, dtype=np.int64)
+            perm = (
+                plan.perm
+                if plan is not None and plan.perm is not None
+                else np.empty(n, dtype=np.int64)
+            )
             for gpu, sl in enumerate(chunks):
                 perm[sl.start + splits[gpu].source_index] = (
                     exchange.routing.reverse_gather[gpu]
@@ -562,8 +605,12 @@ class DistributedHashTable:
         Returns results keyed by GPU index.
         """
         with obs.span(
-            "kernel phase", "kernel", op=op, engine=self.engine.name
-        ):
+            "kernel phase",
+            "kernel",
+            op=op,
+            engine=self.engine.name,
+            kernels=self.kernels,
+        ) as ksp:
             t0 = time.perf_counter()
             tasks = []
             for gpu, gk in enumerate(keys_per_gpu):
@@ -582,11 +629,25 @@ class DistributedHashTable:
                         else values_per_gpu[gpu],
                         default=default,
                         shm=shard.shm_descriptor(),
+                        kernels=self.kernels,
                     )
                 )
             by_gpu = (
                 {r.shard: r for r in self.engine.run(tasks)} if tasks else {}
             )
+            # record the backend that actually ran (workers may have
+            # fallen back independently); with no tasks, resolve locally
+            if by_gpu:
+                used = {r.kernels for r in by_gpu.values()}
+                report.kernels = used.pop() if len(used) == 1 else "fast"
+            else:
+                report.kernels = resolve_kernels(
+                    self.kernels,
+                    slots=self.shards[0].slots,
+                    owner="DistributedHashTable",
+                )
+            if ksp is not None:
+                ksp.attrs["kernels"] = report.kernels
             for gpu, gk in enumerate(keys_per_gpu):
                 shard = self.shards[gpu]
                 res = by_gpu.get(gpu)
@@ -639,7 +700,8 @@ class DistributedHashTable:
         log_mark = len(self.transfer_log)
 
         with obs.span("insert cascade", "cascade", num_ops=n):
-            chunks = self._chunk(n)
+            plan = self._plan("insert", n)
+            chunks = plan.chunks
             with obs.span("H2D", "transfer", op="insert") as sp:
                 packed = [pack_pairs(k[sl], v[sl]) for sl in chunks]
                 report.h2d_per_gpu = np.array(
@@ -705,14 +767,13 @@ class DistributedHashTable:
         log_mark = len(self.transfer_log)
 
         with obs.span("query cascade", "cascade", num_ops=n):
-            chunks = self._chunk(n)
+            plan = self._plan("query", n)
+            chunks = plan.chunks
             # queries ship keys only (4 B/key up, 8 B/key down, cf. Fig. 10)
             with obs.span("H2D", "transfer", op="query") as sp:
                 packed = [
-                    pack_pairs(
-                        k[sl], np.zeros((sl.stop - sl.start), dtype=np.uint32)
-                    )
-                    for sl in chunks
+                    pack_pairs(k[sl], plan.zeros[gpu])
+                    for gpu, sl in enumerate(chunks)
                 ]
                 key_bytes = np.array(
                     [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
@@ -739,7 +800,7 @@ class DistributedHashTable:
             try:
                 splits, table = self._split_phase(packed, report)
                 exchange = self._transpose_phase(
-                    splits, table, report, reversible=True
+                    splits, table, report, reversible=True, plan=plan
                 )
 
                 # per-shard queries; answers packed as (found << 32) | value
@@ -765,7 +826,7 @@ class DistributedHashTable:
                     )
 
                 answers = self._reverse_phase(
-                    results, exchange, splits, chunks, n, report
+                    results, exchange, splits, chunks, n, report, plan
                 )
                 values = (answers & np.uint64(0xFFFFFFFF)).astype(np.uint32)
                 found_out = (answers >> np.uint64(32)).astype(bool)
@@ -824,13 +885,12 @@ class DistributedHashTable:
         log_mark = len(self.transfer_log)
 
         with obs.span("erase cascade", "cascade", num_ops=n):
-            chunks = self._chunk(n)
+            plan = self._plan("erase", n)
+            chunks = plan.chunks
             with obs.span("H2D", "transfer", op="erase") as sp:
                 packed = [
-                    pack_pairs(
-                        k[sl], np.zeros(sl.stop - sl.start, dtype=np.uint32)
-                    )
-                    for sl in chunks
+                    pack_pairs(k[sl], plan.zeros[gpu])
+                    for gpu, sl in enumerate(chunks)
                 ]
                 key_bytes = np.array(
                     [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
@@ -857,7 +917,7 @@ class DistributedHashTable:
             try:
                 splits, table = self._split_phase(packed, report)
                 exchange = self._transpose_phase(
-                    splits, table, report, reversible=True
+                    splits, table, report, reversible=True, plan=plan
                 )
 
                 keys_per_gpu = [
@@ -876,7 +936,7 @@ class DistributedHashTable:
                     results.append(erased.astype(np.uint64))
 
                 answers = self._reverse_phase(
-                    results, exchange, splits, chunks, n, report
+                    results, exchange, splits, chunks, n, report, plan
                 )
                 erased_out = answers.astype(bool)
             finally:

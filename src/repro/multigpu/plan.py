@@ -1,0 +1,142 @@
+"""Cascade plan compiler — preplanned per-batch buffers for the cascades.
+
+The distributed cascades (§IV-B) run the same split → transpose →
+kernel → reverse pass for every batch, and for a streamed workload the
+batch geometry repeats wave after wave: same ``n``, same ``m``, same
+chunk bounds, same per-chunk buffer sizes.  The gossip/warpdrive.cuh
+exemplars handle this with *transfer plans* compiled once and executed
+many times; this module is the host-side analogue.  A
+:class:`CascadePlan` captures everything about one batch shape that does
+not depend on the key values:
+
+* the ``m`` contiguous chunk slices of the unstructured distribution,
+* the zero ``uint32`` value planes key-only cascades (query/erase) pack
+  against,
+* the ``int64`` inverse-permutation scratch of the fused reverse path
+  (``perm``) and the per-source ``reverse_gather`` fill targets that
+  :func:`~repro.multigpu.alltoall.transpose_exchange_fast` writes in
+  place via its ``gather_out=`` hook.
+
+:class:`PlanCache` memoizes plans per ``(op, n)`` with a small LRU, so
+:class:`~repro.multigpu.distributed_table.DistributedHashTable` (and
+therefore :class:`~repro.pipeline.AsyncCascadeDriver`, which streams
+batches through it) allocates a batch's routing buffers once and reuses
+them across waves instead of re-deriving them every phase.  Plans hold
+no key-dependent state — reuse is safe as long as cascades on one table
+do not interleave, which the table's sequential API already guarantees.
+The buffers alias the live cascade's routing, so a plan's arrays are
+only valid until the next cascade of the same shape.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["CascadePlan", "PlanCache", "chunk_slices"]
+
+
+def chunk_slices(n: int, num_gpus: int) -> list[slice]:
+    """The unstructured distribution: ``m`` equal contiguous chunks."""
+    bounds = np.linspace(0, n, num_gpus + 1).astype(np.int64)
+    return [
+        slice(int(bounds[i]), int(bounds[i + 1])) for i in range(num_gpus)
+    ]
+
+
+@dataclass
+class CascadePlan:
+    """One batch shape's preplanned pass (key-independent state only).
+
+    ``zeros``/``perm``/``gather_out`` are ``None`` for insert plans —
+    insertion packs real values and has no reverse leg.  The ``zeros``
+    planes are read-only by contract (``pack_pairs`` never mutates its
+    inputs); ``perm`` and ``gather_out`` are scratch the reverse path
+    overwrites completely on every use.
+    """
+
+    op: str
+    n: int
+    num_gpus: int
+    #: the m contiguous input chunks
+    chunks: list[slice] = field(default_factory=list)
+    #: per-chunk zero value planes (uint32) for key-only packing
+    zeros: list[np.ndarray] | None = None
+    #: inverse-permutation scratch of the fused reverse path (int64, n)
+    perm: np.ndarray | None = None
+    #: per-source reverse_gather fill targets (int64, chunk-sized)
+    gather_out: list[np.ndarray] | None = None
+
+    @property
+    def reversible(self) -> bool:
+        return self.perm is not None
+
+    @classmethod
+    def compile(cls, op: str, n: int, num_gpus: int) -> "CascadePlan":
+        """Build the plan for one ``(op, n)`` batch shape."""
+        if op not in ("insert", "query", "erase"):
+            raise ConfigurationError(f"unknown cascade op {op!r}")
+        if n < 0:
+            raise ConfigurationError(f"batch size must be >= 0, got {n}")
+        if num_gpus < 1:
+            raise ConfigurationError(
+                f"num_gpus must be >= 1, got {num_gpus}"
+            )
+        chunks = chunk_slices(n, num_gpus)
+        plan = cls(op=op, n=n, num_gpus=num_gpus, chunks=chunks)
+        if op != "insert":
+            plan.zeros = [
+                np.zeros(sl.stop - sl.start, dtype=np.uint32)
+                for sl in chunks
+            ]
+            plan.perm = np.empty(n, dtype=np.int64)
+            plan.gather_out = [
+                np.empty(sl.stop - sl.start, dtype=np.int64)
+                for sl in chunks
+            ]
+        return plan
+
+
+class PlanCache:
+    """A small LRU of :class:`CascadePlan`, keyed ``(op, n)``.
+
+    Streamed workloads repeat a handful of batch shapes; eight plans
+    cover every realistic stream while bounding the held scratch to a
+    few batches' worth of ``int64``.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"maxsize must be >= 1, got {maxsize}"
+            )
+        self.maxsize = int(maxsize)
+        self._plans: OrderedDict[tuple[str, int], CascadePlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, op: str, n: int, num_gpus: int) -> CascadePlan:
+        """The cached plan for ``(op, n)``, compiling on first use."""
+        key = (op, int(n))
+        plan = self._plans.get(key)
+        if plan is not None and plan.num_gpus == num_gpus:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.misses += 1
+        plan = CascadePlan.compile(op, int(n), num_gpus)
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()

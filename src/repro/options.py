@@ -21,10 +21,16 @@ option set is now:
     Host distribution path: ``"fused"`` | ``"reference"``
     (``DistributedHashTable``).
 ``kernels=``
-    Per-operation kernel implementation: ``"fast"`` (vectorized) |
-    ``"ref"`` (faithful generator kernels) on the bulk methods of
+    Kernel implementation: ``"fast"`` (vectorized) | ``"ref"``
+    (faithful generator kernels) | ``"compiled"`` (JIT inner loops,
+    bit-identical to ``"fast"``, auto-falling back when no provider is
+    available — :mod:`repro.core.kernels_jit`) on the bulk methods of
     ``WarpDriveHashTable``, ``CountingHashTable``, and
-    ``MultiValueHashTable`` (the latter is fast-only).
+    ``MultiValueHashTable`` (the latter two are fast-only); as a
+    constructor option (``"fast"`` | ``"compiled"``) on
+    ``DistributedHashTable`` and ``PartitionedWarpDriveTable``, where
+    it selects the shard-kernel backend that execution engines resolve
+    per worker process.
 ``measure=``
     Attach measured wall-clock timelines (``AsyncCascadeDriver``).
 ``probing=``

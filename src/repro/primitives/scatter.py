@@ -118,19 +118,28 @@ def counting_scatter(
         raise ConfigurationError("bins out of range")
 
     n = arr.shape[0]
-    counts = np.bincount(b, minlength=num_bins).astype(np.int64)
-    offsets = np.zeros(num_bins, dtype=np.int64)
-    np.cumsum(counts[:-1], out=offsets[1:])
+    # compiled single-pass histogram + stable scatter when a JIT provider
+    # is live (same permutation, counts, and offsets as the sort below —
+    # property-tested in tests/primitives/test_scatter.py)
+    from ..core.kernels_jit import scatter_permutation
 
-    # stable argsort by bin id == per-bin ascending source indices
-    # concatenated in bin order; a narrow dtype selects radix sort (O(n))
-    for radix_dtype in _RADIX_DTYPES:
-        if num_bins <= np.iinfo(radix_dtype).max + 1:
-            sort_key = b.astype(radix_dtype)
-            break
-    else:  # pragma: no cover - beyond any realistic GPU count
-        sort_key = b
-    src = np.argsort(sort_key, kind="stable").astype(np.int64, copy=False)
+    compiled = scatter_permutation(b, num_bins)
+    if compiled is not None:
+        src, counts, offsets = compiled
+    else:
+        counts = np.bincount(b, minlength=num_bins).astype(np.int64)
+        offsets = np.zeros(num_bins, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+
+        # stable argsort by bin id == per-bin ascending source indices
+        # concatenated in bin order; a narrow dtype selects radix sort (O(n))
+        for radix_dtype in _RADIX_DTYPES:
+            if num_bins <= np.iinfo(radix_dtype).max + 1:
+                sort_key = b.astype(radix_dtype)
+                break
+        else:  # pragma: no cover - beyond any realistic GPU count
+            sort_key = b
+        src = np.argsort(sort_key, kind="stable").astype(np.int64, copy=False)
     out = arr[src]
 
     atomics = _count_group_class_pairs(b, n, num_bins, group_size)

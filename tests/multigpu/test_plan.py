@@ -1,0 +1,205 @@
+"""The cascade plan compiler: preplanned buffers, cache reuse, safety.
+
+A :class:`~repro.multigpu.plan.CascadePlan` pre-allocates one batch's
+chunk slices, key-only packing planes, reverse permutation scratch, and
+in-place routing buffers; the :class:`~repro.multigpu.plan.PlanCache`
+reuses it across same-shape waves (the ``AsyncCascadeDriver`` streaming
+regime).  Reuse must never change results — the cascades are re-run
+through cached plans here and compared against fresh tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.partition import hashed_partition
+from repro.memory.layout import pack_pairs
+from repro.multigpu.alltoall import transpose_exchange_fast
+from repro.multigpu.distributed_table import DistributedHashTable
+from repro.multigpu.multisplit import multisplit_fast
+from repro.multigpu.partition_table import PartitionTable
+from repro.multigpu.plan import CascadePlan, PlanCache, chunk_slices
+from repro.multigpu.topology import p100_nvlink_node
+from repro.workloads import random_values, unique_keys
+
+
+class TestChunkSlices:
+    def test_covers_range_contiguously(self):
+        slices = chunk_slices(1000, 3)
+        assert slices[0].start == 0 and slices[-1].stop == 1000
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+
+    def test_matches_linspace_bounds(self):
+        bounds = np.linspace(0, 10, 5).astype(np.int64)
+        for sl, lo, hi in zip(chunk_slices(10, 4), bounds, bounds[1:]):
+            assert (sl.start, sl.stop) == (lo, hi)
+
+    def test_more_gpus_than_items(self):
+        slices = chunk_slices(2, 4)
+        assert len(slices) == 4
+        assert sum(sl.stop - sl.start for sl in slices) == 2
+
+
+class TestCascadePlan:
+    def test_insert_plan_has_no_reverse_leg(self):
+        plan = CascadePlan.compile("insert", 100, 4)
+        assert plan.chunks == chunk_slices(100, 4)
+        assert plan.zeros is None and plan.perm is None
+        assert plan.gather_out is None
+        assert not plan.reversible
+
+    @pytest.mark.parametrize("op", ["query", "erase"])
+    def test_reversible_plan_buffers(self, op):
+        n, m = 100, 4
+        plan = CascadePlan.compile(op, n, m)
+        assert plan.reversible
+        assert plan.perm.shape == (n,) and plan.perm.dtype == np.int64
+        for sl, zeros, gather in zip(plan.chunks, plan.zeros, plan.gather_out):
+            size = sl.stop - sl.start
+            assert zeros.shape == (size,) and zeros.dtype == np.uint32
+            assert not zeros.any()
+            assert gather.shape == (size,) and gather.dtype == np.int64
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            CascadePlan.compile("update", 10, 2)
+        with pytest.raises(ConfigurationError):
+            CascadePlan.compile("insert", -1, 2)
+        with pytest.raises(ConfigurationError):
+            CascadePlan.compile("insert", 10, 0)
+
+
+class TestPlanCache:
+    def test_miss_then_hit_returns_same_plan(self):
+        cache = PlanCache()
+        a = cache.get("query", 64, 4)
+        b = cache.get("query", 64, 4)
+        assert a is b
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_distinct_shapes_miss(self):
+        cache = PlanCache()
+        assert cache.get("query", 64, 4) is not cache.get("query", 65, 4)
+        assert cache.get("query", 64, 4) is not cache.get("insert", 64, 4)
+
+    def test_gpu_count_change_recompiles(self):
+        cache = PlanCache()
+        a = cache.get("query", 64, 4)
+        b = cache.get("query", 64, 2)
+        assert a is not b and b.num_gpus == 2
+
+    def test_lru_eviction_bounds_memory(self):
+        cache = PlanCache()
+        first = cache.get("insert", 1, 2)
+        for n in range(2, 2 + cache.maxsize):
+            cache.get("insert", n, 2)
+        assert len(cache) == cache.maxsize
+        assert cache.get("insert", 1, 2) is not first  # evicted → fresh
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.get("insert", 10, 2)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPlanReuseCorrectness:
+    def test_repeated_waves_hit_cache_and_stay_correct(self):
+        """Three same-shape query waves: the second and third run on the
+        first wave's plan buffers and must return identical answers."""
+        n = 900
+        keys = unique_keys(n, seed=71)
+        values = random_values(n, seed=72)
+        table = DistributedHashTable.for_workload(
+            p100_nvlink_node(4), keys, 0.8, group_size=4
+        )
+        try:
+            table.insert(keys, values, source="device")
+            answers = [
+                table.query(keys, source="device")[:2] for _ in range(3)
+            ]
+            for vals, found in answers:
+                assert (vals == answers[0][0]).all()
+                assert found.all()
+            assert (answers[0][0] == values).all()
+            assert table._plans.hits >= 2  # waves 2 and 3 reused the plan
+        finally:
+            table.free()
+
+    def test_mixed_ops_and_sizes_interleave_safely(self):
+        n = 600
+        keys = unique_keys(n, seed=73)
+        values = random_values(n, seed=74)
+        table = DistributedHashTable.for_workload(
+            p100_nvlink_node(4), keys, 0.8, group_size=4
+        )
+        try:
+            table.insert(keys, values, source="device")
+            erased, _ = table.erase(keys[: n // 3])
+            assert erased.all()
+            vals, found, _ = table.query(keys, source="device")
+            assert not found[: n // 3].any() and found[n // 3 :].all()
+            assert (vals[n // 3 :] == values[n // 3 :]).all()
+            # a differently-sized wave compiles its own plan
+            vals2, found2, _ = table.query(keys[: n // 2], source="device")
+            assert (vals2 == vals[: n // 2]).all()
+            assert (found2 == found[: n // 2]).all()
+        finally:
+            table.free()
+
+
+class TestGatherOutContract:
+    def _exchange_inputs(self, m=3, per_gpu=120):
+        part = hashed_partition(m)
+        splits = [
+            multisplit_fast(
+                pack_pairs(
+                    unique_keys(per_gpu, seed=81 + gpu * 7),
+                    random_values(per_gpu, seed=91 + gpu),
+                ),
+                part,
+            )
+            for gpu in range(m)
+        ]
+        table = PartitionTable(np.stack([ms.counts for ms in splits]))
+        return (
+            [ms.pairs for ms in splits],
+            [ms.offsets for ms in splits],
+            table,
+            p100_nvlink_node(m),
+        )
+
+    def test_gather_out_filled_in_place(self):
+        pairs, offsets, table, node = self._exchange_inputs()
+        baseline = transpose_exchange_fast(pairs, offsets, table, node)
+        bufs = [
+            np.zeros(g.shape[0], dtype=np.int64)
+            for g in baseline.routing.reverse_gather
+        ]
+        fused = transpose_exchange_fast(
+            pairs, offsets, table, node, gather_out=bufs
+        )
+        for buf, ref, mine in zip(
+            bufs, baseline.routing.reverse_gather, fused.routing.reverse_gather
+        ):
+            assert mine is buf  # aliased, not copied
+            assert (mine == ref).all()
+
+    def test_wrong_buffer_count_raises(self):
+        pairs, offsets, table, node = self._exchange_inputs()
+        with pytest.raises(ConfigurationError, match="gather_out"):
+            transpose_exchange_fast(
+                pairs, offsets, table, node,
+                gather_out=[np.zeros(1, dtype=np.int64)],
+            )
+
+    def test_wrong_buffer_size_raises(self):
+        pairs, offsets, table, node = self._exchange_inputs()
+        bad = [np.zeros(1, dtype=np.int64) for _ in range(3)]
+        with pytest.raises(ConfigurationError, match="slots for"):
+            transpose_exchange_fast(
+                pairs, offsets, table, node, gather_out=bad
+            )

@@ -1,4 +1,10 @@
-"""Property tests: counting_scatter == num_bins × compact_fast."""
+"""Property tests: counting_scatter == num_bins × compact_fast.
+
+``counting_scatter`` resolves a compiled single-pass histogram+scatter
+(:func:`repro.core.kernels_jit.scatter_permutation`) whenever a JIT
+provider is live, falling back to the stable-argsort path otherwise;
+``TestCompiledPermutation`` pins the two paths to the same permutation.
+"""
 
 import numpy as np
 import pytest
@@ -7,6 +13,7 @@ from hypothesis import strategies as st
 
 from profiles import examples
 
+from repro.core.kernels_jit import compiled_available, scatter_permutation
 from repro.errors import ConfigurationError
 from repro.primitives.compact import compact_fast
 from repro.primitives.scatter import counting_scatter
@@ -82,6 +89,82 @@ class TestEquivalence:
         cs = counting_scatter(values, bins, 2)
         assert cs.values.tolist() == [11, 13, 15, 10, 12, 14]
         assert cs.source_index.tolist() == [1, 3, 5, 0, 2, 4]
+
+
+class TestCompiledPermutation:
+    """The compiled permutation ≡ the stable-argsort path, bit for bit."""
+
+    @pytest.mark.skipif(
+        not compiled_available(), reason="no JIT provider on this host"
+    )
+    @given(
+        n=st.integers(min_value=0, max_value=500),
+        num_bins=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @examples(40)
+    def test_matches_stable_argsort(self, n, num_bins, seed):
+        rng = np.random.default_rng(seed)
+        bins = rng.integers(0, num_bins, size=n, dtype=np.int64)
+        result = scatter_permutation(bins, num_bins)
+        assert result is not None
+        src, counts, offsets = result
+        assert (src == np.argsort(bins, kind="stable")).all()
+        assert (counts == np.bincount(bins, minlength=num_bins)).all()
+        expected_off = np.zeros(num_bins, dtype=np.int64)
+        np.cumsum(counts[:-1], out=expected_off[1:])
+        assert (offsets == expected_off).all()
+
+    def test_no_provider_returns_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "none")
+        assert scatter_permutation(np.zeros(4, dtype=np.int64), 2) is None
+
+    @pytest.mark.skipif(
+        not compiled_available(), reason="no JIT provider on this host"
+    )
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        num_bins=st.integers(min_value=1, max_value=9),
+        group_size=st.sampled_from([1, 4, 32]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @examples(30)
+    def test_counting_scatter_identical_with_provider_off(
+        self, n, num_bins, group_size, seed
+    ):
+        """Same outputs *and* modelled counters whether the compiled
+        permutation or the argsort fallback serviced the call."""
+        import os
+        from unittest import mock
+
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+        bins = rng.integers(0, num_bins, size=n, dtype=np.int64)
+
+        on_counter = TransactionCounter()
+        on = counting_scatter(
+            values, bins, num_bins, counter=on_counter, group_size=group_size
+        )
+        off_counter = TransactionCounter()
+        with mock.patch.dict(os.environ, {"REPRO_JIT_PROVIDER": "none"}):
+            off = counting_scatter(
+                values, bins, num_bins, counter=off_counter, group_size=group_size
+            )
+        assert (on.values == off.values).all()
+        assert (on.source_index == off.source_index).all()
+        assert (on.counts == off.counts).all()
+        assert (on.offsets == off.offsets).all()
+        assert on.atomics_used == off.atomics_used
+        assert on_counter.snapshot() == off_counter.snapshot()
+
+    def test_interp_provider_matches(self, monkeypatch):
+        """The undecorated loop body itself is the oracle-checked one."""
+        monkeypatch.setenv("REPRO_JIT_PROVIDER", "interp")
+        bins = np.array([2, 0, 1, 2, 0, 2], dtype=np.int64)
+        src, counts, offsets = scatter_permutation(bins, 3)
+        assert src.tolist() == [1, 4, 2, 0, 3, 5]
+        assert counts.tolist() == [2, 1, 3]
+        assert offsets.tolist() == [0, 2, 3]
 
 
 class TestValidation:

@@ -145,6 +145,62 @@ class TestGrowthTree:
         assert "grow-smoke:" in (REPO_ROOT / "Makefile").read_text()
 
 
+class TestCompiledTree:
+    """The compiled-backend suite stays wired into every gate."""
+
+    EXPECTED = {
+        "core/test_compiled_kernels.py",
+        "core/test_compiled_fallback.py",
+        "exec/test_compiled_equivalence.py",
+        "multigpu/test_plan.py",
+    }
+
+    def test_compiled_tree_exists_and_non_empty(self):
+        """One module per layer: kernel bit-identity, no-provider
+        fallback, three-way engine equivalence, cascade plan compiler."""
+        for name in self.EXPECTED:
+            path = TESTS / name
+            assert path.exists() and path.stat().st_size > 0, name
+
+    def test_coverage_floor_requires_compiled_tree(self):
+        """tools/coverage_floor.py refuses to gate without these files,
+        so a rename can't silently drop the compiled-path coverage."""
+        text = (REPO_ROOT / "tools" / "coverage_floor.py").read_text()
+        assert "tests/core/test_compiled_kernels*.py" in text
+        assert "tests/core/test_compiled_fallback*.py" in text
+        assert "tests/exec/test_compiled_equivalence*.py" in text
+
+    def test_numba_leg_is_import_gated(self):
+        """The numba-provider tests must skip cleanly where the optional
+        dependency is absent (the default CI leg stays numba-free)."""
+        text = (TESTS / "exec" / "test_compiled_equivalence.py").read_text()
+        assert 'pytest.importorskip("numba")' in text
+
+    def test_process_engine_equivalence_is_slow_marked(self):
+        text = (TESTS / "exec" / "test_compiled_equivalence.py").read_text()
+        match = re.search(
+            r"@pytest\.mark\.slow\s*\n\s*def (\w*process\w*)", text
+        )
+        assert match, "process-engine compiled test must be slow-marked"
+
+    def test_compiled_property_tests_use_shared_profiles(self):
+        for name in (
+            "core/test_compiled_kernels.py",
+            "exec/test_compiled_equivalence.py",
+        ):
+            text = (TESTS / name).read_text()
+            assert "from profiles import examples" in text, name
+            assert "settings(max_examples" not in text, name
+
+    def test_ci_runs_compiled_smoke_on_both_legs(self):
+        """`make bench-compiled` exercises the provider on the numba leg
+        and the cc/auto-fallback path on the numba-free leg."""
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert ci.count("make bench-compiled") >= 2
+        assert "[test,compiled]" in ci
+        assert "bench-compiled:" in (REPO_ROOT / "Makefile").read_text()
+
+
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
         """Example counts stay within the tier-1 budget.
