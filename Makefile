@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke bench-compiled
+.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke stream-smoke bench-compiled
 
 # tier-1: fast suite, excludes `slow` and `fuzz` via pyproject addopts
 test:
@@ -27,6 +27,12 @@ trace-smoke:
 # any InsertionError, lost pair, or missing grow/rehash span)
 grow-smoke:
 	$(PYTHON) -m repro grow --smoke --out /tmp/repro.grow.trace.json
+
+# pipeline smoke: depth>=2 streaming vs depth=1 bit-identity, staging
+# backpressure (pipeline.stall spans), measured overlap win under
+# modelled pacing, Perfetto-validated (repro stream exits 1 on any miss)
+stream-smoke:
+	$(PYTHON) -m repro stream --smoke --out /tmp/repro.stream.trace.json
 
 # compiled-backend smoke: the serial wallclock suite through
 # kernels="compiled" at tiny n (auto-falls back to "fast" when no JIT

@@ -44,6 +44,7 @@ from .distribution import (
 )
 from .wallclock import (
     WallClockRecord,
+    bench_pipeline_depth,
     format_records,
     run_wallclock_suite,
     write_results,
@@ -74,6 +75,7 @@ __all__ = [
     "format_scorecard",
     "LayoutAblation",
     "WallClockRecord",
+    "bench_pipeline_depth",
     "run_wallclock_suite",
     "write_results",
     "format_records",

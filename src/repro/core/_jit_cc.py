@@ -454,6 +454,21 @@ int repro_counting_scatter(const int64_t *bins, int64_t n, int64_t num_bins,
     free(cursor);
     return 0;
 }
+
+/* multigpu/alltoall.py reverse-gather fill: expands per-partition
+ * (base, count) ranges into the flat gather indices one source GPU's
+ * answers come back through -- the concatenation of m arange runs */
+int repro_reverse_gather(const int64_t *counts, const int64_t *bases,
+                         int64_t num_parts, int64_t *out) {
+    int64_t pos = 0;
+    for (int64_t p = 0; p < num_parts; p++) {
+        int64_t base = bases[p];
+        int64_t count = counts[p];
+        for (int64_t c = 0; c < count; c++)
+            out[pos++] = base + c;
+    }
+    return 0;
+}
 """
 
 _CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c11")
@@ -542,11 +557,13 @@ def _load_library():
     lib.repro_counting_scatter.argtypes = [
         _I64P, _I64, _I64, _I64P, _I64P, _I64P,
     ]
+    lib.repro_reverse_gather.argtypes = [_I64P, _I64P, _I64, _I64P]
     for fn in (
         lib.repro_insert,
         lib.repro_query,
         lib.repro_erase,
         lib.repro_counting_scatter,
+        lib.repro_reverse_gather,
     ):
         fn.restype = ctypes.c_int
     _LIB = lib
@@ -622,3 +639,9 @@ def scatter_permutation_compiled(bins, n, num_bins, src, counts,
     """
     lib = _load_library()
     _check(lib.repro_counting_scatter(bins, n, num_bins, src, counts, offsets))
+
+
+def reverse_gather_compiled(counts, bases, num_parts, out) -> None:
+    """Expand per-partition (base, count) ranges into gather indices."""
+    lib = _load_library()
+    _check(lib.repro_reverse_gather(counts, bases, num_parts, out))

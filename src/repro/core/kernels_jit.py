@@ -115,6 +115,9 @@ _LOOPS_CACHE: dict[tuple[str, str, str], dict] = {}
 #: compiled counting-scatter loop per provider
 _SCATTER_CACHE: dict[str, object] = {}
 
+#: compiled reverse-gather fill loops, one per provider
+_GATHER_CACHE: dict[str, object] = {}
+
 #: cc-toolchain probe result (None = not probed yet)
 _CC_STATE: dict[str, bool | None] = {"ok": None}
 
@@ -749,6 +752,69 @@ def scatter_permutation(bins: np.ndarray, num_bins: int):
     except Exception:  # pragma: no cover - provider build/launch failure
         return None
     return src, counts, offsets
+
+
+def _make_gather(decorate):
+    def gather_loop(counts, bases, num_parts, out):
+        pos = 0
+        for p in range(num_parts):
+            base = bases[p]
+            for c in range(counts[p]):
+                out[pos] = base + c
+                pos += 1
+
+    return decorate(gather_loop)
+
+
+def reverse_gather_fill(
+    counts: np.ndarray, bases: np.ndarray, out: np.ndarray
+) -> bool:
+    """Compiled reverse-gather index fill for the fused exchange.
+
+    Writes the concatenation of ``arange(bases[p], bases[p]+counts[p])``
+    over all partitions into ``out`` (int64, preallocated to
+    ``counts.sum()``) — the flat gather indices one source GPU's answers
+    return through in
+    :func:`repro.multigpu.alltoall.transpose_exchange_fast`.  Returns
+    False when no JIT provider is available (or the provider fails), so
+    the caller keeps its vectorized per-partition fill as the fallback.
+    Both legs are property-tested identical
+    (``tests/primitives/test_scatter.py``).
+    """
+    provider = active_provider()
+    if provider is None:
+        return False
+    c = np.ascontiguousarray(counts, dtype=np.int64)
+    b = np.ascontiguousarray(bases, dtype=np.int64)
+    num_parts = int(c.shape[0])
+    try:
+        if provider == "cc":
+            from . import _jit_cc
+
+            _jit_cc.reverse_gather_compiled(c, b, num_parts, out)
+        else:
+            fn = _GATHER_CACHE.get(provider)
+            if fn is None:
+                with obs.span(
+                    "jit_compile",
+                    "kernel",
+                    kernels="compiled",
+                    provider=provider,
+                    probing="gather",
+                    layout="-",
+                ):
+                    decorate = (
+                        _njit_decorator() if provider == "numba" else _identity
+                    )
+                    fn = _make_gather(decorate)
+                    if provider == "numba":
+                        e = np.empty(0, np.int64)
+                        fn(e, e, 0, e)
+                _GATHER_CACHE[provider] = fn
+            fn(c, b, num_parts, out)
+    except Exception:  # pragma: no cover - provider build/launch failure
+        return False
+    return True
 
 
 # -- public kernel entry points -------------------------------------------

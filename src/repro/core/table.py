@@ -46,6 +46,7 @@ from .kernels_jit import (
     bulk_insert_compiled,
     bulk_query_compiled,
     resolve_kernels,
+    warm,
 )
 from .kernels_ref import erase_task, insert_task, query_task
 from .probing import make_window_sequence
@@ -92,6 +93,13 @@ class WarpDriveHashTable:
         grows (rehashing with the real bulk kernels) instead of raising
         :class:`~repro.errors.InsertionError` when an ingest would push
         the load past the policy's threshold.
+    kernels:
+        Default kernel backend for bulk operations *and* lifecycle
+        rehash episodes — ``"fast"`` (default), ``"ref"``, or
+        ``"compiled"``.  Per-call ``kernels=`` still overrides;
+        :meth:`grow` replays live pairs through the compiled bulk insert
+        when the default resolves to ``"compiled"`` (auto-fallback to
+        ``"fast"`` without a JIT provider, as everywhere else).
     """
 
     def __init__(
@@ -107,6 +115,7 @@ class WarpDriveHashTable:
         probing: str = UNSET,
         layout: str = UNSET,
         growth: GrowthPolicy | None = UNSET,
+        kernels: str = UNSET,
     ):
         if engine is not None:
             shared = shared or engine == "process" or bool(
@@ -134,6 +143,13 @@ class WarpDriveHashTable:
                 )
             if overrides:
                 config = _dc_replace(config, **overrides)
+        if kernels is UNSET:
+            kernels = "fast"
+        if kernels not in ("fast", "ref", "compiled"):
+            raise ConfigurationError(
+                f"kernels must be 'fast', 'ref' or 'compiled', got {kernels!r}"
+            )
+        self.default_kernels = kernels
         self.config = config
         self.device = device
         self.counter = device.counter if device is not None else TransactionCounter()
@@ -230,7 +246,8 @@ class WarpDriveHashTable:
         """
         kernels = resolve_renamed(
             "WarpDriveHashTable", legacy,
-            old="executor", new="kernels", value=kernels, default="fast",
+            old="executor", new="kernels", value=kernels,
+            default=self.default_kernels,
         )
         reject_unknown("WarpDriveHashTable.insert", legacy)
         k = check_keys(keys)
@@ -375,7 +392,8 @@ class WarpDriveHashTable:
         """
         kernels = resolve_renamed(
             "WarpDriveHashTable", legacy,
-            old="executor", new="kernels", value=kernels, default="fast",
+            old="executor", new="kernels", value=kernels,
+            default=self.default_kernels,
         )
         reject_unknown("WarpDriveHashTable.query", legacy)
         k = check_keys(keys)
@@ -455,7 +473,8 @@ class WarpDriveHashTable:
         """
         kernels = resolve_renamed(
             "WarpDriveHashTable", legacy,
-            old="executor", new="kernels", value=kernels, default="fast",
+            old="executor", new="kernels", value=kernels,
+            default=self.default_kernels,
         )
         reject_unknown("WarpDriveHashTable.erase", legacy)
         k = check_keys(keys)
@@ -567,9 +586,24 @@ class WarpDriveHashTable:
             self._size = 0
             report = None
             if live_k.shape[0]:
-                report, status = bulk_insert(
-                    self.slots, self.seq, live_k, live_v, self.counter
+                # rehash episodes inherit the table's kernel backend:
+                # compiled tables replay their live pairs through the
+                # compiled bulk insert (warmed first, so compile time
+                # stays inside a jit_compile span, not the rehash)
+                kernels = resolve_kernels(
+                    self.default_kernels,
+                    slots=self.slots,
+                    owner="WarpDriveHashTable.grow",
                 )
+                if kernels == "compiled":
+                    warm(self.seq.name, self.config.layout)
+                    report, status = bulk_insert_compiled(
+                        self.slots, self.seq, live_k, live_v, self.counter
+                    )
+                else:
+                    report, status = bulk_insert(
+                        self.slots, self.seq, live_k, live_v, self.counter
+                    )
                 self._size = int(np.sum(status != STATUS["failed"]))
                 if report.failed:  # pragma: no cover - load shrank, cannot fail
                     raise InsertionError(

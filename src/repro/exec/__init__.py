@@ -2,6 +2,7 @@
 
 from .engine import (
     ExecutionEngine,
+    PendingWave,
     ProcessEngine,
     SerialEngine,
     ShardKernelResult,
@@ -17,6 +18,7 @@ from .shm import SharedSlots, SlotsDescriptor, attach_slots
 
 __all__ = [
     "ExecutionEngine",
+    "PendingWave",
     "SerialEngine",
     "ThreadEngine",
     "ProcessEngine",

@@ -55,6 +55,7 @@ from .shm import SlotsDescriptor
 __all__ = [
     "ShardKernelTask",
     "ShardKernelResult",
+    "PendingWave",
     "ExecutionEngine",
     "SerialEngine",
     "ThreadEngine",
@@ -155,6 +156,41 @@ def _normalize_spans(results: list[ShardKernelResult]) -> None:
             r.span = r.span.shifted(-epoch)
 
 
+class PendingWave:
+    """Handle for an in-flight kernel wave (the non-blocking submit path).
+
+    ``result()`` blocks until the wave completes and returns the results
+    in task order — exactly what :meth:`ExecutionEngine.run` would have
+    returned, including the traced dispatch span when :mod:`repro.obs`
+    is enabled.  ``done()`` polls without blocking.  Backends without
+    genuine asynchrony (serial, process) return already-completed waves;
+    the thread backend dispatches futures and defers collection, so a
+    pipeline committer can overlap host work with the running kernels.
+    """
+
+    def __init__(self, results=None, *, poll=None, collect=None):
+        if results is None and collect is None:
+            raise ConfigurationError(
+                "PendingWave needs either results or a collect callback"
+            )
+        self._results = results
+        self._poll = poll
+        self._collect = collect
+
+    def done(self) -> bool:
+        """True when ``result()`` would not block."""
+        if self._results is not None:
+            return True
+        return self._poll() if self._poll is not None else True
+
+    def result(self) -> list[ShardKernelResult]:
+        """Wait for completion; results in task order (idempotent)."""
+        if self._results is None:
+            self._results = self._collect()
+            self._collect = None
+        return self._results
+
+
 class ExecutionEngine(ABC):
     """A strategy for running a batch of independent shard kernels."""
 
@@ -186,6 +222,19 @@ class ExecutionEngine(ABC):
                 parent_id=sp.span_id,
             )
         return results
+
+    def submit(self, tasks: list[ShardKernelTask]) -> PendingWave:
+        """Dispatch a wave without waiting for it (default: eager).
+
+        The base implementation runs synchronously and hands back a
+        completed :class:`PendingWave`, so every backend supports the
+        submit/poll protocol; backends with real asynchrony (thread)
+        override this to defer collection until ``result()``.  Span
+        trees stay backend-identical because the dispatch span is
+        recorded with the same name/category/attrs either way, parented
+        to whatever span is current when the wave is *collected*.
+        """
+        return PendingWave(self.run(tasks))
 
     @abstractmethod
     def _run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
@@ -226,15 +275,52 @@ class ThreadEngine(ExecutionEngine):
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         self._pool: ThreadPoolExecutor | None = None
 
-    def _run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+    def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-shard"
             )
-        futures = [self._pool.submit(run_kernel_task, t.slots, t) for t in tasks]
+        return self._pool
+
+    def _run(self, tasks: list[ShardKernelTask]) -> list[ShardKernelResult]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(run_kernel_task, t.slots, t) for t in tasks]
         results = [f.result() for f in futures]
         _normalize_spans(results)
         return results
+
+    def submit(self, tasks: list[ShardKernelTask]) -> PendingWave:
+        """Genuinely asynchronous dispatch: futures fly immediately,
+        collection (and the traced dispatch span) waits for ``result()``."""
+        if not tasks:
+            return PendingWave([])
+        pool = self._ensure_pool()
+        traced = obs.enabled()
+        t0 = obs.get_recorder().now() if traced else 0.0
+        futures = [pool.submit(run_kernel_task, t.slots, t) for t in tasks]
+
+        def _collect() -> list[ShardKernelResult]:
+            results = [f.result() for f in futures]
+            _normalize_spans(results)
+            if traced and obs.enabled():
+                sp = obs.add_span(
+                    "dispatch",
+                    "engine",
+                    t0,
+                    obs.get_recorder().now(),
+                    attrs={"backend": self.name, "tasks": len(tasks)},
+                )
+                if sp is not None:
+                    obs.record_shard_spans(
+                        (r.span for r in results if r.span is not None),
+                        offset=t0,
+                        parent_id=sp.span_id,
+                    )
+            return results
+
+        return PendingWave(
+            poll=lambda: all(f.done() for f in futures), collect=_collect
+        )
 
     def close(self) -> None:
         if self._pool is not None:

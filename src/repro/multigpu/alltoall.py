@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.kernels_jit import reverse_gather_fill
 from ..errors import ConfigurationError
 from ..memory.transfer import MemcpyKind, TransferLog, TransferRecord
 from .partition_table import PartitionTable
@@ -262,14 +263,18 @@ def transpose_exchange_fast(
                         f"gather_out[{src}] holds {buf.shape[0]} slots "
                         f"for {size} elements"
                     )
-            pos = 0
-            for part in range(m):
-                count = int(counts.counts[src, part])
-                base = int(result_bases[part] + recv_off[src, part])
-                buf[pos : pos + count] = np.arange(
-                    base, base + count, dtype=np.int64
-                )
-                pos += count
+            row = np.ascontiguousarray(counts.counts[src], dtype=np.int64)
+            bases = (result_bases + recv_off[src]).astype(np.int64)
+            if not reverse_gather_fill(row, bases, buf):
+                # vectorized fallback: per-partition arange runs
+                pos = 0
+                for part in range(m):
+                    count = int(row[part])
+                    base = int(bases[part])
+                    buf[pos : pos + count] = np.arange(
+                        base, base + count, dtype=np.int64
+                    )
+                    pos += count
             reverse_gather.append(buf)
         routing = ExchangeRouting(
             table=counts,

@@ -35,6 +35,7 @@ from ..hashing.partition import PartitionHash, hashed_partition
 from ..memory.buffer import DeviceBuffer
 from ..memory.layout import pack_pairs, unpack_pairs
 from ..memory.transfer import MemcpyKind, TransferLog, TransferRecord
+from ..simt.counters import TransactionCounter
 from ..utils.validation import check_keys, check_same_length, check_values
 from .alltoall import (
     AllToAllResult,
@@ -48,7 +49,7 @@ from .partition_table import PartitionTable
 from .plan import CascadePlan, PlanCache, chunk_slices
 from .topology import NodeTopology
 
-__all__ = ["CascadeReport", "DistributedHashTable"]
+__all__ = ["CascadeReport", "DistributedHashTable", "StagedCascade"]
 
 
 @dataclass
@@ -135,6 +136,47 @@ class CascadeReport:
                 "grow_wall_seconds": self.grow_wall_seconds,
             },
         )
+
+
+@dataclass
+class StagedCascade:
+    """Host-side distribution state of one cascade, ready to commit.
+
+    Produced by :meth:`DistributedHashTable.stage_insert` /
+    ``stage_query`` / ``stage_erase`` — everything up to (and including)
+    the multisplit-transposition has run, but no shard has been touched.
+    Staging is *table-state independent*: the partition hash and the
+    exchange depend only on the keys, so a stager thread can prepare
+    batch ``i+1`` while batch ``i``'s kernel phase commits.  All side
+    effects are captured privately (``log``, ``counters``) and merged
+    into the table in stream order by
+    :meth:`DistributedHashTable.commit_staged`, which keeps transfer-log
+    record order and counter totals bit-identical to the monolithic
+    cascade entry points.
+    """
+
+    op: str
+    num_ops: int
+    source: str
+    default: int
+    report: CascadeReport
+    plan: CascadePlan
+    splits: list[MultisplitResult]
+    exchange: AllToAllResult
+    keys_per_gpu: list[np.ndarray]
+    values_per_gpu: list[np.ndarray] | None
+    buffers: list[DeviceBuffer]
+    #: private transfer log of the staging phases (H2D + all-to-all)
+    log: TransferLog
+    #: private per-GPU multisplit charges, merged at commit
+    counters: list[TransactionCounter]
+    #: stream position, stamped by the pipeline scheduler
+    seqno: int = 0
+
+    @property
+    def staged_bytes(self) -> int:
+        """Device staging footprint this cascade holds until commit."""
+        return sum(buf.nbytes for buf in self.buffers)
 
 
 class DistributedHashTable:
@@ -241,6 +283,9 @@ class DistributedHashTable:
         kwargs = {
             "group_size": group_size,
             "shared": self.engine.requires_shared_slots,
+            # shards inherit the backend so grow() rehash replays run
+            # compiled when the cascade kernels do
+            "kernels": self.kernels,
         }
         if p_max is not None:
             kwargs["p_max"] = p_max
@@ -333,8 +378,14 @@ class DistributedHashTable:
         return self._plans.get(op, n, self.num_gpus)
 
     def _split_phase(
-        self, packed_chunks: list[np.ndarray], report: CascadeReport
+        self,
+        packed_chunks: list[np.ndarray],
+        report: CascadeReport,
+        *,
+        counters: list[TransactionCounter] | None = None,
     ) -> tuple[list[MultisplitResult], PartitionTable]:
+        """``counters`` overrides the charge targets (staging uses private
+        per-GPU counters merged into the devices at commit time)."""
         with obs.span("multisplit", "distribution", path=self.distribution):
             t0 = time.perf_counter()
             split_fn = (
@@ -344,7 +395,11 @@ class DistributedHashTable:
                 split_fn(
                     chunk,
                     self.partition,
-                    counter=self.topology.devices[gpu].counter,
+                    counter=(
+                        counters[gpu]
+                        if counters is not None
+                        else self.topology.devices[gpu].counter
+                    ),
                 )
                 for gpu, chunk in enumerate(packed_chunks)
             ]
@@ -363,6 +418,7 @@ class DistributedHashTable:
         *,
         reversible: bool,
         plan: CascadePlan | None = None,
+        log: TransferLog | None = None,
     ) -> AllToAllResult:
         """Run the m×m exchange and record its traffic + measured time.
 
@@ -370,8 +426,11 @@ class DistributedHashTable:
         permutation or provenance) retrieval/erase cascades need; pure
         insertion skips it on the fused path.  A reversible ``plan``
         supplies the preallocated ``reverse_gather`` buffers the fused
-        exchange fills in place.
+        exchange fills in place.  ``log`` redirects the transfer records
+        (staging captures them privately and replays them at commit).
         """
+        if log is None:
+            log = self.transfer_log
         with obs.span(
             "all-to-all", "distribution", path=self.distribution
         ) as sp:
@@ -382,7 +441,7 @@ class DistributedHashTable:
                     [ms.offsets for ms in splits],
                     table,
                     self.topology,
-                    log=self.transfer_log,
+                    log=log,
                     build_routing=reversible,
                     gather_out=(
                         plan.gather_out
@@ -396,7 +455,7 @@ class DistributedHashTable:
                     [ms.offsets for ms in splits],
                     table,
                     self.topology,
-                    log=self.transfer_log,
+                    log=log,
                 )
             report.distribution_wall_seconds += time.perf_counter() - t0
         report.alltoall_bytes = table.offdiagonal_bytes()
@@ -555,7 +614,11 @@ class DistributedHashTable:
         return reports
 
     def _maybe_grow_shards(
-        self, keys_per_gpu: list[np.ndarray], report: CascadeReport
+        self,
+        keys_per_gpu: list[np.ndarray],
+        report: CascadeReport,
+        *,
+        drain=None,
     ) -> None:
         """Coordinated pre-kernel growth (no-op without growth policies).
 
@@ -565,6 +628,11 @@ class DistributedHashTable:
         the grown stores.  The target is the max over tripped shards'
         :meth:`~repro.core.growth.GrowthPolicy.next_capacity`, applied to
         *all* shards so capacities stay uniform.
+
+        ``drain`` is called (once, with no arguments) after the growth
+        decision but before any shard resizes — the pipeline scheduler
+        uses it to wait out in-flight device waves so a coordinated grow
+        never races a running kernel phase.
         """
         targets = []
         for gpu, shard in enumerate(self.shards):
@@ -575,6 +643,8 @@ class DistributedHashTable:
             if policy.should_grow(shard.capacity, required):
                 targets.append(policy.next_capacity(shard.capacity, required))
         if targets:
+            if drain is not None:
+                drain()
             self._grow_shards_to(max(targets), report)
 
     def grow(self, new_capacity: int) -> list[KernelReport]:
@@ -632,8 +702,13 @@ class DistributedHashTable:
                         kernels=self.kernels,
                     )
                 )
+            # non-blocking submit + immediate collect: identical to
+            # engine.run() here, but exercises the same PendingWave path
+            # the pipeline scheduler overlaps against
             by_gpu = (
-                {r.shard: r for r in self.engine.run(tasks)} if tasks else {}
+                {r.shard: r for r in self.engine.submit(tasks).result()}
+                if tasks
+                else {}
             )
             # record the backend that actually ran (workers may have
             # fallen back independently); with no tasks, resolve locally
@@ -677,6 +752,332 @@ class DistributedHashTable:
         obs.observe_cascade(report)
         obs.observe_transfers(self.transfer_log.records[log_mark:])
 
+    # -- staged (phase-split) entry points ------------------------------------
+    #
+    # Every cascade splits into a host-side *staging* half (H2D packing,
+    # multisplit, all-to-all — table-state independent, safe on a stager
+    # thread) and a device-side *commit* half (growth, kernel phase,
+    # reverse routing, D2H).  The monolithic insert/query/erase below are
+    # thin stage+commit compositions, bit-identical to the pre-split code
+    # in results, span trees, transfer-log order, and counter totals.
+
+    def _stage_h2d(
+        self,
+        op: str,
+        packed: list[np.ndarray],
+        key_bytes: np.ndarray | None,
+        source: str,
+        report: CascadeReport,
+        log: TransferLog,
+        tag: str,
+    ) -> None:
+        """Record the H2D leg of one staging phase into a private log."""
+        per_gpu = (
+            np.array([p.nbytes for p in packed], dtype=np.int64)
+            if key_bytes is None
+            else key_bytes
+        )
+        with obs.span("H2D", "transfer", op=op) as sp:
+            report.h2d_per_gpu = (
+                per_gpu if source == "host" else np.zeros_like(per_gpu)
+            )
+            report.h2d_bytes = int(report.h2d_per_gpu.sum())
+            if sp is not None:
+                sp.attrs["nbytes"] = report.h2d_bytes
+            if source == "host":
+                for gpu, nbytes in enumerate(per_gpu):
+                    log.add(
+                        TransferRecord(
+                            kind=MemcpyKind.H2D,
+                            nbytes=int(nbytes),
+                            src_device=None,
+                            dst_device=gpu,
+                            tag=tag,
+                        )
+                    )
+
+    def stage_insert(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        *,
+        source: str = "host",
+        plan: CascadePlan | None = None,
+    ) -> StagedCascade:
+        """Run the host-side distribution half of an insertion cascade.
+
+        Returns a :class:`StagedCascade` holding per-GPU staging buffers
+        (reserved against the device VRAM budgets) plus privately
+        captured transfer records and multisplit charges; nothing is
+        merged into the table until :meth:`commit_staged`.  ``plan``
+        overrides the table's shared :class:`PlanCache` — the pipeline
+        scheduler passes per-arena-slot plans so concurrently staged
+        batches never alias scratch buffers.
+        """
+        if source not in ("host", "device"):
+            raise ConfigurationError(
+                f"source must be 'host' or 'device', got {source!r}"
+            )
+        k = check_keys(keys)
+        v = check_values(values)
+        check_same_length("keys", k, "values", v)
+        n = k.shape[0]
+        report = CascadeReport(op="insert", num_ops=n)
+        log = TransferLog()
+        counters = [TransactionCounter() for _ in range(self.num_gpus)]
+        if plan is None:
+            plan = self._plan("insert", n)
+        chunks = plan.chunks
+        packed = [pack_pairs(k[sl], v[sl]) for sl in chunks]
+        self._stage_h2d("insert", packed, None, source, report, log, "insert chunk")
+
+        buffers = self._reserve_batch_buffers(packed)
+        try:
+            splits, table = self._split_phase(packed, report, counters=counters)
+            exchange = self._transpose_phase(
+                splits, table, report, reversible=False, log=log
+            )
+            per_gpu = [
+                unpack_pairs(exchange.received[gpu])
+                for gpu in range(self.num_gpus)
+            ]
+        except BaseException:
+            self._release_batch_buffers(buffers)
+            raise
+        return StagedCascade(
+            op="insert",
+            num_ops=n,
+            source=source,
+            default=0,
+            report=report,
+            plan=plan,
+            splits=splits,
+            exchange=exchange,
+            keys_per_gpu=[kv[0] for kv in per_gpu],
+            values_per_gpu=[kv[1] for kv in per_gpu],
+            buffers=buffers,
+            log=log,
+            counters=counters,
+        )
+
+    def _stage_keyed(
+        self,
+        op: str,
+        keys: np.ndarray,
+        *,
+        default: int,
+        source: str,
+        plan: CascadePlan | None,
+        tag: str,
+    ) -> StagedCascade:
+        """Shared staging half of the key-only (query/erase) cascades."""
+        if source not in ("host", "device"):
+            raise ConfigurationError(
+                f"source must be 'host' or 'device', got {source!r}"
+            )
+        k = check_keys(keys)
+        n = k.shape[0]
+        report = CascadeReport(op=op, num_ops=n)
+        log = TransferLog()
+        counters = [TransactionCounter() for _ in range(self.num_gpus)]
+        if plan is None:
+            plan = self._plan(op, n)
+        chunks = plan.chunks
+        # queries ship keys only (4 B/key up, 8 B/key down, cf. Fig. 10)
+        packed = [
+            pack_pairs(k[sl], plan.zeros[gpu]) for gpu, sl in enumerate(chunks)
+        ]
+        key_bytes = np.array(
+            [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
+        )
+        self._stage_h2d(op, packed, key_bytes, source, report, log, tag)
+
+        buffers = self._reserve_batch_buffers(packed)
+        try:
+            splits, table = self._split_phase(packed, report, counters=counters)
+            exchange = self._transpose_phase(
+                splits, table, report, reversible=True, plan=plan, log=log
+            )
+            keys_per_gpu = [
+                unpack_pairs(exchange.received[gpu])[0]
+                for gpu in range(self.num_gpus)
+            ]
+        except BaseException:
+            self._release_batch_buffers(buffers)
+            raise
+        return StagedCascade(
+            op=op,
+            num_ops=n,
+            source=source,
+            default=default,
+            report=report,
+            plan=plan,
+            splits=splits,
+            exchange=exchange,
+            keys_per_gpu=keys_per_gpu,
+            values_per_gpu=None,
+            buffers=buffers,
+            log=log,
+            counters=counters,
+        )
+
+    def stage_query(
+        self,
+        keys: np.ndarray,
+        *,
+        default: int = 0,
+        source: str = "host",
+        plan: CascadePlan | None = None,
+    ) -> StagedCascade:
+        """Host-side distribution half of a retrieval cascade."""
+        return self._stage_keyed(
+            "query",
+            keys,
+            default=default,
+            source=source,
+            plan=plan,
+            tag="query keys",
+        )
+
+    def stage_erase(
+        self,
+        keys: np.ndarray,
+        *,
+        source: str = "device",
+        plan: CascadePlan | None = None,
+    ) -> StagedCascade:
+        """Host-side distribution half of a deletion cascade."""
+        return self._stage_keyed(
+            "erase", keys, default=0, source=source, plan=plan, tag="erase keys"
+        )
+
+    def commit_staged(self, staged: StagedCascade, *, drain=None):
+        """Commit one staged cascade: merge its private accounting and
+        run the device half (growth, kernel phase, reverse, D2H).
+
+        Commits must happen in stream order — all table mutation lives
+        here, so sequence-numbered commits make any ``depth`` bit-identical
+        to ``depth=1``.  ``drain`` is forwarded to the coordinated-growth
+        hook (see :meth:`_maybe_grow_shards`).  Returns what the matching
+        monolithic entry point returns: the report for ``insert``,
+        ``(values, found, report)`` for ``query``, ``(erased, report)``
+        for ``erase``.
+        """
+        report = staged.report
+        log_mark = len(self.transfer_log)
+        for rec in staged.log.records:
+            self.transfer_log.add(rec)
+        for gpu, local in enumerate(staged.counters):
+            self.topology.devices[gpu].counter.merge(local)
+        try:
+            if staged.op == "insert":
+                self._maybe_grow_shards(
+                    staged.keys_per_gpu, report, drain=drain
+                )
+                self._kernel_phase(
+                    "insert",
+                    staged.keys_per_gpu,
+                    staged.values_per_gpu,
+                    report=report,
+                )
+                result = report
+            elif staged.op == "query":
+                result = self._commit_query(staged)
+            elif staged.op == "erase":
+                result = self._commit_erase(staged)
+            else:  # pragma: no cover - stage_* only produce these three
+                raise ConfigurationError(f"unknown staged op {staged.op!r}")
+        finally:
+            self._release_batch_buffers(staged.buffers)
+        self._observe_cascade(report, log_mark)
+        return result
+
+    def discard_staged(self, staged: StagedCascade) -> None:
+        """Release a staged cascade that will never commit.
+
+        Frees its device staging buffers and drops the private
+        accounting on the floor — used by the pipeline scheduler's error
+        paths so an aborted stream cannot leak modelled VRAM.
+        """
+        self._release_batch_buffers(staged.buffers)
+
+    def _commit_query(
+        self, staged: StagedCascade
+    ) -> tuple[np.ndarray, np.ndarray, CascadeReport]:
+        report, plan, n = staged.report, staged.plan, staged.num_ops
+        chunks = plan.chunks
+        # per-shard queries; answers packed as (found << 32) | value
+        # so the reverse exchange moves one word per key
+        by_gpu = self._kernel_phase(
+            "query", staged.keys_per_gpu, default=staged.default, report=report
+        )
+        results = []
+        for gpu in range(self.num_gpus):
+            res = by_gpu.get(gpu)
+            if res is None:
+                vals = np.empty(0, dtype=np.uint32)
+                found = np.empty(0, dtype=bool)
+            else:
+                vals, found = res.values, res.found
+            results.append(
+                vals.astype(np.uint64)
+                | (found.astype(np.uint64) << np.uint64(32))
+            )
+
+        answers = self._reverse_phase(
+            results, staged.exchange, staged.splits, chunks, n, report, plan
+        )
+        values = (answers & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        found_out = (answers >> np.uint64(32)).astype(bool)
+
+        chunk_sizes = [sl.stop - sl.start for sl in chunks]
+        with obs.span("D2H", "transfer", op="query") as sp:
+            report.d2h_per_gpu = np.array(
+                [
+                    chunk_sizes[gpu] * PAIR_BYTES
+                    if staged.source == "host"
+                    else 0
+                    for gpu in range(self.num_gpus)
+                ],
+                dtype=np.int64,
+            )
+            report.d2h_bytes = int(report.d2h_per_gpu.sum())
+            if sp is not None:
+                sp.attrs["nbytes"] = report.d2h_bytes
+            if staged.source == "host":
+                for gpu in range(self.num_gpus):
+                    if chunk_sizes[gpu]:
+                        self.transfer_log.add(
+                            TransferRecord(
+                                kind=MemcpyKind.D2H,
+                                nbytes=chunk_sizes[gpu] * PAIR_BYTES,
+                                src_device=gpu,
+                                dst_device=None,
+                                tag="query results",
+                            )
+                        )
+        # defaults for missing keys
+        values[~found_out] = staged.default
+        return values, found_out, report
+
+    def _commit_erase(
+        self, staged: StagedCascade
+    ) -> tuple[np.ndarray, CascadeReport]:
+        report, plan, n = staged.report, staged.plan, staged.num_ops
+        by_gpu = self._kernel_phase("erase", staged.keys_per_gpu, report=report)
+        results = []
+        for gpu in range(self.num_gpus):
+            res = by_gpu.get(gpu)
+            erased = np.empty(0, dtype=bool) if res is None else res.erased
+            results.append(erased.astype(np.uint64))
+
+        answers = self._reverse_phase(
+            results, staged.exchange, staged.splits, plan.chunks, n, report, plan
+        )
+        return answers.astype(bool), report
+
+    # -- monolithic entry points ----------------------------------------------
+
     def insert(
         self,
         keys: np.ndarray,
@@ -695,56 +1096,10 @@ class DistributedHashTable:
         k = check_keys(keys)
         v = check_values(values)
         check_same_length("keys", k, "values", v)
-        n = k.shape[0]
-        report = CascadeReport(op="insert", num_ops=n)
-        log_mark = len(self.transfer_log)
 
-        with obs.span("insert cascade", "cascade", num_ops=n):
-            plan = self._plan("insert", n)
-            chunks = plan.chunks
-            with obs.span("H2D", "transfer", op="insert") as sp:
-                packed = [pack_pairs(k[sl], v[sl]) for sl in chunks]
-                report.h2d_per_gpu = np.array(
-                    [p.nbytes if source == "host" else 0 for p in packed],
-                    dtype=np.int64,
-                )
-                report.h2d_bytes = int(report.h2d_per_gpu.sum())
-                if sp is not None:
-                    sp.attrs["nbytes"] = report.h2d_bytes
-                if source == "host":
-                    for gpu, p in enumerate(packed):
-                        self.transfer_log.add(
-                            TransferRecord(
-                                kind=MemcpyKind.H2D,
-                                nbytes=int(p.nbytes),
-                                src_device=None,
-                                dst_device=gpu,
-                                tag="insert chunk",
-                            )
-                        )
-
-            staging = self._reserve_batch_buffers(packed)
-            try:
-                splits, table = self._split_phase(packed, report)
-                exchange = self._transpose_phase(
-                    splits, table, report, reversible=False
-                )
-
-                per_gpu = [
-                    unpack_pairs(exchange.received[gpu])
-                    for gpu in range(self.num_gpus)
-                ]
-                self._maybe_grow_shards([kv[0] for kv in per_gpu], report)
-                self._kernel_phase(
-                    "insert",
-                    [kv[0] for kv in per_gpu],
-                    [kv[1] for kv in per_gpu],
-                    report=report,
-                )
-            finally:
-                self._release_batch_buffers(staging)
-        self._observe_cascade(report, log_mark)
-        return report
+        with obs.span("insert cascade", "cascade", num_ops=k.shape[0]):
+            staged = self.stage_insert(k, v, source=source)
+            return self.commit_staged(staged)
 
     def query(
         self,
@@ -762,107 +1117,10 @@ class DistributedHashTable:
         if source not in ("host", "device"):
             raise ConfigurationError(f"source must be 'host' or 'device', got {source!r}")
         k = check_keys(keys)
-        n = k.shape[0]
-        report = CascadeReport(op="query", num_ops=n)
-        log_mark = len(self.transfer_log)
 
-        with obs.span("query cascade", "cascade", num_ops=n):
-            plan = self._plan("query", n)
-            chunks = plan.chunks
-            # queries ship keys only (4 B/key up, 8 B/key down, cf. Fig. 10)
-            with obs.span("H2D", "transfer", op="query") as sp:
-                packed = [
-                    pack_pairs(k[sl], plan.zeros[gpu])
-                    for gpu, sl in enumerate(chunks)
-                ]
-                key_bytes = np.array(
-                    [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
-                )
-                report.h2d_per_gpu = (
-                    key_bytes if source == "host" else np.zeros_like(key_bytes)
-                )
-                report.h2d_bytes = int(report.h2d_per_gpu.sum())
-                if sp is not None:
-                    sp.attrs["nbytes"] = report.h2d_bytes
-                if source == "host":
-                    for gpu, nbytes in enumerate(key_bytes):
-                        self.transfer_log.add(
-                            TransferRecord(
-                                kind=MemcpyKind.H2D,
-                                nbytes=int(nbytes),
-                                src_device=None,
-                                dst_device=gpu,
-                                tag="query keys",
-                            )
-                        )
-
-            staging = self._reserve_batch_buffers(packed)
-            try:
-                splits, table = self._split_phase(packed, report)
-                exchange = self._transpose_phase(
-                    splits, table, report, reversible=True, plan=plan
-                )
-
-                # per-shard queries; answers packed as (found << 32) | value
-                # so the reverse exchange moves one word per key
-                keys_per_gpu = [
-                    unpack_pairs(exchange.received[gpu])[0]
-                    for gpu in range(self.num_gpus)
-                ]
-                by_gpu = self._kernel_phase(
-                    "query", keys_per_gpu, default=default, report=report
-                )
-                results = []
-                for gpu in range(self.num_gpus):
-                    res = by_gpu.get(gpu)
-                    if res is None:
-                        vals = np.empty(0, dtype=np.uint32)
-                        found = np.empty(0, dtype=bool)
-                    else:
-                        vals, found = res.values, res.found
-                    results.append(
-                        vals.astype(np.uint64)
-                        | (found.astype(np.uint64) << np.uint64(32))
-                    )
-
-                answers = self._reverse_phase(
-                    results, exchange, splits, chunks, n, report, plan
-                )
-                values = (answers & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-                found_out = (answers >> np.uint64(32)).astype(bool)
-
-                chunk_sizes = [int(p.shape[0]) for p in packed]
-                with obs.span("D2H", "transfer", op="query") as sp:
-                    report.d2h_per_gpu = np.array(
-                        [
-                            chunk_sizes[gpu] * PAIR_BYTES
-                            if source == "host"
-                            else 0
-                            for gpu in range(self.num_gpus)
-                        ],
-                        dtype=np.int64,
-                    )
-                    report.d2h_bytes = int(report.d2h_per_gpu.sum())
-                    if sp is not None:
-                        sp.attrs["nbytes"] = report.d2h_bytes
-                    if source == "host":
-                        for gpu in range(self.num_gpus):
-                            if chunk_sizes[gpu]:
-                                self.transfer_log.add(
-                                    TransferRecord(
-                                        kind=MemcpyKind.D2H,
-                                        nbytes=chunk_sizes[gpu] * PAIR_BYTES,
-                                        src_device=gpu,
-                                        dst_device=None,
-                                        tag="query results",
-                                    )
-                                )
-                # defaults for missing keys
-                values[~found_out] = default
-            finally:
-                self._release_batch_buffers(staging)
-        self._observe_cascade(report, log_mark)
-        return values, found_out, report
+        with obs.span("query cascade", "cascade", num_ops=k.shape[0]):
+            staged = self.stage_query(k, default=default, source=source)
+            return self.commit_staged(staged)
 
     def erase(
         self,
@@ -880,69 +1138,10 @@ class DistributedHashTable:
         if source not in ("host", "device"):
             raise ConfigurationError(f"source must be 'host' or 'device', got {source!r}")
         k = check_keys(keys)
-        n = k.shape[0]
-        report = CascadeReport(op="erase", num_ops=n)
-        log_mark = len(self.transfer_log)
 
-        with obs.span("erase cascade", "cascade", num_ops=n):
-            plan = self._plan("erase", n)
-            chunks = plan.chunks
-            with obs.span("H2D", "transfer", op="erase") as sp:
-                packed = [
-                    pack_pairs(k[sl], plan.zeros[gpu])
-                    for gpu, sl in enumerate(chunks)
-                ]
-                key_bytes = np.array(
-                    [(sl.stop - sl.start) * 4 for sl in chunks], dtype=np.int64
-                )
-                report.h2d_per_gpu = (
-                    key_bytes if source == "host" else np.zeros_like(key_bytes)
-                )
-                report.h2d_bytes = int(report.h2d_per_gpu.sum())
-                if sp is not None:
-                    sp.attrs["nbytes"] = report.h2d_bytes
-                if source == "host":
-                    for gpu, nbytes in enumerate(key_bytes):
-                        self.transfer_log.add(
-                            TransferRecord(
-                                kind=MemcpyKind.H2D,
-                                nbytes=int(nbytes),
-                                src_device=None,
-                                dst_device=gpu,
-                                tag="erase keys",
-                            )
-                        )
-
-            staging = self._reserve_batch_buffers(packed)
-            try:
-                splits, table = self._split_phase(packed, report)
-                exchange = self._transpose_phase(
-                    splits, table, report, reversible=True, plan=plan
-                )
-
-                keys_per_gpu = [
-                    unpack_pairs(exchange.received[gpu])[0]
-                    for gpu in range(self.num_gpus)
-                ]
-                by_gpu = self._kernel_phase(
-                    "erase", keys_per_gpu, report=report
-                )
-                results = []
-                for gpu in range(self.num_gpus):
-                    res = by_gpu.get(gpu)
-                    erased = (
-                        np.empty(0, dtype=bool) if res is None else res.erased
-                    )
-                    results.append(erased.astype(np.uint64))
-
-                answers = self._reverse_phase(
-                    results, exchange, splits, chunks, n, report, plan
-                )
-                erased_out = answers.astype(bool)
-            finally:
-                self._release_batch_buffers(staging)
-        self._observe_cascade(report, log_mark)
-        return erased_out, report
+        with obs.span("erase cascade", "cascade", num_ops=k.shape[0]):
+            staged = self.stage_erase(k, source=source)
+            return self.commit_staged(staged)
 
     def export(self) -> tuple[np.ndarray, np.ndarray]:
         """All stored pairs across shards."""

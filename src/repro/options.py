@@ -33,6 +33,23 @@ option set is now:
     per worker process.
 ``measure=``
     Attach measured wall-clock timelines (``AsyncCascadeDriver``).
+``depth=``
+    In-flight batch depth of the streaming pipeline
+    (``AsyncCascadeDriver``): ``1`` runs cascades to completion one at
+    a time; ``>= 2`` stages the next wave on a stager thread into a
+    ying/yang staging arena while the current wave commits
+    (:mod:`repro.pipeline.staging`), bit-identical at any depth.
+``staging_budget=``
+    Byte ceiling for staged-but-uncommitted pipeline cascades — the
+    backpressure bound of the ``depth >= 2`` path
+    (``AsyncCascadeDriver``; ``None`` budgets half the free modelled
+    VRAM at stream start).
+``pace=``
+    Device-occupancy pacing for overlap experiments
+    (``AsyncCascadeDriver``): ``"none"`` | ``"modelled"``, where
+    modelled pacing sleeps out each committed cascade's modelled kernel
+    seconds at every depth so measured makespans isolate the overlap
+    win (``docs/streaming_pipeline.md``).
 ``probing=``
     Window-walk policy: ``"window"`` (the paper's hybrid) |
     ``"double"`` | ``"linear"`` (:mod:`repro.core.probing`).

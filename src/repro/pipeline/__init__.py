@@ -2,7 +2,9 @@
 
 from .driver import AsyncCascadeDriver, StreamResult
 from .schedule import overlap_improvement, schedule_batches
+from .scheduler import PipelineScheduler
 from .stages import RESOURCES, Stage, insert_stages, query_stages
+from .staging import ArenaSlot, PipelineAborted, StagingArena, StagingBudget
 from .timeline import Span, Timeline
 
 __all__ = [
@@ -16,4 +18,9 @@ __all__ = [
     "overlap_improvement",
     "Span",
     "Timeline",
+    "PipelineScheduler",
+    "StagingArena",
+    "StagingBudget",
+    "ArenaSlot",
+    "PipelineAborted",
 ]

@@ -3,11 +3,20 @@
 "WarpDrive supports asynchronous insertion and querying with a
 user-defined number of CPU threads in order to fully utilize the
 available hardware resources" (§IV-B).  The driver consumes a batch
-stream, executes every cascade functionally on a
-:class:`~repro.multigpu.distributed_table.DistributedHashTable`, prices
-each batch with the perf model, and schedules the stage timeline with
+stream and executes every cascade on a
+:class:`~repro.multigpu.distributed_table.DistributedHashTable`, pricing
+each batch with the perf model and scheduling the stage timeline with
 the requested thread count — returning both the data-structure results
 and the modelled overlapped wall time.
+
+With ``depth >= 2`` the driver is a *real* pipeline scheduler: a stager
+thread runs batch ``i+1``'s host-side distribution phase into a
+ying/yang staging arena (:mod:`repro.pipeline.staging`) while the
+calling thread commits batch ``i`` — bounded by a modelled-VRAM staging
+budget, with stream-order sequence-numbered commits keeping every depth
+bit-identical to ``depth=1``.  Because batches materialize lazily on the
+stager thread, a generator stream larger than the modelled VRAM ingests
+out-of-core under the budget's backpressure.
 """
 
 from __future__ import annotations
@@ -27,10 +36,15 @@ from ..options import UNSET, reject_unknown, resolve_renamed
 from ..perfmodel.cascade import time_cascade
 from ..perfmodel.memmodel import throughput
 from .schedule import schedule_batches
+from .scheduler import PipelineScheduler
 from .stages import insert_stages, query_stages
+from .staging import StagingArena, StagingBudget
 from .timeline import Timeline
 
 __all__ = ["StreamResult", "AsyncCascadeDriver"]
+
+#: accepted ``pace=`` vocabulary (see :class:`AsyncCascadeDriver`)
+PACE_MODES = ("none", "modelled")
 
 
 @dataclass
@@ -48,8 +62,16 @@ class StreamResult:
     found: np.ndarray | None = None
     #: real wall-clock spans (``measure=True`` drivers only)
     measured: MeasuredTimeline | None = None
+    #: in-flight batch depth the stream ran with
+    depth: int = 1
+    #: device-occupancy pacing mode the stream ran with
+    pace: str = "none"
+    #: total stager backpressure wait (budget-full + slot-busy), seconds
+    stall_seconds: float = 0.0
+    #: high-water mark of staged-but-uncommitted bytes
+    peak_staged_bytes: int = 0
 
-    schema_version = 1
+    schema_version = 2
 
     @property
     def makespan(self) -> float:
@@ -75,6 +97,16 @@ class StreamResult:
 
     @property
     def ops_per_second(self) -> float:
+        """Stream throughput in operations per second.
+
+        Prefers the *measured* makespan when the driver ran with
+        ``measure=True`` — real seconds are authoritative whenever both
+        exist (``docs/execution.md``) — and falls back to the modelled
+        overlapped makespan otherwise.
+        """
+        span = self.measured_makespan
+        if span is not None and span > 0:
+            return throughput(self.num_ops, span)
         return throughput(self.num_ops, self.makespan)
 
     def to_dict(self) -> dict:
@@ -92,6 +124,10 @@ class StreamResult:
                 "reduction": self.reduction,
                 "ops_per_second": self.ops_per_second,
                 "measured_makespan": self.measured_makespan,
+                "depth": self.depth,
+                "pace": self.pace,
+                "stall_seconds": self.stall_seconds,
+                "peak_staged_bytes": self.peak_staged_bytes,
                 "num_values": (
                     None if self.values is None else int(self.values.shape[0])
                 ),
@@ -106,6 +142,53 @@ class StreamResult:
                 ),
             },
         )
+
+
+class _Pacer:
+    """Real-time device-occupancy model behind ``pace="modelled"``.
+
+    ``launch`` marks a committed batch's modelled kernel as occupying
+    the devices; ``drain`` sleeps until the modelled device is idle
+    again.  The sleep releases the GIL, so under ``depth >= 2`` the
+    stager thread stages the next wave *during* the drain — the measured
+    overlap is real concurrency against an explicitly modelled device,
+    not a fabricated number.  Every depth drains the same modelled
+    kernel seconds (the same cascades are committed), so any measured
+    makespan reduction between depths is attributable purely to overlap.
+    """
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        #: absolute ``perf_counter`` instant the modelled device frees up
+        self.device_free_at = 0.0
+        self.paced_seconds = 0.0
+
+    def launch(self, kernel_seconds: float) -> None:
+        """Occupy the modelled device for ``kernel_seconds`` more."""
+        if not self.enabled or kernel_seconds <= 0:
+            return
+        now = time.perf_counter()
+        self.device_free_at = max(self.device_free_at, now) + kernel_seconds
+
+    def drain(self, reason: str) -> tuple[float, float] | None:
+        """Sleep until the modelled device is idle.
+
+        Returns the ``(start, end)`` wall instants of the wait, or
+        ``None`` when nothing was in flight.
+        """
+        if not self.enabled:
+            return None
+        t0 = time.perf_counter()
+        remaining = self.device_free_at - t0
+        if remaining <= 0:
+            return None
+        with obs.span(
+            "pipeline.pace", "pipeline", reason=reason, seconds=remaining
+        ):
+            time.sleep(remaining)
+        t1 = time.perf_counter()
+        self.paced_seconds += t1 - t0
+        return (t0, t1)
 
 
 class AsyncCascadeDriver:
@@ -124,7 +207,8 @@ class AsyncCascadeDriver:
     table:
         The target distributed hash map.
     num_threads:
-        CPU threads issuing cascades (the paper evaluates 1, 2, 4).
+        CPU threads in the *modelled* stage schedule (the paper
+        evaluates 1, 2, 4).
     scale:
         Optional projection factor per batch (scaled-down batches standing
         in for paper-size ones).
@@ -134,6 +218,29 @@ class AsyncCascadeDriver:
         result — real seconds from the execution engine next to the
         modelled makespan (``docs/execution.md``).  (``wall_clock=`` is
         the deprecated spelling; see :mod:`repro.options`.)
+    depth:
+        In-flight batch depth.  ``1`` (default) runs each cascade to
+        completion before the next one starts; ``depth >= 2`` turns the
+        stream into a real pipeline: a stager thread runs batch
+        ``i+1``'s distribution phase into a ying/yang staging arena
+        while the calling thread commits batch ``i``, with results,
+        counters, and transfer logs bit-identical to ``depth=1``
+        (``docs/streaming_pipeline.md``).
+    staging_budget:
+        Byte ceiling for staged-but-uncommitted cascades (modelled VRAM
+        set aside for staging buffers).  The stager blocks when the
+        budget is full — the pipeline's backpressure, surfaced as
+        ``pipeline.stall`` spans/metrics.  ``None`` (default) budgets
+        half the node's free modelled VRAM at stream start.
+    pace:
+        ``"none"`` (default) or ``"modelled"``.  Modelled pacing makes
+        the modelled kernel occupancy take *real* time: after each
+        commit the driver sleeps until the modelled device would be
+        free, for every depth, so measured makespans compare the same
+        modelled device across depths and any reduction comes purely
+        from overlap.  This is an explicit simulation mode for overlap
+        experiments on hosts without accelerators — it never changes
+        results, only wall time.
     """
 
     def __init__(
@@ -143,6 +250,9 @@ class AsyncCascadeDriver:
         num_threads: int = 4,
         scale: float = 1.0,
         measure: bool = UNSET,
+        depth: int = 1,
+        staging_budget: int | None = None,
+        pace: str = "none",
         **legacy,
     ):
         measure = resolve_renamed(
@@ -158,15 +268,37 @@ class AsyncCascadeDriver:
             raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
         if scale <= 0:
             raise ConfigurationError(f"scale must be > 0, got {scale}")
+        if int(depth) < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if pace not in PACE_MODES:
+            raise ConfigurationError(
+                f"pace must be one of {PACE_MODES}, got {pace!r}"
+            )
+        if staging_budget is not None and int(staging_budget) <= 0:
+            raise ConfigurationError(
+                f"staging_budget must be > 0 bytes, got {staging_budget}"
+            )
         self.table = table
         self.num_threads = num_threads
         self.scale = scale
         self.measure = bool(measure)
+        self.depth = int(depth)
+        self.staging_budget = (
+            None if staging_budget is None else int(staging_budget)
+        )
+        self.pace = pace
 
     @property
     def wall_clock(self) -> bool:
         """Deprecated alias for :attr:`measure`."""
         return self.measure
+
+    def _resolve_budget(self) -> int:
+        """The staging byte ceiling for one stream (half free VRAM)."""
+        if self.staging_budget is not None:
+            return self.staging_budget
+        free = sum(d.free_bytes for d in self.table.topology.devices)
+        return max(free // 2, 1)
 
     def _record_batch(
         self,
@@ -208,13 +340,33 @@ class AsyncCascadeDriver:
         offset = (now - epoch) - report.kernel_wall_seconds
         measured.extend(report.kernel_spans, offset=offset)
 
+    @staticmethod
+    def _record_pace(
+        measured: MeasuredTimeline | None,
+        epoch: float,
+        op: str,
+        window: tuple[float, float] | None,
+    ) -> None:
+        """Append one pacing drain as a measured span (if any)."""
+        if measured is not None and window is not None:
+            t0, t1 = window
+            measured.add(ShardSpan(-1, f"{op} pace", t0 - epoch, t1 - epoch))
+
     def insert_stream(
         self, batches: Iterable[tuple[np.ndarray, np.ndarray]]
     ) -> StreamResult:
-        """Insert (keys, values) batches; returns the overlapped timeline."""
+        """Insert (keys, values) batches; returns the overlapped timeline.
+
+        With ``depth >= 2`` the batches stage ahead on the pipeline's
+        stager thread; results and table state stay bit-identical to
+        ``depth=1``.
+        """
+        if self.depth > 1:
+            return self._pipelined_stream("insert", batches)
         stage_lists = []
         total = 0
         measured = MeasuredTimeline() if self.wall_clock else None
+        pacer = _Pacer(self.pace == "modelled")
         epoch = time.perf_counter()
         for i, (keys, values) in enumerate(batches):
             with obs.span("insert batch", "batch", index=i):
@@ -226,20 +378,33 @@ class AsyncCascadeDriver:
                 )
                 stage_lists.append(insert_stages(timing))
                 total += int(np.asarray(keys).shape[0])
+            # depth=1: the device drains before the next batch stages
+            pacer.launch(timing.kernel)
+            self._record_pace(measured, epoch, "insert", pacer.drain("inline"))
         return StreamResult(
             timeline=schedule_batches(stage_lists, self.num_threads),
             sequential=schedule_batches(stage_lists, 1),
             num_ops=int(total * self.scale),
             measured=measured,
+            depth=self.depth,
+            pace=self.pace,
         )
 
     def query_stream(self, batches: Iterable[np.ndarray]) -> StreamResult:
-        """Query key batches; results concatenate in stream order."""
+        """Query key batches; results concatenate in stream order.
+
+        With ``depth >= 2`` the batches stage ahead on the pipeline's
+        stager thread; values and found masks stay bit-identical to
+        ``depth=1``.
+        """
+        if self.depth > 1:
+            return self._pipelined_stream("query", batches)
         stage_lists = []
         all_values: list[np.ndarray] = []
         all_found: list[np.ndarray] = []
         total = 0
         measured = MeasuredTimeline() if self.wall_clock else None
+        pacer = _Pacer(self.pace == "modelled")
         epoch = time.perf_counter()
         for i, keys in enumerate(batches):
             with obs.span("query batch", "batch", index=i):
@@ -253,6 +418,8 @@ class AsyncCascadeDriver:
                 all_values.append(values)
                 all_found.append(found)
                 total += int(np.asarray(keys).shape[0])
+            pacer.launch(timing.kernel)
+            self._record_pace(measured, epoch, "query", pacer.drain("inline"))
         return StreamResult(
             timeline=schedule_batches(stage_lists, self.num_threads),
             sequential=schedule_batches(stage_lists, 1),
@@ -260,4 +427,130 @@ class AsyncCascadeDriver:
             values=np.concatenate(all_values) if all_values else np.empty(0, np.uint32),
             found=np.concatenate(all_found) if all_found else np.empty(0, bool),
             measured=measured,
+            depth=self.depth,
+            pace=self.pace,
         )
+
+    def _pipelined_stream(self, op: str, batches: Iterable) -> StreamResult:
+        """The ``depth >= 2`` overlapped path (§IV-B's pipeline).
+
+        A stager thread walks ``batches`` in order, stages each into an
+        arena slot (blocking on the ying/yang rotation and the staging
+        budget), and the calling thread commits staged cascades strictly
+        in sequence-number order — so all table mutation, counter
+        merging, and transfer logging happen exactly as in the inline
+        path, just overlapped with the next wave's distribution phase.
+        """
+        table = self.table
+        m = table.num_gpus
+        budget = StagingBudget(self._resolve_budget())
+        arena = StagingArena(self.depth, budget)
+        pacer = _Pacer(self.pace == "modelled")
+        measured = MeasuredTimeline() if self.wall_clock else None
+        stage_lists: list = []
+        all_values: list[np.ndarray] = []
+        all_found: list[np.ndarray] = []
+        totals = {"ops": 0}
+        epoch = time.perf_counter()
+
+        def _nbytes(payload) -> int:
+            # staged footprint: one packed uint64 plane per pair/key
+            keys = payload[0] if op == "insert" else payload
+            return int(np.asarray(keys).shape[0]) * 8
+
+        def _stage(slot, seqno, payload):
+            t0 = time.perf_counter()
+            with obs.span(f"{op} stage", "pipeline", index=seqno):
+                if op == "insert":
+                    keys, values = payload
+                    plan = slot.plans.get(
+                        "insert", int(np.asarray(keys).shape[0]), m
+                    )
+                    staged = table.stage_insert(
+                        keys, values, source="host", plan=plan
+                    )
+                else:
+                    plan = slot.plans.get(
+                        "query", int(np.asarray(payload).shape[0]), m
+                    )
+                    staged = table.stage_query(payload, source="host", plan=plan)
+            staged.seqno = seqno
+            return (staged, t0, time.perf_counter())
+
+        def _drain_in_flight():
+            # coordinated growth: the modelled device must be idle first
+            self._record_pace(measured, epoch, op, pacer.drain("grow"))
+
+        def _commit(seqno, item):
+            staged, s0, s1 = item
+            # the previous wave's modelled kernel must finish before this
+            # wave's commit touches the shards; the stager keeps staging
+            # through this wait — that concurrency is the measured overlap
+            self._record_pace(measured, epoch, op, pacer.drain("commit"))
+            c0 = time.perf_counter()
+            with obs.span(f"{op} batch", "batch", index=seqno):
+                out = table.commit_staged(staged, drain=_drain_in_flight)
+            c1 = time.perf_counter()
+            report = staged.report
+            timing = time_cascade(report, table, table.topology, scale=self.scale)
+            pacer.launch(timing.kernel)
+            stage_lists.append(
+                insert_stages(timing) if op == "insert" else query_stages(timing)
+            )
+            totals["ops"] += staged.num_ops
+            if measured is not None:
+                measured.add(ShardSpan(-1, f"{op} batch", s0 - epoch, c1 - epoch))
+                # the distribution span carries the stager thread's real
+                # instants — under load it genuinely overlaps the previous
+                # batch's commit/pace spans (Fig. 5)
+                measured.add(
+                    ShardSpan(-1, f"{op} distribution", s0 - epoch, s1 - epoch)
+                )
+                if report.grow_wall_seconds > 0:
+                    measured.add(
+                        ShardSpan(
+                            -1,
+                            f"{op} grow",
+                            c0 - epoch,
+                            c0 - epoch + report.grow_wall_seconds,
+                        )
+                    )
+                offset = (c1 - epoch) - report.kernel_wall_seconds
+                measured.extend(report.kernel_spans, offset=offset)
+            if op == "query":
+                values, found, _ = out
+                all_values.append(values)
+                all_found.append(found)
+            return out
+
+        scheduler = PipelineScheduler(arena)
+        scheduler.run(
+            batches,
+            stage=_stage,
+            commit=_commit,
+            nbytes=_nbytes,
+            discard=lambda item: table.discard_staged(item[0]),
+        )
+        # stream end: the last modelled kernel finishes before we report
+        self._record_pace(measured, epoch, op, pacer.drain("final"))
+
+        result = StreamResult(
+            timeline=schedule_batches(stage_lists, self.num_threads),
+            sequential=schedule_batches(stage_lists, 1),
+            num_ops=int(totals["ops"] * self.scale),
+            measured=measured,
+            depth=self.depth,
+            pace=self.pace,
+            stall_seconds=arena.stall_seconds,
+            peak_staged_bytes=budget.peak_bytes,
+        )
+        if op == "query":
+            result.values = (
+                np.concatenate(all_values)
+                if all_values
+                else np.empty(0, np.uint32)
+            )
+            result.found = (
+                np.concatenate(all_found) if all_found else np.empty(0, bool)
+            )
+        return result

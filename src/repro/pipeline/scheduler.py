@@ -1,0 +1,121 @@
+"""The stage/commit pipeline scheduler behind ``AsyncCascadeDriver``.
+
+One **stager thread** walks the batch stream in order, claims an arena
+slot (blocking on the ying/yang rotation and the staging budget — the
+backpressure of §IV-B's bounded pipeline), runs the host-side
+distribution phase into it, and enqueues the staged cascade.  The
+**calling thread** commits staged cascades strictly in sequence-number
+order — all table mutation happens there, so results, counters, and
+transfer logs are bit-identical to ``depth=1`` regardless of how far the
+stager runs ahead.
+
+The queue itself is unbounded; admission is bounded by the arena (at
+most ``depth`` staged batches alive, at most ``budget`` bytes staged).
+Error handling never strands a thread: a failing stage is reported to
+the committer and re-raised there; a failing commit aborts the arena
+(waking a blocked stager), joins the stager, and discards every staged
+cascade still in the queue so their device buffers release.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Iterable
+
+from .staging import PipelineAborted, StagingArena
+
+__all__ = ["PipelineScheduler"]
+
+_JOIN_TIMEOUT = 30.0
+
+
+class PipelineScheduler:
+    """Run a payload stream through stage (async) + commit (in order)."""
+
+    def __init__(self, arena: StagingArena):
+        self.arena = arena
+
+    def run(
+        self,
+        payloads: Iterable,
+        *,
+        stage: Callable,
+        commit: Callable,
+        nbytes: Callable,
+        discard: Callable | None = None,
+    ) -> list:
+        """Pipeline every payload; returns the commit results in order.
+
+        ``stage(slot, seqno, payload)`` runs on the stager thread and
+        returns the staged cascade; ``commit(seqno, staged)`` runs on
+        the calling thread in ascending ``seqno``; ``nbytes(payload)``
+        prices a payload's staging footprint for budget admission
+        *before* staging starts; ``discard(staged)`` releases a staged
+        cascade that will never commit (committer error paths).
+
+        ``payloads`` may be a generator — batches materialize lazily on
+        the stager thread, which is what makes larger-than-VRAM
+        (out-of-core) streams ingestible under a bounded budget.
+        """
+        q: queue.SimpleQueue = queue.SimpleQueue()
+        arena = self.arena
+
+        def _stager() -> None:
+            try:
+                for seqno, payload in enumerate(payloads):
+                    charge = int(nbytes(payload))
+                    try:
+                        slot = arena.acquire(seqno, charge)
+                    except PipelineAborted:
+                        return
+                    try:
+                        staged = stage(slot, seqno, payload)
+                    except BaseException as exc:
+                        arena.release(slot, charge)
+                        q.put(("err", exc))
+                        return
+                    q.put(("item", seqno, slot, charge, staged))
+            except BaseException as exc:  # payload iteration / pricing
+                q.put(("err", exc))
+            finally:
+                q.put(("done",))
+
+        thread = threading.Thread(
+            target=_stager, name="repro-stager", daemon=True
+        )
+        thread.start()
+        outputs: list = []
+        try:
+            while True:
+                msg = q.get()
+                if msg[0] == "done":
+                    break
+                if msg[0] == "err":
+                    raise msg[1]
+                _, seqno, slot, charge, staged = msg
+                try:
+                    outputs.append(commit(seqno, staged))
+                finally:
+                    arena.release(slot, charge)
+        except BaseException:
+            arena.abort()
+            # the stager exits promptly now (acquire raises); anything it
+            # managed to stage must still release its device buffers
+            thread.join(timeout=_JOIN_TIMEOUT)
+            while True:
+                try:
+                    msg = q.get_nowait()
+                except queue.Empty:
+                    break
+                if msg[0] == "item":
+                    _, _seq, slot, charge, staged = msg
+                    if discard is not None:
+                        try:
+                            discard(staged)
+                        except Exception:  # pragma: no cover - best effort
+                            pass
+                    arena.release(slot, charge)
+            raise
+        thread.join(timeout=_JOIN_TIMEOUT)
+        return outputs

@@ -1,0 +1,230 @@
+"""Double-buffered staging arenas + modelled-VRAM staging budgets.
+
+The paper's async pipeline stages batch *i+1* on the host while batch
+*i* occupies the devices, using "one double buffer per GPU of sufficient
+size" (Fig. 4) — the classic ying/yang scheme.  This module provides the
+bounded in-flight machinery behind ``AsyncCascadeDriver(depth=...)``:
+
+* a :class:`StagingBudget` charges every staged-but-uncommitted cascade
+  against a byte ceiling (modelled VRAM set aside for staging).  A
+  blocking :meth:`~StagingBudget.acquire` is the *backpressure* point:
+  when the budget is full the stager stalls, recorded as a
+  ``pipeline.stall`` span plus ``pipeline.stall.*`` metrics and the
+  ``queue.pipeline.staging_bytes`` high-water gauge in :mod:`repro.obs`.
+* a :class:`StagingArena` multiplexes ``depth`` slots in ying/yang
+  rotation (batch ``i`` stages into slot ``i % depth``).  Each slot owns
+  a private :class:`~repro.multigpu.plan.PlanCache` so two in-flight
+  batches never alias plan scratch (``perm`` / ``gather_out`` / zero
+  planes).  A slot is reusable only after its previous occupant has
+  fully *committed* — not merely been dequeued — because the commit's
+  reverse phase still reads the plan buffers staged into it.
+
+Both primitives support :meth:`abort`, which wakes any blocked waiter
+with :class:`PipelineAborted` so a failing committer cannot strand the
+stager thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import AllocationError, ConfigurationError
+from ..multigpu.plan import PlanCache
+from ..obs import runtime as obs
+
+__all__ = ["PipelineAborted", "StagingBudget", "StagingArena", "ArenaSlot"]
+
+
+class PipelineAborted(RuntimeError):
+    """The pipeline was torn down while a staging wait was in progress."""
+
+
+def _record_stall(reason: str, waited: float, nbytes: int) -> None:
+    """Trace + meter one backpressure stall (no-op when obs is off)."""
+    if not obs.enabled():
+        return
+    recorder = obs.get_recorder()
+    if recorder is not None:
+        end = recorder.now()
+        obs.add_span(
+            "pipeline.stall",
+            "pipeline",
+            max(end - waited, 0.0),
+            end,
+            attrs={"reason": reason, "nbytes": int(nbytes)},
+        )
+    metrics = obs.get_metrics()
+    if metrics is not None:
+        metrics.inc("pipeline.stall.count")
+        metrics.inc("pipeline.stall.seconds", waited)
+
+
+class StagingBudget:
+    """A byte ceiling for staged-but-uncommitted pipeline cascades.
+
+    ``acquire`` blocks while the charge would exceed ``total_bytes``
+    (the bounded admission queue of the tentpole); ``release`` wakes
+    waiters.  ``peak_bytes`` records the in-flight high-water mark — the
+    backpressure tests assert it never exceeds the ceiling.
+    """
+
+    def __init__(self, total_bytes: int):
+        if int(total_bytes) <= 0:
+            raise ConfigurationError(
+                f"staging budget must be > 0 bytes, got {total_bytes}"
+            )
+        self.total_bytes = int(total_bytes)
+        self.in_flight_bytes = 0
+        self.peak_bytes = 0
+        self.stalls = 0
+        self.stall_seconds = 0.0
+        self._cond = threading.Condition()
+        self._aborted = False
+
+    def acquire(self, nbytes: int) -> None:
+        """Charge ``nbytes``, blocking while the budget is full.
+
+        Raises :class:`~repro.errors.AllocationError` when a single
+        cascade could never fit (out-of-core ingests must be re-batched,
+        not deadlocked) and :class:`PipelineAborted` after
+        :meth:`abort`.
+        """
+        nbytes = int(nbytes)
+        if nbytes > self.total_bytes:
+            raise AllocationError(
+                f"staged cascade of {nbytes} B can never fit the "
+                f"{self.total_bytes} B staging budget; use smaller batches"
+            )
+        stalled_at = None
+        with self._cond:
+            while (
+                not self._aborted
+                and self.in_flight_bytes + nbytes > self.total_bytes
+            ):
+                if stalled_at is None:
+                    stalled_at = time.perf_counter()
+                self._cond.wait(timeout=0.05)
+            if self._aborted:
+                raise PipelineAborted("staging budget aborted")
+            self.in_flight_bytes += nbytes
+            self.peak_bytes = max(self.peak_bytes, self.in_flight_bytes)
+            in_flight = self.in_flight_bytes
+        if stalled_at is not None:
+            waited = time.perf_counter() - stalled_at
+            self.stalls += 1
+            self.stall_seconds += waited
+            _record_stall("budget", waited, nbytes)
+        self._observe_depth(in_flight)
+
+    def release(self, nbytes: int) -> None:
+        with self._cond:
+            nbytes = int(nbytes)
+            if nbytes > self.in_flight_bytes:
+                raise ConfigurationError(
+                    f"release({nbytes}) exceeds {self.in_flight_bytes} B "
+                    "in flight"
+                )
+            self.in_flight_bytes -= nbytes
+            in_flight = self.in_flight_bytes
+            self._cond.notify_all()
+        self._observe_depth(in_flight)
+
+    def abort(self) -> None:
+        """Wake every blocked ``acquire`` with :class:`PipelineAborted`."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    @staticmethod
+    def _observe_depth(in_flight: int) -> None:
+        if obs.enabled():
+            metrics = obs.get_metrics()
+            if metrics is not None:
+                metrics.observe_queue_depth("pipeline.staging_bytes", in_flight)
+
+
+class ArenaSlot:
+    """One ying/yang staging slot: a private plan cache + busy latch."""
+
+    def __init__(self, index: int):
+        self.index = index
+        #: per-slot cascade plans — two in-flight batches never share
+        #: scratch buffers (plan reuse is unsafe under interleaving,
+        #: see :mod:`repro.multigpu.plan`)
+        self.plans = PlanCache(maxsize=4)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArenaSlot({self.index})"
+
+
+class StagingArena:
+    """``depth`` staging slots in rotation, charged against a budget.
+
+    Batch ``seqno`` stages into slot ``seqno % depth`` once (a) that
+    slot's previous occupant has *committed* and (b) the staging budget
+    admits the batch's footprint.  ``depth=2`` is the paper's ying/yang
+    double buffer; deeper arenas admit more in-flight waves when the
+    budget allows.
+    """
+
+    def __init__(self, depth: int, budget: StagingBudget):
+        if int(depth) < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self.budget = budget
+        self.slots = [ArenaSlot(i) for i in range(self.depth)]
+        self._busy = [False] * self.depth
+        self._cond = threading.Condition()
+        self._aborted = False
+        self.slot_stalls = 0
+        self.slot_stall_seconds = 0.0
+
+    @property
+    def stall_seconds(self) -> float:
+        """Total backpressure wait (budget-full + slot-busy)."""
+        return self.budget.stall_seconds + self.slot_stall_seconds
+
+    @property
+    def stalls(self) -> int:
+        return self.budget.stalls + self.slot_stalls
+
+    def acquire(self, seqno: int, nbytes: int) -> ArenaSlot:
+        """Claim the slot for ``seqno``, blocking on reuse + budget."""
+        idx = seqno % self.depth
+        stalled_at = None
+        with self._cond:
+            while not self._aborted and self._busy[idx]:
+                if stalled_at is None:
+                    stalled_at = time.perf_counter()
+                self._cond.wait(timeout=0.05)
+            if self._aborted:
+                raise PipelineAborted("staging arena aborted")
+            self._busy[idx] = True
+        if stalled_at is not None:
+            waited = time.perf_counter() - stalled_at
+            self.slot_stalls += 1
+            self.slot_stall_seconds += waited
+            _record_stall("slot", waited, nbytes)
+        try:
+            self.budget.acquire(nbytes)
+        except BaseException:
+            with self._cond:
+                self._busy[idx] = False
+                self._cond.notify_all()
+            raise
+        return self.slots[idx]
+
+    def release(self, slot: ArenaSlot, nbytes: int) -> None:
+        """Return a slot after its batch fully committed (or discarded)."""
+        self.budget.release(nbytes)
+        with self._cond:
+            self._busy[slot.index] = False
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Wake every blocked ``acquire`` with :class:`PipelineAborted`."""
+        self.budget.abort()
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()

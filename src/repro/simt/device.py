@@ -9,6 +9,7 @@ and tracks VRAM usage.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..errors import AllocationError, ConfigurationError
@@ -93,6 +94,9 @@ class Device:
         self.allocated_bytes = 0
         self.peak_allocated_bytes = 0
         self.sanitizer = None
+        # Staging buffers may be registered from a pipeline stager thread
+        # while the committer thread frees the previous wave's buffers.
+        self._alloc_lock = threading.Lock()
 
     def attach_sanitizer(self, sanitizer) -> None:
         """Shadow-instrument future allocations/launches on this device."""
@@ -105,21 +109,25 @@ class Device:
         """Reserve VRAM; raises :class:`AllocationError` when exhausted."""
         if nbytes < 0:
             raise ConfigurationError(f"allocation size must be >= 0, got {nbytes}")
-        if self.allocated_bytes + nbytes > self.spec.vram_bytes:
-            raise AllocationError(
-                f"device {self.device_id} ({self.spec.name}): requested "
-                f"{nbytes} B with {self.allocated_bytes} B in use exceeds "
-                f"{self.spec.vram_bytes} B VRAM"
+        with self._alloc_lock:
+            if self.allocated_bytes + nbytes > self.spec.vram_bytes:
+                raise AllocationError(
+                    f"device {self.device_id} ({self.spec.name}): requested "
+                    f"{nbytes} B with {self.allocated_bytes} B in use exceeds "
+                    f"{self.spec.vram_bytes} B VRAM"
+                )
+            self.allocated_bytes += nbytes
+            self.peak_allocated_bytes = max(
+                self.peak_allocated_bytes, self.allocated_bytes
             )
-        self.allocated_bytes += nbytes
-        self.peak_allocated_bytes = max(self.peak_allocated_bytes, self.allocated_bytes)
 
     def free(self, nbytes: int) -> None:
-        if nbytes < 0 or nbytes > self.allocated_bytes:
-            raise ConfigurationError(
-                f"free({nbytes}) invalid with {self.allocated_bytes} B allocated"
-            )
-        self.allocated_bytes -= nbytes
+        with self._alloc_lock:
+            if nbytes < 0 or nbytes > self.allocated_bytes:
+                raise ConfigurationError(
+                    f"free({nbytes}) invalid with {self.allocated_bytes} B allocated"
+                )
+            self.allocated_bytes -= nbytes
 
     @property
     def free_bytes(self) -> int:

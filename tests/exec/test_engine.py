@@ -268,3 +268,98 @@ class TestReportHelpers:
             "warp_collectives", "window_probes", "kernel_launches",
         ):
             assert getattr(inline, attr) == getattr(charged, attr), attr
+
+
+class TestSubmitPoll:
+    """The non-blocking submit/poll path behind the pipeline committer."""
+
+    def test_pending_wave_needs_results_or_collect(self):
+        from repro.exec import PendingWave
+
+        with pytest.raises(ConfigurationError):
+            PendingWave()
+
+    def test_completed_wave_is_done_and_idempotent(self):
+        from repro.exec import PendingWave
+
+        wave = PendingWave([1, 2, 3])
+        assert wave.done()
+        assert wave.result() == [1, 2, 3]
+        assert wave.result() == [1, 2, 3]
+
+    def test_deferred_wave_collects_once(self):
+        from repro.exec import PendingWave
+
+        calls = []
+
+        def collect():
+            calls.append(1)
+            return ["r"]
+
+        wave = PendingWave(poll=lambda: False, collect=collect)
+        assert not wave.done()
+        assert wave.result() == ["r"]
+        assert wave.result() == ["r"]
+        assert calls == [1]
+        assert wave.done()
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_submit_matches_run(self, executor):
+        """submit().result() == run(): same results, same table effects."""
+        n = 800
+        keys = [unique_keys(n, seed=s) for s in (7, 8)]
+        values = [random_values(n, seed=s) for s in (9, 10)]
+        run_tables = [_table(n) for _ in range(2)]
+        sub_tables = [_table(n) for _ in range(2)]
+        with create_engine(executor, workers=2) as eng:
+            ran = eng.run(_tasks(run_tables, keys, values))
+            wave = eng.submit(_tasks(sub_tables, keys, values))
+            submitted = wave.result()
+        assert wave.done()
+        assert [r.shard for r in submitted] == [r.shard for r in ran]
+        for rt, st in zip(run_tables, sub_tables):
+            assert np.array_equal(rt.slots, st.slots)
+        for r, s in zip(ran, submitted):
+            assert r.report.num_ops == s.report.num_ops
+            assert r.status is None or (r.status == s.status).all()
+
+    def test_thread_submit_overlaps_host_work(self):
+        """The thread wave really is in flight: submit returns before
+        the kernels complete and result() joins them."""
+        n = 4000
+        tables = [_table(n) for _ in range(2)]
+        keys = [unique_keys(n, seed=s) for s in (21, 22)]
+        values = [random_values(n, seed=s) for s in (23, 24)]
+        with create_engine("thread", workers=2) as eng:
+            wave = eng.submit(_tasks(tables, keys, values))
+            results = wave.result()
+        assert len(results) == 2
+        assert all(r.report.num_ops == n for r in results)
+
+    def test_empty_submit(self):
+        with create_engine("thread", workers=1) as eng:
+            wave = eng.submit([])
+        assert wave.done()
+        assert wave.result() == []
+
+    def test_submit_span_tree_matches_run(self):
+        """Traced dispatch spans are backend-identical for run vs
+        submit — collection happens at result() under the same parent."""
+        from repro.obs import runtime as obs
+
+        n = 600
+        keys = [unique_keys(n, seed=31)]
+        values = [random_values(n, seed=32)]
+
+        def trace(call):
+            with obs.session() as (recorder, _):
+                table = _table(n)
+                with create_engine("thread", workers=1) as eng:
+                    call(eng, _tasks([table], keys, values))
+            return [
+                (s.name, s.category) for s in recorder.spans
+            ]
+
+        ran = trace(lambda eng, tasks: eng.run(tasks))
+        submitted = trace(lambda eng, tasks: eng.submit(tasks).result())
+        assert ran == submitted

@@ -201,6 +201,50 @@ class TestCompiledTree:
         assert "bench-compiled:" in (REPO_ROOT / "Makefile").read_text()
 
 
+class TestPipelineTree:
+    """The streaming-pipeline suite stays wired into every gate."""
+
+    EXPECTED = {
+        "pipeline/test_pipeline_depth.py",
+        "pipeline/test_staging.py",
+    }
+
+    def test_pipeline_tree_exists_and_non_empty(self):
+        """One module per guarantee: depth bit-identity properties, and
+        the staging arena/budget/scheduler + backpressure/out-of-core."""
+        for name in self.EXPECTED:
+            path = TESTS / name
+            assert path.exists() and path.stat().st_size > 0, name
+
+    def test_coverage_floor_requires_pipeline_tree(self):
+        """tools/coverage_floor.py refuses to gate without these files,
+        so a rename can't silently drop the pipeline coverage."""
+        text = (REPO_ROOT / "tools" / "coverage_floor.py").read_text()
+        assert "tests/pipeline/test_pipeline_depth*.py" in text
+        assert "tests/pipeline/test_staging*.py" in text
+
+    def test_out_of_core_demo_is_slow_marked(self):
+        """The 2^22 out-of-core ingest is the one expensive pipeline
+        test; it must carry the registered `slow` marker."""
+        text = (TESTS / "pipeline" / "test_staging.py").read_text()
+        match = re.search(
+            r"@pytest\.mark\.slow\s*\n\s*def (\w*2_22\w*)", text
+        )
+        assert match, "2^22 out-of-core ingest must be slow-marked"
+
+    def test_depth_property_tests_use_shared_profiles(self):
+        text = (TESTS / "pipeline" / "test_pipeline_depth.py").read_text()
+        assert "from profiles import examples" in text
+        assert "settings(max_examples" not in text
+
+    def test_ci_runs_stream_smoke_on_both_legs(self):
+        """`make stream-smoke` exercises the pipelined overlap gate on
+        the numba leg and the numba-free staging path on the other."""
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert ci.count("make stream-smoke") >= 2
+        assert "stream-smoke:" in (REPO_ROOT / "Makefile").read_text()
+
+
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
         """Example counts stay within the tier-1 budget.

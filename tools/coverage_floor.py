@@ -33,16 +33,19 @@ SRC = REPO_ROOT / "src"
 TARGET_PACKAGES = ("repro/simt", "repro/core")
 
 #: test-tree globs the gate refuses to run without: the lifecycle layer
-#: (grow/rehash) and the compiled kernel backend are exercised only
-#: through these modules, so a renamed or emptied file would silently
-#: drop the floor's most load-bearing coverage instead of failing the
-#: gate
+#: (grow/rehash), the compiled kernel backend, and the streaming
+#: pipeline (depth equivalence + staging backpressure) are exercised
+#: only through these modules, so a renamed or emptied file would
+#: silently drop the floor's most load-bearing coverage instead of
+#: failing the gate
 REQUIRED_TEST_GLOBS = (
     "tests/core/test_growth*.py",
     "tests/multigpu/test_distributed_growth*.py",
     "tests/core/test_compiled_kernels*.py",
     "tests/core/test_compiled_fallback*.py",
     "tests/exec/test_compiled_equivalence*.py",
+    "tests/pipeline/test_pipeline_depth*.py",
+    "tests/pipeline/test_staging*.py",
 )
 
 
