@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke stream-smoke bench-compiled
+.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke stream-smoke serve-smoke bench-compiled
 
 # tier-1: fast suite, excludes `slow` and `fuzz` via pyproject addopts
 test:
@@ -33,6 +33,12 @@ grow-smoke:
 # modelled pacing, Perfetto-validated (repro stream exits 1 on any miss)
 stream-smoke:
 	$(PYTHON) -m repro stream --smoke --out /tmp/repro.stream.trace.json
+
+# serving smoke: boot a live KVServer, drive insert/query/erase through
+# a real client, check cache-coherence across an overwrite and the
+# hit/miss counters (repro serve exits 1 on any gate miss)
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke
 
 # compiled-backend smoke: the serial wallclock suite through
 # kernels="compiled" at tiny n (auto-falls back to "fast" when no JIT

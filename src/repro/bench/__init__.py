@@ -49,6 +49,12 @@ from .wallclock import (
     run_wallclock_suite,
     write_results,
 )
+from .serving import (
+    ServingRecord,
+    format_serving_records,
+    run_hit_rate_sweep,
+    run_serving_suite,
+)
 
 __all__ = [
     "run_single_gpu_sweep",
@@ -83,4 +89,8 @@ __all__ = [
     "run_distribution_suite",
     "format_distribution_records",
     "distribution_speedup",
+    "ServingRecord",
+    "run_serving_suite",
+    "run_hit_rate_sweep",
+    "format_serving_records",
 ]

@@ -1,0 +1,355 @@
+"""Measured serving-layer benchmarks: Zipf clients vs the cache tier.
+
+The acceptance experiment for the KV front-end: ``clients`` concurrent
+:class:`~repro.serve.client.KVClient` threads replay the same Zipf(s)
+query traffic against one :class:`~repro.serve.server.KVServer`, once
+with the hot-key cache tier off (every key is a cascade) and once with
+it on (hot keys answered at the front).  Rows record measured wall
+clock, served queries/s, client-observed p50/p95 latency, and the
+server's hit/miss counters — merged into ``BENCH_wallclock.json``
+alongside the engine rows.
+
+Both runs answer every query from the same prefilled universe, and the
+harness cross-checks the returned values against the prefill ground
+truth — the speedup is only meaningful at equal correctness.
+
+``run_hit_rate_sweep`` drives the EXPERIMENTS.md curve: measured cache
+hit rate as the skew exponent s sweeps from uniform (0) past classical
+Zipf (1.0) — the cache tier's win grows exactly as fast as the traffic
+concentrates.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..multigpu.distributed_table import DistributedHashTable
+from ..multigpu.topology import p100_nvlink_node
+from ..obs.protocol import reportable_dict
+from ..serve import KVClient, KVServer
+from ..workloads.serving import serving_zipf_keys, universe_key_map
+from ..workloads.distributions import random_values
+
+__all__ = [
+    "ServingRecord",
+    "run_serving_suite",
+    "run_hit_rate_sweep",
+    "format_serving_records",
+]
+
+
+@dataclass
+class ServingRecord:
+    """One measured serving data point (``BENCH_wallclock.json`` row)."""
+
+    bench: str
+    n: int  #: total queries served across all clients
+    m: int  #: simulated GPUs behind the server
+    clients: int
+    s: float  #: Zipf skew exponent of the traffic
+    cache: str  #: "on" | "off"
+    ops_per_s: float
+    seconds: float
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    hit_rate: float = 0.0
+    cpus: int = 0
+
+    schema_version = 1
+
+    def __post_init__(self):
+        if not self.cpus:
+            self.cpus = os.cpu_count() or 1
+
+    def to_dict(self) -> dict:
+        """:class:`repro.obs.Reportable` serialization (stable keys)."""
+        return reportable_dict(
+            self,
+            {
+                "bench": self.bench,
+                "n": self.n,
+                "m": self.m,
+                "clients": self.clients,
+                "s": self.s,
+                "cache": self.cache,
+                "ops_per_s": self.ops_per_s,
+                "seconds": self.seconds,
+                "p50_ms": self.p50_ms,
+                "p95_ms": self.p95_ms,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "hit_rate": self.hit_rate,
+                "cpus": self.cpus,
+            },
+        )
+
+
+def _client_worker(
+    address,
+    name: str,
+    warmup: list[tuple[np.ndarray, np.ndarray]],
+    batches: list[tuple[np.ndarray, np.ndarray]],
+    latencies: list[float],
+    errors: list[BaseException],
+    barrier: threading.Barrier,
+) -> None:
+    """One bench client: replay query batches, record per-call latency.
+
+    Each batch arrives as ``(keys, expected_values)`` with the ground
+    truth precomputed, so the timed loop is purely protocol + a memcmp
+    — the harness stays off the clock's critical path.  ``warmup``
+    batches run before the start barrier (cache fill + allocator warm)
+    and are excluded from the measurement.  Presplit is off: the
+    server coalesces and shards anyway, so the client-side sort would
+    only add identical overhead to both the on and off rows.
+    """
+    try:
+        with KVClient(
+            address, name=name, presplit=False, retry_overloaded=8
+        ) as client:
+            for keys, _want in warmup:
+                client.query(keys)
+            barrier.wait()
+            for keys, want in batches:
+                t0 = time.perf_counter()
+                values, found = client.query(keys)
+                latencies.append(time.perf_counter() - t0)
+                if not found.all():
+                    raise ExecutionError(
+                        f"{name}: {int((~found).sum())} prefilled keys "
+                        "reported missing"
+                    )
+                if not np.array_equal(values, want):
+                    bad = int((values != want).sum())
+                    raise ExecutionError(
+                        f"{name}: {bad} keys answered with wrong values"
+                    )
+    except BaseException as exc:  # surfaced by the coordinator
+        errors.append(exc)
+        try:
+            barrier.abort()
+        except threading.BrokenBarrierError:  # pragma: no cover
+            pass
+
+
+def _run_serving_once(
+    *,
+    cache: bool,
+    num_gpus: int,
+    capacity: int,
+    clients: int,
+    batches_per_client: int,
+    batch_size: int,
+    s: float,
+    universe: int,
+    cache_size: int,
+    seed: int,
+    warmup_batches: int = 2,
+) -> ServingRecord:
+    table = DistributedHashTable(p100_nvlink_node(num_gpus), capacity)
+    server = KVServer(
+        table,
+        own_table=True,
+        cache=cache,
+        cache_size=cache_size,
+        batch_window=0.001,
+        # let one coalesced cascade hold every client's in-flight batch —
+        # the cascade's fixed cost is what coalescing exists to amortize
+        max_batch=max(1 << 15, clients * batch_size),
+    ).start()
+    try:
+        prefill_keys = universe_key_map(universe, seed=seed)
+        prefill_values = random_values(universe, seed=seed ^ 0xBEEF)
+        with KVClient(server.address, name="prefill") as loader:
+            loader.insert(prefill_keys, prefill_values)
+        key_order = np.argsort(prefill_keys)
+        expected_keys = prefill_keys[key_order]
+        expected_values = prefill_values[key_order]
+
+        def make_batch(c: int, b: int) -> tuple[np.ndarray, np.ndarray]:
+            keys = serving_zipf_keys(
+                batch_size,
+                s,
+                universe=universe,
+                seed=seed + 7919 * (c * 131 + b + 1),
+                map_seed=seed,
+            )
+            want = expected_values[np.searchsorted(expected_keys, keys)]
+            return keys, want
+
+        rounds = warmup_batches + batches_per_client
+        per_client = [
+            [make_batch(c, b) for b in range(rounds)] for c in range(clients)
+        ]
+        latencies: list[float] = []
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(clients + 1)
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(
+                    server.address,
+                    f"bench-{c}",
+                    per_client[c][:warmup_batches],
+                    per_client[c][warmup_batches:],
+                    latencies,
+                    errors,
+                    barrier,
+                ),
+                daemon=True,
+            )
+            for c in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        before = server.stats.snapshot()
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        counters = server.stats.snapshot()
+
+        def delta(name: str) -> int:
+            return int(counters.get(name, 0)) - int(before.get(name, 0))
+
+        hits = delta("serve.cache.hits")
+        misses = delta("serve.cache.misses")
+        total = clients * batches_per_client * batch_size
+        quantiles = (
+            np.quantile(np.asarray(latencies), [0.5, 0.95]) * 1e3
+            if latencies
+            else np.zeros(2)
+        )
+        return ServingRecord(
+            bench="serving_query",
+            n=total,
+            m=num_gpus,
+            clients=clients,
+            s=s,
+            cache="on" if cache else "off",
+            ops_per_s=total / seconds if seconds > 0 else 0.0,
+            seconds=seconds,
+            p50_ms=float(quantiles[0]),
+            p95_ms=float(quantiles[1]),
+            cache_hits=hits,
+            cache_misses=misses,
+            hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+        )
+    finally:
+        server.close()
+
+
+def run_serving_suite(
+    *,
+    num_gpus: int = 4,
+    clients: int = 4,
+    batches_per_client: int = 16,
+    batch_size: int = 32768,
+    s: float = 1.0,
+    universe: int = 4096,
+    cache_size: int | None = None,
+    seed: int = 11,
+) -> list[ServingRecord]:
+    """Cache-off vs cache-on rows for the same Zipf(s) client traffic.
+
+    The cache-off run is the control: identical clients, batches, and
+    correctness checks, every query a cascade.  The default cache holds
+    three quarters of the universe — comfortably the Zipf(1.0) head,
+    but never the full key set — so the on-row's speedup is the tier
+    absorbing hot traffic, not mirroring the table.
+    """
+    capacity = max(universe * 2, 1 << 12)
+    if cache_size is None:
+        cache_size = max(universe * 3 // 4, 1)
+    records = []
+    for cache in (False, True):
+        records.append(
+            _run_serving_once(
+                cache=cache,
+                num_gpus=num_gpus,
+                capacity=capacity,
+                clients=clients,
+                batches_per_client=batches_per_client,
+                batch_size=batch_size,
+                s=s,
+                universe=universe,
+                cache_size=cache_size,
+                seed=seed,
+            )
+        )
+    return records
+
+
+def run_hit_rate_sweep(
+    *,
+    s_values: Sequence[float] = (0.0, 0.5, 0.8, 1.0, 1.2, 1.5),
+    num_gpus: int = 4,
+    clients: int = 2,
+    batches_per_client: int = 8,
+    batch_size: int = 16384,
+    universe: int = 4096,
+    cache_size: int | None = None,
+    seed: int = 11,
+) -> list[ServingRecord]:
+    """Measured hit rate vs skew: the EXPERIMENTS.md curve rows."""
+    if cache_size is None:
+        cache_size = max(universe * 3 // 4, 1)
+    records = []
+    for s in s_values:
+        record = _run_serving_once(
+            cache=True,
+            num_gpus=num_gpus,
+            capacity=max(universe * 2, 1 << 12),
+            clients=clients,
+            batches_per_client=batches_per_client,
+            batch_size=batch_size,
+            s=s,
+            universe=universe,
+            cache_size=cache_size,
+            seed=seed,
+        )
+        record.bench = "serving_hitrate"
+        records.append(record)
+    return records
+
+
+def format_serving_records(records: list[ServingRecord]) -> str:
+    """Fixed-width rows with the cache-on speedup vs the off control."""
+    off = {
+        (r.bench, r.n, r.clients, r.s): r.seconds
+        for r in records
+        if r.cache == "off"
+    }
+    lines = [
+        f"{'bench':<16} {'n':>8} {'cl':>3} {'s':>5} {'cache':<6} "
+        f"{'seconds':>8} {'Mops/s':>7} {'p50 ms':>7} {'p95 ms':>7} "
+        f"{'hit rate':>8} {'vs off':>7}"
+    ]
+    for r in records:
+        base = off.get((r.bench, r.n, r.clients, r.s))
+        speedup = (
+            f"{base / r.seconds:>6.2f}x"
+            if base and r.seconds and r.cache == "on"
+            else f"{'-':>7}"
+        )
+        lines.append(
+            f"{r.bench:<16} {r.n:>8} {r.clients:>3} {r.s:>5.2f} "
+            f"{r.cache:<6} {r.seconds:>8.3f} {r.ops_per_s / 1e6:>7.3f} "
+            f"{r.p50_ms:>7.2f} {r.p95_ms:>7.2f} {r.hit_rate:>8.2f} "
+            f"{speedup}"
+        )
+    if records:
+        lines.append(f"(host cpus: {records[0].cpus})")
+    return "\n".join(lines)

@@ -186,6 +186,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{distribution_speedup(dist, 'total'):.2f}x fused vs reference"
         )
         records.extend(dist)
+    if args.suite in ("serving", "all"):
+        from repro.bench import format_serving_records, run_serving_suite
+
+        serving = run_serving_suite(
+            num_gpus=args.m,
+            batches_per_client=4 if args.smoke else 16,
+            batch_size=4096 if args.smoke else 32768,
+        )
+        print(format_serving_records(serving))
+        off = next(r for r in serving if r.cache == "off")
+        on = next(r for r in serving if r.cache == "on")
+        if off.seconds and on.seconds:
+            print(
+                f"serving cache lift: {off.seconds / on.seconds:.2f}x "
+                f"at {on.hit_rate:.0%} hit rate"
+            )
+        records.extend(serving)
     if args.out:
         path = write_results(records, args.out)
         print(f"wrote {path}")
@@ -561,6 +578,189 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _serve_smoke() -> int:
+    """The ``repro serve --smoke`` CI gate: correctness + faults + cache.
+
+    Four gates on one in-process server: (1) insert/query/erase round
+    trips through the socket layer; (2) repeated hot-key traffic is
+    answered by the cache tier and invalidation keeps it coherent;
+    (3) a malformed frame draws a typed error, never a hang or a
+    corrupted table; (4) a saturated admission budget rejects with
+    ``OVERLOADED`` and counts ``serve.rejected``.
+    """
+    import socket as socketlib
+
+    import numpy as np
+
+    from repro.serve import (
+        ErrorCode,
+        FrameType,
+        KVClient,
+        KVServer,
+        ServeError,
+        read_frame,
+    )
+
+    failures: list[str] = []
+    server = KVServer.create(
+        num_gpus=4, capacity=1 << 13, oplog=True, batch_window=0.0005
+    ).start()
+    try:
+        rng = np.random.default_rng(5)
+        keys = np.arange(1, 513, dtype=np.uint32)
+        values = rng.integers(0, 1 << 32, size=512, dtype=np.uint32)
+        with KVClient(server.address, name="smoke") as client:
+            client.insert(keys, values)
+            for _ in range(3):  # repeats promote the keys into the cache
+                got, found = client.query(keys)
+            if not (found.all() and (got == values).all()):
+                failures.append("serve: query round-trip mismatch")
+            erased = client.erase(keys[:64])
+            if int(erased.sum()) != 64:
+                failures.append("serve: erase round-trip mismatch")
+            _, refound = client.query(keys[:64])
+            if refound.any():
+                failures.append("serve: cache served erased keys (stale)")
+            counters = client.stats()["counters"]
+        if not counters.get("serve.cache.hits"):
+            failures.append("serve: hot keys never hit the cache tier")
+
+        # gate 3: garbage bytes → typed error frame, connection closed
+        raw = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        raw.connect(server.address)
+        raw.sendall(b"\x00" * 12)
+        reply = read_frame(raw)
+        if reply.type != FrameType.ERROR:
+            failures.append("serve: malformed header not answered typed")
+        raw.close()
+
+        # gate 4: a one-frame budget rejects the second in-flight frame
+        tiny = KVServer.create(
+            num_gpus=2,
+            capacity=1 << 10,
+            admission_bytes=1 << 10,
+            batch_window=0.2,  # park frame one in the coalescer window
+        ).start()
+        try:
+            with KVClient(
+                tiny.address, name="flood", presplit=False
+            ) as flood:
+                overloaded = False
+                try:
+                    flood.insert(
+                        np.arange(1, 257, dtype=np.uint32),
+                        np.ones(256, dtype=np.uint32),
+                    )
+                    flood.insert(
+                        np.arange(300, 556, dtype=np.uint32),
+                        np.ones(256, dtype=np.uint32),
+                    )
+                except ServeError as exc:
+                    overloaded = exc.code == ErrorCode.OVERLOADED
+            if not overloaded:
+                failures.append("serve: saturated budget never rejected")
+            if not tiny.stats.get("serve.rejected"):
+                failures.append("serve: serve.rejected counter still zero")
+        finally:
+            tiny.close()
+    finally:
+        server.close()
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(
+        "serve smoke: round-trips, cache coherence, typed faults, "
+        "and admission backpressure all hold"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import KVServer
+
+    if args.smoke:
+        return _serve_smoke()
+    address = args.socket
+    if address is None and args.port is not None:
+        address = (args.host, args.port)
+    server = KVServer.create(
+        num_gpus=args.m,
+        capacity=args.capacity,
+        address=address,
+        cache=not args.no_cache,
+        cache_size=args.cache_size,
+        batch_window=args.batch_window,
+    ).start()
+    addr = server.address
+    shown = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
+    print(f"serving {args.m}-GPU table (capacity {args.capacity}) on {shown}")
+    print("stop with Ctrl-C or a client-side shutdown")
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        server.close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as jsonlib
+    import time as timelib
+
+    import numpy as np
+
+    from repro.serve import KVClient
+    from repro.workloads import random_values, serving_zipf_keys, universe_key_map
+
+    address = args.socket
+    if address is None and args.port is not None:
+        address = (args.host, args.port)
+    if address is None:
+        print("FAIL client needs --socket PATH or --port N")
+        return 2
+    with KVClient(
+        address, name=args.name, retry_overloaded=8
+    ) as client:
+        if args.op == "stats":
+            print(jsonlib.dumps(client.stats(), indent=2))
+            return 0
+        if args.op == "shutdown":
+            client.shutdown_server()
+            print("server asked to shut down")
+            return 0
+        if args.op == "prefill":
+            keys = universe_key_map(args.universe, seed=args.seed)
+            values = random_values(args.universe, seed=args.seed ^ 0xBEEF)
+            count = client.insert(keys, values)
+            print(f"prefilled {count} universe pairs")
+            return 0
+        # op == "zipf": the Zipfian load generator against a live server
+        total = 0
+        t0 = timelib.perf_counter()
+        for batch in range(args.batches):
+            keys = serving_zipf_keys(
+                args.batch_size,
+                args.s,
+                universe=args.universe,
+                seed=args.seed + 7919 * (batch + 1),
+                map_seed=args.seed,
+            )
+            _, found = client.query(keys)
+            total += int(keys.size)
+        seconds = timelib.perf_counter() - t0
+        counters = client.stats()["counters"]
+        hits = counters.get("serve.cache.hits", 0)
+        misses = counters.get("serve.cache.misses", 0)
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        print(
+            f"{total} Zipf(s={args.s}) queries in {seconds:.3f} s "
+            f"({total / seconds / 1e6:.3f} Mops/s), "
+            f"found {int(found.sum())}/{found.size} in last batch, "
+            f"server hit rate {rate:.0%}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="WarpDrive reproduction toolkit"
@@ -614,7 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--m", type=int, default=4, help="GPUs in the cascade")
     bench.add_argument(
         "--suite",
-        choices=("wallclock", "distribution", "all"),
+        choices=("wallclock", "distribution", "serving", "all"),
         default="all",
         help="which measured suite(s) to run",
     )
@@ -642,6 +842,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write records to this JSON path"
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a distributed table over a unix/TCP socket "
+        "(--smoke is the CI gate)",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="in-process serve/fault/cache gate for CI",
+    )
+    serve.add_argument("--m", type=int, default=4, help="GPUs behind the server")
+    serve.add_argument(
+        "--capacity", type=int, default=1 << 16, help="total table capacity"
+    )
+    serve.add_argument(
+        "--socket", default=None,
+        help="unix socket path (default: fresh path under /tmp)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (0 picks one); overrides the unix default",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the hot-key cache tier"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, help="hot-key cache capacity"
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="seconds the coalescer waits to merge requests",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="drive a running `repro serve` (Zipfian load generator)",
+    )
+    client.add_argument(
+        "--op", choices=("zipf", "prefill", "stats", "shutdown"),
+        default="zipf", help="what to run against the server",
+    )
+    client.add_argument("--socket", default=None, help="server unix socket path")
+    client.add_argument("--host", default="127.0.0.1", help="server TCP host")
+    client.add_argument("--port", type=int, default=None, help="server TCP port")
+    client.add_argument("--name", default=None, help="client identity for HELLO")
+    client.add_argument("--s", type=float, default=1.0, help="Zipf skew exponent")
+    client.add_argument(
+        "--universe", type=int, default=4096, help="distinct keys in the trace"
+    )
+    client.add_argument("--batches", type=int, default=16)
+    client.add_argument("--batch-size", type=int, default=2048)
+    client.add_argument("--seed", type=int, default=11)
+    client.set_defaults(fn=_cmd_client)
 
     trace = sub.add_parser(
         "trace",

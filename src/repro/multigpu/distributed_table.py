@@ -90,6 +90,11 @@ class CascadeReport:
     #: "compiled") — post-fallback, so rows record the truth even when
     #: "compiled" was requested on a host without a JIT provider
     kernels: str = "fast"
+    #: serving-layer hot-key cache accounting for the batch this cascade
+    #: served: keys answered by the cache tier vs. keys that reached the
+    #: cascade (0/num_ops outside the serving path)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     schema_version = 1
 
@@ -116,6 +121,8 @@ class CascadeReport:
                 "op": self.op,
                 "num_ops": self.num_ops,
                 "kernels": self.kernels,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
                 "h2d_bytes": self.h2d_bytes,
                 "d2h_bytes": self.d2h_bytes,
                 "alltoall_bytes": self.alltoall_bytes,

@@ -117,6 +117,26 @@ class StagingBudget:
             _record_stall("budget", waited, nbytes)
         self._observe_depth(in_flight)
 
+    def try_acquire(self, nbytes: int) -> bool:
+        """Charge ``nbytes`` only if it fits right now; never block.
+
+        The serving layer's admission control: a full budget means the
+        request is *rejected* (typed backpressure to the client) rather
+        than queued, so a burst cannot build an unbounded backlog.
+        Returns ``True`` when the charge was taken.
+        """
+        nbytes = int(nbytes)
+        with self._cond:
+            if self._aborted:
+                raise PipelineAborted("staging budget aborted")
+            if self.in_flight_bytes + nbytes > self.total_bytes:
+                return False
+            self.in_flight_bytes += nbytes
+            self.peak_bytes = max(self.peak_bytes, self.in_flight_bytes)
+            in_flight = self.in_flight_bytes
+        self._observe_depth(in_flight)
+        return True
+
     def release(self, nbytes: int) -> None:
         with self._cond:
             nbytes = int(nbytes)

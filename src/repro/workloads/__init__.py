@@ -16,6 +16,13 @@ from .kmers import (
     pcie_amplification,
     random_dna,
 )
+from .serving import (
+    ServingOp,
+    ServingWorkload,
+    serving_workload,
+    serving_zipf_keys,
+    universe_key_map,
+)
 from .patches import (
     extract_patches,
     patch_amplification,
@@ -33,6 +40,11 @@ __all__ = [
     "make_distribution",
     "Batch",
     "BatchStream",
+    "ServingOp",
+    "ServingWorkload",
+    "serving_workload",
+    "serving_zipf_keys",
+    "universe_key_map",
     "random_dna",
     "encode_bases",
     "extract_kmers",

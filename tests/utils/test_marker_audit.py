@@ -245,6 +245,57 @@ class TestPipelineTree:
         assert "stream-smoke:" in (REPO_ROOT / "Makefile").read_text()
 
 
+class TestServeTree:
+    """The serving-layer suite stays wired into every gate."""
+
+    EXPECTED = {
+        "serve/test_protocol.py",
+        "serve/test_cache_properties.py",
+        "serve/test_server_client.py",
+        "serve/test_soak.py",
+        "serve/test_faults.py",
+    }
+
+    def test_serve_tree_exists_and_non_empty(self):
+        """One module per guarantee: wire-codec round-trips, cache
+        coherence vs a reference simulator, live end-to-end round
+        trips, soak serial-replay identity, and fault injection."""
+        for name in self.EXPECTED:
+            path = TESTS / name
+            assert path.exists() and path.stat().st_size > 0, name
+
+    def test_coverage_floor_requires_serve_tree(self):
+        """tools/coverage_floor.py refuses to gate without these files,
+        so a rename can't silently drop the serving coverage."""
+        text = (REPO_ROOT / "tools" / "coverage_floor.py").read_text()
+        assert "tests/serve/test_soak*.py" in text
+        assert "tests/serve/test_faults*.py" in text
+        assert "tests/serve/test_cache_properties*.py" in text
+        assert "tests/serve/test_protocol*.py" in text
+
+    def test_process_client_soak_is_slow_marked(self):
+        """The multi-process soak spawns real client processes; it must
+        carry the registered `slow` marker to stay out of tier-1."""
+        text = (TESTS / "serve" / "test_soak.py").read_text()
+        match = re.search(
+            r"@pytest\.mark\.slow\s*\n\s*def (\w*process\w*)", text
+        )
+        assert match, "process-client soak test must be slow-marked"
+
+    def test_serve_property_tests_use_shared_profiles(self):
+        for name in ("serve/test_protocol.py", "serve/test_cache_properties.py"):
+            text = (TESTS / name).read_text()
+            assert "from profiles import examples" in text, name
+            assert "settings(max_examples" not in text, name
+
+    def test_ci_runs_serve_smoke_on_both_legs(self):
+        """`make serve-smoke` boots a live server on the numba-free leg
+        and again atop the compiled kernel path on the numba leg."""
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert ci.count("make serve-smoke") >= 2
+        assert "serve-smoke:" in (REPO_ROOT / "Makefile").read_text()
+
+
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
         """Example counts stay within the tier-1 budget.

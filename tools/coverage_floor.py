@@ -33,11 +33,12 @@ SRC = REPO_ROOT / "src"
 TARGET_PACKAGES = ("repro/simt", "repro/core")
 
 #: test-tree globs the gate refuses to run without: the lifecycle layer
-#: (grow/rehash), the compiled kernel backend, and the streaming
-#: pipeline (depth equivalence + staging backpressure) are exercised
-#: only through these modules, so a renamed or emptied file would
-#: silently drop the floor's most load-bearing coverage instead of
-#: failing the gate
+#: (grow/rehash), the compiled kernel backend, the streaming pipeline
+#: (depth equivalence + staging backpressure), and the serving layer
+#: (soak replay identity, fault injection, cache coherence) are
+#: exercised only through these modules, so a renamed or emptied file
+#: would silently drop the floor's most load-bearing coverage instead
+#: of failing the gate
 REQUIRED_TEST_GLOBS = (
     "tests/core/test_growth*.py",
     "tests/multigpu/test_distributed_growth*.py",
@@ -46,6 +47,10 @@ REQUIRED_TEST_GLOBS = (
     "tests/exec/test_compiled_equivalence*.py",
     "tests/pipeline/test_pipeline_depth*.py",
     "tests/pipeline/test_staging*.py",
+    "tests/serve/test_soak*.py",
+    "tests/serve/test_faults*.py",
+    "tests/serve/test_cache_properties*.py",
+    "tests/serve/test_protocol*.py",
 )
 
 
