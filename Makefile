@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke stream-smoke serve-smoke bench-compiled
+.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke stream-smoke serve-smoke cluster-smoke bench-compiled
 
 # tier-1: fast suite, excludes `slow` and `fuzz` via pyproject addopts
 test:
@@ -33,6 +33,13 @@ grow-smoke:
 # modelled pacing, Perfetto-validated (repro stream exits 1 on any miss)
 stream-smoke:
 	$(PYTHON) -m repro stream --smoke --out /tmp/repro.stream.trace.json
+
+# cluster smoke: one-node-cluster bit-identity against the flat node
+# (outputs AND charged bytes), NIC charging on a 2x2 cluster, and the
+# traced transpose.intra/inter levels, Perfetto-validated (repro
+# cluster exits 1 on any miss)
+cluster-smoke:
+	$(PYTHON) -m repro cluster --smoke --out /tmp/repro.cluster.trace.json
 
 # serving smoke: boot a live KVServer, drive insert/query/erase through
 # a real client, check cache-coherence across an overwrite and the

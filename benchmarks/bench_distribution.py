@@ -14,6 +14,7 @@ itself is property-tested in ``tests/multigpu`` and re-checked inside
 the suite before any number is reported.
 """
 
+import json
 from pathlib import Path
 
 from conftest import record
@@ -22,10 +23,25 @@ from repro.bench import (
     distribution_speedup,
     format_distribution_records,
     run_distribution_suite,
-    write_results,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "BENCH_distribution.json"
+
+
+def merge_distribution_rows(records, path: Path) -> Path:
+    """Replace the file's distribution rows, keeping the cluster rows
+    ``bench_cluster.py`` merges into the same file."""
+    rows = []
+    if path.exists():
+        rows = [
+            row
+            for row in json.loads(path.read_text())
+            if str(row.get("bench", "")).startswith("cluster")
+        ]
+    rows = [r.to_dict() for r in records] + rows
+    path.write_text(json.dumps(rows, indent=2) + "\n")
+    return path
 
 
 def test_distribution(benchmark):
@@ -34,7 +50,7 @@ def test_distribution(benchmark):
         iterations=1,
         rounds=1,
     )
-    write_results(records, REPO_ROOT / "BENCH_distribution.json")
+    merge_distribution_rows(records, RESULTS)
     record("distribution", format_distribution_records(records))
 
     rows = {(r.bench, r.path) for r in records}
@@ -47,7 +63,7 @@ def test_distribution(benchmark):
 
 if __name__ == "__main__":
     rows = run_distribution_suite(n=1 << 18, m=4, seed=11)
-    out = write_results(rows, REPO_ROOT / "BENCH_distribution.json")
+    out = merge_distribution_rows(rows, RESULTS)
     print(format_distribution_records(rows))
     print(f"total speedup: {distribution_speedup(rows, 'total'):.2f}x")
     print(f"wrote {out}")

@@ -20,7 +20,7 @@ subpackages hold the full API:
 
 All table constructors and drivers share one option vocabulary —
 ``engine=`` / ``workers=`` / ``distribution=`` / ``kernels=`` /
-``measure=`` — documented in :mod:`repro.options`.
+``measure=`` / ``topology=`` — documented in :mod:`repro.options`.
 """
 
 from . import obs
@@ -37,6 +37,16 @@ from .errors import (
     ReproError,
 )
 from .multigpu.distributed_table import CascadeReport, DistributedHashTable
+from .multigpu.topology import (
+    ClusterTopology,
+    NodeTopology,
+    Topology,
+    TopologySpec,
+    dgx1v_node,
+    p100_nvlink_node,
+    pcie_only_node,
+    topology,
+)
 from .pipeline.driver import AsyncCascadeDriver, StreamResult
 
 __version__ = "1.0.0"
@@ -50,6 +60,14 @@ __all__ = [
     "HashTableConfig",
     "DistributedHashTable",
     "CascadeReport",
+    "Topology",
+    "NodeTopology",
+    "ClusterTopology",
+    "TopologySpec",
+    "topology",
+    "p100_nvlink_node",
+    "dgx1v_node",
+    "pcie_only_node",
     "AsyncCascadeDriver",
     "StreamResult",
     "obs",

@@ -36,6 +36,12 @@ from .experiments_single import (
     run_single_gpu_sweep,
     run_speedup_table,
 )
+from .cluster import (
+    ClusterScaleRecord,
+    cluster_scaling_efficiency,
+    format_cluster_records,
+    run_cluster_suite,
+)
 from .distribution import (
     DistributionRecord,
     distribution_speedup,
@@ -87,6 +93,10 @@ __all__ = [
     "format_records",
     "DistributionRecord",
     "run_distribution_suite",
+    "ClusterScaleRecord",
+    "run_cluster_suite",
+    "format_cluster_records",
+    "cluster_scaling_efficiency",
     "format_distribution_records",
     "distribution_speedup",
     "ServingRecord",

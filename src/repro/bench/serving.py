@@ -155,7 +155,7 @@ def _run_serving_once(
     seed: int,
     warmup_batches: int = 2,
 ) -> ServingRecord:
-    table = DistributedHashTable(p100_nvlink_node(num_gpus), capacity)
+    table = DistributedHashTable(capacity, topology=p100_nvlink_node(num_gpus))
     server = KVServer(
         table,
         own_table=True,

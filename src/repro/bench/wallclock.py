@@ -40,6 +40,7 @@ from ..errors import ConfigurationError
 from ..exec.engine import ShardKernelTask, available_backends, create_engine
 from ..multigpu.distributed_table import DistributedHashTable
 from ..multigpu.topology import p100_nvlink_node
+from ..multigpu.topology import topology as build_topology
 from ..obs.protocol import reportable_dict
 from ..workloads import random_values, unique_keys
 
@@ -202,11 +203,30 @@ def bench_single_shard(
     return records
 
 
+
+def _bench_topology(m, topology):
+    """Resolve a bench's topology from ``m`` or a ``topology=`` spec.
+
+    The two are mutually exclusive — the spec already fixes the GPU
+    count (see :mod:`repro.options`).  Specs are re-resolved per call so
+    every bench run starts on fresh simulated devices.
+    """
+    if topology is not None:
+        if m is not None:
+            raise ConfigurationError(
+                "got both m= and topology=; the topology spec already "
+                "fixes the GPU count (see repro.options)"
+            )
+        return build_topology(topology)
+    return p100_nvlink_node(4 if m is None else m)
+
+
 def bench_cascade(
     engine: str,
     n: int,
     *,
-    m: int = 4,
+    m: int | None = None,
+    topology=None,
     group_size: int = 4,
     load_factor: float = 0.95,
     workers: int | None = None,
@@ -216,7 +236,8 @@ def bench_cascade(
     """Time the full device-sided distributed insertion cascade."""
     keys = unique_keys(n, seed=seed)
     values = random_values(n, seed=seed + 1)
-    topology = p100_nvlink_node(m)
+    topology = _bench_topology(m, topology)
+    m = topology.num_devices
     table = DistributedHashTable.for_workload(
         topology,
         keys,
@@ -251,7 +272,8 @@ def bench_growth(
     engine: str,
     n: int,
     *,
-    m: int = 4,
+    m: int | None = None,
+    topology=None,
     group_size: int = 4,
     max_load: float = 0.9,
     chunks: int = 8,
@@ -267,11 +289,12 @@ def bench_growth(
 
     keys = unique_keys(n, seed=seed)
     values = random_values(n, seed=seed + 1)
-    topology = p100_nvlink_node(m)
+    topology = _bench_topology(m, topology)
+    m = topology.num_devices
     start_capacity = max(m * 64, n // 4)
     table = DistributedHashTable(
-        topology,
         start_capacity,
+        topology=topology,
         group_size=group_size,
         engine=engine,
         workers=workers,
@@ -309,7 +332,8 @@ def bench_growth(
 def bench_pipeline_depth(
     n: int,
     *,
-    m: int = 4,
+    m: int | None = None,
+    topology=None,
     depths: tuple[int, ...] = (1, 2, 4),
     num_batches: int = 8,
     scale: float = 500.0,
@@ -339,8 +363,9 @@ def bench_pipeline_depth(
     )
     records = []
     for depth in depths:
+        topo = _bench_topology(m, topology)
         table = DistributedHashTable(
-            p100_nvlink_node(m), n * 2, group_size=group_size
+            n * 2, topology=topo, group_size=group_size
         )
         try:
             driver = AsyncCascadeDriver(
@@ -354,7 +379,7 @@ def bench_pipeline_depth(
             WallClockRecord(
                 bench="pipeline_insert",
                 n=n,
-                m=m,
+                m=topo.num_devices,
                 engine="serial",
                 ops_per_s=n / seconds if seconds > 0 else 0.0,
                 seconds=seconds,
@@ -367,7 +392,8 @@ def bench_pipeline_depth(
 def run_wallclock_suite(
     n: int = 1 << 18,
     *,
-    m: int = 4,
+    m: int | None = None,
+    topology=None,
     engines: tuple[str, ...] | None = None,
     workers: int | None = None,
     seed: int = 11,
@@ -390,12 +416,14 @@ def run_wallclock_suite(
             continue
         records.extend(
             bench_cascade(
-                engine, n, m=m, workers=workers, seed=seed, kernels=kernels
+                engine, n, m=m, topology=topology, workers=workers,
+                seed=seed, kernels=kernels,
             )
         )
         records.extend(
             bench_growth(
-                engine, n, m=m, workers=workers, seed=seed, kernels=kernels
+                engine, n, m=m, topology=topology, workers=workers,
+                seed=seed, kernels=kernels,
             )
         )
     return records

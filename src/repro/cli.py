@@ -25,6 +25,11 @@ stream
     backpressure, and measured distribution/kernel overlap under
     modelled pacing, with Perfetto validation (``--smoke`` is the CI
     gate).
+cluster
+    Hierarchical-topology exercise: one-node-cluster bit-identity
+    against the flat node, NIC byte charging on a two-node cluster, and
+    the traced ``transpose.intra``/``transpose.inter`` exchange levels
+    (``--smoke`` is the CI gate).
 racecheck
     Shadow-memory race sanitizer over the reference kernels: clean-tree
     certification plus the seeded mutant catalogue.
@@ -70,9 +75,33 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+
+def _resolve_topology_arg(args: argparse.Namespace, *, default_m: int = 4):
+    """Build a command's topology from ``--topology`` / ``--m``.
+
+    The two are mutually exclusive — a spec like ``cluster:2x4`` already
+    fixes the GPU count.  Re-resolves the spec on every call so each run
+    starts on fresh simulated devices.
+    """
+    from repro.errors import ConfigurationError
+    from repro.multigpu import p100_nvlink_node
+    from repro.multigpu import topology as build_topology
+
+    spec = getattr(args, "topology", None)
+    m = getattr(args, "m", None)
+    if spec is not None:
+        if m is not None:
+            raise ConfigurationError(
+                "got both --topology and --m; the topology spec already "
+                "fixes the GPU count (see repro.options)"
+            )
+        return build_topology(spec)
+    return p100_nvlink_node(default_m if m is None else m)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import WarpDriveHashTable
-    from repro.multigpu import DistributedHashTable, p100_nvlink_node
+    from repro.multigpu import DistributedHashTable
     from repro.perfmodel import kernel_seconds, P100, throughput, time_cascade
     from repro.workloads import random_values, unique_keys
 
@@ -91,7 +120,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"modelled {throughput(n, secs) / 1e9:.2f} G inserts/s"
     )
 
-    node = p100_nvlink_node(4)
+    node = _resolve_topology_arg(args)
     dist = DistributedHashTable.for_workload(
         node, keys, 0.95, group_size=4,
         engine=args.engine, workers=args.workers,
@@ -160,17 +189,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "kernels; large n will take a very long time (--smoke "
             "recommended)"
         )
+    # resolve --topology/--m once (mutually exclusive) so every suite
+    # row reports the same GPU count
+    num_gpus = _resolve_topology_arg(args).num_devices
     records: list = []
     if args.suite in ("wallclock", "all"):
         wall = run_wallclock_suite(
             n=n,
             m=args.m,
+            topology=args.topology,
             engines=tuple(args.engines) if args.engines else None,
             workers=args.workers,
             kernels=args.kernels,
         )
         if args.kernels != "ref":
-            wall.extend(bench_pipeline_depth(n, m=args.m))
+            wall.extend(
+                bench_pipeline_depth(n, m=args.m, topology=args.topology)
+            )
         print(format_records(wall))
         if args.kernels == "ref":
             print(
@@ -179,7 +214,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
         records.extend(wall)
     if args.suite in ("distribution", "all"):
-        dist = run_distribution_suite(n=n, m=args.m)
+        dist = run_distribution_suite(n=n, m=args.m, topology=args.topology)
         print(format_distribution_records(dist))
         print(
             f"distribution total speedup: "
@@ -190,7 +225,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.bench import format_serving_records, run_serving_suite
 
         serving = run_serving_suite(
-            num_gpus=args.m,
+            num_gpus=num_gpus,
             batches_per_client=4 if args.smoke else 16,
             batch_size=4096 if args.smoke else 32768,
         )
@@ -211,13 +246,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
-    from repro.multigpu import DistributedHashTable, p100_nvlink_node
+    from repro.multigpu import DistributedHashTable
     from repro.workloads import random_values, unique_keys
 
     n = 1 << 12 if args.smoke else args.n
     keys = unique_keys(n, seed=3)
     values = random_values(n, seed=4)
-    node = p100_nvlink_node(args.m)
+    node = _resolve_topology_arg(args)
     with obs.session() as (recorder, metrics):
         table = DistributedHashTable.for_workload(
             node, keys, 0.95, group_size=4,
@@ -307,7 +342,7 @@ def _cmd_grow(args: argparse.Namespace) -> int:
         pt.free()
 
         node = p100_nvlink_node(4)
-        dt = DistributedHashTable(node, base, growth=policy)
+        dt = DistributedHashTable(base, topology=node, growth=policy)
         for ck, cv in chunks:
             dt.insert(ck, cv)
         check("distributed", dt,
@@ -320,7 +355,7 @@ def _cmd_grow(args: argparse.Namespace) -> int:
               f"{rehash_xfers} D2D rehash transfers)")
         dt.free()
 
-        st = DistributedHashTable(node, base, growth=policy)
+        st = DistributedHashTable(base, topology=node, growth=policy)
         driver = AsyncCascadeDriver(st, num_threads=2, measure=True)
         res = driver.insert_stream(chunks)
         check("driver", st, lambda: st.query(keys)[:2])
@@ -371,7 +406,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro import obs
-    from repro.multigpu import DistributedHashTable, p100_nvlink_node
+    from repro.multigpu import DistributedHashTable
     from repro.pipeline import AsyncCascadeDriver
     from repro.workloads import random_values, unique_keys
 
@@ -387,7 +422,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     failures: list[str] = []
 
     def run(d: int, *, budget=None, pace="none", scale=20.0):
-        table = DistributedHashTable(p100_nvlink_node(args.m), int(n / 0.8))
+        table = DistributedHashTable(
+            int(n / 0.8), topology=_resolve_topology_arg(args)
+        )
         driver = AsyncCascadeDriver(
             table, depth=d, staging_budget=budget, pace=pace, scale=scale
         )
@@ -476,7 +513,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     obatches = list(zip(np.array_split(okeys, 8), np.array_split(ovalues, 8)))
 
     def measured(d: int) -> float:
-        table = DistributedHashTable(p100_nvlink_node(args.m), on * 2)
+        table = DistributedHashTable(
+            on * 2, topology=_resolve_topology_arg(args)
+        )
         driver = AsyncCascadeDriver(
             table, depth=d, pace="modelled", measure=True, scale=500.0
         )
@@ -504,6 +543,116 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             print(f"FAIL {failure}")
         return 1
     print("stream smoke: pipelined, bounded, bit-identical, and overlapped")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Hierarchical-topology exercise: cluster bit-identity + NIC charges.
+
+    Runs the same insert/erase/query workload through a flat 4-GPU node,
+    a ``cluster:1x4`` (one-node cluster), and a ``cluster:2x2`` (same
+    four GPUs split across two nodes).  Success means: the one-node
+    cluster is bit-identical to the flat node *including* its charged
+    bytes; the two-node cluster reaches the identical table state and
+    query answers while charging part of the all-to-all to the NIC; and
+    the traced run validates as Perfetto output with ``transpose.intra``
+    / ``transpose.inter`` child spans (``--smoke`` is the CI gate).
+    """
+    import numpy as np
+
+    from repro import obs
+    from repro.multigpu import DistributedHashTable, topology as build_topology
+
+    from repro.workloads import random_values, unique_keys
+
+    n = 1 << 13 if args.smoke else args.n
+    keys = unique_keys(n, seed=41)
+    values = random_values(n, seed=42)
+    erase_keys = keys[: n // 4]
+    query_keys = keys
+    failures: list[str] = []
+
+    def run(spec: str):
+        """One full cascade workload; returns (state, answers, reports)."""
+        table = DistributedHashTable(int(n / 0.8), topology=build_topology(spec))
+        try:
+            ins = table.insert(keys, values, source="host")
+            table.erase(erase_keys)
+            got, found, qry = table.query(query_keys, source="host")
+            ks, vs = table.export()
+            order = np.argsort(ks, kind="stable")
+            state = (len(table), ks[order].tobytes(), vs[order].tobytes())
+            charges = tuple(
+                (r.op, r.alltoall_bytes, r.alltoall_seconds,
+                 r.reverse_bytes, r.reverse_seconds)
+                for r in (ins, qry)
+            )
+        finally:
+            table.free()
+        return state, (got.tobytes(), found.tobytes()), charges, (ins, qry)
+
+    flat_state, flat_ans, flat_charges, _ = run("p100:4")
+
+    with obs.session() as (recorder, metrics):
+        one_state, one_ans, one_charges, (one_ins, one_qry) = run("cluster:1x4")
+        two_state, two_ans, two_charges, (two_ins, two_qry) = run("cluster:2x2")
+
+    # 1. one-node cluster: bit-identical to flat, charges included
+    if one_state != flat_state or one_ans != flat_ans:
+        failures.append("cluster:1x4 state/answers differ from flat p100:4")
+    if one_charges != flat_charges:
+        failures.append("cluster:1x4 charged bytes/seconds differ from flat")
+    if one_ins.alltoall_inter_bytes or one_qry.reverse_inter_bytes:
+        failures.append("cluster:1x4 charged traffic to the NIC")
+    print(
+        f"identity     cluster:1x4 vs p100:4: {n} pairs, bit-identical="
+        f"{one_state == flat_state and one_charges == flat_charges}"
+    )
+
+    # 2. two-node cluster: same data, NIC-charged exchange
+    if two_state != flat_state or two_ans != flat_ans:
+        failures.append("cluster:2x2 state/answers differ from flat p100:4")
+    inter = two_ins.alltoall_inter_bytes + two_qry.alltoall_inter_bytes
+    if inter <= 0:
+        failures.append("cluster:2x2 charged no inter-node traffic")
+    if two_ins.num_nodes != 2:
+        failures.append(f"cluster:2x2 report num_nodes={two_ins.num_nodes}")
+    total = two_ins.alltoall_intra_bytes + two_ins.alltoall_inter_bytes
+    if total != two_ins.alltoall_bytes:
+        failures.append(
+            f"cluster:2x2 intra+inter {total} != total {two_ins.alltoall_bytes}"
+        )
+    print(
+        f"hierarchy    cluster:2x2: identical state, "
+        f"{inter} B over the NIC "
+        f"({two_ins.alltoall_inter_seconds * 1e6:.1f} us inter-level)"
+    )
+
+    # 3. trace: hierarchical child spans + valid Perfetto output
+    intra_spans = [s for s in recorder.spans if s.name == "transpose.intra"]
+    inter_spans = [s for s in recorder.spans if s.name == "transpose.inter"]
+    if not intra_spans or not inter_spans:
+        failures.append(
+            f"trace: expected transpose.intra/inter spans, got "
+            f"{len(intra_spans)}/{len(inter_spans)}"
+        )
+    data = obs.to_perfetto(recorder, metrics)
+    problems = obs.validate_trace(data)
+    failures.extend(f"trace: {p}" for p in problems)
+    if args.out:
+        path = obs.write_trace(args.out, recorder, metrics)
+        print(f"wrote {path} (open at https://ui.perfetto.dev)")
+    print(
+        f"trace        {len(recorder.spans)} spans, "
+        f"{len(intra_spans)} intra + {len(inter_spans)} inter transpose "
+        f"levels, valid={not problems}"
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("cluster smoke: hierarchical, NIC-charged, and bit-identical")
     return 0
 
 
@@ -782,6 +931,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--workers", type=int, default=None, help="pool size for thread/process"
     )
+    demo.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help='''topology spec: "p100:M", "pcie:M", "dgx1v", "cluster:NxM" (see repro.options)''',
+    )
     demo.set_defaults(fn=_cmd_demo)
 
     rates = sub.add_parser("rates", help="modelled single-GPU rate table")
@@ -811,7 +964,14 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="measured wall-clock suites (engines, distribution)"
     )
     bench.add_argument("--n", type=int, default=1 << 18, help="keys per bench")
-    bench.add_argument("--m", type=int, default=4, help="GPUs in the cascade")
+    bench.add_argument(
+        "--m", type=int, default=None,
+        help="GPUs in the cascade (default 4; exclusive with --topology)",
+    )
+    bench.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help='''topology spec: "p100:M", "pcie:M", "dgx1v", "cluster:NxM" (see repro.options)''',
+    )
     bench.add_argument(
         "--suite",
         choices=("wallclock", "distribution", "serving", "all"),
@@ -903,7 +1063,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a traced m-GPU cascade and write Perfetto trace_event JSON",
     )
     trace.add_argument("--n", type=int, default=1 << 16, help="pairs to stream")
-    trace.add_argument("--m", type=int, default=4, help="GPUs in the cascade")
+    trace.add_argument(
+        "--m", type=int, default=None,
+        help="GPUs in the cascade (default 4; exclusive with --topology)",
+    )
+    trace.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help='''topology spec: "p100:M", "pcie:M", "dgx1v", "cluster:NxM" (see repro.options)''',
+    )
     trace.add_argument(
         "--engine",
         choices=("serial", "thread", "process"),
@@ -950,13 +1117,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--n", type=int, default=1 << 17,
                         help="pairs to stream (8 batches)")
-    stream.add_argument("--m", type=int, default=4,
+    stream.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help='''topology spec: "p100:M", "pcie:M", "dgx1v", "cluster:NxM" (see repro.options)''',
+    )
+    stream.add_argument("--m", type=int, default=None,
                         help="GPUs in the cascade")
     stream.add_argument("--depth", type=int, default=2,
                         help="pipelined in-flight batch depth to validate")
     stream.add_argument("--out", default=None,
                         help="optional Perfetto trace output path")
     stream.set_defaults(fn=_cmd_stream)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="hierarchical-topology exercise: one-node cluster "
+        "bit-identity, NIC charging, traced exchange levels",
+    )
+    cluster.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed workload for CI",
+    )
+    cluster.add_argument("--n", type=int, default=1 << 16,
+                         help="pairs to ingest per topology")
+    cluster.add_argument("--out", default=None,
+                         help="optional Perfetto trace output path")
+    cluster.set_defaults(fn=_cmd_cluster)
 
     race = sub.add_parser(
         "racecheck",

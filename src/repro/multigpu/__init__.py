@@ -12,18 +12,41 @@ from .alltoall import (
 from .distributed_table import CascadeReport, DistributedHashTable
 from .plan import CascadePlan, PlanCache, chunk_slices
 from .strategies import StrategyCost, compare_strategies
-from .multisplit import MultisplitResult, multisplit, multisplit_fast
+from .multisplit import (
+    MultisplitResult,
+    TwoLevelSplitResult,
+    multisplit,
+    multisplit_fast,
+    multisplit_two_level,
+)
 from .partition_table import PartitionTable, TransferPlanEntry
-from .topology import NodeTopology, dgx1v_node, p100_nvlink_node, pcie_only_node
+from .topology import (
+    ClusterTopology,
+    NodeTopology,
+    Topology,
+    TopologySpec,
+    TrafficBreakdown,
+    dgx1v_node,
+    p100_nvlink_node,
+    pcie_only_node,
+    topology,
+)
 
 __all__ = [
+    "Topology",
     "NodeTopology",
+    "ClusterTopology",
+    "TopologySpec",
+    "TrafficBreakdown",
+    "topology",
     "p100_nvlink_node",
     "dgx1v_node",
     "pcie_only_node",
     "MultisplitResult",
+    "TwoLevelSplitResult",
     "multisplit",
     "multisplit_fast",
+    "multisplit_two_level",
     "PartitionTable",
     "TransferPlanEntry",
     "AllToAllResult",

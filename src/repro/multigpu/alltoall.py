@@ -35,7 +35,7 @@ from ..core.kernels_jit import reverse_gather_fill
 from ..errors import ConfigurationError
 from ..memory.transfer import MemcpyKind, TransferLog, TransferRecord
 from .partition_table import PartitionTable
-from .topology import NodeTopology
+from .topology import Topology, TrafficBreakdown
 
 __all__ = [
     "AllToAllResult",
@@ -82,13 +82,16 @@ class AllToAllResult:
     received: list[np.ndarray]
     #: the transposed partition table T^t
     table: PartitionTable
-    #: seconds the exchange occupies the NVLink network (model time)
+    #: seconds the exchange occupies the interconnect (model time)
     network_seconds: float
     #: reference path: (src_gpu, src_position) per received element —
     #: src_position indexes the *source GPU's multisplit output*
     provenance: list[np.ndarray] | None = None
     #: fused path: compact offset-range routing
     routing: ExchangeRouting | None = None
+    #: per-level (NVLink vs NIC) charge; ``breakdown.seconds`` equals
+    #: :attr:`network_seconds`
+    breakdown: TrafficBreakdown | None = None
 
 
 @dataclass
@@ -101,6 +104,8 @@ class ReverseExchangeResult:
     network_seconds: float
     #: bytes moved per (sending part, receiving src); diagonal is zero
     traffic: np.ndarray
+    #: per-level (NVLink vs NIC) charge of the reverse leg
+    breakdown: TrafficBreakdown | None = None
 
 
 def _log_transpose(
@@ -122,7 +127,7 @@ def _check_shapes(
     split_pairs: list[np.ndarray],
     split_offsets: list[np.ndarray],
     counts: PartitionTable,
-    topology: NodeTopology,
+    topology: Topology,
 ) -> int:
     m = counts.num_gpus
     if len(split_pairs) != m or len(split_offsets) != m:
@@ -140,7 +145,7 @@ def transpose_exchange(
     split_pairs: list[np.ndarray],
     split_offsets: list[np.ndarray],
     counts: PartitionTable,
-    topology: NodeTopology,
+    topology: Topology,
     *,
     log: TransferLog | None = None,
 ) -> AllToAllResult:
@@ -186,12 +191,13 @@ def transpose_exchange(
             np.concatenate(prov) if prov else np.empty((0, 2), dtype=np.int64)
         )
 
-    network_seconds = topology.alltoall_time(counts.traffic_matrix())
+    breakdown = topology.traffic_breakdown(counts.traffic_matrix())
     return AllToAllResult(
         received=received,
         provenance=provenance,
         table=counts.transposed(),
-        network_seconds=network_seconds,
+        network_seconds=breakdown.seconds,
+        breakdown=breakdown,
     )
 
 
@@ -199,7 +205,7 @@ def transpose_exchange_fast(
     split_pairs: list[np.ndarray],
     split_offsets: list[np.ndarray],
     counts: PartitionTable,
-    topology: NodeTopology,
+    topology: Topology,
     *,
     log: TransferLog | None = None,
     build_routing: bool = True,
@@ -283,12 +289,13 @@ def transpose_exchange_fast(
             result_bases=result_bases,
             reverse_gather=reverse_gather,
         )
-    network_seconds = topology.alltoall_time(counts.traffic_matrix())
+    breakdown = topology.traffic_breakdown(counts.traffic_matrix())
     return AllToAllResult(
         received=received,
         table=counts.transposed(),
-        network_seconds=network_seconds,
+        network_seconds=breakdown.seconds,
         routing=routing,
+        breakdown=breakdown,
     )
 
 
@@ -317,7 +324,7 @@ def _log_reverse(
 def reverse_route_accounting(
     table: PartitionTable,
     itemsize: int,
-    topology: NodeTopology,
+    topology: Topology,
     *,
     log: TransferLog | None = None,
 ) -> tuple[float, np.ndarray]:
@@ -337,7 +344,7 @@ def reverse_exchange(
     results_per_part: list[np.ndarray],
     provenance: list[np.ndarray],
     chunk_sizes: list[int],
-    topology: NodeTopology,
+    topology: Topology,
     *,
     log: TransferLog | None = None,
 ) -> ReverseExchangeResult:
@@ -383,17 +390,19 @@ def reverse_exchange(
                             tag=f"reverse part={part}",
                         )
                     )
+    breakdown = topology.traffic_breakdown(traffic)
     return ReverseExchangeResult(
         outputs=outputs,
-        network_seconds=topology.alltoall_time(traffic),
+        network_seconds=breakdown.seconds,
         traffic=traffic,
+        breakdown=breakdown,
     )
 
 
 def reverse_exchange_fast(
     results_per_part: list[np.ndarray],
     routing: ExchangeRouting,
-    topology: NodeTopology,
+    topology: Topology,
     *,
     log: TransferLog | None = None,
 ) -> ReverseExchangeResult:
@@ -424,5 +433,8 @@ def reverse_exchange_fast(
     )
     outputs = [flat[gather] for gather in routing.reverse_gather]
     return ReverseExchangeResult(
-        outputs=outputs, network_seconds=seconds, traffic=traffic
+        outputs=outputs,
+        network_seconds=seconds,
+        traffic=traffic,
+        breakdown=topology.traffic_breakdown(traffic),
     )

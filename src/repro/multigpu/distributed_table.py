@@ -30,7 +30,7 @@ from ..exec.engine import ExecutionEngine, ShardKernelTask, create_engine
 from ..exec.metrics import ShardSpan
 from ..obs import runtime as obs
 from ..obs.protocol import reportable_dict
-from ..options import UNSET, reject_unknown, resolve_renamed
+from ..options import UNSET, reject_unknown, resolve_renamed, warn_positional
 from ..hashing.partition import PartitionHash, hashed_partition
 from ..memory.buffer import DeviceBuffer
 from ..memory.layout import pack_pairs, unpack_pairs
@@ -44,10 +44,16 @@ from .alltoall import (
     transpose_exchange,
     transpose_exchange_fast,
 )
-from .multisplit import MultisplitResult, multisplit, multisplit_fast
+from .multisplit import (
+    MultisplitResult,
+    multisplit,
+    multisplit_fast,
+    multisplit_two_level,
+)
 from .partition_table import PartitionTable
 from .plan import CascadePlan, PlanCache, chunk_slices
-from .topology import NodeTopology
+from .topology import Topology
+from .topology import topology as build_topology
 
 __all__ = ["CascadeReport", "DistributedHashTable", "StagedCascade"]
 
@@ -70,6 +76,20 @@ class CascadeReport:
     alltoall_seconds: float = 0.0
     reverse_bytes: int = 0
     reverse_seconds: float = 0.0
+    #: hierarchical split of the exchange legs: ``*_intra`` stays on the
+    #: node interconnect (NVLink/PCIe), ``*_inter`` crosses the NIC.  On
+    #: a flat (or one-node) topology intra equals the total and inter is
+    #: identically zero, keeping the flat path's charges unchanged.
+    alltoall_intra_bytes: int = 0
+    alltoall_inter_bytes: int = 0
+    alltoall_intra_seconds: float = 0.0
+    alltoall_inter_seconds: float = 0.0
+    reverse_intra_bytes: int = 0
+    reverse_inter_bytes: int = 0
+    reverse_intra_seconds: float = 0.0
+    reverse_inter_seconds: float = 0.0
+    #: node count of the topology that priced this cascade
+    num_nodes: int = 1
     #: per-GPU hash-kernel work (insert or query)
     kernel_reports: list[KernelReport] = field(default_factory=list)
     #: per-GPU H2D/D2H byte loads (for PCIe-switch pricing)
@@ -96,7 +116,8 @@ class CascadeReport:
     cache_hits: int = 0
     cache_misses: int = 0
 
-    schema_version = 1
+    # v2: hierarchical (intra/inter) exchange charges + num_nodes
+    schema_version = 2
 
     @property
     def load_imbalance(self) -> float:
@@ -129,6 +150,15 @@ class CascadeReport:
                 "alltoall_seconds": self.alltoall_seconds,
                 "reverse_bytes": self.reverse_bytes,
                 "reverse_seconds": self.reverse_seconds,
+                "alltoall_intra_bytes": self.alltoall_intra_bytes,
+                "alltoall_inter_bytes": self.alltoall_inter_bytes,
+                "alltoall_intra_seconds": self.alltoall_intra_seconds,
+                "alltoall_inter_seconds": self.alltoall_inter_seconds,
+                "reverse_intra_bytes": self.reverse_intra_bytes,
+                "reverse_inter_bytes": self.reverse_inter_bytes,
+                "reverse_intra_seconds": self.reverse_intra_seconds,
+                "reverse_inter_seconds": self.reverse_inter_seconds,
+                "num_nodes": self.num_nodes,
                 "load_imbalance": self.load_imbalance,
                 "kernel_wall_seconds": self.kernel_wall_seconds,
                 "distribution_wall_seconds": self.distribution_wall_seconds,
@@ -186,14 +216,62 @@ class StagedCascade:
         return sum(buf.nbytes for buf in self.buffers)
 
 
+def _resolve_topology_capacity(owner, arg0, arg1, topology_kw):
+    """Resolve the ``(capacity, topology=)`` vs ``(topology, capacity)`` forms.
+
+    The canonical constructor takes the capacity positionally and the
+    topology as the unified ``topology=`` option; the pre-hierarchy
+    positional form ``(topology, capacity)`` is shimmed with a one-time
+    deprecation warning.  Mixing the two for the same slot raises
+    :class:`ConfigurationError` (mirroring ``engine=``/``executor=``).
+    """
+    topo_spec = UNSET
+    capacity = UNSET
+    if arg0 is not None:
+        if isinstance(arg0, (int, np.integer)):
+            capacity = int(arg0)
+            if arg1 is not None:
+                raise ConfigurationError(
+                    f"{owner}: unexpected second positional argument "
+                    f"{arg1!r}; the capacity was already given"
+                )
+        else:
+            warn_positional(owner, "topology", "topology")
+            topo_spec = arg0
+            if arg1 is not None:
+                capacity = int(arg1)
+    if topology_kw is not UNSET:
+        if topo_spec is not UNSET:
+            raise ConfigurationError(
+                f"{owner}: got both a positional topology and 'topology='"
+            )
+        topo_spec = topology_kw
+    if capacity is UNSET:
+        raise ConfigurationError(f"{owner}: total_capacity is required")
+    topo = build_topology(None if topo_spec is UNSET else topo_spec)
+    return topo, capacity
+
+
 class DistributedHashTable:
-    """A WarpDrive hash map sharded over the GPUs of one node.
+    """A WarpDrive hash map sharded over the GPUs of a node or cluster.
+
+    The canonical form is ``DistributedHashTable(total_capacity,
+    topology=...)`` — the old positional-topology form
+    ``DistributedHashTable(node, capacity)`` keeps working through a
+    warn-once shim (see :mod:`repro.options`).
 
     Parameters
     ----------
     topology:
-        The node (devices + interconnect).  Shards allocate their slot
-        arrays as VRAM on the corresponding simulated device.
+        The interconnect model: a :class:`~repro.multigpu.topology.Topology`
+        (``NodeTopology`` or ``ClusterTopology``), a ``TopologySpec``, or
+        a spec string (``"p100"``, ``"pcie:8"``, ``"dgx1v"``,
+        ``"cluster:2x4"``) resolved by the
+        :func:`~repro.multigpu.topology.topology` factory; defaults to
+        the paper's 4×P100 node.  Shards allocate their slot arrays as
+        VRAM on the corresponding simulated device; on a cluster the
+        all-to-all charges intra-node traffic to NVLink/PCIe and
+        inter-node traffic to the NIC.
     total_capacity:
         Aggregate slot count; each GPU gets ``ceil(total / m)``.
     group_size, p_max, probing, layout, growth:
@@ -234,9 +312,10 @@ class DistributedHashTable:
 
     def __init__(
         self,
-        topology: NodeTopology,
-        total_capacity: int,
+        total_capacity=None,
+        _legacy_capacity=None,
         *,
+        topology=UNSET,
         group_size: int = 4,
         p_max: int | None = None,
         partition: PartitionHash | None = None,
@@ -249,6 +328,9 @@ class DistributedHashTable:
         growth=UNSET,
         **legacy,
     ):
+        topology, total_capacity = _resolve_topology_capacity(
+            "DistributedHashTable", total_capacity, _legacy_capacity, topology
+        )
         engine = resolve_renamed(
             "DistributedHashTable",
             legacy,
@@ -312,7 +394,7 @@ class DistributedHashTable:
     @classmethod
     def for_load_factor(
         cls,
-        topology: NodeTopology,
+        topology,
         num_pairs: int,
         load_factor: float,
         **kwargs,
@@ -321,13 +403,14 @@ class DistributedHashTable:
             raise ConfigurationError(
                 f"load factor must be in (0, 1], got {load_factor}"
             )
+        topology = build_topology(topology)
         total = max(int(np.ceil(num_pairs / load_factor)), topology.num_devices)
-        return cls(topology, total, **kwargs)
+        return cls(total, topology=topology, **kwargs)
 
     @classmethod
     def for_workload(
         cls,
-        topology: NodeTopology,
+        topology,
         keys: np.ndarray,
         load_factor: float,
         *,
@@ -347,6 +430,7 @@ class DistributedHashTable:
             raise ConfigurationError(
                 f"load factor must be in (0, 1], got {load_factor}"
             )
+        topology = build_topology(topology)
         m = topology.num_devices
         if partition is None:
             partition = hashed_partition(m)
@@ -355,7 +439,7 @@ class DistributedHashTable:
         busiest = max(int(counts.max()), 1)
         shard_capacity = max(int(np.ceil(busiest / load_factor)), 1)
         return cls(
-            topology, shard_capacity * m, partition=partition, **kwargs
+            shard_capacity * m, topology=topology, partition=partition, **kwargs
         )
 
     # -- properties ---------------------------------------------------------
@@ -382,7 +466,7 @@ class DistributedHashTable:
 
     def _plan(self, op: str, n: int) -> CascadePlan:
         """The (cached) compiled plan for one batch shape."""
-        return self._plans.get(op, n, self.num_gpus)
+        return self._plans.get(op, n, self.num_gpus, self.topology.num_nodes)
 
     def _split_phase(
         self,
@@ -395,9 +479,20 @@ class DistributedHashTable:
         per-GPU counters merged into the devices at commit time)."""
         with obs.span("multisplit", "distribution", path=self.distribution):
             t0 = time.perf_counter()
-            split_fn = (
-                multisplit_fast if self.distribution == "fused" else multisplit
-            )
+            if self.distribution != "fused":
+                split_fn = multisplit
+            elif self.topology.num_nodes > 1:
+                # two-level split: by node, then by GPU — one fused pass,
+                # charge-identical to multisplit_fast (global GPU ids are
+                # node-major, so GPU grouping is already node grouping)
+                spans = self.topology.node_spans()
+
+                def split_fn(chunk, partition, *, counter):
+                    return multisplit_two_level(
+                        chunk, partition, spans, counter=counter
+                    )
+            else:
+                split_fn = multisplit_fast
             splits = [
                 split_fn(
                     chunk,
@@ -465,8 +560,33 @@ class DistributedHashTable:
                     log=log,
                 )
             report.distribution_wall_seconds += time.perf_counter() - t0
+            breakdown = exchange.breakdown
+            if breakdown is not None and self.topology.num_nodes > 1:
+                # surface both exchange levels as child spans of the
+                # all-to-all (zero-width markers carrying the modelled
+                # charge of each interconnect level)
+                with obs.span(
+                    "transpose.intra",
+                    "distribution",
+                    nbytes=breakdown.intra_bytes,
+                    modelled_network_seconds=breakdown.intra_seconds,
+                ):
+                    pass
+                with obs.span(
+                    "transpose.inter",
+                    "distribution",
+                    nbytes=breakdown.inter_bytes,
+                    modelled_network_seconds=breakdown.inter_seconds,
+                    num_nodes=self.topology.num_nodes,
+                ):
+                    pass
         report.alltoall_bytes = table.offdiagonal_bytes()
         report.alltoall_seconds = exchange.network_seconds
+        if breakdown is not None:
+            report.alltoall_intra_bytes = breakdown.intra_bytes
+            report.alltoall_inter_bytes = breakdown.inter_bytes
+            report.alltoall_intra_seconds = breakdown.intra_seconds
+            report.alltoall_inter_seconds = breakdown.inter_seconds
         if sp is not None:
             sp.attrs["alltoall_bytes"] = report.alltoall_bytes
             sp.attrs["modelled_network_seconds"] = report.alltoall_seconds
@@ -498,6 +618,11 @@ class DistributedHashTable:
             )
         report.reverse_seconds = seconds
         report.reverse_bytes = int(traffic.sum())
+        breakdown = self.topology.traffic_breakdown(traffic)
+        report.reverse_intra_bytes = breakdown.intra_bytes
+        report.reverse_inter_bytes = breakdown.inter_bytes
+        report.reverse_intra_seconds = breakdown.intra_seconds
+        report.reverse_inter_seconds = breakdown.inter_seconds
         return answers
 
     def _reverse_route(
@@ -829,7 +954,9 @@ class DistributedHashTable:
         v = check_values(values)
         check_same_length("keys", k, "values", v)
         n = k.shape[0]
-        report = CascadeReport(op="insert", num_ops=n)
+        report = CascadeReport(
+            op="insert", num_ops=n, num_nodes=self.topology.num_nodes
+        )
         log = TransferLog()
         counters = [TransactionCounter() for _ in range(self.num_gpus)]
         if plan is None:
@@ -884,7 +1011,9 @@ class DistributedHashTable:
             )
         k = check_keys(keys)
         n = k.shape[0]
-        report = CascadeReport(op=op, num_ops=n)
+        report = CascadeReport(
+            op=op, num_ops=n, num_nodes=self.topology.num_nodes
+        )
         log = TransferLog()
         counters = [TransactionCounter() for _ in range(self.num_gpus)]
         if plan is None:

@@ -27,7 +27,13 @@ from ..errors import ConfigurationError
 from ..hashing.partition import PartitionHash
 from ..simt.counters import TransactionCounter
 
-__all__ = ["MultisplitResult", "multisplit", "multisplit_fast"]
+__all__ = [
+    "MultisplitResult",
+    "TwoLevelSplitResult",
+    "multisplit",
+    "multisplit_fast",
+    "multisplit_two_level",
+]
 
 
 @dataclass
@@ -165,4 +171,84 @@ def multisplit_fast(
         counts=scattered.counts,
         offsets=scattered.offsets,
         report=report,
+    )
+
+
+@dataclass
+class TwoLevelSplitResult(MultisplitResult):
+    """GPU-grouped pairs plus the node-level view of the same split.
+
+    ``counts``/``offsets`` are per-GPU exactly as in
+    :class:`MultisplitResult`; ``node_counts``/``node_offsets`` aggregate
+    them over each node's contiguous GPU-id span.
+    """
+
+    #: per-node element counts, shape (num_nodes,)
+    node_counts: np.ndarray = None  # type: ignore[assignment]
+    #: exclusive prefix of node_counts
+    node_offsets: np.ndarray = None  # type: ignore[assignment]
+    #: half-open GPU-id span of each node
+    node_spans: list[tuple[int, int]] = None  # type: ignore[assignment]
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_counts.shape[0])
+
+    def node_part(self, k: int) -> np.ndarray:
+        """View of node ``k``'s pairs (all its GPU classes, in order)."""
+        start = int(self.node_offsets[k])
+        return self.pairs[start : start + int(self.node_counts[k])]
+
+
+def multisplit_two_level(
+    pairs: np.ndarray,
+    partition: PartitionHash,
+    node_spans: list[tuple[int, int]],
+    *,
+    counter: TransactionCounter | None = None,
+    group_size: int = 32,
+) -> TwoLevelSplitResult:
+    """Split by node, then by GPU within the node — in one fused pass.
+
+    Global GPU ids are node-major (node ``k`` owns the contiguous span
+    ``node_spans[k]``), so grouping pairs by their GPU class with the
+    same single :func:`counting_scatter` pass as :func:`multisplit_fast`
+    *already* leaves them grouped by node: the node-level split costs
+    nothing beyond summing each span's counts.  The pass is therefore
+    charge-identical to :func:`multisplit_fast` — same sectors, same
+    atomics, same ``m`` kernel launches — which is what makes a one-node
+    cluster bit-identical to the flat path.
+    """
+    if not node_spans:
+        raise ConfigurationError("node_spans must name at least one node")
+    m = partition.num_parts
+    expected = 0
+    for lo, hi in node_spans:
+        if lo != expected or hi <= lo:
+            raise ConfigurationError(
+                f"node_spans must tile 0..{m} contiguously, got {node_spans}"
+            )
+        expected = hi
+    if expected != m:
+        raise ConfigurationError(
+            f"node_spans cover {expected} GPUs but the partition has {m} parts"
+        )
+
+    flat = multisplit_fast(
+        pairs, partition, counter=counter, group_size=group_size
+    )
+    node_counts = np.array(
+        [int(flat.counts[lo:hi].sum()) for lo, hi in node_spans], dtype=np.int64
+    )
+    node_offsets = np.zeros(len(node_spans), dtype=np.int64)
+    np.cumsum(node_counts[:-1], out=node_offsets[1:])
+    return TwoLevelSplitResult(
+        pairs=flat.pairs,
+        source_index=flat.source_index,
+        counts=flat.counts,
+        offsets=flat.offsets,
+        report=flat.report,
+        node_counts=node_counts,
+        node_offsets=node_offsets,
+        node_spans=list(node_spans),
     )

@@ -62,6 +62,10 @@ class CascadePlan:
     op: str
     n: int
     num_gpus: int
+    #: node count of the owning topology — part of the plan's shape so a
+    #: cached plan never survives a switch between flat and clustered
+    #: tables of equal GPU count
+    num_nodes: int = 1
     #: the m contiguous input chunks
     chunks: list[slice] = field(default_factory=list)
     #: per-chunk zero value planes (uint32) for key-only packing
@@ -76,7 +80,9 @@ class CascadePlan:
         return self.perm is not None
 
     @classmethod
-    def compile(cls, op: str, n: int, num_gpus: int) -> "CascadePlan":
+    def compile(
+        cls, op: str, n: int, num_gpus: int, num_nodes: int = 1
+    ) -> "CascadePlan":
         """Build the plan for one ``(op, n)`` batch shape."""
         if op not in ("insert", "query", "erase"):
             raise ConfigurationError(f"unknown cascade op {op!r}")
@@ -86,8 +92,14 @@ class CascadePlan:
             raise ConfigurationError(
                 f"num_gpus must be >= 1, got {num_gpus}"
             )
+        if num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {num_nodes}"
+            )
         chunks = chunk_slices(n, num_gpus)
-        plan = cls(op=op, n=n, num_gpus=num_gpus, chunks=chunks)
+        plan = cls(
+            op=op, n=n, num_gpus=num_gpus, num_nodes=num_nodes, chunks=chunks
+        )
         if op != "insert":
             plan.zeros = [
                 np.zeros(sl.stop - sl.start, dtype=np.uint32)
@@ -122,16 +134,22 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
-    def get(self, op: str, n: int, num_gpus: int) -> CascadePlan:
+    def get(
+        self, op: str, n: int, num_gpus: int, num_nodes: int = 1
+    ) -> CascadePlan:
         """The cached plan for ``(op, n)``, compiling on first use."""
         key = (op, int(n))
         plan = self._plans.get(key)
-        if plan is not None and plan.num_gpus == num_gpus:
+        if (
+            plan is not None
+            and plan.num_gpus == num_gpus
+            and plan.num_nodes == num_nodes
+        ):
             self.hits += 1
             self._plans.move_to_end(key)
             return plan
         self.misses += 1
-        plan = CascadePlan.compile(op, int(n), num_gpus)
+        plan = CascadePlan.compile(op, int(n), num_gpus, num_nodes)
         self._plans[key] = plan
         self._plans.move_to_end(key)
         while len(self._plans) > self.maxsize:

@@ -32,7 +32,7 @@ from ..perfmodel.cascade import time_cascade
 from ..perfmodel.memmodel import kernel_seconds
 from ..perfmodel.specs import XEON_E5_2680V4_NODE
 from .distributed_table import DistributedHashTable
-from .topology import NodeTopology
+from .topology import Topology
 
 __all__ = ["StrategyCost", "compare_strategies"]
 
@@ -58,7 +58,7 @@ class StrategyCost:
 
 
 def compare_strategies(
-    topology: NodeTopology,
+    topology: Topology,
     keys: np.ndarray,
     values: np.ndarray,
     *,

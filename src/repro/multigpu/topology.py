@@ -1,4 +1,4 @@
-"""Single-node multi-GPU interconnect topology (paper Fig. 6).
+"""Interconnect topology: single nodes (paper Fig. 6) and clusters.
 
 The paper's testbed: four Tesla P100s joined by an "augmented fully
 connected graph consisting of 4×4 bidirectional links with 20 GB/s
@@ -9,11 +9,20 @@ parallel edges of the 2D-hypercube subnetwork carry a second link.  Each
 The topology is a :mod:`networkx` multigraph so communication plans can
 reason about per-link bandwidth; helpers price a traffic matrix the way
 the all-to-all transposition loads the network.
+
+Beyond the paper, :class:`ClusterTopology` composes several
+:class:`NodeTopology` instances over a NIC: intra-node traffic is priced
+on the node's NVLink/PCIe graph, inter-node traffic on each node's
+full-duplex NIC (egress bandwidth + one-time latency).  Both classes
+satisfy the :class:`Topology` protocol, and the :func:`topology` factory
+builds either from a spec string (``"p100"``, ``"dgx1v"``, ``"pcie:8"``,
+``"cluster:2x4"``) or a :class:`TopologySpec`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
 
 import networkx as nx
 import numpy as np
@@ -21,9 +30,84 @@ import numpy as np
 from ..errors import ConfigurationError, TopologyError
 from ..simt.device import Device, GPUSpec
 
-__all__ = ["NodeTopology", "p100_nvlink_node", "pcie_only_node"]
+__all__ = [
+    "Topology",
+    "NodeTopology",
+    "ClusterTopology",
+    "TopologySpec",
+    "TrafficBreakdown",
+    "topology",
+    "p100_nvlink_node",
+    "dgx1v_node",
+    "pcie_only_node",
+    "DEFAULT_NIC_BANDWIDTH",
+    "DEFAULT_NIC_LATENCY",
+]
 
 _GB = 1e9
+
+#: 100 Gbit/s EDR InfiniBand, the interconnect of the paper's Mogon II host.
+DEFAULT_NIC_BANDWIDTH = 12.5 * _GB
+#: One-way MPI-visible latency of an EDR fabric hop.
+DEFAULT_NIC_LATENCY = 1.5e-6
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Per-level cost of one all-to-all exchange.
+
+    ``intra_*`` charges stay on the node interconnect (NVLink/PCIe),
+    ``inter_*`` cross the NIC.  The two levels proceed concurrently, so
+    the exchange completes with the slower one (:attr:`seconds`).  On a
+    flat :class:`NodeTopology` the inter level is identically zero.
+    """
+
+    intra_bytes: int
+    inter_bytes: int
+    intra_seconds: float
+    inter_seconds: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.intra_bytes + self.inter_bytes
+
+    @property
+    def seconds(self) -> float:
+        return max(self.intra_seconds, self.inter_seconds)
+
+
+@runtime_checkable
+class Topology(Protocol):
+    """What the cascade layers need from an interconnect model.
+
+    Implemented by :class:`NodeTopology` (one level: GPUs over
+    NVLink/PCIe) and :class:`ClusterTopology` (two levels: nodes over a
+    NIC).  ``device_id``s are globally unique and dense, so a traffic
+    matrix is always ``num_devices × num_devices`` regardless of depth.
+    """
+
+    @property
+    def devices(self) -> list[Device]: ...
+
+    @property
+    def num_devices(self) -> int: ...
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    def link_bandwidth(self, a: int, b: int) -> float: ...
+
+    def route(self, a: int, b: int) -> list[int]: ...
+
+    def traffic_cost(self, traffic: np.ndarray) -> float: ...
+
+    def alltoall_time(self, traffic: np.ndarray) -> float: ...
+
+    def traffic_breakdown(self, traffic: np.ndarray) -> TrafficBreakdown: ...
+
+    def host_transfer_time(self, bytes_per_gpu: np.ndarray) -> float: ...
+
+    def reset_counters(self) -> None: ...
 
 
 @dataclass
@@ -62,8 +146,21 @@ class NodeTopology:
         return len(self.devices)
 
     @property
+    def num_nodes(self) -> int:
+        return 1
+
+    @property
     def num_switches(self) -> int:
         return len(set(self.pcie_switch_of.values()))
+
+    def node_of(self, gpu: int) -> int:
+        if not 0 <= gpu < self.num_devices:
+            raise TopologyError(f"GPU {gpu} out of range [0, {self.num_devices})")
+        return 0
+
+    def node_spans(self) -> list[tuple[int, int]]:
+        """Half-open global-id range of each node's GPUs."""
+        return [(0, self.num_devices)]
 
     def link_bandwidth(self, a: int, b: int) -> float:
         """Aggregate NVLink bytes/s between GPUs ``a`` and ``b``.
@@ -153,6 +250,21 @@ class NodeTopology:
             worst = max(worst, nbytes / self.link_bandwidth(x, y))
         return worst
 
+    def traffic_cost(self, traffic: np.ndarray) -> float:
+        """Protocol alias for :meth:`alltoall_time`."""
+        return self.alltoall_time(traffic)
+
+    def traffic_breakdown(self, traffic: np.ndarray) -> TrafficBreakdown:
+        """Single-level breakdown: everything is intra-node, NIC is idle."""
+        t = np.asarray(traffic, dtype=np.float64)
+        intra = float(t.sum() - np.trace(t))
+        return TrafficBreakdown(
+            intra_bytes=int(intra),
+            inter_bytes=0,
+            intra_seconds=self.alltoall_time(traffic),
+            inter_seconds=0.0,
+        )
+
     def host_transfer_time(self, bytes_per_gpu: np.ndarray) -> float:
         """Seconds to move per-GPU byte amounts over the PCIe switches.
 
@@ -170,6 +282,192 @@ class NodeTopology:
     def reset_counters(self) -> None:
         for dev in self.devices:
             dev.reset_counters()
+
+
+@dataclass
+class ClusterTopology:
+    """Two-level hierarchy: :class:`NodeTopology` instances over a NIC.
+
+    Member nodes keep their own NVLink/PCIe graphs; this class renumbers
+    their :class:`Device` ids to a dense global range (node-major, node 0
+    first) so the flat cascade machinery — traffic matrices, shard
+    assignment, counters — works unchanged.  Node 0's ids are untouched,
+    which is what makes a one-node cluster bit-identical to the bare
+    :class:`NodeTopology`.
+
+    Inter-node traffic is charged to each node's full-duplex NIC: the
+    level finishes when the busiest endpoint (max of any node's egress
+    or ingress bytes over :attr:`nic_bandwidth`) does, plus one
+    :attr:`nic_latency` if any bytes crossed at all.  Intra- and
+    inter-node levels overlap, so :meth:`alltoall_time` is their max.
+    """
+
+    nodes: list[NodeTopology]
+    nic_bandwidth: float = DEFAULT_NIC_BANDWIDTH
+    nic_latency: float = DEFAULT_NIC_LATENCY
+    _bases: list[int] = field(init=False, repr=False, compare=False)
+    _node_of: list[int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        if len({id(n) for n in self.nodes}) != len(self.nodes):
+            raise ConfigurationError(
+                "cluster nodes must be distinct NodeTopology instances"
+            )
+        if self.nic_bandwidth <= 0:
+            raise ConfigurationError("nic_bandwidth must be positive")
+        if self.nic_latency < 0:
+            raise ConfigurationError("nic_latency must be non-negative")
+        seen_devices: set[int] = set()
+        bases: list[int] = []
+        node_of: list[int] = []
+        base = 0
+        for index, node in enumerate(self.nodes):
+            bases.append(base)
+            for local, dev in enumerate(node.devices):
+                if id(dev) in seen_devices:
+                    raise ConfigurationError(
+                        "cluster nodes must not share Device objects"
+                    )
+                seen_devices.add(id(dev))
+                dev.device_id = base + local
+                node_of.append(index)
+            base += node.num_devices
+        self._bases = bases
+        self._node_of = node_of
+
+    @property
+    def devices(self) -> list[Device]:
+        return [dev for node in self.nodes for dev in node.devices]
+
+    @property
+    def num_devices(self) -> int:
+        return sum(node.num_devices for node in self.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_switches(self) -> int:
+        return sum(node.num_switches for node in self.nodes)
+
+    def node_of(self, gpu: int) -> int:
+        if not 0 <= gpu < self.num_devices:
+            raise TopologyError(f"GPU {gpu} out of range [0, {self.num_devices})")
+        return self._node_of[gpu]
+
+    def local_id(self, gpu: int) -> int:
+        return gpu - self._bases[self.node_of(gpu)]
+
+    def node_spans(self) -> list[tuple[int, int]]:
+        """Half-open global-id range of each node's GPUs (node-major)."""
+        return [
+            (base, base + node.num_devices)
+            for base, node in zip(self._bases, self.nodes)
+        ]
+
+    def link_bandwidth(self, a: int, b: int) -> float:
+        """Node-local pairs see their NVLink; cross-node pairs the NIC."""
+        if a == b:
+            raise TopologyError("no link from a GPU to itself")
+        na, nb = self.node_of(a), self.node_of(b)
+        if na == nb:
+            return self.nodes[na].link_bandwidth(self.local_id(a), self.local_id(b))
+        return self.nic_bandwidth
+
+    def route(self, a: int, b: int) -> list[int]:
+        """Node-local routes delegate to the node; cross-node is one NIC hop."""
+        if a == b:
+            raise TopologyError("no route from a GPU to itself")
+        na, nb = self.node_of(a), self.node_of(b)
+        if na == nb:
+            base = self._bases[na]
+            return [
+                base + hop
+                for hop in self.nodes[na].route(self.local_id(a), self.local_id(b))
+            ]
+        return [a, b]
+
+    def _check_traffic(self, traffic: np.ndarray) -> np.ndarray:
+        m = self.num_devices
+        t = np.asarray(traffic, dtype=np.float64)
+        if t.shape != (m, m):
+            raise TopologyError(f"traffic matrix must be {m}x{m}, got {t.shape}")
+        return t
+
+    def traffic_breakdown(self, traffic: np.ndarray) -> TrafficBreakdown:
+        """Charge each entry of ``traffic[src, dst]`` to its level.
+
+        Intra-node blocks are priced by each member node's own
+        :meth:`NodeTopology.alltoall_time` (nodes work concurrently, so
+        the level finishes with the slowest node); everything off the
+        block diagonal rides the NICs.
+        """
+        t = self._check_traffic(traffic)
+        intra_bytes = 0.0
+        intra_seconds = 0.0
+        egress = np.zeros(self.num_nodes)
+        ingress = np.zeros(self.num_nodes)
+        for k, (node, (lo, hi)) in enumerate(zip(self.nodes, self.node_spans())):
+            block = t[lo:hi, lo:hi]
+            intra_bytes += float(block.sum() - np.trace(block))
+            intra_seconds = max(intra_seconds, node.alltoall_time(block))
+            egress[k] = float(t[lo:hi, :].sum() - block.sum())
+            ingress[k] = float(t[:, lo:hi].sum() - block.sum())
+        inter_bytes = float(egress.sum())
+        if inter_bytes > 0:
+            inter_seconds = self.nic_latency + max(
+                float(egress.max()), float(ingress.max())
+            ) / self.nic_bandwidth
+        else:
+            inter_seconds = 0.0
+        return TrafficBreakdown(
+            intra_bytes=int(round(intra_bytes)),
+            inter_bytes=int(round(inter_bytes)),
+            intra_seconds=intra_seconds,
+            inter_seconds=inter_seconds,
+        )
+
+    def node_traffic_matrix(self, traffic: np.ndarray) -> np.ndarray:
+        """Collapse a GPU traffic matrix to node granularity (bytes).
+
+        The diagonal is zero — node-local bytes are charged on the node's
+        own interconnect, not the NIC.
+        """
+        t = self._check_traffic(traffic)
+        spans = self.node_spans()
+        out = np.zeros((self.num_nodes, self.num_nodes))
+        for j, (jlo, jhi) in enumerate(spans):
+            for k, (klo, khi) in enumerate(spans):
+                if j != k:
+                    out[j, k] = float(t[jlo:jhi, klo:khi].sum())
+        return out
+
+    def alltoall_time(self, traffic: np.ndarray) -> float:
+        """Seconds to deliver ``traffic`` with both levels overlapped."""
+        return self.traffic_breakdown(traffic).seconds
+
+    def traffic_cost(self, traffic: np.ndarray) -> float:
+        """Protocol alias for :meth:`alltoall_time`."""
+        return self.alltoall_time(traffic)
+
+    def host_transfer_time(self, bytes_per_gpu: np.ndarray) -> float:
+        """Each node's PCIe switches drain its own GPUs, concurrently."""
+        per_gpu = np.asarray(bytes_per_gpu, dtype=np.float64)
+        if per_gpu.shape != (self.num_devices,):
+            raise TopologyError(
+                f"expected {self.num_devices} per-GPU byte counts, got {per_gpu.shape}"
+            )
+        return max(
+            node.host_transfer_time(per_gpu[lo:hi])
+            for node, (lo, hi) in zip(self.nodes, self.node_spans())
+        )
+
+    def reset_counters(self) -> None:
+        for node in self.nodes:
+            node.reset_counters()
 
 
 def p100_nvlink_node(
@@ -283,4 +581,137 @@ def pcie_only_node(
         nvlink=graph,
         pcie_switch_of=switch_of,
         pcie_switch_bandwidth=pcie_switch_bandwidth,
+    )
+
+
+_NODE_PRESETS = {
+    "p100": p100_nvlink_node,
+    "pcie": pcie_only_node,
+    "dgx1v": dgx1v_node,
+}
+
+_SPEC_GRAMMAR = (
+    'a Topology, a TopologySpec, or a spec string: "p100"[:gpus], '
+    '"pcie"[:gpus], "dgx1v", or "cluster:<nodes>x<gpus>" '
+    '(e.g. topology="cluster:2x4"; see docs/topology.md)'
+)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative topology description for the :func:`topology` factory.
+
+    ``preset`` names the per-node link graph (``"p100"``, ``"pcie"``,
+    ``"dgx1v"``); ``num_nodes > 1`` (or ``force_cluster=True``) wraps the
+    nodes in a :class:`ClusterTopology` with the given NIC parameters.
+    """
+
+    preset: str = "p100"
+    gpus_per_node: int | None = None
+    num_nodes: int = 1
+    nic_bandwidth: float = DEFAULT_NIC_BANDWIDTH
+    nic_latency: float = DEFAULT_NIC_LATENCY
+    force_cluster: bool = False
+
+    def _build_node(self) -> NodeTopology:
+        try:
+            factory = _NODE_PRESETS[self.preset]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown topology preset '{self.preset}'; "
+                f"expected one of {sorted(_NODE_PRESETS)}"
+            ) from None
+        if self.preset == "dgx1v":
+            if self.gpus_per_node not in (None, 8):
+                raise ConfigurationError(
+                    "the dgx1v preset is fixed at 8 GPUs per node"
+                )
+            return factory()
+        if self.gpus_per_node is None:
+            return factory()
+        return factory(self.gpus_per_node)
+
+    def build(self) -> NodeTopology | ClusterTopology:
+        if self.num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {self.num_nodes}"
+            )
+        if self.num_nodes == 1 and not self.force_cluster:
+            return self._build_node()
+        return ClusterTopology(
+            nodes=[self._build_node() for _ in range(self.num_nodes)],
+            nic_bandwidth=self.nic_bandwidth,
+            nic_latency=self.nic_latency,
+        )
+
+
+def _parse_spec(text: str) -> TopologySpec:
+    s = text.strip().lower()
+    if not s:
+        raise ConfigurationError(f"empty topology spec; expected {_SPEC_GRAMMAR}")
+    if s.startswith("cluster:"):
+        body = s[len("cluster:"):]
+        num_nodes, sep, gpus = body.partition("x")
+        if not sep or not num_nodes.isdigit() or not gpus.isdigit():
+            raise ConfigurationError(
+                f"bad cluster spec '{text}'; expected \"cluster:<nodes>x<gpus>\""
+            )
+        return TopologySpec(
+            preset="p100",
+            gpus_per_node=int(gpus),
+            num_nodes=int(num_nodes),
+            force_cluster=True,
+        )
+    preset, sep, count = s.partition(":")
+    gpus_per_node = None
+    if sep:
+        if not count.isdigit():
+            raise ConfigurationError(
+                f"bad topology spec '{text}'; expected {_SPEC_GRAMMAR}"
+            )
+        gpus_per_node = int(count)
+    if preset not in _NODE_PRESETS:
+        raise ConfigurationError(
+            f"unknown topology spec '{text}'; expected {_SPEC_GRAMMAR}"
+        )
+    return TopologySpec(preset=preset, gpus_per_node=gpus_per_node)
+
+
+def topology(
+    spec: "str | TopologySpec | Topology | None" = None, **overrides
+) -> "Topology":
+    """Build (or pass through) a topology from a spec.
+
+    ``spec`` may be an existing :class:`Topology` (returned unchanged —
+    overrides are rejected), a :class:`TopologySpec` (overrides are
+    merged with :func:`dataclasses.replace`), a spec string, or ``None``
+    for the paper's default 4×P100 node.
+    """
+    if spec is None:
+        spec = TopologySpec()
+    if isinstance(spec, (NodeTopology, ClusterTopology)):
+        if overrides:
+            raise ConfigurationError(
+                "cannot apply spec overrides to an already-built topology; "
+                "pass a spec string or TopologySpec instead"
+            )
+        return spec
+    if isinstance(spec, str):
+        spec = _parse_spec(spec)
+    if isinstance(spec, TopologySpec):
+        if overrides:
+            try:
+                spec = replace(spec, **overrides)
+            except TypeError as exc:
+                raise ConfigurationError(f"bad topology override: {exc}") from None
+        return spec.build()
+    if isinstance(spec, Topology):
+        if overrides:
+            raise ConfigurationError(
+                "cannot apply spec overrides to an already-built topology"
+            )
+        return spec
+    raise ConfigurationError(
+        f"cannot build a topology from {type(spec).__name__}; "
+        f"expected {_SPEC_GRAMMAR}"
     )

@@ -60,6 +60,15 @@ option set is now:
     A :class:`~repro.core.growth.GrowthPolicy`: resize-and-rehash
     instead of failing when an ingest would exceed the load ceiling
     (accepted wherever ``probing=``/``layout=`` are).
+``topology=``
+    Interconnect model the cascade prices traffic against: a
+    :class:`~repro.multigpu.topology.Topology` instance, a
+    :class:`~repro.multigpu.topology.TopologySpec`, or a spec string
+    (``"p100"``, ``"pcie:8"``, ``"dgx1v"``, ``"cluster:2x4"`` — see
+    ``docs/topology.md``).  Accepted by ``DistributedHashTable``,
+    ``AsyncCascadeDriver``, the bench suites, and the CLI's
+    ``--topology``; resolved by the
+    :func:`~repro.multigpu.topology.topology` factory.
 
 Deprecated keywords keep working through warn-once shims:
 
@@ -69,6 +78,7 @@ old                               new
 ``executor=`` (constructors)      ``engine=``
 ``executor=`` (bulk methods)      ``kernels=``
 ``wall_clock=``                   ``measure=``
+positional topology (tables)      ``topology=``
 ================================  =============================
 """
 
@@ -84,6 +94,7 @@ __all__ = [
     "resolve_renamed",
     "reject_unknown",
     "warn_deprecated",
+    "warn_positional",
     "reset_deprecation_warnings",
 ]
 
@@ -110,6 +121,20 @@ def warn_deprecated(owner: str, old: str, new: str) -> None:
     warnings.warn(
         f"{owner}: keyword '{old}=' is deprecated; use '{new}=' "
         f"(see repro.options)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def warn_positional(owner: str, what: str, new: str) -> None:
+    """Like :func:`warn_deprecated` for a deprecated *positional* form."""
+    key = (owner, what)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"{owner}: passing the {what} positionally is deprecated; "
+        f"use '{new}=' (see repro.options)",
         DeprecationWarning,
         stacklevel=4,
     )

@@ -83,6 +83,13 @@ NVLINK_EFFICIENCY: float = 0.80
 #: PCIe protocol efficiency on top of the per-switch link rate.
 PCIE_EFFICIENCY: float = 0.92
 
+#: NIC protocol efficiency for inter-node (cluster) traffic.  RDMA
+#: verbs over 100 Gb/s EDR sustain ~90% of line rate for the large,
+#: pre-pinned messages the all-to-all exchanges; used by
+#: :func:`repro.perfmodel.time_cascade` when a cascade reports a
+#: non-zero inter-node charge.
+NIC_EFFICIENCY: float = 0.90
+
 #: CPU (Folklore baseline) DDR4 node bandwidth and atomic rate — dual
 #: E5-2680 v4, 4-channel DDR4-2400 per socket ≈ 76.8 GB/s × 2 sockets.
 CPU_MEM_BANDWIDTH: float = 153.6 * _GB

@@ -19,9 +19,25 @@ from .memmodel import kernel_seconds, multisplit_seconds
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
     from ..multigpu.distributed_table import CascadeReport, DistributedHashTable
-    from ..multigpu.topology import NodeTopology
+    from ..multigpu.topology import Topology
 
 __all__ = ["CascadeTiming", "time_cascade"]
+
+
+def _exchange_seconds(total: float, intra: float, inter: float) -> float:
+    """Deflate an exchange's modelled seconds by per-level efficiency.
+
+    Flat cascades (``inter == 0``) keep the historical single-level
+    formula exactly; hierarchical cascades deflate each level by its own
+    protocol efficiency and finish with the slower one, mirroring how the
+    levels overlap in :meth:`ClusterTopology.alltoall_time`.
+    """
+    if inter <= 0.0:
+        return total / cal.NVLINK_EFFICIENCY
+    return max(
+        intra / cal.NVLINK_EFFICIENCY,
+        inter / cal.NIC_EFFICIENCY,
+    )
 
 
 @dataclass(frozen=True)
@@ -81,7 +97,7 @@ class CascadeTiming:
 def time_cascade(
     report: CascadeReport,
     table: DistributedHashTable | None,
-    topology: NodeTopology,
+    topology: Topology,
     *,
     shard_table_bytes: int | None = None,
     scale: float = 1.0,
@@ -120,8 +136,16 @@ def time_cascade(
             base = (base - launch) * scale + launch
         ms = max(ms, base)
 
-    alltoall = report.alltoall_seconds / cal.NVLINK_EFFICIENCY * scale
-    reverse = report.reverse_seconds / cal.NVLINK_EFFICIENCY * scale
+    alltoall = _exchange_seconds(
+        report.alltoall_seconds,
+        report.alltoall_intra_seconds,
+        report.alltoall_inter_seconds,
+    ) * scale
+    reverse = _exchange_seconds(
+        report.reverse_seconds,
+        report.reverse_intra_seconds,
+        report.reverse_inter_seconds,
+    ) * scale
 
     kern = 0.0
     for gpu, rep in enumerate(report.kernel_reports):

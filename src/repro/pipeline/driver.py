@@ -205,7 +205,17 @@ class AsyncCascadeDriver:
     Parameters
     ----------
     table:
-        The target distributed hash map.
+        The target distributed hash map.  Alternatively pass
+        ``total_capacity=`` (with the unified ``topology=`` option, see
+        :mod:`repro.options`) and the driver builds — and owns — its own
+        :class:`DistributedHashTable`; call :meth:`close` to free it.
+    topology:
+        Interconnect spec for a driver-owned table (a
+        :class:`~repro.multigpu.topology.Topology`, ``TopologySpec``, or
+        spec string like ``"cluster:2x4"``).  Invalid together with an
+        explicit ``table`` — the table already fixes its topology.
+    total_capacity:
+        Aggregate slot count of the driver-owned table.
     num_threads:
         CPU threads in the *modelled* stage schedule (the paper
         evaluates 1, 2, 4).
@@ -245,8 +255,10 @@ class AsyncCascadeDriver:
 
     def __init__(
         self,
-        table: DistributedHashTable,
+        table: DistributedHashTable | None = None,
         *,
+        topology=UNSET,
+        total_capacity: int | None = None,
         num_threads: int = 4,
         scale: float = 1.0,
         measure: bool = UNSET,
@@ -255,6 +267,28 @@ class AsyncCascadeDriver:
         pace: str = "none",
         **legacy,
     ):
+        if table is None:
+            if total_capacity is None:
+                raise ConfigurationError(
+                    "AsyncCascadeDriver: pass a table, or total_capacity= "
+                    "(optionally with topology=) to build one"
+                )
+            table = DistributedHashTable(
+                total_capacity,
+                topology=None if topology is UNSET else topology,
+            )
+            self._owns_table = True
+        else:
+            if topology is not UNSET:
+                raise ConfigurationError(
+                    "AsyncCascadeDriver: got both a table and 'topology='; "
+                    "the table already fixes its topology"
+                )
+            if total_capacity is not None:
+                raise ConfigurationError(
+                    "AsyncCascadeDriver: got both a table and 'total_capacity='"
+                )
+            self._owns_table = False
         measure = resolve_renamed(
             "AsyncCascadeDriver",
             legacy,
@@ -287,6 +321,16 @@ class AsyncCascadeDriver:
             None if staging_budget is None else int(staging_budget)
         )
         self.pace = pace
+
+    def close(self) -> None:
+        """Free the table if this driver built it (``total_capacity=``).
+
+        No-op for drivers wrapping a caller-supplied table — the caller
+        owns that table's lifetime.
+        """
+        if self._owns_table:
+            self.table.free()
+            self._owns_table = False
 
     @property
     def wall_clock(self) -> bool:

@@ -243,8 +243,8 @@ class KVServer:
     ) -> "KVServer":
         """Build a server plus its own table (the CLI entry point)."""
         table = DistributedHashTable(
-            p100_nvlink_node(num_gpus),
             capacity,
+            topology=p100_nvlink_node(num_gpus),
             engine=engine,
             kernels=kernels,
         )

@@ -296,6 +296,43 @@ class TestServeTree:
         assert "serve-smoke:" in (REPO_ROOT / "Makefile").read_text()
 
 
+class TestClusterTree:
+    """The hierarchical-topology suite stays wired into every gate."""
+
+    EXPECTED = {
+        "multigpu/test_hierarchical.py",
+        "multigpu/test_topology.py",
+        "multigpu/test_multisplit.py",
+    }
+
+    def test_cluster_tree_exists_and_non_empty(self):
+        """One module per layer: cluster bit-identity + NIC charging
+        properties, the topology graph model, and the multisplit the
+        two-level split composes."""
+        for name in self.EXPECTED:
+            path = TESTS / name
+            assert path.exists() and path.stat().st_size > 0, name
+
+    def test_coverage_floor_requires_cluster_tree(self):
+        """tools/coverage_floor.py refuses to gate without these files,
+        so a rename can't silently drop the hierarchical coverage."""
+        text = (REPO_ROOT / "tools" / "coverage_floor.py").read_text()
+        assert "tests/multigpu/test_hierarchical*.py" in text
+
+    def test_hierarchical_property_tests_use_shared_profiles(self):
+        text = (TESTS / "multigpu" / "test_hierarchical.py").read_text()
+        assert "from profiles import examples" in text
+        assert "settings(max_examples" not in text
+
+    def test_ci_runs_cluster_smoke_on_both_legs(self):
+        """`make cluster-smoke` gates the one-node-cluster bit-identity
+        and NIC charging on the numba-free leg and again atop the
+        compiled kernel path on the numba leg."""
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert ci.count("make cluster-smoke") >= 2
+        assert "cluster-smoke:" in (REPO_ROOT / "Makefile").read_text()
+
+
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
         """Example counts stay within the tier-1 budget.

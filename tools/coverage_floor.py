@@ -46,6 +46,7 @@ REQUIRED_TEST_GLOBS = (
     "tests/core/test_compiled_fallback*.py",
     "tests/exec/test_compiled_equivalence*.py",
     "tests/pipeline/test_pipeline_depth*.py",
+    "tests/multigpu/test_hierarchical*.py",
     "tests/pipeline/test_staging*.py",
     "tests/serve/test_soak*.py",
     "tests/serve/test_faults*.py",
