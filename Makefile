@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke stream-smoke serve-smoke cluster-smoke bench-compiled
+.PHONY: test cov fuzz-smoke racecheck fuzz-full trace-smoke grow-smoke stream-smoke serve-smoke cluster-smoke compact-smoke bench-compiled
 
 # tier-1: fast suite, excludes `slow` and `fuzz` via pyproject addopts
 test:
@@ -40,6 +40,13 @@ stream-smoke:
 # cluster exits 1 on any miss)
 cluster-smoke:
 	$(PYTHON) -m repro cluster --smoke --out /tmp/repro.cluster.trace.json
+
+# compact-layout smoke: cross-layout bit-identity under growth +
+# tombstone churn, strictly narrower modelled VRAM/exchange charges on
+# quotienting tables, snapshot round-trip, and perf-model monotonicity
+# (repro compact exits 1 on any miss)
+compact-smoke:
+	$(PYTHON) -m repro compact --smoke
 
 # serving smoke: boot a live KVServer, drive insert/query/erase through
 # a real client, check cache-coherence across an overwrite and the

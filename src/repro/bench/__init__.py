@@ -51,6 +51,7 @@ from .distribution import (
 from .wallclock import (
     WallClockRecord,
     bench_pipeline_depth,
+    bench_single_shard,
     format_records,
     run_wallclock_suite,
     write_results,
@@ -88,6 +89,7 @@ __all__ = [
     "LayoutAblation",
     "WallClockRecord",
     "bench_pipeline_depth",
+    "bench_single_shard",
     "run_wallclock_suite",
     "write_results",
     "format_records",

@@ -59,8 +59,12 @@ class DistributionRecord:
     #: scatter backend the fused multisplit resolved ("compiled" when a
     #: JIT provider serviced counting_scatter, else "fast")
     kernels: str = "fast"
+    #: slot storage policy of the cascade the phases fed ("aos" | "soa"
+    #: | "compact") — the host distribution phases move packed pairs
+    #: either way, but rows stay mergeable with ``BENCH_wallclock.json``
+    layout: str = "aos"
 
-    schema_version = 1
+    schema_version = 2
 
     def __post_init__(self):
         if not self.cpus:
@@ -81,6 +85,7 @@ class DistributionRecord:
                 "ops_per_s": self.ops_per_s,
                 "cpus": self.cpus,
                 "kernels": self.kernels,
+                "layout": self.layout,
             },
         )
 
@@ -127,6 +132,7 @@ def run_distribution_suite(
     topology=None,
     seed: int = 11,
     repeats: int = 5,
+    layout: str = "aos",
 ) -> list[DistributionRecord]:
     """Both paths on identical chunks; best-of-``repeats`` per phase.
 
@@ -189,6 +195,7 @@ def run_distribution_suite(
             seconds=best[(phase, path)],
             ops_per_s=n / best[(phase, path)] if best[(phase, path)] > 0 else 0.0,
             kernels=kernels,
+            layout=layout,
         )
         for phase in PHASES
         for path in ("reference", "fused")

@@ -74,8 +74,12 @@ class WallClockRecord:
     #: in-flight batch depth of the streaming pipeline (1 everywhere
     #: except the ``pipeline_insert`` sweep rows)
     depth: int = 1
+    #: slot storage policy the timed tables ran ("aos" | "soa" |
+    #: "compact") — compact-vs-aos rows must stay distinguishable just
+    #: like compiled-vs-fast ones
+    layout: str = "aos"
 
-    schema_version = 2
+    schema_version = 3
 
     def __post_init__(self):
         if not self.cpus:
@@ -95,6 +99,7 @@ class WallClockRecord:
                 "cpus": self.cpus,
                 "kernels": self.kernels,
                 "depth": self.depth,
+                "layout": self.layout,
             },
         )
 
@@ -122,6 +127,7 @@ def bench_single_shard(
     workers: int | None = None,
     seed: int = 11,
     kernels: str = "fast",
+    layout: str = "aos",
 ) -> list[WallClockRecord]:
     """Time one bulk insert + query kernel dispatched through the engine.
 
@@ -136,7 +142,9 @@ def bench_single_shard(
         )
     keys = unique_keys(n, seed=seed)
     values = random_values(n, seed=seed + 1)
-    config = HashTableConfig.for_load_factor(n, load_factor, group_size=group_size)
+    config = HashTableConfig.for_load_factor(
+        n, load_factor, group_size=group_size, layout=layout
+    )
     records = []
     if kernels == "ref":
         table = WarpDriveHashTable(config=config)
@@ -157,6 +165,7 @@ def bench_single_shard(
                         ops_per_s=n / seconds if seconds > 0 else 0.0,
                         seconds=seconds,
                         kernels="ref",
+                        layout=layout,
                     )
                 )
         finally:
@@ -196,6 +205,7 @@ def bench_single_shard(
                         ops_per_s=n / seconds if seconds > 0 else 0.0,
                         seconds=seconds,
                         kernels=res.kernels,
+                        layout=layout,
                     )
                 )
         finally:
@@ -232,6 +242,7 @@ def bench_cascade(
     workers: int | None = None,
     seed: int = 11,
     kernels: str = "fast",
+    layout: str = "aos",
 ) -> list[WallClockRecord]:
     """Time the full device-sided distributed insertion cascade."""
     keys = unique_keys(n, seed=seed)
@@ -246,6 +257,7 @@ def bench_cascade(
         engine=engine,
         workers=workers,
         kernels=kernels,
+        layout=layout,
     )
     try:
         if kernels == "compiled":
@@ -264,6 +276,7 @@ def bench_cascade(
             ops_per_s=n / seconds if seconds > 0 else 0.0,
             seconds=seconds,
             kernels=report.kernels,
+            layout=layout,
         )
     ]
 
@@ -280,6 +293,7 @@ def bench_growth(
     workers: int | None = None,
     seed: int = 11,
     kernels: str = "fast",
+    layout: str = "aos",
 ) -> list[WallClockRecord]:
     """Time a chunked cascade ingest that starts at a quarter of the
     final capacity, so the clock includes every coordinated shard-growth
@@ -300,6 +314,7 @@ def bench_growth(
         workers=workers,
         growth=GrowthPolicy(max_load=max_load),
         kernels=kernels,
+        layout=layout,
     )
     try:
         if kernels == "compiled":
@@ -325,6 +340,7 @@ def bench_growth(
             ops_per_s=n / seconds if seconds > 0 else 0.0,
             seconds=seconds,
             kernels=report.kernels if report is not None else kernels,
+            layout=layout,
         )
     ]
 
@@ -398,6 +414,7 @@ def run_wallclock_suite(
     workers: int | None = None,
     seed: int = 11,
     kernels: str = "fast",
+    layout: str = "aos",
 ) -> list[WallClockRecord]:
     """All benches × all backends on the same keys (same seed).
 
@@ -409,7 +426,8 @@ def run_wallclock_suite(
     for engine in engines or available_backends():
         records.extend(
             bench_single_shard(
-                engine, n, workers=workers, seed=seed, kernels=kernels
+                engine, n, workers=workers, seed=seed, kernels=kernels,
+                layout=layout,
             )
         )
         if kernels == "ref":
@@ -417,13 +435,13 @@ def run_wallclock_suite(
         records.extend(
             bench_cascade(
                 engine, n, m=m, topology=topology, workers=workers,
-                seed=seed, kernels=kernels,
+                seed=seed, kernels=kernels, layout=layout,
             )
         )
         records.extend(
             bench_growth(
                 engine, n, m=m, topology=topology, workers=workers,
-                seed=seed, kernels=kernels,
+                seed=seed, kernels=kernels, layout=layout,
             )
         )
     return records
@@ -444,22 +462,25 @@ def format_records(records: list[WallClockRecord]) -> str:
     column reads off the measured overlap win directly.
     """
     serial = {
-        (r.bench, r.n, r.m, r.kernels, r.depth): r.seconds
+        (r.bench, r.n, r.m, r.kernels, r.depth, r.layout): r.seconds
         for r in records
         if r.engine == "serial"
     }
     lines = [
         f"{'bench':<20} {'n':>9} {'m':>2} {'d':>2} {'engine':<9} "
-        f"{'kernels':<9} {'seconds':>9} {'Mops/s':>8} {'vs serial':>9}"
+        f"{'kernels':<9} {'layout':<8} {'seconds':>9} {'Mops/s':>8} "
+        f"{'vs serial':>9}"
     ]
     for r in records:
         base_depth = 1 if r.bench == "pipeline_insert" else r.depth
-        base = serial.get((r.bench, r.n, r.m, r.kernels, base_depth))
+        base = serial.get(
+            (r.bench, r.n, r.m, r.kernels, base_depth, r.layout)
+        )
         speedup = f"{base / r.seconds:>8.2f}x" if base and r.seconds else f"{'-':>9}"
         lines.append(
             f"{r.bench:<20} {r.n:>9} {r.m:>2} {r.depth:>2} {r.engine:<9} "
-            f"{r.kernels:<9} {r.seconds:>9.4f} {r.ops_per_s / 1e6:>8.2f} "
-            f"{speedup}"
+            f"{r.kernels:<9} {r.layout:<8} {r.seconds:>9.4f} "
+            f"{r.ops_per_s / 1e6:>8.2f} {speedup}"
         )
     if records:
         lines.append(f"(host cpus: {records[0].cpus})")

@@ -30,6 +30,11 @@ cluster
     against the flat node, NIC byte charging on a two-node cluster, and
     the traced ``transpose.intra``/``transpose.inter`` exchange levels
     (``--smoke`` is the CI gate).
+compact
+    Compact slot layout exercise: cross-layout bit-identity under
+    growth/tombstone churn plus strictly narrower modelled VRAM and
+    exchange charges on quotienting tables (``--smoke`` is the CI
+    gate).
 racecheck
     Shadow-memory race sanitizer over the reference kernels: clean-tree
     certification plus the seeded mutant catalogue.
@@ -656,6 +661,132 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    """Compact-layout exercise: bit-identity + narrower charged bytes.
+
+    Four gates, all of which must hold: (1) a ``compact`` table returns
+    bit-identical query/erase results and counter-consistent reports vs
+    ``aos`` and ``soa`` across probings, kernel backends, and
+    growth/tombstone churn; (2) a distributed cascade over compact
+    shards at quotienting capacity charges strictly fewer modelled
+    VRAM/exchange bytes while answering identically; (3) a compact
+    snapshot round-trips through :mod:`repro.core.serialize` into any
+    layout; (4) the perf model prices the narrower record no slower.
+    """
+    import numpy as np
+
+    from repro.core import GrowthPolicy, WarpDriveHashTable
+    from repro.core.serialize import load_table, save_table
+    from repro.core.store import STORE_LAYOUTS, slot_record_bytes
+    from repro.multigpu import DistributedHashTable
+    from repro.perfmodel import P100, predicted_op_seconds
+    from repro.workloads import random_values, unique_keys
+
+    n = 2000 if args.smoke else args.n
+    keys = unique_keys(n, seed=51)
+    values = random_values(n, seed=52)
+    failures: list[str] = []
+
+    # 1. single-table bit-identity under growth + tombstone churn
+    def churn(layout: str, probing: str, kernels: str):
+        t = WarpDriveHashTable(
+            max(256, n // 4), probing=probing, layout=layout,
+            growth=GrowthPolicy(max_load=0.8),
+        )
+        for ck, cv in zip(np.array_split(keys, 4), np.array_split(values, 4)):
+            t.insert(ck, cv, kernels=kernels)
+        erased = t.erase(keys[: n // 2], kernels=kernels)
+        t.insert(keys[: n // 4], values[: n // 4], kernels=kernels)
+        got, found = t.query(keys, kernels=kernels)
+        # record widths stay at 8 B below the 2^16 quotienting crossover,
+        # so the sector counters must agree across layouts exactly
+        state = (
+            got.tobytes(), found.tobytes(), np.asarray(erased).tobytes(),
+            len(t), t.grows, t.counter.load_sectors, t.counter.store_sectors,
+        )
+        record = t.store.record_bytes
+        t.free()
+        return state, record
+
+    combos = 0
+    for probing in ("window", "double", "linear"):
+        for kernels in ("fast", "compiled"):
+            states = {
+                layout: churn(layout, probing, kernels)[0]
+                for layout in sorted(STORE_LAYOUTS)
+            }
+            combos += 1
+            if len(set(states.values())) != 1:
+                failures.append(
+                    f"identity: layouts diverge at probing={probing} "
+                    f"kernels={kernels}"
+                )
+    print(f"identity     {combos} probing x kernel combos, "
+          f"{len(STORE_LAYOUTS)} layouts, grown+churned: "
+          f"{'DIVERGED' if failures else 'bit-identical'}")
+
+    # 2. distributed: narrower charges at quotienting capacity
+    def cascade(layout: str):
+        t = DistributedHashTable(
+            (1 << 17) * 4, topology="p100:4", layout=layout
+        )
+        ins = t.insert(keys, values)
+        got, found, qry = t.query(keys)
+        t.free()
+        return ins, qry, (got.tobytes(), found.tobytes())
+
+    ins_a, qry_a, ans_a = cascade("aos")
+    ins_c, qry_c, ans_c = cascade("compact")
+    if ans_a != ans_c:
+        failures.append("cascade: compact answers differ from aos")
+    if not (ins_c.table_bytes < ins_a.table_bytes):
+        failures.append("cascade: compact did not shrink modelled VRAM")
+    if not (ins_c.alltoall_bytes < ins_a.alltoall_bytes):
+        failures.append("cascade: compact did not shrink all-to-all bytes")
+    if not (qry_c.reverse_bytes < qry_a.reverse_bytes):
+        failures.append("cascade: compact did not shrink reverse bytes")
+    print(
+        f"cascade      4x P100 at 2^17/GPU: record "
+        f"{ins_a.record_bytes} -> {ins_c.record_bytes} B, VRAM "
+        f"{ins_a.table_bytes >> 20} -> {ins_c.table_bytes >> 20} MiB, "
+        f"all-to-all {ins_a.alltoall_bytes} -> {ins_c.alltoall_bytes} B"
+    )
+
+    # 3. serialize: compact snapshot loads bit-identically into aos
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        t = WarpDriveHashTable(1 << 12, layout="compact")
+        t.insert(keys, values)
+        save_table(t, f"{tmp}/compact.npz")
+        back = load_table(f"{tmp}/compact.npz")
+        if back.config.layout != "compact" or not np.array_equal(
+            back.slots, t.slots
+        ):
+            failures.append("serialize: compact round-trip lost slots")
+        t.free()
+        back.free()
+    print("serialize    compact -> disk -> compact: packed slots preserved")
+
+    # 4. perf model: narrower record never predicts slower
+    for g in (8, 16, 32):
+        wide = predicted_op_seconds(0.8, g, P100, op="query", record_bytes=8)
+        narrow = predicted_op_seconds(
+            0.8, g, P100, op="query",
+            record_bytes=slot_record_bytes("compact", 1 << 24),
+        )
+        if narrow > wide:
+            failures.append(f"perfmodel: compact slower at g={g}")
+    print("perfmodel    compact record priced <= packed at g in {8,16,32}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("compact smoke: bit-identical, narrower charges, round-trippable")
+    return 0
+
+
 def _parse_budget(text: str) -> float:
     """Seconds from a ``30s`` / ``2m`` / plain-number budget string."""
     text = text.strip().lower()
@@ -1143,6 +1274,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--out", default=None,
                          help="optional Perfetto trace output path")
     cluster.set_defaults(fn=_cmd_cluster)
+
+    compact = sub.add_parser(
+        "compact",
+        help="compact slot layout exercise: cross-layout bit-identity "
+        "and narrower charged bytes",
+    )
+    compact.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed workload for CI",
+    )
+    compact.add_argument("--n", type=int, default=1 << 14,
+                         help="pairs per identity combo")
+    compact.set_defaults(fn=_cmd_compact)
 
     race = sub.add_parser(
         "racecheck",

@@ -30,18 +30,27 @@ from pathlib import Path
 
 import numpy as np
 
-_SOURCE = r"""
+_SOURCE_TEMPLATE = r"""
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
 
 #define EMPTY_W 0xFFFFFFFFFFFFFFFFULL
 #define TOMB_W  0xFFFFFFFFFFFFFFFEULL
+/* sentinel words of the compact layout's sigma-permuted key plane
+ * (sigma = fmix32; interpolated from Python so the two sides cannot
+ * drift -- the source hash keys the disk cache, so a sigma change
+ * rebuilds the library automatically) */
+#define CEMPTY_W @CEMPTY@
+#define CTOMB_W  @CTOMB@
 #define ST_PENDING  0
 #define ST_INSERTED 1
 #define ST_UPDATED  2
 #define ST_FAILED   3
 
+/* soa is a layout mode flag: 0 = aos (packed uint64 array), 1 = soa
+ * (two uint32 planes), 2 = compact (soa plane geometry, key plane
+ * sigma-permuted -- same loads/stores, different sentinel words) */
 static inline uint64_t slot_load(int64_t soa, const uint64_t *packed,
                                  const uint32_t *kp, const uint32_t *vp,
                                  int64_t idx) {
@@ -126,6 +135,8 @@ int repro_insert(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
                  const uint32_t *h1, const uint32_t *step,
                  const uint32_t *keys, const uint64_t *pairs,
                  uint8_t *status, int64_t *probes, int64_t *counters) {
+    const uint64_t EW = soa == 2 ? CEMPTY_W : EMPTY_W;
+    const uint64_t TW = soa == 2 ? CTOMB_W : TOMB_W;
     int64_t n = counters[5];  /* n smuggled in; restored before return */
     int64_t ring_cap = n < wave ? n : wave;
     if (ring_cap < 1) ring_cap = 1;
@@ -176,10 +187,10 @@ int repro_insert(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
             int64_t s = m_start[j];
             for (int64_t lane = 0; lane < g; lane++) {
                 uint64_t w = slot_load(soa, packed, kp, vp, s);
-                if (w == EMPTY_W) {
+                if (w == EW) {
                     hase = 1;
                     if (vs < 0) vs = s;
-                } else if (w == TOMB_W) {
+                } else if (w == TW) {
                     if (vs < 0) vs = s;
                 } else if (!hasm && (w >> 32) == key_w) {
                     hasm = 1;
@@ -240,7 +251,7 @@ int repro_insert(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
                 }
                 att += 1;
                 uint64_t w = slot_load(soa, packed, kp, vp, tv);
-                if (w == EMPTY_W || w == TOMB_W) {
+                if (w == EW || w == TW) {
                     slot_store(soa, packed, kp, vp, tv, pairs[i]);
                     status[i] = ST_INSERTED;
                     succ += 1;
@@ -279,6 +290,7 @@ int repro_query(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
                 const uint32_t *h1, const uint32_t *step,
                 const uint32_t *keys, uint32_t *values, uint8_t *found,
                 int64_t *probes, int64_t *counters) {
+    const uint64_t EW = soa == 2 ? CEMPTY_W : EMPTY_W;
     int64_t n = counters[5];
     int64_t cap = n > 0 ? n : 1;
     int64_t *scratch = malloc((size_t)(cap * 4) * sizeof(int64_t));
@@ -312,7 +324,7 @@ int repro_query(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
             int64_t s = m_start[j];
             for (int64_t lane = 0; lane < g; lane++) {
                 uint64_t w = slot_load(soa, packed, kp, vp, s);
-                if (w == EMPTY_W) {
+                if (w == EW) {
                     hase = 1;
                 } else if (!hasm && (w >> 32) == key_w) {
                     hasm = 1;
@@ -345,6 +357,8 @@ int repro_erase(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
                 const uint32_t *h1, const uint32_t *step,
                 const uint32_t *keys, uint8_t *erased,
                 int64_t *probes, int64_t *counters) {
+    const uint64_t EW = soa == 2 ? CEMPTY_W : EMPTY_W;
+    const uint64_t TW = soa == 2 ? CTOMB_W : TOMB_W;
     int64_t n = counters[5];
     int64_t cap = n > 0 ? n : 1;
     int64_t *scratch = malloc((size_t)(cap * 4 + cap * g) * sizeof(int64_t)
@@ -382,7 +396,7 @@ int repro_erase(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
             int64_t s = m_start[j];
             for (int64_t lane = 0; lane < g; lane++) {
                 uint64_t w = slot_load(soa, packed, kp, vp, s);
-                if (w == EMPTY_W) {
+                if (w == EW) {
                     hase = 1;
                 } else if ((w >> 32) == key_w) {
                     hit = 1;
@@ -405,8 +419,8 @@ int repro_erase(int64_t soa, uint64_t *packed, uint32_t *kp, uint32_t *vp,
             int64_t uniq = 0;
             for (int64_t t = 0; t < ntarg; t++) {
                 uint64_t w = slot_load(soa, packed, kp, vp, targ[t]);
-                if (w != TOMB_W) {
-                    slot_store(soa, packed, kp, vp, targ[t], TOMB_W);
+                if (w != TW) {
+                    slot_store(soa, packed, kp, vp, targ[t], TW);
                     uniq++;
                 }
             }
@@ -470,6 +484,19 @@ int repro_reverse_gather(const int64_t *counts, const int64_t *bases,
     return 0;
 }
 """
+
+def _sigma_sentinel_words() -> tuple[int, int]:
+    """EMPTY/TOMBSTONE words as the compact key plane stores them."""
+    from ..hashing.mixers import fmix32
+
+    hi = int(fmix32(np.asarray([0xFFFFFFFF], dtype=np.uint32))[0])
+    return (hi << 32) | 0xFFFFFFFF, (hi << 32) | 0xFFFFFFFE
+
+
+_CEMPTY, _CTOMB = _sigma_sentinel_words()
+_SOURCE = _SOURCE_TEMPLATE.replace(
+    "@CEMPTY@", f"0x{_CEMPTY:016X}ULL"
+).replace("@CTOMB@", f"0x{_CTOMB:016X}ULL")
 
 _CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c11")
 
@@ -583,7 +610,7 @@ def build_loops(layout: str) -> dict:
     uniform; the C side zeroes it before returning.
     """
     lib = _load_library()
-    soa = 1 if layout == "soa" else 0
+    soa = {"aos": 0, "soa": 1, "compact": 2}[layout]
     # found/erased arrive as np.bool_ arrays; ctypes sees them as uint8
     u8 = lambda a: a.view(np.uint8)  # noqa: E731
 

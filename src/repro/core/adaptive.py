@@ -53,7 +53,11 @@ class AdaptiveWarpDriveTable(WarpDriveHashTable):
         """
         projected = min((len(self) + extra_items) / self.capacity, 0.99)
         g = best_group_size(
-            projected, self.spec, op=op, table_bytes=self.table_bytes
+            projected,
+            self.spec,
+            op=op,
+            table_bytes=self.table_bytes,
+            record_bytes=self.store.record_bytes,
         )
         if g != self.seq.group_size:
             self.seq = WindowSequence(self.config.family, g, self.config.p_max)

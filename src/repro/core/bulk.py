@@ -125,9 +125,20 @@ def _any_rows(mask: np.ndarray) -> np.ndarray:
     return out
 
 
-def _sectors_per_window(group_size: int) -> int:
-    """Sectors per aligned coalesced window load of |g| 8-byte slots."""
-    return sectors_for_access(0, group_size * 8)
+def _sectors_per_window(group_size: int, record_bytes: int = 8) -> int:
+    """Sectors per aligned coalesced window load of |g| slot records.
+
+    ``record_bytes`` is the layout's modelled record width — 8 for
+    ``aos``/``soa``, the quotiented sub-8-byte width for ``compact``
+    (:func:`repro.core.store.slot_record_bytes`); the compact window is
+    a contiguous run of narrower records, so it can span fewer sectors.
+    """
+    return sectors_for_access(0, group_size * record_bytes)
+
+
+def _record_bytes(slots) -> int:
+    """Modelled bytes per slot record of the view the kernel runs on."""
+    return int(getattr(slots, "record_bytes", 8))
 
 
 def default_wave_size(capacity: int) -> int:
@@ -178,7 +189,7 @@ def bulk_insert(
     first_vac = np.full(n, -1, dtype=np.int64)
 
     report = KernelReport(op="insert", num_ops=n, group_size=g)
-    sectors_per_window = _sectors_per_window(g)
+    sectors_per_window = _sectors_per_window(g, _record_bytes(slots))
     max_windows = seq.max_windows
     inner = seq.inner_count
     ranks = np.arange(g, dtype=np.int64)
@@ -334,7 +345,7 @@ def bulk_query(
     probes = np.zeros(n, dtype=np.int64)
 
     report = KernelReport(op="query", num_ops=n, group_size=g)
-    sectors_per_window = _sectors_per_window(g)
+    sectors_per_window = _sectors_per_window(g, _record_bytes(slots))
     max_windows = seq.max_windows
     inner = seq.inner_count
     ranks = np.arange(g, dtype=np.int64)
@@ -414,7 +425,7 @@ def bulk_erase(
     probes = np.zeros(n, dtype=np.int64)
 
     report = KernelReport(op="erase", num_ops=n, group_size=g)
-    sectors_per_window = _sectors_per_window(g)
+    sectors_per_window = _sectors_per_window(g, _record_bytes(slots))
     max_windows = seq.max_windows
     inner = seq.inner_count
     ranks = np.arange(g, dtype=np.int64)

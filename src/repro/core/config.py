@@ -11,7 +11,7 @@ from ..hashing.families import DoubleHashFamily, make_double_family
 from ..utils.validation import check_group_size, check_load_factor, check_positive
 from .growth import GrowthPolicy
 from .probing import WINDOW_SEQUENCES
-from .store import STORE_LAYOUTS
+from .store import STORE_LAYOUTS, slot_record_bytes
 
 __all__ = ["HashTableConfig"]
 
@@ -42,8 +42,9 @@ class HashTableConfig:
         Window-walk policy: ``"window"`` (the paper's hybrid, default),
         ``"double"``, or ``"linear"`` (:mod:`repro.core.probing`).
     layout:
-        Slot storage policy: ``"aos"`` (packed, default) or ``"soa"``
-        (:mod:`repro.core.store`).
+        Slot storage policy: ``"aos"`` (packed, default), ``"soa"``, or
+        ``"compact"`` (quotienting sub-8-byte records;
+        :mod:`repro.core.store`).
     growth:
         Optional :class:`~repro.core.growth.GrowthPolicy`; when set the
         table resizes instead of failing (``None`` keeps the paper's
@@ -100,8 +101,14 @@ class HashTableConfig:
 
     @property
     def table_bytes(self) -> int:
-        """VRAM footprint of the slot array (8 bytes per slot)."""
-        return self.capacity * 8
+        """Modelled VRAM footprint of the slot array, layout-derived.
+
+        ``capacity * slot_record_bytes(layout, capacity)`` — the same
+        figure :attr:`repro.core.store.SlotStore.nbytes` reports; the
+        perf model prices CAS degradation and shard footprints off this,
+        never off a hard-coded 8 bytes per slot.
+        """
+        return self.capacity * slot_record_bytes(self.layout, self.capacity)
 
     def rebuilt(self, salt: int) -> "HashTableConfig":
         """Config for the reconstruction attempt after an insert failure."""

@@ -63,7 +63,13 @@ from ..memory.layout import pack_pairs
 from ..obs import runtime as obs
 from ..simt.counters import TransactionCounter
 from ..utils.validation import check_keys, check_same_length, check_values
-from .bulk import STATUS, _merge_counter, _sectors_per_window, default_wave_size
+from .bulk import (
+    STATUS,
+    _merge_counter,
+    _record_bytes,
+    _sectors_per_window,
+    default_wave_size,
+)
 from .probing import WindowSequence
 from .report import KernelReport
 
@@ -183,23 +189,29 @@ def slot_planes(slots):
     """Raw storage planes of a slot view, or None when unsupported.
 
     Returns ``(layout, packed_u64, key_plane, value_plane)`` for a plain
-    AoS array or an unsanitized SoA view.  Sanitizer-instrumented views
-    (``ShadowedArray``, shadowed :class:`~repro.core.store.SoAPackedView`)
-    return None: the compiled loops cannot record shadow accesses, so the
-    caller must fall back to the instrumented fast path.
+    AoS array, an unsanitized SoA view, or an unsanitized compact view
+    — whose key plane holds σ-permuted remainder words, so the wrappers
+    σ-encode probe keys to match
+    (:class:`~repro.core.store.CompactPackedView`).
+    Sanitizer-instrumented views (``ShadowedArray``, shadowed SoA or
+    compact views) return None: the compiled loops cannot record shadow
+    accesses, so the caller must fall back to the instrumented fast path.
     """
     if isinstance(slots, np.ndarray):
         if slots.dtype == np.uint64 and slots.ndim == 1:
             return ("aos", slots, _NO_U32, _NO_U32)
         return None
-    keys = getattr(slots, "_keys", None)
+    if getattr(slots, "sanitizer", None) is not None:
+        return None
     values = getattr(slots, "_values", None)
-    if (
-        keys is not None
-        and values is not None
-        and getattr(slots, "sanitizer", None) is None
-    ):
+    if values is None:
+        return None
+    keys = getattr(slots, "_keys", None)
+    if keys is not None:
         return ("soa", _NO_U64, keys, values)
+    rq = getattr(slots, "_rq", None)
+    if rq is not None:
+        return ("compact", _NO_U64, rq, values)
     return None
 
 
@@ -256,8 +268,20 @@ def resolve_kernels(kernels: str, *, slots=None, owner: str = "repro"):
 
 
 def _make_loops(layout: str, decorate) -> dict:
-    EMPTY = _EMPTY_W
-    TOMB = _TOMB_W
+    if layout == "compact":
+        # the compact key plane stores σ(key-half), so the loops match
+        # and claim entirely in the permuted domain: the wrappers pass
+        # σ-encoded probe keys/pairs, and the sentinel words here are
+        # the σ-images of EMPTY/TOMBSTONE (repro.core.store).  The hash
+        # walk (h1/step) still comes from the original keys.
+        from ..hashing.mixers import fmix32
+
+        perm = np.uint64(fmix32(np.asarray([0xFFFFFFFF], np.uint32))[0])
+        EMPTY = (perm << _S32) | np.uint64(0xFFFFFFFF)
+        TOMB = (perm << _S32) | np.uint64(0xFFFFFFFE)
+    else:
+        EMPTY = _EMPTY_W
+        TOMB = _TOMB_W
     S32 = _S32
     M32 = _M32
     INSERTED = _ST_INSERTED
@@ -825,10 +849,19 @@ def _planes_or_raise(slots):
     if planes is None:
         raise ConfigurationError(
             "compiled kernels need a plain AoS slot array or an "
-            "unsanitized SoA view; resolve_kernels() falls back to "
-            "'fast' for instrumented stores"
+            "unsanitized SoA/compact view; resolve_kernels() falls back "
+            "to 'fast' for instrumented stores"
         )
     return planes
+
+
+def _probe_keys(layout: str, k: np.ndarray) -> np.ndarray:
+    """Keys in the domain the slot planes store — σ-encoded for compact."""
+    if layout != "compact":
+        return k
+    from .store import _sigma
+
+    return np.ascontiguousarray(_sigma(k))
 
 
 def bulk_insert_compiled(
@@ -854,7 +887,8 @@ def bulk_insert_compiled(
         else max(int(wave_size), 1)
     )
     k = np.ascontiguousarray(k)
-    pairs = pack_pairs(k, v)
+    ek = _probe_keys(layout, k)
+    pairs = pack_pairs(ek, v)
     h1, step = seq.hash_cache(k)
     status = np.zeros(n, dtype=np.uint8)
     probes = np.zeros(n, dtype=np.int64)
@@ -862,8 +896,8 @@ def bulk_insert_compiled(
     fns = _loops_for(seq.name, layout)
     fns["insert"](
         packed, kp, vp, capacity, g, seq.inner_count, seq.max_windows,
-        wave, _sectors_per_window(g), h1, step, k, pairs,
-        status, probes, counters,
+        wave, _sectors_per_window(g, _record_bytes(slots)), h1, step,
+        ek, pairs, status, probes, counters,
     )
     report = KernelReport(
         op="insert",
@@ -895,6 +929,7 @@ def bulk_query_compiled(
     capacity = slots.shape[0]
     g = seq.group_size
     k = np.ascontiguousarray(k)
+    ek = _probe_keys(layout, k)
     h1, step = seq.hash_cache(k)
     out_values = np.full(n, default, dtype=np.uint32)
     found = np.zeros(n, dtype=np.bool_)
@@ -903,7 +938,7 @@ def bulk_query_compiled(
     fns = _loops_for(seq.name, layout)
     fns["query"](
         packed, kp, vp, capacity, g, seq.inner_count, seq.max_windows,
-        _sectors_per_window(g), h1, step, k,
+        _sectors_per_window(g, _record_bytes(slots)), h1, step, ek,
         out_values, found, probes, counters,
     )
     report = KernelReport(
@@ -935,6 +970,7 @@ def bulk_erase_compiled(
     capacity = slots.shape[0]
     g = seq.group_size
     k = np.ascontiguousarray(k)
+    ek = _probe_keys(layout, k)
     h1, step = seq.hash_cache(k)
     erased = np.zeros(n, dtype=np.bool_)
     probes = np.zeros(n, dtype=np.int64)
@@ -942,7 +978,8 @@ def bulk_erase_compiled(
     fns = _loops_for(seq.name, layout)
     fns["erase"](
         packed, kp, vp, capacity, g, seq.inner_count, seq.max_windows,
-        _sectors_per_window(g), h1, step, k, erased, probes, counters,
+        _sectors_per_window(g, _record_bytes(slots)), h1, step, ek,
+        erased, probes, counters,
     )
     report = KernelReport(
         op="erase",

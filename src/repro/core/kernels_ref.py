@@ -22,7 +22,7 @@ import numpy as np
 from ..constants import TOMBSTONE_SLOT
 from ..memory.layout import pack_scalar
 from ..simt.atomics import atomic_cas
-from ..simt.counters import TransactionCounter
+from ..simt.counters import TransactionCounter, sectors_for_access
 from ..simt.warp import CoalescedGroup
 from .probing import WindowSequence
 from .slots import is_empty, is_vacant, matches_key, slot_values
@@ -35,9 +35,21 @@ def _load_window(
     rows: np.ndarray,
     counter: TransactionCounter | None,
 ) -> np.ndarray:
-    """Coalesced load of one |g|-slot window into 'registers'."""
+    """Coalesced load of one |g|-slot window into 'registers'.
+
+    The compact layout charges the closed form the bulk/compiled paths
+    use (``sectors_for_access(0, g * record_bytes)``): per-lane
+    addressing at a sub-8-byte stride would diverge from the idealized
+    contiguous-record window at some alignments, and the three backends
+    must stay charge-identical per layout.  AoS/SoA windows start on
+    8-byte multiples, where the per-lane and closed forms agree exactly.
+    """
     if counter is not None:
-        counter.charge_coalesced_load(rows * 8, 8)
+        record = int(getattr(slots, "record_bytes", 8))
+        if record == 8:
+            counter.charge_coalesced_load(rows * 8, 8)
+        else:
+            counter.load_sectors += sectors_for_access(0, rows.size * record)
         counter.window_probes += 1
         counter.slot_comparisons += rows.size
     return slots[rows].copy()

@@ -12,6 +12,15 @@ adds the policy fields of the decomposed table core — ``probing``,
 form regardless of the in-memory layout, so an ``soa`` table snapshot
 loads into an ``aos`` build bit-identically (and vice versa).  Version 1
 snapshots load with the default policies.
+
+Version 3 records ``bytes_per_slot`` — the *modelled* record width of
+the layout that wrote the snapshot
+(:func:`repro.core.store.slot_record_bytes`); the on-disk slots stay
+packed ``uint64`` words, so a ``compact`` snapshot still loads into any
+layout bit-identically.  The field is informational (the loader derives
+the live width from the restored config) but must match it, which
+pins snapshots against silent record-width drift.  Versions 1 and 2
+remain readable.
 """
 
 from __future__ import annotations
@@ -25,13 +34,14 @@ from ..errors import ConfigurationError
 from ..hashing.families import DoubleHashFamily, make_hash
 from .config import HashTableConfig
 from .growth import GrowthPolicy
+from .store import slot_record_bytes
 from .table import WarpDriveHashTable
 
 __all__ = ["save_table", "load_table", "FORMAT_VERSION"]
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: versions :func:`load_table` understands
-READABLE_VERSIONS = frozenset({1, 2})
+READABLE_VERSIONS = frozenset({1, 2, 3})
 
 
 def _family_meta(family: DoubleHashFamily) -> dict:
@@ -78,6 +88,9 @@ def save_table(table: WarpDriveHashTable, path: str | pathlib.Path) -> None:
         "probing": table.config.probing,
         "layout": table.config.layout,
         "growth": _growth_meta(table.config.growth),
+        "bytes_per_slot": slot_record_bytes(
+            table.config.layout, table.capacity
+        ),
     }
     np.savez_compressed(
         path,
@@ -119,6 +132,14 @@ def load_table(path: str | pathlib.Path) -> WarpDriveHashTable:
         layout=header.get("layout", "aos"),
         growth=_growth_from_meta(header.get("growth")),
     )
+    declared = header.get("bytes_per_slot")
+    derived = slot_record_bytes(config.layout, config.capacity)
+    if declared is not None and int(declared) != derived:
+        raise ConfigurationError(
+            f"{path}: snapshot declares {declared} bytes per slot but "
+            f"layout {config.layout!r} at capacity {config.capacity} "
+            f"models {derived} — record-width rules drifted"
+        )
     table = WarpDriveHashTable(config=config)
     table.store.load_packed(slots.astype(np.uint64))
     table._size = int(header["size"])

@@ -86,8 +86,9 @@ class WarpDriveHashTable:
         ``"linear"`` (:mod:`repro.core.probing`); consumed uniformly by
         the fast and ref kernels.
     layout:
-        Slot storage policy — ``"aos"`` (default) or ``"soa"``
-        (:mod:`repro.core.store`).
+        Slot storage policy — ``"aos"`` (default), ``"soa"``, or
+        ``"compact"`` (quotienting sub-8-byte modelled records;
+        :mod:`repro.core.store`).
     growth:
         Optional :class:`~repro.core.growth.GrowthPolicy`: the table
         grows (rehashing with the real bulk kernels) instead of raising
@@ -220,7 +221,14 @@ class WarpDriveHashTable:
 
     @property
     def table_bytes(self) -> int:
-        return self.config.table_bytes
+        """Modelled slot-array footprint — read off the live store.
+
+        Identical to :attr:`HashTableConfig.table_bytes`; going through
+        :attr:`SlotStore.nbytes` keeps the figure honest against the
+        storage policy actually allocated (satellite of the compact
+        layout: nothing downstream may assume 8 bytes per slot).
+        """
+        return self.store.nbytes
 
     # -- bulk operations --------------------------------------------------
 

@@ -30,9 +30,12 @@ class SlotsDescriptor:
     """Everything a worker needs to map a shard's slot table.
 
     ``layout`` names the slot store arrangement inside the segment:
-    ``"aos"`` (one packed ``uint64`` word per slot) or ``"soa"``
+    ``"aos"`` (one packed ``uint64`` word per slot), ``"soa"``
     (``capacity`` ``uint32`` keys followed by ``capacity`` ``uint32``
-    values).  ``dtype`` stays the *logical* packed dtype either way.
+    values), or ``"compact"`` (same plane geometry as ``"soa"`` but the
+    first plane holds σ-permuted key halves — see
+    :class:`repro.core.store.CompactPackedView`).  ``dtype`` stays the
+    *logical* packed dtype in every case.
     """
 
     name: str
@@ -44,22 +47,24 @@ class SlotsDescriptor:
 class SharedSlots:
     """Owner side of a shared-memory slot array.
 
-    Both layouts occupy the same 8 bytes per slot; ``"soa"`` exposes the
-    segment as two ``uint32`` planes (``keys``, ``values``) instead of
-    one packed ``array``.
+    Every layout occupies the same 8 *physical* bytes per slot (the
+    compact layout's sub-8-byte record width is a modelled quantity —
+    see :func:`repro.core.store.slot_record_bytes`); ``"soa"`` and
+    ``"compact"`` expose the segment as two ``uint32`` planes (``keys``,
+    ``values``) instead of one packed ``array``.
     """
 
     def __init__(self, capacity: int, *, fill=EMPTY_SLOT, layout: str = "aos"):
         if capacity < 0:
             raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
-        if layout not in ("aos", "soa"):
+        if layout not in ("aos", "soa", "compact"):
             raise ConfigurationError(f"unknown slot layout {layout!r}")
         nbytes = max(capacity * np.dtype(np.uint64).itemsize, 1)
         self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
         self.capacity = capacity
         self.layout = layout
         fill = int(fill)
-        if layout == "soa":
+        if layout in ("soa", "compact"):
             self.array = None
             self.keys = np.ndarray(
                 (capacity,), dtype=np.uint32, buffer=self._shm.buf
@@ -70,7 +75,14 @@ class SharedSlots:
                 buffer=self._shm.buf,
                 offset=capacity * 4,
             )
-            self.keys.fill(np.uint32((fill >> 32) & 0xFFFFFFFF))
+            key_half = np.uint32((fill >> 32) & 0xFFFFFFFF)
+            if layout == "compact":
+                # the compact plane stores σ(key-half); permute the
+                # sentinel fill the same way the packed view does
+                from ..hashing.mixers import fmix32
+
+                key_half = np.uint32(fmix32(np.asarray([key_half]))[0])
+            self.keys.fill(key_half)
             self.values.fill(np.uint32(fill & 0xFFFFFFFF))
         else:
             self.array = np.ndarray(
@@ -98,7 +110,9 @@ class SharedSlots:
         if self._shm is None:
             return
         # drop the numpy views before closing the mmap under them
-        self.array = np.empty(0, dtype=np.uint64) if self.layout == "aos" else None
+        self.array = (
+            np.empty(0, dtype=np.uint64) if self.layout == "aos" else None
+        )
         self.keys = None
         self.values = None
         try:

@@ -47,14 +47,20 @@ class HostBuffer:
 class DeviceBuffer:
     """Global-memory allocation on a simulated GPU."""
 
-    def __init__(self, device: Device, array: np.ndarray):
+    def __init__(self, device: Device, array: np.ndarray, *, nbytes: int | None = None):
         self.device = device
         self.array = np.ascontiguousarray(array)
+        # a compact slot plane models fewer bytes than its host ndarray
+        # physically occupies; ``nbytes`` overrides the registered
+        # footprint with the modelled one (never more than physical)
+        charged = int(self.array.nbytes) if nbytes is None else int(nbytes)
+        if charged < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {charged}")
         # register only after a successful reservation, so a failed
         # allocation never releases VRAM it does not own at GC time
         self._registered = 0
-        device.allocate(int(self.array.nbytes))
-        self._registered = int(self.array.nbytes)
+        device.allocate(charged)
+        self._registered = charged
 
     @classmethod
     def empty(cls, device: Device, size: int, dtype=np.uint64) -> "DeviceBuffer":
@@ -69,19 +75,25 @@ class DeviceBuffer:
         return cls(device, np.zeros(size, dtype=dtype))
 
     @classmethod
-    def full(cls, device: Device, size: int, fill, dtype=np.uint64) -> "DeviceBuffer":
+    def full(
+        cls, device: Device, size: int, fill, dtype=np.uint64, *,
+        nbytes: int | None = None,
+    ) -> "DeviceBuffer":
         if size < 0:
             raise ConfigurationError(f"size must be >= 0, got {size}")
-        return cls(device, np.full(size, fill, dtype=dtype))
+        return cls(device, np.full(size, fill, dtype=dtype), nbytes=nbytes)
 
     @classmethod
-    def from_array(cls, device: Device, array: np.ndarray) -> "DeviceBuffer":
+    def from_array(
+        cls, device: Device, array: np.ndarray, *, nbytes: int | None = None
+    ) -> "DeviceBuffer":
         """Take ownership of an existing array's footprint on ``device``."""
-        return cls(device, array)
+        return cls(device, array, nbytes=nbytes)
 
     @property
     def nbytes(self) -> int:
-        return int(self.array.nbytes)
+        """Modelled (registered) footprint of this buffer."""
+        return self._registered if self._registered else int(self.array.nbytes)
 
     @property
     def freed(self) -> bool:

@@ -183,7 +183,7 @@ def transpose_exchange(
                     axis=1,
                 )
             )
-            _log_transpose(log, part, src, chunk.nbytes)
+            _log_transpose(log, part, src, count * counts.record_bytes)
         received.append(
             np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint64)
         )
@@ -242,7 +242,7 @@ def transpose_exchange_fast(
             count = int(counts.counts[src, part])
             chunk = split_pairs[src][start : start + count]
             chunks.append(chunk)
-            _log_transpose(log, part, src, chunk.nbytes)
+            _log_transpose(log, part, src, count * counts.record_bytes)
         received.append(
             np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint64)
         )
@@ -347,6 +347,7 @@ def reverse_exchange(
     topology: Topology,
     *,
     log: TransferLog | None = None,
+    itemsize: int | None = None,
 ) -> ReverseExchangeResult:
     """Route per-element results back to their source GPUs (query path).
 
@@ -355,6 +356,11 @@ def reverse_exchange(
     where that element came from.  Returns per-source-GPU result arrays
     aligned with each GPU's multisplit output, the network seconds, and
     the m×m reverse traffic matrix (reference: m² boolean-mask passes).
+
+    ``itemsize`` overrides the modelled bytes per routed answer
+    (default: the result dtype's width) — callers pass one explicit
+    figure to this path and the fused one so the two stay log-identical
+    by construction rather than by coincidence of dtypes.
     """
     m = len(results_per_part)
     if len(provenance) != m:
@@ -363,6 +369,10 @@ def reverse_exchange(
         np.zeros(size, dtype=results_per_part[0].dtype if results_per_part else np.uint64)
         for size in chunk_sizes
     ]
+    if itemsize is None:
+        itemsize = (
+            int(results_per_part[0].dtype.itemsize) if results_per_part else 8
+        )
     traffic = np.zeros((m, m), dtype=np.int64)
     for part in range(m):
         res = results_per_part[part]
@@ -377,7 +387,7 @@ def reverse_exchange(
             if not np.any(sel):
                 continue
             outputs[src][prov[sel, 1]] = res[sel]
-            nbytes = int(res[sel].nbytes)
+            nbytes = int(np.count_nonzero(sel)) * int(itemsize)
             if src != part:
                 traffic[part, src] += nbytes
                 if log is not None:
@@ -405,13 +415,15 @@ def reverse_exchange_fast(
     topology: Topology,
     *,
     log: TransferLog | None = None,
+    itemsize: int | None = None,
 ) -> ReverseExchangeResult:
     """Vectorized :func:`reverse_exchange` — same outputs, log, traffic.
 
     The traffic matrix is read off the partition table (each partition
     sends ``T[src, part]`` answers back to ``src``) and the scatter is
     one precomputed fancy-index gather per GPU — no per-element
-    provenance, no boolean masks.
+    provenance, no boolean masks.  ``itemsize`` as in
+    :func:`reverse_exchange`.
     """
     m = routing.table.num_gpus
     if len(results_per_part) != m:
@@ -429,7 +441,10 @@ def reverse_exchange_fast(
         else np.empty(0, dtype=np.uint64)
     )
     seconds, traffic = reverse_route_accounting(
-        routing.table, flat.dtype.itemsize, topology, log=log
+        routing.table,
+        flat.dtype.itemsize if itemsize is None else int(itemsize),
+        topology,
+        log=log,
     )
     outputs = [flat[gather] for gather in routing.reverse_gather]
     return ReverseExchangeResult(

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..constants import PAIR_BYTES
 from ..core.kernels_jit import resolve_kernels
+from ..core.store import slot_record_bytes
 from ..core.report import KernelReport
 from ..core.table import WarpDriveHashTable
 from ..errors import ConfigurationError
@@ -115,9 +116,18 @@ class CascadeReport:
     #: cascade (0/num_ops outside the serving path)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: slot storage policy of the shards this cascade ran against
+    layout: str = "aos"
+    #: modelled wire/storage bytes per pair — ``PAIR_BYTES`` for packed
+    #: shards, the quotiented record width for ``compact`` ones (max over
+    #: shards; :func:`repro.core.store.slot_record_bytes`)
+    record_bytes: int = PAIR_BYTES
+    #: aggregate modelled VRAM of the shard slot arrays after the cascade
+    table_bytes: int = 0
 
     # v2: hierarchical (intra/inter) exchange charges + num_nodes
-    schema_version = 2
+    # v3: layout / record_bytes / table_bytes (compact slot layout)
+    schema_version = 3
 
     @property
     def load_imbalance(self) -> float:
@@ -142,6 +152,9 @@ class CascadeReport:
                 "op": self.op,
                 "num_ops": self.num_ops,
                 "kernels": self.kernels,
+                "layout": self.layout,
+                "record_bytes": self.record_bytes,
+                "table_bytes": self.table_bytes,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "h2d_bytes": self.h2d_bytes,
@@ -458,6 +471,24 @@ class DistributedHashTable:
     def shard_sizes(self) -> np.ndarray:
         return np.array([len(s) for s in self.shards], dtype=np.int64)
 
+    @property
+    def layout(self) -> str:
+        """Slot storage policy of the shards (uniform by construction)."""
+        return self.shards[0].config.layout
+
+    def _record_bytes(self) -> int:
+        """Modelled bytes per exchanged pair — max over shards.
+
+        Every exchange leg and grow-rehash copy charges this width:
+        ``PAIR_BYTES`` for packed layouts, the quotiented record width of
+        the smallest-capacity shard for ``compact`` (conservative — a
+        record importable by every shard).
+        """
+        return max(
+            slot_record_bytes(shard.config.layout, shard.capacity)
+            for shard in self.shards
+        )
+
     # -- cascades -------------------------------------------------------------
 
     def _chunk(self, n: int) -> list[slice]:
@@ -508,7 +539,7 @@ class DistributedHashTable:
             counts = np.stack([ms.counts for ms in splits])
             report.distribution_wall_seconds += time.perf_counter() - t0
         report.multisplit_reports = [ms.report for ms in splits]
-        table = PartitionTable(counts)
+        table = PartitionTable(counts, record_bytes=self._record_bytes())
         report.partition_table = table
         return splits, table
 
@@ -636,6 +667,11 @@ class DistributedHashTable:
         plan: CascadePlan | None = None,
     ) -> tuple[np.ndarray, float, np.ndarray]:
         t0 = time.perf_counter()
+        # answers travel in the same modelled record format the forward
+        # exchange used: one packed word per key for aos/soa, the
+        # quotiented record for compact (a 32-bit value plus found flag
+        # fits any record width the model allows)
+        itemsize = exchange.table.record_bytes
         if self.distribution == "fused":
             flat = (
                 np.concatenate(results)
@@ -644,7 +680,7 @@ class DistributedHashTable:
             )
             seconds, traffic = reverse_route_accounting(
                 exchange.routing.table,
-                flat.dtype.itemsize,
+                itemsize,
                 self.topology,
                 log=self.transfer_log,
             )
@@ -666,6 +702,7 @@ class DistributedHashTable:
                 chunk_sizes,
                 self.topology,
                 log=self.transfer_log,
+                itemsize=itemsize,
             )
             seconds, traffic = rev.network_seconds, rev.traffic
             answers = np.zeros(n, dtype=np.uint64)
@@ -727,11 +764,14 @@ class DistributedHashTable:
                 if target <= shard.capacity:
                     continue
                 live = len(shard)
+                # the rehash reads records at the *source* table's width
+                # (pre-grow capacity: never narrower than the target's)
+                record = slot_record_bytes(shard.config.layout, shard.capacity)
                 rep = shard.grow(target)
                 self.transfer_log.add(
                     TransferRecord(
                         kind=MemcpyKind.D2D,
-                        nbytes=live * PAIR_BYTES,
+                        nbytes=live * record,
                         src_device=gpu,
                         dst_device=gpu,
                         tag="grow rehash",
@@ -955,7 +995,12 @@ class DistributedHashTable:
         check_same_length("keys", k, "values", v)
         n = k.shape[0]
         report = CascadeReport(
-            op="insert", num_ops=n, num_nodes=self.topology.num_nodes
+            op="insert",
+            num_ops=n,
+            num_nodes=self.topology.num_nodes,
+            layout=self.layout,
+            record_bytes=self._record_bytes(),
+            table_bytes=sum(s.table_bytes for s in self.shards),
         )
         log = TransferLog()
         counters = [TransactionCounter() for _ in range(self.num_gpus)]
@@ -1012,7 +1057,12 @@ class DistributedHashTable:
         k = check_keys(keys)
         n = k.shape[0]
         report = CascadeReport(
-            op=op, num_ops=n, num_nodes=self.topology.num_nodes
+            op=op,
+            num_ops=n,
+            num_nodes=self.topology.num_nodes,
+            layout=self.layout,
+            record_bytes=self._record_bytes(),
+            table_bytes=sum(s.table_bytes for s in self.shards),
         )
         log = TransferLog()
         counters = [TransactionCounter() for _ in range(self.num_gpus)]
@@ -1125,6 +1175,9 @@ class DistributedHashTable:
                 raise ConfigurationError(f"unknown staged op {staged.op!r}")
         finally:
             self._release_batch_buffers(staged.buffers)
+        # growth during commit may have widened the shards: refresh the
+        # resident footprint so the report reflects the post-commit table
+        report.table_bytes = sum(s.table_bytes for s in self.shards)
         self._observe_cascade(report, log_mark)
         return result
 

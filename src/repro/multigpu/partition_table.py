@@ -22,22 +22,36 @@ __all__ = ["PartitionTable", "TransferPlanEntry"]
 
 @dataclass(frozen=True)
 class TransferPlanEntry:
-    """One all-to-all message: partition ``part`` from ``src`` to ``dst``."""
+    """One all-to-all message: partition ``part`` from ``src`` to ``dst``.
+
+    ``itemsize`` is the modelled wire bytes per pair — ``PAIR_BYTES``
+    for packed shards, the quotiented record width for ``compact`` ones
+    (:func:`repro.core.store.slot_record_bytes`).
+    """
 
     src: int
     dst: int
     count: int
+    itemsize: int = PAIR_BYTES
 
     @property
     def nbytes(self) -> int:
-        return self.count * PAIR_BYTES
+        return self.count * self.itemsize
 
 
 @dataclass
 class PartitionTable:
-    """Counts matrix with the scans and plan the transposition needs."""
+    """Counts matrix with the scans and plan the transposition needs.
+
+    ``record_bytes`` sets the modelled bytes each exchanged pair
+    occupies on the wire (default ``PAIR_BYTES``); distributed tables
+    over ``compact`` shards pass the quotiented record width so the
+    traffic matrix, the transfer plan, and every logged P2P record
+    charge the narrower format end to end.
+    """
 
     counts: np.ndarray  # shape (m, m): T[gpu, part]
+    record_bytes: int = PAIR_BYTES
 
     def __post_init__(self):
         self.counts = np.asarray(self.counts, dtype=np.int64)
@@ -47,6 +61,11 @@ class PartitionTable:
             )
         if np.any(self.counts < 0):
             raise ConfigurationError("partition counts must be non-negative")
+        self.record_bytes = int(self.record_bytes)
+        if self.record_bytes < 1:
+            raise ConfigurationError(
+                f"record_bytes must be >= 1, got {self.record_bytes}"
+            )
 
     @property
     def num_gpus(self) -> int:
@@ -72,11 +91,11 @@ class PartitionTable:
 
     def transposed(self) -> "PartitionTable":
         """The post-all-to-all table T^t[part, gpu]."""
-        return PartitionTable(self.counts.T.copy())
+        return PartitionTable(self.counts.T.copy(), record_bytes=self.record_bytes)
 
     def traffic_matrix(self) -> np.ndarray:
         """Bytes moved between each (src, dst) pair; diagonal is local."""
-        bytes_matrix = self.counts * PAIR_BYTES
+        bytes_matrix = self.counts * self.record_bytes
         out = bytes_matrix.copy()
         np.fill_diagonal(out, 0)
         return out
@@ -103,7 +122,12 @@ class PartitionTable:
             for dst in range(m):
                 if src != dst and self.counts[src, dst] > 0:
                     entries.append(
-                        TransferPlanEntry(src=src, dst=dst, count=int(self.counts[src, dst]))
+                        TransferPlanEntry(
+                            src=src,
+                            dst=dst,
+                            count=int(self.counts[src, dst]),
+                            itemsize=self.record_bytes,
+                        )
                     )
         return entries
 

@@ -55,7 +55,9 @@ option set is now:
     ``"double"`` | ``"linear"`` (:mod:`repro.core.probing`).
 ``layout=``
     Slot storage policy: ``"aos"`` (packed) | ``"soa"`` (split
-    key/value planes; :mod:`repro.core.store`).
+    key/value planes) | ``"compact"`` (quotiented sub-8-byte records,
+    bit-identical results at a narrower modelled footprint;
+    :mod:`repro.core.store`, ``docs/compact_layout.md``).
 ``growth=``
     A :class:`~repro.core.growth.GrowthPolicy`: resize-and-rehash
     instead of failing when an ingest would exceed the load ceiling

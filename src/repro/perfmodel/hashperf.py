@@ -44,19 +44,30 @@ def predicted_op_seconds(
     *,
     op: str = "insert",
     table_bytes: int | None = None,
+    record_bytes: int = 8,
 ) -> float:
-    """Analytic per-op seconds for WarpDrive at a given load and |g|."""
+    """Analytic per-op seconds for WarpDrive at a given load and |g|.
+
+    ``record_bytes`` is the modelled slot width — ``PAIR_BYTES`` for the
+    packed layouts, :func:`repro.core.store.slot_record_bytes` for
+    ``compact`` tables, whose narrower records can cover a probe window
+    with fewer 32-byte sectors.
+    """
     if group_size not in VALID_GROUP_SIZES:
         raise ConfigurationError(f"invalid group size {group_size}")
     if op not in ("insert", "query"):
         raise ConfigurationError(f"op must be 'insert' or 'query', got {op!r}")
+    if not 1 <= record_bytes <= 8:
+        raise ConfigurationError(
+            f"record_bytes must be in [1, 8], got {record_bytes}"
+        )
 
     if op == "insert":
         windows = expected_insert_windows(load_factor, group_size)
     else:
         windows = expected_query_windows(load_factor, group_size)
 
-    sectors_per_window = sectors_for_access(0, group_size * 8)
+    sectors_per_window = sectors_for_access(0, group_size * record_bytes)
     bw_time = (
         windows
         * sectors_per_window
@@ -83,10 +94,16 @@ def predicted_rate(
     *,
     op: str = "insert",
     table_bytes: int | None = None,
+    record_bytes: int = 8,
 ) -> float:
     """Analytic ops/second (reciprocal of :func:`predicted_op_seconds`)."""
     return 1.0 / predicted_op_seconds(
-        load_factor, group_size, spec, op=op, table_bytes=table_bytes
+        load_factor,
+        group_size,
+        spec,
+        op=op,
+        table_bytes=table_bytes,
+        record_bytes=record_bytes,
     )
 
 
@@ -96,10 +113,18 @@ def best_group_size(
     *,
     op: str = "insert",
     table_bytes: int | None = None,
+    record_bytes: int = 8,
 ) -> int:
     """The §VI heuristic: argmax of the analytic rate over legal |g|."""
     rates = {
-        g: predicted_rate(load_factor, g, spec, op=op, table_bytes=table_bytes)
+        g: predicted_rate(
+            load_factor,
+            g,
+            spec,
+            op=op,
+            table_bytes=table_bytes,
+            record_bytes=record_bytes,
+        )
         for g in VALID_GROUP_SIZES
     }
     return max(rates, key=rates.get)

@@ -99,7 +99,7 @@ def lifecycle(
 @needs_provider
 class TestBitIdentity:
     @pytest.mark.parametrize("group_size", [1, 4, 32])
-    @pytest.mark.parametrize("layout", ["aos", "soa"])
+    @pytest.mark.parametrize("layout", ["aos", "soa", "compact"])
     def test_lifecycle_matches_fast(self, group_size, layout):
         assert lifecycle(
             "compiled", group_size=group_size, layout=layout
@@ -148,7 +148,7 @@ class TestBitIdentity:
         seed=st.integers(min_value=0, max_value=2**31 - 1),
         n=st.integers(min_value=1, max_value=500),
         group_size=st.sampled_from([1, 4, 32]),
-        layout=st.sampled_from(["aos", "soa"]),
+        layout=st.sampled_from(["aos", "soa", "compact"]),
     )
     def test_random_workloads_match_fast(self, seed, n, group_size, layout):
         assert lifecycle(
@@ -183,7 +183,11 @@ class TestWarmup:
             ]
             assert len(compile_spans) == 1
             assert compile_spans[0].attrs["kernels"] == "compiled"
+            # the span names the resolved policy triple so traces say
+            # exactly which compiled instance was built
             assert compile_spans[0].attrs["provider"] in available_providers()
+            assert compile_spans[0].attrs["probing"] == "window"
+            assert compile_spans[0].attrs["layout"] == "aos"
             # second warm hits the cache — no second compilation span
             assert warm("window", "aos") is True
             assert (
@@ -215,5 +219,6 @@ class TestWarmup:
 
         warm("window", "aos")
         warm("window", "soa")
+        warm("window", "compact")
         warm("double", "aos")
-        assert len(kernels_jit._LOOPS_CACHE) >= 2
+        assert len(kernels_jit._LOOPS_CACHE) >= 3

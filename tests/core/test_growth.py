@@ -122,7 +122,7 @@ class TestExplicitGrow:
         fresh.insert(keys, values)
         assert (np.asarray(grown.slots) == np.asarray(fresh.slots)).all()
 
-    @pytest.mark.parametrize("layout", ["aos", "soa"])
+    @pytest.mark.parametrize("layout", ["aos", "soa", "compact"])
     def test_grow_preserves_layout(self, layout):
         t = WarpDriveHashTable(64, layout=layout)
         keys = unique_keys(40, seed=7)

@@ -60,7 +60,7 @@ def _final_queryable(history):
 
 class TestGrownEqualsFresh:
     @pytest.mark.parametrize("group_size", [1, 4, 32])
-    @pytest.mark.parametrize("layout", ["aos", "soa"])
+    @pytest.mark.parametrize("layout", ["aos", "soa", "compact"])
     @given(data=st.data())
     @examples(8)
     def test_bit_identical_slots_and_queries(self, group_size, layout, data):

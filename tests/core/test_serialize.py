@@ -74,6 +74,90 @@ class TestRoundtrip:
         assert loaded.config.p_max == t.config.p_max
 
 
+class TestCompactSnapshots:
+    """v3: packed-on-disk slots + the declared modelled record width."""
+
+    @pytest.mark.parametrize("layout", ["aos", "soa", "compact"])
+    def test_layout_round_trips(self, layout, tmp_path):
+        t = WarpDriveHashTable(2048, group_size=8, layout=layout)
+        keys = unique_keys(1500, seed=5)
+        t.insert(keys, random_values(1500, seed=6))
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        loaded = load_table(path)
+        assert loaded.config.layout == layout
+        assert (np.asarray(loaded.slots) == np.asarray(t.slots)).all()
+        _, found = loaded.query(keys)
+        assert found.all()
+
+    def test_header_declares_modelled_width(self, tmp_path):
+        import json
+
+        from repro.core.store import slot_record_bytes
+
+        t = WarpDriveHashTable(1 << 16, layout="compact")
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        with np.load(path) as a:
+            header = json.loads(bytes(a["header"].tobytes()).decode())
+        assert header["format_version"] == FORMAT_VERSION == 3
+        assert header["bytes_per_slot"] == 7
+        assert header["bytes_per_slot"] == slot_record_bytes(
+            "compact", 1 << 16
+        )
+        t.free()
+
+    def test_record_width_drift_detected(self, tmp_path):
+        """A snapshot whose declared bytes_per_slot disagrees with the
+        live width rules must refuse to load."""
+        import json
+
+        t = WarpDriveHashTable(256, layout="compact")
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        with np.load(path) as a:
+            header = json.loads(bytes(a["header"].tobytes()).decode())
+            slots = a["slots"]
+        header["bytes_per_slot"] = 3
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode(), dtype=np.uint8
+            ),
+            slots=slots,
+        )
+        with pytest.raises(ConfigurationError, match="drift"):
+            load_table(path)
+        t.free()
+
+    def test_v2_snapshot_still_loads(self, tmp_path):
+        """Pre-compact snapshots carry no bytes_per_slot: no drift check."""
+        import json
+
+        t = WarpDriveHashTable(512, group_size=4, layout="soa")
+        keys = unique_keys(300, seed=7)
+        t.insert(keys, keys)
+        path = tmp_path / "snap.npz"
+        save_table(t, path)
+        with np.load(path) as a:
+            header = json.loads(bytes(a["header"].tobytes()).decode())
+            slots = a["slots"]
+        header["format_version"] = 2
+        del header["bytes_per_slot"]
+        np.savez(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode(), dtype=np.uint8
+            ),
+            slots=slots,
+        )
+        loaded = load_table(path)
+        assert loaded.config.layout == "soa"
+        _, found = loaded.query(keys)
+        assert found.all()
+        t.free()
+
+
 class TestValidation:
     def test_not_a_snapshot(self, tmp_path):
         path = tmp_path / "junk.npz"

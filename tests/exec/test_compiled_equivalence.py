@@ -72,7 +72,7 @@ class TestThreeWay:
         snaps = [churn(k, group_size=group_size) for k in BACKENDS]
         assert snaps[0] == snaps[1] == snaps[2]
 
-    @pytest.mark.parametrize("layout", ["aos", "soa"])
+    @pytest.mark.parametrize("layout", ["aos", "soa", "compact"])
     def test_layouts(self, layout):
         snaps = [churn(k, layout=layout) for k in BACKENDS]
         assert snaps[0] == snaps[1] == snaps[2]
@@ -166,7 +166,7 @@ class TestNumbaProvider:
     def test_numba_layouts(self, monkeypatch):
         pytest.importorskip("numba")
         monkeypatch.setenv("REPRO_JIT_PROVIDER", "numba")
-        for layout in ("aos", "soa"):
+        for layout in ("aos", "soa", "compact"):
             assert churn("compiled", layout=layout) == churn(
                 "fast", layout=layout
             )

@@ -333,6 +333,56 @@ class TestClusterTree:
         assert "cluster-smoke:" in (REPO_ROOT / "Makefile").read_text()
 
 
+class TestCompactTree:
+    """The compact-slot-layout suite stays wired into every gate."""
+
+    EXPECTED = {
+        "core/test_store.py",
+        "core/test_compact_layout.py",
+        "core/test_serialize.py",
+        "multigpu/test_compact_distribution.py",
+    }
+
+    def test_compact_tree_exists_and_non_empty(self):
+        """One module per layer: the store/view planes, the cross-layer
+        bit-identity + modelled-footprint properties, the v3 snapshot
+        width guard, and the distributed byte-accounting contract."""
+        for name in self.EXPECTED:
+            path = TESTS / name
+            assert path.exists() and path.stat().st_size > 0, name
+
+    def test_coverage_floor_requires_compact_tree(self):
+        """tools/coverage_floor.py refuses to gate without these files,
+        so a rename can't silently drop the compact-layout coverage."""
+        text = (REPO_ROOT / "tools" / "coverage_floor.py").read_text()
+        assert "tests/core/test_compact_layout*.py" in text
+        assert "tests/core/test_store*.py" in text
+        assert "tests/multigpu/test_compact_distribution*.py" in text
+
+    def test_crossover_cascade_is_slow_marked(self):
+        """The 2^17-per-shard strictly-fewer-bytes cascade is the one
+        expensive compact test; it must carry the `slow` marker."""
+        text = (TESTS / "multigpu" / "test_compact_distribution.py").read_text()
+        match = re.search(
+            r"@pytest\.mark\.slow\s*\n\s*def (\w*crossover\w*)", text
+        )
+        assert match, "past-crossover cascade test must be slow-marked"
+
+    def test_compact_property_tests_use_shared_profiles(self):
+        for name in ("core/test_compact_layout.py", "core/test_store.py"):
+            text = (TESTS / name).read_text()
+            assert "from profiles import examples" in text, name
+            assert "settings(max_examples" not in text, name
+
+    def test_ci_runs_compact_smoke_on_both_legs(self):
+        """`make compact-smoke` gates cross-layout bit-identity and the
+        narrower modelled charges on the numba-free leg and again atop
+        the numba provider on the compiled leg."""
+        ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert ci.count("make compact-smoke") >= 2
+        assert "compact-smoke:" in (REPO_ROOT / "Makefile").read_text()
+
+
 class TestHypothesisBudget:
     def test_property_tests_cap_examples(self):
         """Example counts stay within the tier-1 budget.

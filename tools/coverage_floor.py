@@ -34,11 +34,12 @@ TARGET_PACKAGES = ("repro/simt", "repro/core")
 
 #: test-tree globs the gate refuses to run without: the lifecycle layer
 #: (grow/rehash), the compiled kernel backend, the streaming pipeline
-#: (depth equivalence + staging backpressure), and the serving layer
-#: (soak replay identity, fault injection, cache coherence) are
-#: exercised only through these modules, so a renamed or emptied file
-#: would silently drop the floor's most load-bearing coverage instead
-#: of failing the gate
+#: (depth equivalence + staging backpressure), the serving layer
+#: (soak replay identity, fault injection, cache coherence), and the
+#: compact slot layout (cross-layout bit-identity, store/view planes)
+#: are exercised only through these modules, so a renamed or emptied
+#: file would silently drop the floor's most load-bearing coverage
+#: instead of failing the gate
 REQUIRED_TEST_GLOBS = (
     "tests/core/test_growth*.py",
     "tests/multigpu/test_distributed_growth*.py",
@@ -52,6 +53,9 @@ REQUIRED_TEST_GLOBS = (
     "tests/serve/test_faults*.py",
     "tests/serve/test_cache_properties*.py",
     "tests/serve/test_protocol*.py",
+    "tests/core/test_compact_layout*.py",
+    "tests/core/test_store*.py",
+    "tests/multigpu/test_compact_distribution*.py",
 )
 
 
